@@ -1,0 +1,546 @@
+package stackless
+
+// The benchmark harness regenerates every experiment of DESIGN.md §4:
+// one benchmark (or test) per paper table/figure plus the motivating
+// throughput/memory sweeps. EXPERIMENTS.md records the measured shapes.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/classify"
+	"stackless/internal/core"
+	"stackless/internal/dfa"
+	"stackless/internal/dtd"
+	"stackless/internal/encoding"
+	"stackless/internal/gen"
+	"stackless/internal/paperfigs"
+	"stackless/internal/rex"
+	"stackless/internal/stackeval"
+	"stackless/internal/tree"
+	"stackless/internal/treeauto"
+)
+
+// --- shared fixtures ---
+
+var fixtures struct {
+	once       sync.Once
+	catalogXML []byte           // ~2 MB catalog document
+	abcDoc     []encoding.Event // random tree over {a,b,c}, ~200k events
+	abcTree    *tree.Node
+	deepDocs   map[int][]encoding.Event // depth → events, ~100k events each
+}
+
+func loadFixtures() {
+	fixtures.once.Do(func() {
+		rng := rand.New(rand.NewSource(2021))
+		var buf bytes.Buffer
+		if err := gen.WriteCatalogXML(&buf, rng, 20_000, 6); err != nil {
+			panic(err)
+		}
+		fixtures.catalogXML = buf.Bytes()
+
+		fixtures.abcTree = gen.RandomTree(rng, []string{"a", "b", "c"}, 100_000)
+		fixtures.abcDoc = encoding.Markup(fixtures.abcTree)
+
+		fixtures.deepDocs = map[int][]encoding.Event{}
+		for _, depth := range []int{4, 64, 1024, 4096} {
+			// ~100k events regardless of depth: chains of the given depth
+			// with a,b,c labels glued under a root.
+			root := tree.New("a")
+			total := 0
+			for total < 50_000 {
+				c := gen.DeepChain(rng, []string{"a", "b", "c"}, depth)
+				root.Children = append(root.Children, c)
+				total += depth
+			}
+			fixtures.deepDocs[depth] = encoding.Markup(root)
+		}
+	})
+}
+
+func benchEvaluator(b *testing.B, ev core.Evaluator, events []encoding.Event) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Reset()
+		for _, e := range events {
+			ev.Step(e)
+		}
+		_ = ev.Accepting()
+	}
+	b.StopTimer()
+	nsPerEvent := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(len(events))
+	b.ReportMetric(nsPerEvent, "ns/event")
+}
+
+// --- T1: the Example 2.12 table ---
+//
+// For each row, benchmark the best evaluator the theorems allow next to
+// the stack baseline on the same event stream. The verdict pattern
+// (which strategies exist) is asserted by TestExample212EndToEnd.
+
+func BenchmarkTable212(b *testing.B) {
+	loadFixtures()
+	for _, row := range paperfigs.Example212() {
+		q := MustCompileRegex(row.Regex, abc)
+		ev, st, err := q.queryEvaluator(MarkupEncoding, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("%s/%s", row.XPath[1:], st), func(b *testing.B) {
+			benchEvaluator(b, ev, fixtures.abcDoc)
+		})
+		b.Run(fmt.Sprintf("%s/stack", row.XPath[1:]), func(b *testing.B) {
+			benchEvaluator(b, q.stackQuery(), fixtures.abcDoc)
+		})
+	}
+}
+
+// --- F1: Figure 1 / Example 2.9 ---
+//
+// The strict pattern is not stackless; the benchmark measures the
+// Proposition 2.8 matcher (the stackless non-strict semantics) against the
+// in-memory strict oracle on K_n trees.
+
+func BenchmarkFig1Kn(b *testing.B) {
+	pat := gen.Fig1Pattern()
+	for _, n := range []int{8, 12, 16} {
+		match, _ := gen.Fig1Pair(n, n/2)
+		events := encoding.Markup(match)
+		b.Run(fmt.Sprintf("pattern-matcher/n=%d", n), func(b *testing.B) {
+			m := core.NewPatternMatcher(pat)
+			benchEvaluator(b, m, events)
+		})
+		b.Run(fmt.Sprintf("strict-oracle/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = tree.StrictlyContains(match, pat)
+			}
+		})
+	}
+}
+
+// --- F2: Figure 2 ---
+//
+// The reversible automaton's language is registerless under markup; under
+// the term encoding it is not even stackless, so the stack baseline is the
+// only option there.
+
+func BenchmarkFig2(b *testing.B) {
+	loadFixtures()
+	rng := rand.New(rand.NewSource(5))
+	tr := gen.RandomTree(rng, []string{"a", "b"}, 100_000)
+	markup := encoding.Markup(tr)
+	term := encoding.Term(tr)
+	q := MustCompileRegex(paperfigs.Fig2Regex, []string{"a", "b"})
+
+	ev, st, err := q.queryEvaluator(MarkupEncoding, false)
+	if err != nil || st != Registerless {
+		b.Fatalf("Fig2 must be registerless under markup (err=%v st=%v)", err, st)
+	}
+	b.Run("markup/registerless", func(b *testing.B) { benchEvaluator(b, ev, markup) })
+	b.Run("markup/stack", func(b *testing.B) { benchEvaluator(b, q.stackQuery(), markup) })
+	if _, _, err := q.queryEvaluator(TermEncoding, false); err == nil {
+		b.Fatal("Fig2 must NOT be stackless under the term encoding")
+	}
+	b.Run("term/stack-only", func(b *testing.B) { benchEvaluator(b, q.stackQuery(), term) })
+}
+
+// --- F3: Figure 3 (same languages as T1, deep-document variant) ---
+
+func BenchmarkFig3DeepDocs(b *testing.B) {
+	loadFixtures()
+	events := fixtures.deepDocs[1024]
+	for _, row := range paperfigs.Example212() {
+		q := MustCompileRegex(row.Regex, abc)
+		ev, st, err := q.queryEvaluator(MarkupEncoding, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("%s/%v", row.Regex, st), func(b *testing.B) {
+			benchEvaluator(b, ev, events)
+		})
+	}
+}
+
+// --- F4 / F5 / F7: fooling-tree construction ---
+//
+// The membership and indistinguishability claims are covered by tests in
+// internal/gen; the benchmarks measure the generator cost as the pump
+// exponent grows.
+
+func BenchmarkFig4Build(b *testing.B) {
+	an := classify.Analyze(rex.MustCompile(paperfigs.Fig3dRegex, paperfigs.GammaABC()))
+	_, w := an.EFlat()
+	for _, n := range []int{4, 6, 8} {
+		e := gen.PumpExponent(n)
+		b.Run(fmt.Sprintf("n=%d(e=%d)", n, e), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, sp := gen.Fig4Trees(an.D, w, e)
+				if s.Size() == 0 || sp.Size() == 0 {
+					b.Fatal("empty fooling trees")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig5Build(b *testing.B) {
+	an := classify.Analyze(rex.MustCompile(paperfigs.Fig3dRegex, paperfigs.GammaABC()))
+	_, w := an.HAR()
+	for _, e := range []int{6, 12, 24} { // e = PumpExponent(2k) explodes at k=3; sweep e directly
+		b.Run(fmt.Sprintf("e=%d", e), func(b *testing.B) {
+			var size int
+			for i := 0; i < b.N; i++ {
+				r, rp := gen.Fig5Trees(an.D, w, e)
+				size = r.Size() + rp.Size()
+			}
+			b.ReportMetric(float64(size), "nodes")
+		})
+	}
+}
+
+func BenchmarkFig7Build(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	var an *classify.Analysis
+	var w *classify.FlatWitness
+	for {
+		an = classify.Analyze(dfa.Random(rng, alphabet.Letters("ab"), 4))
+		if ok, ww := an.BlindEFlat(); !ok {
+			w = ww
+			break
+		}
+	}
+	for _, e := range []int{6, 12, 60} {
+		b.Run(fmt.Sprintf("e=%d", e), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, sp, _ := gen.Fig7Trees(an.D, w, e)
+				if s.Size() == 0 || sp.Size() == 0 {
+					b.Fatal("empty fooling trees")
+				}
+			}
+		})
+	}
+}
+
+// --- F6: Figure 6 pipeline ---
+
+func BenchmarkFig6Pipeline(b *testing.B) {
+	s := dtd.Fig6()
+	for i := 0; i < b.N; i++ {
+		if s.NaiveAFlat() != true {
+			b.Fatal("naive check changed")
+		}
+		proj, err := s.ProjectedPathLanguage()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ok, _ := classify.Analyze(proj).AFlat(); ok {
+			b.Fatal("projection became A-flat")
+		}
+	}
+}
+
+// --- X1/X2: depth sweep — flat O(1) working state for the stackless
+// machine versus Θ(depth) for the pushdown baseline. Each run reports its
+// peak working-state size in machine words ("state-words").
+
+func BenchmarkDepthSweepStackless(b *testing.B) {
+	loadFixtures()
+	q := MustCompileRegex(paperfigs.Fig3cRegex, abc) // HAR: stackless exists
+	for _, depth := range []int{4, 64, 1024, 4096} {
+		ev, st, err := q.queryEvaluator(MarkupEncoding, false)
+		if err != nil || st != Stackless {
+			b.Fatal("expected a stackless evaluator")
+		}
+		sl := ev.(*core.StacklessEvaluator)
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			peak := 0
+			sl.Reset()
+			for _, e := range fixtures.deepDocs[depth] {
+				sl.Step(e)
+				if r := sl.Registers(); r > peak {
+					peak = r
+				}
+			}
+			benchEvaluator(b, ev, fixtures.deepDocs[depth])
+			b.ReportMetric(float64(2*peak+2), "state-words")
+		})
+	}
+}
+
+func BenchmarkDepthSweepStack(b *testing.B) {
+	loadFixtures()
+	q := MustCompileRegex(paperfigs.Fig3cRegex, abc)
+	for _, depth := range []int{4, 64, 1024, 4096} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			sq := stackeval.QL(q.automaton())
+			peak := 0
+			sq.Reset()
+			for _, e := range fixtures.deepDocs[depth] {
+				sq.Step(e)
+				if d := sq.StackDepth(); d > peak {
+					peak = d
+				}
+			}
+			benchEvaluator(b, sq, fixtures.deepDocs[depth])
+			b.ReportMetric(float64(peak+1), "state-words")
+		})
+	}
+}
+
+// --- X2: end-to-end over XML bytes (scanner + evaluator), with -benchmem
+// showing the O(1)-register vs Θ(depth)-stack allocation difference. ---
+
+func BenchmarkEndToEndCatalog(b *testing.B) {
+	loadFixtures()
+	q := MustCompileXPathB(b, "//category//name")
+	for _, mode := range []struct {
+		name string
+		opt  Options
+	}{{"auto", Options{}}, {"stack", Options{ForceStack: true}}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64(len(fixtures.catalogXML)))
+			for i := 0; i < b.N; i++ {
+				if _, err := q.SelectXML(bytes.NewReader(fixtures.catalogXML), mode.opt, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// MustCompileXPathB compiles an XPath query for benchmarks.
+func MustCompileXPathB(b *testing.B, expr string) *Query {
+	b.Helper()
+	q, err := CompileXPath(expr, []string{"catalog", "item", "name", "price", "category", "discount"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q
+}
+
+// --- X3: classification cost vs automaton size ---
+
+func BenchmarkClassifySweep(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		ds := make([]*dfa.DFA, 16)
+		for i := range ds {
+			ds[i] = dfa.Random(rng, alphabet.Letters("ab"), n)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				an := classify.Analyze(ds[i%len(ds)])
+				an.Report()
+			}
+		})
+	}
+}
+
+// --- P1: Proposition 2.8 pattern matching ---
+
+func BenchmarkPatternMatcher(b *testing.B) {
+	loadFixtures()
+	pat := tree.MustParse("a(b(c),b)")
+	b.Run("stream", func(b *testing.B) {
+		benchEvaluator(b, core.NewPatternMatcher(pat), fixtures.abcDoc)
+	})
+	b.Run("in-memory-oracle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = tree.Contains(fixtures.abcTree, pat)
+		}
+	})
+}
+
+// --- P2: Propositions 2.3 / 2.13 ---
+
+func BenchmarkProp23Conversion(b *testing.B) {
+	d := core.Example26()
+	for i := 0; i < b.N; i++ {
+		if _, err := treeauto.FromRestrictedDRA(d, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProp213Decision(b *testing.B) {
+	l := rex.MustCompile("a(a|b)*", alphabet.Letters("ab"))
+	an := classify.Analyze(l)
+	tag, err := core.RegisterlessQL(an)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := core.NewDRA(tag.Alphabet, tag.NumStates(), tag.Start, 0)
+	copy(d.Accept, tag.Accept)
+	for q := 0; q < tag.NumStates(); q++ {
+		for a := 0; a < tag.Alphabet.Size(); a++ {
+			d.SetForAllTests(q, a, false, 0, tag.OpenT[q][a])
+			d.SetForAllTests(q, a, true, 0, tag.CloseT[q][a])
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := treeauto.IsPathQuery(d, 1<<18)
+		if err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// --- Tree-language recognition: synopsis automaton vs stack ---
+
+func BenchmarkELRecognizers(b *testing.B) {
+	loadFixtures()
+	an := classify.Analyze(rex.MustCompile(paperfigs.Fig3aRegex, paperfigs.GammaABC()))
+	syn, err := core.RegisterlessEL(an)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("synopsis-registerless", func(b *testing.B) {
+		benchEvaluator(b, syn, fixtures.abcDoc)
+	})
+	b.Run("stack", func(b *testing.B) {
+		benchEvaluator(b, stackeval.EL(an.D), fixtures.abcDoc)
+	})
+}
+
+// --- Weak validation: DTD validators (Section 4.1) ---
+
+func BenchmarkDTDValidation(b *testing.B) {
+	d := &dtd.PathDTD{
+		Root: "doc",
+		Prods: map[string]dtd.Production{
+			"doc":  {Symbols: []string{"item"}},
+			"item": {Symbols: []string{"item", "leaf"}},
+			"leaf": {},
+		},
+	}
+	rng := rand.New(rand.NewSource(11))
+	var build func(depth int) *tree.Node
+	build = func(depth int) *tree.Node {
+		n := tree.New("item")
+		if depth > 0 {
+			for i := 0; i < 2; i++ {
+				n.Children = append(n.Children, build(depth-1))
+			}
+		} else {
+			n.Children = append(n.Children, tree.New("leaf"))
+		}
+		return n
+	}
+	doc := tree.New("doc", build(14)) // ~32k items
+	events := encoding.Markup(doc)
+	_ = rng
+
+	ev, kind, err := d.Validator()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run(kind, func(b *testing.B) { benchEvaluator(b, ev, events) })
+	b.Run("stack", func(b *testing.B) {
+		benchEvaluator(b, d.AsGeneral().NewStackValidator(), events)
+	})
+}
+
+// --- Scanner throughput (parsing substrate) ---
+
+func BenchmarkXMLScanner(b *testing.B) {
+	loadFixtures()
+	b.SetBytes(int64(len(fixtures.catalogXML)))
+	for i := 0; i < b.N; i++ {
+		src := encoding.NewXMLScanner(bytes.NewReader(fixtures.catalogXML))
+		for {
+			if _, err := src.Next(); err != nil {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkStdXMLBridge(b *testing.B) {
+	loadFixtures()
+	b.SetBytes(int64(len(fixtures.catalogXML)))
+	for i := 0; i < b.N; i++ {
+		src := encoding.NewStdXMLSource(bytes.NewReader(fixtures.catalogXML))
+		for {
+			if _, err := src.Next(); err != nil {
+				break
+			}
+		}
+	}
+}
+
+// --- Term encoding: under Γ ∪ {◁} the registerless machine resolves no
+// labels on closing tags, matching the pushdown's advantage — the honest
+// counterpoint to the markup-encoding overhead (see EXPERIMENTS.md). ---
+
+func BenchmarkTermEncoding(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	tr := gen.RandomTree(rng, []string{"a", "b", "c"}, 100_000)
+	events := encoding.Term(tr)
+	q := MustCompileRegex(paperfigs.Fig3aRegex, abc) // blindly almost-reversible
+	ev, st, err := q.queryEvaluator(TermEncoding, false)
+	if err != nil || st != Registerless {
+		b.Fatalf("aΓ*b should be term-registerless (err=%v)", err)
+	}
+	b.Run("blind-registerless", func(b *testing.B) { benchEvaluator(b, ev, events) })
+	b.Run("stack", func(b *testing.B) { benchEvaluator(b, q.stackQuery(), events) })
+}
+
+// --- Multi-query single pass: parsing cost amortized across queries (the
+// §1 SAX argument). ---
+
+func BenchmarkMultiQueryCatalog(b *testing.B) {
+	loadFixtures()
+	labels := []string{"catalog", "item", "name", "price", "category", "discount"}
+	exprs := []string{
+		"'catalog''item''name'",
+		".*'category'.*'name'",
+		".*'discount'",
+		"'catalog''item''price'",
+	}
+	for _, k := range []int{1, 2, 4} {
+		qs := make([]*Query, k)
+		for i := 0; i < k; i++ {
+			var err error
+			qs[i], err = CompileRegex(exprs[i], labels)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		mq, err := NewMultiQuery(qs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("queries=%d", k), func(b *testing.B) {
+			b.SetBytes(int64(len(fixtures.catalogXML)))
+			for i := 0; i < b.N; i++ {
+				if _, err := mq.SelectXML(bytes.NewReader(fixtures.catalogXML), Options{}, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Post-selection extension: the stack-based subtree-witness query. ---
+
+func BenchmarkPostSelection(b *testing.B) {
+	loadFixtures()
+	p, err := CompilePostQuery("'catalog''item'", "discount",
+		[]string{"catalog", "item", "name", "price", "category"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(fixtures.catalogXML)))
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SelectXML(bytes.NewReader(fixtures.catalogXML), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command classify prints the full syntactic classification of a path
+// query (Definitions 3.4, 3.6, 3.9 and their blind variants) and the
+// derived feasibility verdicts of Theorems 3.1, 3.2, B.1 and B.2.
+//
+// Usage:
+//
+//	classify -regex 'a.*b' -alphabet a,b,c
+//	classify -table            # print the Example 2.12 table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stackless"
+)
+
+func main() {
+	var (
+		regex = flag.String("regex", "", "path query as a regular expression")
+		xpath = flag.String("xpath", "", "path query in the downward XPath fragment")
+		alpha = flag.String("alphabet", "", "comma-separated label alphabet Γ")
+		table = flag.Bool("table", false, "print the Example 2.12 table and exit")
+	)
+	flag.Parse()
+
+	if *table {
+		printTable()
+		return
+	}
+
+	var labels []string
+	if *alpha != "" {
+		labels = strings.Split(*alpha, ",")
+	}
+	var q *stackless.Query
+	var err error
+	switch {
+	case *regex != "":
+		q, err = stackless.CompileRegex(*regex, labels)
+	case *xpath != "":
+		q, err = stackless.CompileXPath(*xpath, labels)
+	default:
+		err = fmt.Errorf("one of -regex or -xpath is required (or -table)")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "classify:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("query: %s over %v\n%s", q, q.Alphabet(), q.Report())
+	if why := q.Explain(); len(why) > 0 {
+		fmt.Println("why:")
+		for _, line := range why {
+			fmt.Printf("  - %s\n", line)
+		}
+	}
+}
+
+// printTable regenerates the Example 2.12 table from the decision
+// procedures — the paper's headline summary.
+func printTable() {
+	rows := []struct{ xpath, jsonpath, regex string }{
+		{"/a//b", "$.a..b", "a.*b"},
+		{"/a/b", "$.a.b", "ab"},
+		{"//a//b", "$..a..b", ".*a.*b"},
+		{"//a/b", "$..a.b", ".*ab"},
+	}
+	mark := func(b bool) string {
+		if b {
+			return "✓"
+		}
+		return "✗"
+	}
+	fmt.Println("Example 2.12 (over Γ = {a,b,c}):")
+	fmt.Printf("%-10s %-10s %-10s %-14s %-11s %-16s %-14s\n",
+		"XPath", "JSONPath", "RegEx", "Registerless?", "Stackless?", "Term-registerless?", "Term-stackless?")
+	for _, r := range rows {
+		q, err := stackless.CompileRegex(r.regex, []string{"a", "b", "c"})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "classify:", err)
+			os.Exit(1)
+		}
+		c := q.Classify()
+		fmt.Printf("%-10s %-10s %-10s %-14s %-11s %-16s %-14s\n",
+			r.xpath, r.jsonpath, r.regex,
+			mark(c.Registerless), mark(c.StacklessQuery),
+			mark(c.TermRegisterless), mark(c.TermStackless))
+	}
+}

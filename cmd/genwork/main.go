@@ -1,0 +1,79 @@
+// Command genwork generates synthetic workload documents for the
+// benchmarks: product catalogs, deep recursive documents, and the K_n
+// schema trees of Figure 1.
+//
+// Usage:
+//
+//	genwork -kind catalog -items 100000 > catalog.xml
+//	genwork -kind recursive -depth 2000 > deep.xml
+//	genwork -kind kn -n 20 -seed 7 > kn.xml
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"stackless/internal/encoding"
+	"stackless/internal/gen"
+	"stackless/internal/tree"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "catalog", "workload kind: catalog | recursive | random | kn")
+		items   = flag.Int("items", 10000, "catalog: number of items")
+		catdep  = flag.Int("catdepth", 4, "catalog: maximum category nesting")
+		depth   = flag.Int("depth", 100, "recursive: nesting depth")
+		breadth = flag.Int("breadth", 3, "recursive: paragraphs per section")
+		size    = flag.Int("size", 1000, "random: number of nodes")
+		n       = flag.Int("n", 12, "kn: main-branch length")
+		seed    = flag.Int64("seed", 1, "random seed")
+		term    = flag.Bool("term", false, "emit brace notation instead of XML")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	if *kind == "catalog" && !*term {
+		if err := gen.WriteCatalogXML(out, rng, *items, *catdep); err != nil {
+			fmt.Fprintln(os.Stderr, "genwork:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var t = func() *tree.Node {
+		switch *kind {
+		case "catalog":
+			return gen.Catalog(rng, *items, *catdep)
+		case "recursive":
+			return gen.RecursiveDoc(rng, *depth, *breadth)
+		case "random":
+			return gen.RandomTree(rng, []string{"a", "b", "c"}, *size)
+		case "kn":
+			aCh := make([]bool, *n-1)
+			cCh := make([]bool, *n)
+			for i := range aCh {
+				aCh[i] = rng.Intn(2) == 1
+			}
+			for i := range cCh {
+				cCh[i] = rng.Intn(2) == 1
+			}
+			return gen.Kn(*n, aCh, cCh)
+		default:
+			fmt.Fprintf(os.Stderr, "genwork: unknown kind %q\n", *kind)
+			os.Exit(1)
+			return nil
+		}
+	}()
+	if *term {
+		out.WriteString(encoding.TermString(t))
+	} else {
+		encoding.WriteXML(out, t)
+	}
+	out.WriteString("\n")
+}

@@ -1,0 +1,99 @@
+// Command streamq compiles a path query, classifies it, and streams a
+// document through the cheapest evaluator the characterization theorems
+// allow, printing the selected nodes.
+//
+// Usage:
+//
+//	streamq -xpath '/a//b' -alphabet a,b,c file.xml
+//	streamq -regex 'a.*b' -alphabet a,b,c -stack file.xml
+//	streamq -jsonpath '$..title' -alphabet '$,store,book,item,title' -json data.json
+//
+// With no file argument the document is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"stackless"
+)
+
+func main() {
+	var (
+		regex    = flag.String("regex", "", "path query as a regular expression over labels")
+		xpath    = flag.String("xpath", "", "path query in the downward XPath fragment")
+		jsonpath = flag.String("jsonpath", "", "path query in the downward JSONPath fragment")
+		alpha    = flag.String("alphabet", "", "comma-separated label alphabet Γ (labels in the query are added automatically)")
+		jsonIn   = flag.Bool("json", false, "input is JSON (term encoding)")
+		termIn   = flag.Bool("term", false, "input is brace notation a{b{}} (term encoding)")
+		stack    = flag.Bool("stack", false, "force the stack baseline")
+		noStack  = flag.Bool("nostack", false, "fail instead of falling back to the stack")
+		classify = flag.Bool("classify", false, "print the classification report and exit")
+		quiet    = flag.Bool("quiet", false, "print only the final statistics")
+	)
+	flag.Parse()
+
+	var labels []string
+	if *alpha != "" {
+		labels = strings.Split(*alpha, ",")
+	}
+	q, err := compile(*regex, *xpath, *jsonpath, labels)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *classify {
+		fmt.Printf("query: %s over %v\n%s", q, q.Alphabet(), q.Report())
+		return
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	opt := stackless.Options{ForceStack: *stack, ForbidStack: *noStack}
+	report := func(m stackless.Match) {
+		if !*quiet {
+			fmt.Printf("match pos=%d depth=%d label=%s\n", m.Pos, m.Depth, m.Label)
+		}
+	}
+	var stats stackless.Stats
+	switch {
+	case *jsonIn:
+		stats, err = q.SelectJSON(in, opt, report)
+	case *termIn:
+		stats, err = q.SelectTerm(in, opt, report)
+	default:
+		stats, err = q.SelectXML(in, opt, report)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("strategy=%s events=%d matches=%d\n", stats.Strategy, stats.Events, stats.Matches)
+}
+
+func compile(regex, xpath, jsonpath string, labels []string) (*stackless.Query, error) {
+	switch {
+	case regex != "":
+		return stackless.CompileRegex(regex, labels)
+	case xpath != "":
+		return stackless.CompileXPath(xpath, labels)
+	case jsonpath != "":
+		return stackless.CompileJSONPath(jsonpath, labels)
+	}
+	return nil, fmt.Errorf("streamq: one of -regex, -xpath, -jsonpath is required")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "streamq:", err)
+	os.Exit(1)
+}

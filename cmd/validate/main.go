@@ -1,0 +1,97 @@
+// Command validate performs weak validation (Section 4.1) of streamed XML
+// documents against a path DTD given in the text format of internal/dtd:
+//
+//	root doc
+//	doc  -> (item)*
+//	item -> (item | leaf)*
+//	leaf -> ()*
+//
+// It classifies the DTD (registerless / stackless / stack-only per the
+// characterization theorems), compiles the cheapest validator, and runs it
+// over each document.
+//
+// Usage:
+//
+//	validate -dtd grammar.dtd doc1.xml doc2.xml
+//	validate -dtd grammar.dtd -classify
+//	cat doc.xml | validate -dtd grammar.dtd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"stackless/internal/core"
+	"stackless/internal/dtd"
+	"stackless/internal/encoding"
+)
+
+func main() {
+	var (
+		dtdPath  = flag.String("dtd", "", "path to the DTD grammar file (required)")
+		classify = flag.Bool("classify", false, "print the weak-validation classification and exit")
+		stack    = flag.Bool("stack", false, "force the stack baseline validator")
+	)
+	flag.Parse()
+	if *dtdPath == "" {
+		fatal(fmt.Errorf("-dtd is required"))
+	}
+	src, err := os.ReadFile(*dtdPath)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := dtd.ParsePathDTD(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	rep, err := d.Analyze()
+	if err != nil {
+		fatal(err)
+	}
+	if *classify {
+		fmt.Printf("DTD root=%s\n%s", d.Root, d.Format())
+		fmt.Printf("weak validation: registerless=%v stackless=%v (term: %v/%v)\n",
+			rep.Registerless(), rep.Stackless(), rep.TermRegisterless(), rep.TermStackless())
+		return
+	}
+
+	var validator core.Evaluator
+	kind := "stack"
+	if !*stack {
+		if ev, k, err := d.Validator(); err == nil {
+			validator, kind = ev, k
+		}
+	}
+	if validator == nil {
+		validator = d.AsGeneral().NewStackValidator()
+	}
+
+	run := func(name string, r io.Reader) {
+		ok, err := core.Recognize(validator, encoding.NewXMLScanner(r))
+		if err != nil {
+			fmt.Printf("%s: error: %v\n", name, err)
+			return
+		}
+		fmt.Printf("%s: valid=%v (%s)\n", name, ok, kind)
+	}
+	if flag.NArg() == 0 {
+		run("stdin", os.Stdin)
+		return
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		run(path, f)
+		f.Close()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "validate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+package stackless_test
+
+import (
+	"fmt"
+	"strings"
+
+	"stackless"
+)
+
+// The headline use case: compile an XPath query, let the engine pick the
+// cheapest machine the characterization theorems allow, and stream.
+func ExampleQuery_SelectXML() {
+	q, err := stackless.CompileXPath("/a//b", []string{"a", "b", "c"})
+	if err != nil {
+		panic(err)
+	}
+	doc := "<a><b/><c><b/></c></a>"
+	stats, err := q.SelectXML(strings.NewReader(doc), stackless.Options{}, func(m stackless.Match) {
+		fmt.Printf("match pos=%d depth=%d\n", m.Pos, m.Depth)
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("strategy:", stats.Strategy)
+	// Output:
+	// match pos=1 depth=2
+	// match pos=3 depth=3
+	// strategy: registerless
+}
+
+// Classification reproduces Example 2.12: /a/b is stackless but not
+// registerless.
+func ExampleQuery_Classify() {
+	q, _ := stackless.CompileXPath("/a/b", []string{"a", "b", "c"})
+	c := q.Classify()
+	fmt.Println("registerless:", c.Registerless)
+	fmt.Println("stackless:", c.StacklessQuery)
+	// Output:
+	// registerless: false
+	// stackless: true
+}
+
+// Tree languages: EL asks for some matching branch, AL for all branches
+// (weak validation).
+func ExampleQuery_RecognizeAL() {
+	q, _ := stackless.CompileRegex("ab*", []string{"a", "b"})
+	ok, _, _ := q.RecognizeAL(strings.NewReader("<a><b/><b><b/></b></a>"), stackless.Options{})
+	fmt.Println("all branches in ab*:", ok)
+	// Output:
+	// all branches in ab*: true
+}
+
+// JSON documents stream under the term encoding; the blind classes of
+// Appendix B decide what is possible.
+func ExampleQuery_SelectJSON() {
+	q, _ := stackless.CompileJSONPath("$..'title'", []string{"$", "book", "item", "title"})
+	doc := `{"book": [{"title": 1}, {"title": 2}]}`
+	stats, _ := q.SelectJSON(strings.NewReader(doc), stackless.Options{}, nil)
+	fmt.Println("matches:", stats.Matches, "strategy:", stats.Strategy)
+	// Output:
+	// matches: 2 strategy: registerless
+}
+
+// Explain narrates the lower-bound witnesses for queries outside a class.
+func ExampleQuery_Explain() {
+	q, _ := stackless.CompileXPath("//a/b", []string{"a", "b", "c"})
+	why := q.Explain()
+	fmt.Println("explanations:", len(why) > 0)
+	// Output:
+	// explanations: true
+}
+
+// Several queries can share one parsing pass.
+func ExampleMultiQuery() {
+	q1, _ := stackless.CompileXPath("/a//b", []string{"a", "b", "c"})
+	q2, _ := stackless.CompileXPath("//c", []string{"a", "b", "c"})
+	mq, _ := stackless.NewMultiQuery(q1, q2)
+	doc := "<a><b/><c><b/></c></a>"
+	stats, _ := mq.SelectXML(strings.NewReader(doc), stackless.Options{}, nil)
+	fmt.Println("matches:", stats.Matches)
+	// Output:
+	// matches: [2 1]
+}

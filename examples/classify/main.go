@@ -1,0 +1,51 @@
+// classify regenerates the Example 2.12 table (experiment T1) and prints
+// the full classification of each row's language — the headline result of
+// the characterization theorems.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stackless"
+)
+
+func main() {
+	rows := []struct{ xpath, jsonpath, regex string }{
+		{"/a//b", "$.a..b", "a.*b"},
+		{"/a/b", "$.a.b", "ab"},
+		{"//a//b", "$..a..b", ".*a.*b"},
+		{"//a/b", "$..a.b", ".*ab"},
+	}
+	mark := func(b bool) string {
+		if b {
+			return "✓"
+		}
+		return "✗"
+	}
+	fmt.Println("Example 2.12 over Γ = {a,b,c} — markup encoding:")
+	fmt.Printf("  %-8s %-8s %-8s  %-13s %s\n", "XPath", "JSONPath", "RegEx", "Registerless?", "Stackless?")
+	queries := make([]*stackless.Query, len(rows))
+	for i, r := range rows {
+		q, err := stackless.CompileRegex(r.regex, []string{"a", "b", "c"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		queries[i] = q
+		c := q.Classify()
+		fmt.Printf("  %-8s %-8s %-8s  %-13s %s\n",
+			r.xpath, r.jsonpath, r.regex, mark(c.Registerless), mark(c.StacklessQuery))
+	}
+	fmt.Println("\nterm encoding (Section 4.2, blind classes):")
+	fmt.Printf("  %-8s  %-13s %s\n", "RegEx", "Registerless?", "Stackless?")
+	for i, r := range rows {
+		c := queries[i].Classify()
+		fmt.Printf("  %-8s  %-13s %s\n", r.regex, mark(c.TermRegisterless), mark(c.TermStackless))
+	}
+	fmt.Println("\nunderlying syntactic classes:")
+	for i, r := range rows {
+		c := queries[i].Classify()
+		fmt.Printf("  %-8s reversible=%v almost-reversible=%v R-trivial=%v HAR=%v E-flat=%v A-flat=%v\n",
+			r.regex, c.Reversible, c.AlmostReversible, c.RTrivial, c.HAR, c.EFlat, c.AFlat)
+	}
+}

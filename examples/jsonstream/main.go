@@ -1,0 +1,72 @@
+// jsonstream queries a JSON document under the term encoding (Section
+// 4.2): closing brackets do not reveal labels, so the *blind* syntactic
+// classes govern what is possible. The example also shows a query that is
+// registerless over XML but needs more under JSON — the cost of the term
+// encoding's succinctness.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"stackless"
+)
+
+const doc = `{
+  "store": {
+    "book": [
+      {"title": 1, "price": 10, "author": {"name": 2}},
+      {"title": 3, "price": 12},
+      {"series": {"book": [{"title": 4}]}}
+    ],
+    "title": 99
+  }
+}`
+
+func main() {
+	labels := []string{"$", "store", "book", "item", "title", "price", "author", "name", "series"}
+
+	// $..title — every title anywhere.
+	q, err := stackless.CompileJSONPath("$..'title'", labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := q.Classify()
+	fmt.Printf("%s: term-registerless=%v term-stackless=%v\n", q, c.TermRegisterless, c.TermStackless)
+	stats, err := q.SelectJSON(strings.NewReader(doc), stackless.Options{}, func(m stackless.Match) {
+		fmt.Printf("  match at pos=%d depth=%d\n", m.Pos, m.Depth)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strategy=%s matches=%d\n\n", stats.Strategy, stats.Matches)
+
+	// $..book.item.title — titles directly inside a book list entry. The
+	// child step makes this harder (compare //a/b in Example 2.12).
+	q2, err := stackless.CompileJSONPath("$..'book'.'item'.'title'", labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c2 := q2.Classify()
+	fmt.Printf("%s: term-registerless=%v term-stackless=%v\n", q2, c2.TermRegisterless, c2.TermStackless)
+	stats2, err := q2.SelectJSON(strings.NewReader(doc), stackless.Options{}, func(m stackless.Match) {
+		fmt.Printf("  match at pos=%d depth=%d\n", m.Pos, m.Depth)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strategy=%s matches=%d\n\n", stats2.Strategy, stats2.Matches)
+
+	// The Section 4.2 separation: an even number of a's on the path (the
+	// language of the reversible Figure 2 automaton, written (b*ab*ab*)* in
+	// the paper and (b|ab*a)* as an exact regex) is registerless over XML
+	// but not even stackless over JSON.
+	sep, err := stackless.CompileRegex("(b|ab*a)*", []string{"a", "b"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs := sep.Classify()
+	fmt.Printf("even-a's: markup registerless=%v, term stackless=%v — the cost of succinctness\n",
+		cs.Registerless, cs.TermStackless)
+}

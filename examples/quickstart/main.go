@@ -1,0 +1,46 @@
+// Quickstart: compile an RPQ, see how the paper classifies it, and stream
+// an XML document through the cheapest evaluator.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"stackless"
+)
+
+func main() {
+	// The query /a//b of Example 2.12: select b-nodes somewhere below an
+	// a-root. Its path language a Γ*b is almost-reversible, so a plain
+	// finite automaton evaluates it over the stream — no stack, no
+	// registers.
+	q, err := stackless.CompileXPath("/a//b", []string{"a", "b", "c"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %s over Γ=%v\n", q, q.Alphabet())
+	c := q.Classify()
+	fmt.Printf("registerless=%v stackless=%v (term: %v/%v)\n\n",
+		c.Registerless, c.StacklessQuery, c.TermRegisterless, c.TermStackless)
+
+	doc := `<a>
+  <b/>                 <!-- selected: path a·b -->
+  <c><b/></c>          <!-- selected: path a·c·b -->
+  <b><c/></b>          <!-- selected -->
+  <a><b/></a>          <!-- selected: path a·a·b -->
+</a>`
+	stats, err := q.SelectXML(strings.NewReader(doc), stackless.Options{}, func(m stackless.Match) {
+		fmt.Printf("  match: pos=%d depth=%d label=%s\n", m.Pos, m.Depth, m.Label)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstrategy=%s events=%d matches=%d\n", stats.Strategy, stats.Events, stats.Matches)
+
+	// Tree-language queries: does SOME branch match a·b*? Does EVERY branch?
+	v, _ := stackless.CompileRegex("ab*", []string{"a", "b", "c"})
+	el, _, _ := v.RecognizeEL(strings.NewReader("<a><b/><c/></a>"), stackless.Options{})
+	al, _, _ := v.RecognizeAL(strings.NewReader("<a><b/><c/></a>"), stackless.Options{})
+	fmt.Printf("\nab*: some branch=%v every branch=%v on <a><b/><c/></a>\n", el, al)
+}

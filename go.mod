@@ -1,0 +1,3 @@
+module stackless
+
+go 1.22

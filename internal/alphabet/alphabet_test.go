@@ -1,0 +1,105 @@
+package alphabet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDedupAndOrder(t *testing.T) {
+	a := New("x", "y", "x", "z")
+	if a.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", a.Size())
+	}
+	for i, want := range []string{"x", "y", "z"} {
+		if a.Symbol(i) != want {
+			t.Errorf("Symbol(%d) = %q, want %q", i, a.Symbol(i), want)
+		}
+	}
+}
+
+func TestLetters(t *testing.T) {
+	a := Letters("abc")
+	if a.Size() != 3 || !a.Contains("b") || a.Contains("ab") {
+		t.Errorf("Letters misbehaved: %v", a)
+	}
+}
+
+func TestIDAndMustID(t *testing.T) {
+	a := New("item")
+	if id, ok := a.ID("item"); !ok || id != 0 {
+		t.Errorf("ID(item) = %d, %v", id, ok)
+	}
+	if _, ok := a.ID("missing"); ok {
+		t.Error("ID(missing) should not be found")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustID should panic on unknown symbol")
+		}
+	}()
+	a.MustID("missing")
+}
+
+func TestAddIdempotent(t *testing.T) {
+	a := New()
+	if a.Add("x") != 0 || a.Add("y") != 1 || a.Add("x") != 0 {
+		t.Error("Add ids wrong")
+	}
+}
+
+func TestEqualAndSameSymbolSet(t *testing.T) {
+	a, b, c := New("x", "y"), New("x", "y"), New("y", "x")
+	if !a.Equal(b) || a.Equal(c) {
+		t.Error("Equal wrong")
+	}
+	if !a.SameSymbolSet(c) || a.SameSymbolSet(New("x")) {
+		t.Error("SameSymbolSet wrong")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New("x")
+	c := a.Clone()
+	c.Add("y")
+	if a.Contains("y") || !c.Contains("y") {
+		t.Error("Clone not independent")
+	}
+}
+
+func TestStringSorted(t *testing.T) {
+	if got := New("b", "a").String(); got != "{a,b}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestResolverAgreesWithID(t *testing.T) {
+	a := New("one", "two", "three")
+	r := NewResolver(a)
+	f := func(pick uint8) bool {
+		symbols := []string{"one", "two", "three", "nope"}
+		s := symbols[int(pick)%len(symbols)]
+		id1, ok1 := r.ID(s)
+		id2, ok2 := a.ID(s)
+		return id1 == id2 && ok1 == ok2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResolverCacheBound(t *testing.T) {
+	a := New()
+	for i := 0; i < 100; i++ {
+		a.Add(string(rune('a' + i)))
+	}
+	r := NewResolver(a)
+	for i := 0; i < 100; i++ {
+		s := string(rune('a' + i))
+		if id, ok := r.ID(s); !ok || id != i {
+			t.Fatalf("Resolver.ID(%q) = %d, %v", s, id, ok)
+		}
+	}
+	if len(r.labels) > 32 {
+		t.Errorf("cache grew to %d entries", len(r.labels))
+	}
+}

@@ -1,0 +1,87 @@
+package classify
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Human-readable renderings of the witnesses, used by cmd/classify and the
+// public API to explain *why* a query falls outside a class, in the
+// vocabulary of the paper's proofs.
+
+func (a *Analysis) word(w []int) string {
+	if len(w) == 0 {
+		return "ε"
+	}
+	var b strings.Builder
+	for _, s := range w {
+		b.WriteString(a.D.Alphabet.Symbol(s))
+	}
+	return b.String()
+}
+
+// ExplainFlat renders an E-flat/A-flat violation (Definition 3.9,
+// Lemma 3.12's gadget).
+func (a *Analysis) ExplainFlat(w *FlatWitness, acceptive bool) string {
+	polarity := "rejecting"
+	kind := "E-flat"
+	if acceptive {
+		polarity = "accepting"
+		kind = "A-flat"
+	}
+	blind := ""
+	if len(w.U2) > 0 && a.word(w.U) != a.word(w.U2) {
+		blind = " (blind variant: u₂=" + a.word(w.U2) + " loops at q with |u₁|=|u₂|)"
+	}
+	return fmt.Sprintf(
+		"not %s: after s=%s the run is in state p, and u=%s merges p into the %s-reachable state q (q·u=q); "+
+			"yet t=%s distinguishes them (exactly one of p·t, q·t accepts), and q·x with x=%s is %s%s — "+
+			"pumping u (Figure 4) fools every finite automaton",
+		kind, a.word(w.S), a.word(w.U), polarity, a.word(w.T), a.word(w.X), polarity, blind)
+}
+
+// ExplainMeet renders an almost-reversibility violation (Definition 3.4).
+func (a *Analysis) ExplainMeet(w *MeetWitness) string {
+	return fmt.Sprintf(
+		"not almost-reversible: internal states reached by s₁=%s and s₂=%s meet on u=%s but are distinguished by t=%s — "+
+			"a finite automaton cannot revert over closing tags here",
+		a.word(w.SP), a.word(w.SQ), a.word(w.U), a.word(w.T))
+}
+
+// ExplainHAR renders a HAR violation (Definition 3.6, Lemma 3.16's gadget).
+func (a *Analysis) ExplainHAR(w *HARWitness) string {
+	blind := ""
+	if a.word(w.U1) != a.word(w.U2) {
+		blind = fmt.Sprintf(" (blind variant: u₂=%s)", a.word(w.U2))
+	}
+	return fmt.Sprintf(
+		"not hierarchically almost-reversible: inside one strongly connected component, s=%s reaches r; "+
+			"v=%s and w=%s lead to states p and q that both return to r on u=%s%s, yet t=%s tells them apart "+
+			"(p·t accepts, q·t rejects) — the Figure 5 trees built from this gadget fool every depth-register automaton",
+		a.word(w.S), a.word(w.V), a.word(w.W), a.word(w.U1), blind, a.word(w.T))
+}
+
+// Explanations collects the failure explanations for every class the
+// language misses, in a fixed order.
+func (a *Analysis) Explanations(r *Report) []string {
+	var out []string
+	if r.NotAlmostReversible != nil {
+		out = append(out, a.ExplainMeet(r.NotAlmostReversible))
+	}
+	if r.NotHAR != nil {
+		out = append(out, a.ExplainHAR(r.NotHAR))
+	}
+	if r.NotEFlat != nil {
+		out = append(out, a.ExplainFlat(r.NotEFlat, false))
+	}
+	if r.NotAFlat != nil {
+		out = append(out, a.ExplainFlat(r.NotAFlat, true))
+	}
+	if r.NotBlindHAR != nil && r.HAR {
+		out = append(out, "term encoding only: "+a.ExplainHAR(r.NotBlindHAR))
+	}
+	if r.NotBlindEFlat != nil && r.EFlat {
+		out = append(out, "term encoding only: "+a.ExplainFlat(r.NotBlindEFlat, false))
+	}
+	return out
+}

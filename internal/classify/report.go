@@ -1,0 +1,120 @@
+package classify
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report aggregates all class memberships for one language, together with
+// the query/tree-language verdicts they imply via Theorems 3.1, 3.2, B.1
+// and B.2.
+type Report struct {
+	// Syntactic classes (markup encoding).
+	Reversible       bool
+	AlmostReversible bool
+	HAR              bool
+	EFlat            bool
+	AFlat            bool
+	RTrivial         bool
+	// Blind classes (term encoding).
+	BlindAlmostReversible bool
+	BlindHAR              bool
+	BlindEFlat            bool
+	BlindAFlat            bool
+
+	// Witnesses for the failing classes (nil when the class holds).
+	NotAlmostReversible      *MeetWitness
+	NotHAR                   *HARWitness
+	NotEFlat                 *FlatWitness
+	NotAFlat                 *FlatWitness
+	NotBlindAlmostReversible *MeetWitness
+	NotBlindHAR              *HARWitness
+	NotBlindEFlat            *FlatWitness
+	NotBlindAFlat            *FlatWitness
+}
+
+// Report runs every decision procedure.
+func (a *Analysis) Report() *Report {
+	r := &Report{Reversible: a.Reversible(), RTrivial: a.RTrivial()}
+	r.AlmostReversible, r.NotAlmostReversible = a.AlmostReversible()
+	r.HAR, r.NotHAR = a.HAR()
+	r.EFlat, r.NotEFlat = a.EFlat()
+	r.AFlat, r.NotAFlat = a.AFlat()
+	r.BlindAlmostReversible, r.NotBlindAlmostReversible = a.BlindAlmostReversible()
+	r.BlindHAR, r.NotBlindHAR = a.BlindHAR()
+	r.BlindEFlat, r.NotBlindEFlat = a.BlindEFlat()
+	r.BlindAFlat, r.NotBlindAFlat = a.BlindAFlat()
+	return r
+}
+
+// Derived verdicts (the characterization theorems).
+
+// QLRegisterless reports whether the unary query QL is realizable by a
+// finite automaton under the markup encoding (Theorem 3.2(3)).
+func (r *Report) QLRegisterless() bool { return r.AlmostReversible }
+
+// QLStackless reports whether QL is realizable by a depth-register
+// automaton under the markup encoding (Theorem 3.1).
+func (r *Report) QLStackless() bool { return r.HAR }
+
+// ELRegisterless reports whether the tree language EL is recognizable by a
+// finite automaton under the markup encoding (Theorem 3.2(1)).
+func (r *Report) ELRegisterless() bool { return r.EFlat }
+
+// ALRegisterless reports whether AL is recognizable by a finite automaton
+// under the markup encoding (Theorem 3.2(2)).
+func (r *Report) ALRegisterless() bool { return r.AFlat }
+
+// ELStackless / ALStackless report recognizability by depth-register
+// automata (Theorem 3.1: all three coincide with HAR).
+func (r *Report) ELStackless() bool { return r.HAR }
+
+// ALStackless reports stackless recognizability of AL (Theorem 3.1).
+func (r *Report) ALStackless() bool { return r.HAR }
+
+// TermQLRegisterless, TermQLStackless, TermELRegisterless and
+// TermALRegisterless are the term-encoding counterparts (Theorems B.1, B.2).
+func (r *Report) TermQLRegisterless() bool { return r.BlindAlmostReversible }
+
+// TermQLStackless reports term-encoding stacklessness of QL (Theorem B.2).
+func (r *Report) TermQLStackless() bool { return r.BlindHAR }
+
+// TermELRegisterless reports term-encoding recognizability of EL
+// (Theorem B.1(1)).
+func (r *Report) TermELRegisterless() bool { return r.BlindEFlat }
+
+// TermALRegisterless reports term-encoding recognizability of AL
+// (Theorem B.1(2)).
+func (r *Report) TermALRegisterless() bool { return r.BlindAFlat }
+
+// String renders the report as a small table.
+func (r *Report) String() string {
+	var b strings.Builder
+	row := func(name string, v bool) {
+		mark := "✗"
+		if v {
+			mark = "✓"
+		}
+		fmt.Fprintf(&b, "  %-28s %s\n", name, mark)
+	}
+	b.WriteString("syntactic classes (markup):\n")
+	row("reversible", r.Reversible)
+	row("almost-reversible", r.AlmostReversible)
+	row("HAR", r.HAR)
+	row("E-flat", r.EFlat)
+	row("A-flat", r.AFlat)
+	row("R-trivial", r.RTrivial)
+	b.WriteString("blind classes (term encoding):\n")
+	row("blindly almost-reversible", r.BlindAlmostReversible)
+	row("blindly HAR", r.BlindHAR)
+	row("blindly E-flat", r.BlindEFlat)
+	row("blindly A-flat", r.BlindAFlat)
+	b.WriteString("verdicts:\n")
+	row("QL registerless (markup)", r.QLRegisterless())
+	row("QL stackless (markup)", r.QLStackless())
+	row("EL registerless (markup)", r.ELRegisterless())
+	row("AL registerless (markup)", r.ALRegisterless())
+	row("QL registerless (term)", r.TermQLRegisterless())
+	row("QL stackless (term)", r.TermQLStackless())
+	return b.String()
+}

@@ -1,0 +1,193 @@
+package classify
+
+// BFS utilities over the automaton and its pair graphs. Words are slices of
+// symbol ids in the automaton's alphabet.
+
+// WordFromTo returns a shortest (possibly empty) word w with p·w = q.
+func (a *Analysis) WordFromTo(p, q int) ([]int, bool) {
+	return a.D.ShortestWordTo(p, func(s int) bool { return s == q })
+}
+
+// NonemptyWordFromTo returns a shortest nonempty word w with p·w = q.
+func (a *Analysis) NonemptyWordFromTo(p, q int) ([]int, bool) {
+	best := []int(nil)
+	for s := 0; s < a.D.Alphabet.Size(); s++ {
+		w, ok := a.WordFromTo(a.D.Delta[p][s], q)
+		if !ok {
+			continue
+		}
+		cand := append([]int{s}, w...)
+		if best == nil || len(cand) < len(best) {
+			best = cand
+		}
+	}
+	return best, best != nil
+}
+
+// LoopWord returns a shortest nonempty word w with q·w = q.
+func (a *Analysis) LoopWord(q int) ([]int, bool) {
+	return a.NonemptyWordFromTo(q, q)
+}
+
+// DistinguishingWord returns a shortest *nonempty* word t such that p·t and
+// q·t disagree on acceptance, or false if p and q are almost equivalent.
+func (a *Analysis) DistinguishingWord(p, q int) ([]int, bool) {
+	best := []int(nil)
+	for s := 0; s < a.D.Alphabet.Size(); s++ {
+		w, ok := a.distinguishingFrom(a.D.Delta[p][s], a.D.Delta[q][s])
+		if !ok {
+			continue
+		}
+		cand := append([]int{s}, w...)
+		if best == nil || len(cand) < len(best) {
+			best = cand
+		}
+	}
+	return best, best != nil
+}
+
+// distinguishingFrom returns a shortest possibly-empty word separating the
+// pair by acceptance, via BFS on the synchronized pair graph.
+func (a *Analysis) distinguishingFrom(p, q int) ([]int, bool) {
+	return a.syncPairBFS(p, q, nil, func(x, y int) bool {
+		return a.D.Accept[x] != a.D.Accept[y]
+	})
+}
+
+// MeetWord returns a shortest word u with p·u = q·u (a "meet", Definition
+// 3.4). If within is non-nil, the whole exploration is restricted to pairs
+// of states satisfying within (used for meets inside an SCC).
+func (a *Analysis) MeetWord(p, q int, within func(int) bool) ([]int, bool) {
+	return a.syncPairBFS(p, q, within, func(x, y int) bool { return x == y })
+}
+
+// MeetInWord returns a shortest word u with p·u = q·u = target ("p meets q
+// in target", used by Definition 3.9 with target = q).
+func (a *Analysis) MeetInWord(p, q, target int) ([]int, bool) {
+	return a.syncPairBFS(p, q, nil, func(x, y int) bool { return x == y && x == target })
+}
+
+// syncPairBFS searches the synchronized pair graph from (p,q) for a pair
+// satisfying goal, returning the shortest word (possibly empty). When
+// within is non-nil only pairs with both components satisfying it are
+// explored (the start pair is explored unconditionally but must satisfy it
+// to be expanded).
+func (a *Analysis) syncPairBFS(p, q int, within func(int) bool, goal func(x, y int) bool) ([]int, bool) {
+	n := a.D.NumStates()
+	k := a.D.Alphabet.Size()
+	id := func(x, y int) int { return x*n + y }
+	type pred struct{ from, sym int }
+	prev := make(map[int]pred, 16)
+	start := id(p, q)
+	prev[start] = pred{-1, -1}
+	queue := []int{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		x, y := cur/n, cur%n
+		if goal(x, y) {
+			var w []int
+			for c := cur; prev[c].from != -1; c = prev[c].from {
+				w = append(w, prev[c].sym)
+			}
+			for i, j := 0, len(w)-1; i < j; i, j = i+1, j-1 {
+				w[i], w[j] = w[j], w[i]
+			}
+			if w == nil {
+				w = []int{}
+			}
+			return w, true
+		}
+		if within != nil && !(within(x) && within(y)) {
+			continue
+		}
+		for s := 0; s < k; s++ {
+			nx, ny := a.D.Delta[x][s], a.D.Delta[y][s]
+			if within != nil && !(within(nx) && within(ny)) {
+				continue
+			}
+			nid := id(nx, ny)
+			if _, seen := prev[nid]; !seen {
+				prev[nid] = pred{cur, s}
+				queue = append(queue, nid)
+			}
+		}
+	}
+	return nil, false
+}
+
+// BlindMeetInWords returns shortest equal-length words (u1, u2) with
+// p·u1 = q·u2 = target ("p blindly meets with q in target", Appendix B).
+func (a *Analysis) BlindMeetInWords(p, q, target int) (u1, u2 []int, ok bool) {
+	return a.blindPairBFS(p, q, func(x, y int) bool { return x == y && x == target })
+}
+
+// BlindMeetWords returns shortest equal-length words (u1, u2) with
+// p·u1 = q·u2. If within is non-nil the exploration is restricted to pairs
+// satisfying it (blind meets inside an SCC).
+func (a *Analysis) BlindMeetWords(p, q int, within func(int) bool) (u1, u2 []int, ok bool) {
+	return a.blindPairBFSWithin(p, q, within, func(x, y int) bool { return x == y })
+}
+
+func (a *Analysis) blindPairBFS(p, q int, goal func(x, y int) bool) (u1, u2 []int, ok bool) {
+	return a.blindPairBFSWithin(p, q, nil, goal)
+}
+
+// blindPairBFSWithin searches the *unsynchronized* pair graph: an edge
+// advances the two components on independently chosen letters, so a path of
+// length m corresponds to two words of equal length m.
+func (a *Analysis) blindPairBFSWithin(p, q int, within func(int) bool, goal func(x, y int) bool) (u1, u2 []int, ok bool) {
+	n := a.D.NumStates()
+	k := a.D.Alphabet.Size()
+	id := func(x, y int) int { return x*n + y }
+	type pred struct{ from, s1, s2 int }
+	prev := make(map[int]pred, 16)
+	start := id(p, q)
+	prev[start] = pred{-1, -1, -1}
+	queue := []int{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		x, y := cur/n, cur%n
+		if goal(x, y) {
+			var w1, w2 []int
+			for c := cur; prev[c].from != -1; c = prev[c].from {
+				w1 = append(w1, prev[c].s1)
+				w2 = append(w2, prev[c].s2)
+			}
+			reverse(w1)
+			reverse(w2)
+			if w1 == nil {
+				w1, w2 = []int{}, []int{}
+			}
+			return w1, w2, true
+		}
+		if within != nil && !(within(x) && within(y)) {
+			continue
+		}
+		for s1 := 0; s1 < k; s1++ {
+			nx := a.D.Delta[x][s1]
+			if within != nil && !within(nx) {
+				continue
+			}
+			for s2 := 0; s2 < k; s2++ {
+				ny := a.D.Delta[y][s2]
+				if within != nil && !within(ny) {
+					continue
+				}
+				nid := id(nx, ny)
+				if _, seen := prev[nid]; !seen {
+					prev[nid] = pred{cur, s1, s2}
+					queue = append(queue, nid)
+				}
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+func reverse(w []int) {
+	for i, j := 0, len(w)-1; i < j; i, j = i+1, j-1 {
+		w[i], w[j] = w[j], w[i]
+	}
+}

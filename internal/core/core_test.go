@@ -1,0 +1,349 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/classify"
+	"stackless/internal/dfa"
+	"stackless/internal/encoding"
+	"stackless/internal/paperfigs"
+	"stackless/internal/rex"
+	"stackless/internal/tree"
+)
+
+func randomTree(rng *rand.Rand, labels []string, budget int) *tree.Node {
+	n := tree.New(labels[rng.Intn(len(labels))])
+	budget--
+	for budget > 0 && rng.Intn(3) != 0 {
+		sub := 1 + rng.Intn(budget)
+		n.Children = append(n.Children, randomTree(rng, labels, sub))
+		budget -= sub
+	}
+	return n
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkQLAgainstOracle streams random trees through ev (markup or term
+// events per blind) and compares the pre-selected positions with the
+// in-memory oracle.
+func checkQLAgainstOracle(t *testing.T, name string, d *dfa.DFA, ev Evaluator, blind bool, rng *rand.Rand, iters int) {
+	t.Helper()
+	labels := d.Alphabet.Symbols()
+	for i := 0; i < iters; i++ {
+		tr := randomTree(rng, labels, 1+rng.Intn(25))
+		want := tree.SelectQL(d, tr)
+		var events []encoding.Event
+		if blind {
+			events = encoding.Term(tr)
+		} else {
+			events = encoding.Markup(tr)
+		}
+		got, err := SelectPositions(ev, encoding.NewSliceSource(events))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !equalInts(got, want) {
+			t.Fatalf("%s: tree %s: got %v, want %v", name, tr, got, want)
+		}
+	}
+}
+
+func TestRegisterlessQLFig3a(t *testing.T) {
+	d := paperfigs.Fig3a()
+	an := classify.Analyze(d)
+	tag, err := RegisterlessQL(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkQLAgainstOracle(t, "registerless aΓ*b", an.D, tag.Evaluator(), false, rand.New(rand.NewSource(1)), 300)
+}
+
+func TestRegisterlessQLRejectsNonAR(t *testing.T) {
+	for _, expr := range []string{paperfigs.Fig3bRegex, paperfigs.Fig3cRegex, paperfigs.Fig3dRegex} {
+		an := classify.Analyze(rex.MustCompile(expr, paperfigs.GammaABC()))
+		if _, err := RegisterlessQL(an); err == nil {
+			t.Errorf("%s: expected class error", expr)
+		}
+	}
+}
+
+func TestRegisterlessQLFig2(t *testing.T) {
+	d := paperfigs.Fig2()
+	an := classify.Analyze(d)
+	tag, err := RegisterlessQL(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkQLAgainstOracle(t, "registerless (b*ab*ab*)*", an.D, tag.Evaluator(), false, rand.New(rand.NewSource(2)), 300)
+}
+
+// TestRegisterlessQLRandomAlmostReversible is the property test of
+// Lemma 3.5: sample random minimal automata, keep the almost-reversible
+// ones, and verify the compiled evaluator against the oracle.
+func TestRegisterlessQLRandomAlmostReversible(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alph := alphabet.Letters("ab")
+	tested := 0
+	for i := 0; i < 4000 && tested < 60; i++ {
+		an := classify.Analyze(dfa.Random(rng, alph, 1+rng.Intn(5)))
+		if ok, _ := an.AlmostReversible(); !ok {
+			continue
+		}
+		tag, err := RegisterlessQL(an)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tested++
+		checkQLAgainstOracle(t, "registerless random", an.D, tag.Evaluator(), false, rng, 25)
+	}
+	if tested < 20 {
+		t.Fatalf("too few almost-reversible samples: %d", tested)
+	}
+}
+
+func TestStacklessQLFig3(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, expr := range []string{paperfigs.Fig3aRegex, paperfigs.Fig3bRegex, paperfigs.Fig3cRegex} {
+		an := classify.Analyze(rex.MustCompile(expr, paperfigs.GammaABC()))
+		ev, err := StacklessQL(an)
+		if err != nil {
+			t.Fatalf("%s: %v", expr, err)
+		}
+		checkQLAgainstOracle(t, "stackless "+expr, an.D, ev, false, rng, 300)
+	}
+	// Γ*ab is not HAR and must be refused.
+	an := classify.Analyze(rex.MustCompile(paperfigs.Fig3dRegex, paperfigs.GammaABC()))
+	if _, err := StacklessQL(an); err == nil {
+		t.Error("Γ*ab: expected class error")
+	}
+}
+
+// TestStacklessQLRandomHAR is the property test of Lemma 3.8.
+func TestStacklessQLRandomHAR(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	alph := alphabet.Letters("ab")
+	tested := 0
+	for i := 0; i < 4000 && tested < 80; i++ {
+		an := classify.Analyze(dfa.Random(rng, alph, 1+rng.Intn(6)))
+		if ok, _ := an.HAR(); !ok {
+			continue
+		}
+		ev, err := StacklessQL(an)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tested++
+		checkQLAgainstOracle(t, "stackless random", an.D, ev, false, rng, 25)
+	}
+	if tested < 30 {
+		t.Fatalf("too few HAR samples: %d", tested)
+	}
+}
+
+// TestBlindStacklessQLRandom is the property test of Theorem B.2's
+// evaluator over term events.
+func TestBlindStacklessQLRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	alph := alphabet.Letters("ab")
+	tested := 0
+	for i := 0; i < 6000 && tested < 60; i++ {
+		an := classify.Analyze(dfa.Random(rng, alph, 1+rng.Intn(5)))
+		if ok, _ := an.BlindHAR(); !ok {
+			continue
+		}
+		ev, err := BlindStacklessQL(an)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tested++
+		checkQLAgainstOracle(t, "blind stackless random", an.D, ev, true, rng, 25)
+	}
+	if tested < 20 {
+		t.Fatalf("too few blindly-HAR samples: %d", tested)
+	}
+}
+
+// TestBlindRegisterlessQLRandom is the property test of Theorem B.1's
+// query evaluator.
+func TestBlindRegisterlessQLRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	alph := alphabet.Letters("ab")
+	tested := 0
+	for i := 0; i < 6000 && tested < 60; i++ {
+		an := classify.Analyze(dfa.Random(rng, alph, 1+rng.Intn(5)))
+		if ok, _ := an.BlindAlmostReversible(); !ok {
+			continue
+		}
+		tag, err := BlindRegisterlessQL(an)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tested++
+		checkQLAgainstOracle(t, "blind registerless random", an.D, tag.Evaluator(), true, rng, 25)
+	}
+	if tested < 20 {
+		t.Fatalf("too few blindly-almost-reversible samples: %d", tested)
+	}
+}
+
+// TestELALWrappers checks the Theorem 3.1/3.2 wrappers against the tree
+// oracles, on top of a stackless evaluator.
+func TestELALWrappers(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	an := classify.Analyze(rex.MustCompile(paperfigs.Fig3cRegex, paperfigs.GammaABC()))
+	ev, err := StacklessQL(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el := ELFromQL(ev)
+	labels := []string{"a", "b", "c"}
+	for i := 0; i < 400; i++ {
+		tr := randomTree(rng, labels, 1+rng.Intn(20))
+		got, err := Recognize(el, encoding.NewSliceSource(encoding.Markup(tr)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := tree.InEL(an.D, tr); got != want {
+			t.Fatalf("EL(%s) = %v, want %v", tr, got, want)
+		}
+	}
+	// AL needs a QL evaluator too; use the same language.
+	ev2, _ := StacklessQL(an)
+	al := ALFromQL(ev2)
+	for i := 0; i < 400; i++ {
+		tr := randomTree(rng, labels, 1+rng.Intn(20))
+		got, err := Recognize(al, encoding.NewSliceSource(encoding.Markup(tr)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := tree.InAL(an.D, tr); got != want {
+			t.Fatalf("AL(%s) = %v, want %v", tr, got, want)
+		}
+	}
+}
+
+// TestStacklessRegisterBound checks that register usage never exceeds the
+// SCC-DAG-depth bound claimed in Lemma 3.8 — even on deep documents.
+func TestStacklessRegisterBound(t *testing.T) {
+	an := classify.Analyze(rex.MustCompile(paperfigs.Fig3cRegex, paperfigs.GammaABC()))
+	ev, err := StacklessQL(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := ev.MaxRegisters()
+	rng := rand.New(rand.NewSource(47))
+	ev.Reset()
+	// A deep chain with random labels.
+	depth := 3000
+	labels := []string{"a", "b", "c"}
+	var chain []string
+	for i := 0; i < depth; i++ {
+		chain = append(chain, labels[rng.Intn(3)])
+	}
+	tr := tree.Chain(chain)
+	for _, e := range encoding.Markup(tr) {
+		ev.Step(e)
+		if ev.Registers() > bound {
+			t.Fatalf("register usage %d exceeds bound %d", ev.Registers(), bound)
+		}
+	}
+}
+
+// TestDRATableExample22 implements Example 2.2 as a table DRA: trees over
+// {a,b} where all a-labelled nodes are at the same depth.
+func TestDRATableExample22(t *testing.T) {
+	d := Example22()
+	if d.IsRestricted() {
+		t.Error("Example 2.2 DRA must not be restricted: its language is not regular")
+	}
+	cases := []struct {
+		tree string
+		want bool
+	}{
+		{"b", true},
+		{"a", true},
+		{"b(a,a)", true},
+		{"b(a,b(a))", false},
+		{"a(b(b),b)", true},
+		{"b(b(a),b(a),b(b(b)))", true},
+		{"b(b(a),a)", false},
+		{"a(a)", false},
+	}
+	for _, c := range cases {
+		ev := d.Evaluator()
+		got := RunEvents(ev, encoding.Markup(tree.MustParse(c.tree)))
+		if got != c.want {
+			t.Errorf("Example22(%s) = %v, want %v", c.tree, got, c.want)
+		}
+	}
+}
+
+// TestDRATableExample26 checks the Example 2.6 machine: some a-labelled
+// node has a b-labelled descendant.
+func TestDRATableExample26(t *testing.T) {
+	d := Example26()
+	cases := []struct {
+		tree string
+		want bool
+	}{
+		{"a(b)", true},
+		{"a(c(b))", true},
+		{"c(a(c),b)", false},
+		{"c(a(c),a(c(c(b))))", true},
+		{"b(a)", false},
+		{"c(a,a,a(c(b)))", true},
+		{"a", false},
+	}
+	for _, c := range cases {
+		ev := d.Evaluator()
+		got := RunEvents(ev, encoding.Markup(tree.MustParse(c.tree)))
+		if got != c.want {
+			t.Errorf("Example26(%s) = %v, want %v", c.tree, got, c.want)
+		}
+	}
+}
+
+// TestDRAConfigSemantics pins down Definition 2.1's depth-first-then-test
+// ordering on a tiny machine.
+func TestDRAConfigSemantics(t *testing.T) {
+	alph := alphabet.Letters("a")
+	d := NewDRA(alph, 2, 0, 1)
+	// On the first opening tag, load the depth (1) into register 0 and
+	// move to state 1; in state 1 stay put.
+	d.SetForAllTests(0, 0, false, 1, 1)
+	d.SetForAllTests(0, 0, true, 0, 0)
+	d.SetForAllTests(1, 0, false, 0, 1)
+	d.SetForAllTests(1, 0, true, 0, 1)
+	cfg := d.InitialConfig()
+	cfg, err := d.StepConfig(cfg, encoding.Event{Kind: encoding.Open, Label: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Depth != 1 || cfg.Regs[0] != 1 || cfg.State != 1 {
+		t.Fatalf("after first open: %+v", cfg)
+	}
+	cfg, _ = d.StepConfig(cfg, encoding.Event{Kind: encoding.Open, Label: "a"})
+	if cfg.Depth != 2 || cfg.Regs[0] != 1 {
+		t.Fatalf("after second open: %+v", cfg)
+	}
+	cfg, _ = d.StepConfig(cfg, encoding.Event{Kind: encoding.Close, Label: "a"})
+	if cfg.Depth != 1 {
+		t.Fatalf("after close: %+v", cfg)
+	}
+	if _, err := d.StepConfig(cfg, encoding.Event{Kind: encoding.Open, Label: "z"}); err == nil {
+		t.Error("expected error for label outside alphabet")
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/encoding"
+)
+
+// RegSet is a bitset of registers (Ξ in Definition 2.1); register i is the
+// bit 1<<i. At most 16 registers are supported in the table representation.
+type RegSet uint16
+
+// Has reports whether register i is in the set.
+func (s RegSet) Has(i int) bool { return s&(1<<i) != 0 }
+
+// With returns the set extended with register i.
+func (s RegSet) With(i int) RegSet { return s | 1<<i }
+
+// Transition is the output of the transition function δ: the registers to
+// load with the current depth, and the successor state.
+type Transition struct {
+	Load RegSet
+	Next int
+}
+
+// DRA is a depth-register automaton in table form, following Definition 2.1
+// exactly: δ : Q × (Γ ∪ Γ̄) × 2^Ξ × 2^Ξ → 2^Ξ × Q.
+//
+// The table is indexed by (state, tag, X≤ mask, X≥ mask), where tag is
+// 2·sym for the opening tag of symbol sym and 2·sym+1 for its closing tag.
+// Entries for infeasible (X≤, X≥) combinations are never consulted.
+type DRA struct {
+	Alphabet *alphabet.Alphabet
+	States   int
+	Start    int
+	Accept   []bool
+	Regs     int
+	table    []Transition
+}
+
+// NewDRA allocates a DRA with all transitions self-looping on state 0 with
+// no loads; callers fill entries with SetTransition.
+func NewDRA(alph *alphabet.Alphabet, states, start, regs int) *DRA {
+	if regs > 16 {
+		panic("core: at most 16 registers supported in table DRAs")
+	}
+	d := &DRA{
+		Alphabet: alph,
+		States:   states,
+		Start:    start,
+		Accept:   make([]bool, states),
+		Regs:     regs,
+	}
+	d.table = make([]Transition, states*2*alph.Size()*(1<<uint(2*regs)))
+	return d
+}
+
+func (d *DRA) index(q, sym int, closing bool, le, ge RegSet) int {
+	tag := 2 * sym
+	if closing {
+		tag++
+	}
+	r := uint(d.Regs)
+	return ((q*2*d.Alphabet.Size()+tag)<<(2*r) | int(le)<<r | int(ge))
+}
+
+// SetTransition defines δ(q, tag, X≤, X≥) = (load, next).
+func (d *DRA) SetTransition(q, sym int, closing bool, le, ge RegSet, load RegSet, next int) {
+	d.table[d.index(q, sym, closing, le, ge)] = Transition{Load: load, Next: next}
+}
+
+// SetForAllTests defines the same transition for every feasible (X≤, X≥)
+// combination — convenience for transitions that ignore the registers.
+func (d *DRA) SetForAllTests(q, sym int, closing bool, load RegSet, next int) {
+	full := RegSet(1<<uint(d.Regs)) - 1
+	for le := RegSet(0); le <= full; le++ {
+		for ge := RegSet(0); ge <= full; ge++ {
+			if le|ge != full {
+				continue // every register is ≤, ≥ or both
+			}
+			d.SetTransition(q, sym, closing, le, ge, load, next)
+		}
+	}
+}
+
+// SetForAllTestsRestricted is SetForAllTests with the load set extended by
+// X≥ \ X≤ in every entry, so the resulting transitions satisfy the
+// restriction of Section 2.2. Use it for transitions whose register-test
+// combinations with values above the current depth are either unreachable
+// or may safely forget those values.
+func (d *DRA) SetForAllTestsRestricted(q, sym int, closing bool, load RegSet, next int) {
+	full := RegSet(1<<uint(d.Regs)) - 1
+	for le := RegSet(0); le <= full; le++ {
+		for ge := RegSet(0); ge <= full; ge++ {
+			if le|ge != full {
+				continue
+			}
+			d.SetTransition(q, sym, closing, le, ge, load|(ge&^le), next)
+		}
+	}
+}
+
+// Transition looks up δ(q, tag, X≤, X≥).
+func (d *DRA) Transition(q, sym int, closing bool, le, ge RegSet) Transition {
+	return d.table[d.index(q, sym, closing, le, ge)]
+}
+
+// IsRestricted reports whether the automaton is restricted in the sense of
+// Section 2.2: every transition overwrites all registers storing values
+// strictly greater than the current depth, i.e. X≥ \ X≤ ⊆ Y.
+func (d *DRA) IsRestricted() bool {
+	full := RegSet(1<<uint(d.Regs)) - 1
+	for q := 0; q < d.States; q++ {
+		for sym := 0; sym < d.Alphabet.Size(); sym++ {
+			for _, closing := range []bool{false, true} {
+				for le := RegSet(0); le <= full; le++ {
+					for ge := RegSet(0); ge <= full; ge++ {
+						if le|ge != full {
+							continue
+						}
+						tr := d.Transition(q, sym, closing, le, ge)
+						if ge&^le&^tr.Load != 0 {
+							return false
+						}
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Config is a DRA configuration (state, current depth, register values).
+type Config struct {
+	State int
+	Depth int
+	Regs  []int
+}
+
+// InitialConfig returns (q_init, 0, 0̄).
+func (d *DRA) InitialConfig() Config {
+	return Config{State: d.Start, Depth: 0, Regs: make([]int, d.Regs)}
+}
+
+// StepConfig advances a configuration by one event, per Definition 2.1:
+// the depth changes first, then the register comparisons are evaluated
+// against the new depth, then loads store the new depth.
+func (d *DRA) StepConfig(c Config, e encoding.Event) (Config, error) {
+	sym, ok := d.Alphabet.ID(e.Label)
+	if !ok {
+		return c, fmt.Errorf("core: label %q outside DRA alphabet %s", e.Label, d.Alphabet)
+	}
+	closing := e.Kind == encoding.Close
+	if closing {
+		c.Depth--
+	} else {
+		c.Depth++
+	}
+	var le, ge RegSet
+	for i := 0; i < d.Regs; i++ {
+		if c.Regs[i] <= c.Depth {
+			le = le.With(i)
+		}
+		if c.Regs[i] >= c.Depth {
+			ge = ge.With(i)
+		}
+	}
+	tr := d.Transition(c.State, sym, closing, le, ge)
+	c.State = tr.Next
+	for i := 0; i < d.Regs; i++ {
+		if tr.Load.Has(i) {
+			c.Regs[i] = c.Depth
+		}
+	}
+	return c, nil
+}
+
+// draEvaluator adapts a table DRA to the Evaluator interface. Events with
+// labels outside the alphabet poison the run (never accepting), matching
+// the convention that such trees are outside every class under study.
+type draEvaluator struct {
+	d        *DRA
+	cfg      Config
+	poisoned bool
+}
+
+// Evaluator returns a fresh streaming evaluator for the automaton. Under
+// the markup encoding Close events must carry labels; the term encoding is
+// not supported by table DRAs (use the compiled blind evaluators instead).
+func (d *DRA) Evaluator() Evaluator {
+	return &draEvaluator{d: d, cfg: d.InitialConfig()}
+}
+
+func (ev *draEvaluator) Reset() {
+	ev.cfg = ev.d.InitialConfig()
+	ev.poisoned = false
+}
+
+func (ev *draEvaluator) Step(e encoding.Event) {
+	if ev.poisoned {
+		return
+	}
+	cfg, err := ev.d.StepConfig(ev.cfg, e)
+	if err != nil {
+		ev.poisoned = true
+		return
+	}
+	ev.cfg = cfg
+}
+
+func (ev *draEvaluator) Accepting() bool {
+	return !ev.poisoned && ev.d.Accept[ev.cfg.State]
+}

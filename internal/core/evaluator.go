@@ -1,0 +1,177 @@
+// Package core implements the paper's computational model and its
+// constructive results: depth-register automata (Definition 2.1), the
+// registerless evaluator for almost-reversible languages (Lemma 3.5), the
+// stackless evaluator for HAR languages (Lemma 3.8), the synopsis automaton
+// recognizing EL for E-flat languages (Lemma 3.11 and Appendix A), the
+// descendent-pattern matcher (Proposition 2.8), and the blind variants of
+// all of these for the term encoding (Appendix B).
+package core
+
+import (
+	"io"
+
+	"stackless/internal/encoding"
+)
+
+// Evaluator is a deterministic streaming machine over tag events. All the
+// machines in this package — finite automata over Γ ∪ Γ̄, depth-register
+// automata, and the compiled simulations — implement it.
+//
+// Acceptance conventions follow the paper:
+//
+//   - a *node-selecting* evaluator (realizing a unary query) pre-selects a
+//     node iff Accepting() is true immediately after the node's Open event
+//     (Section 2.3); its value after Close events is unspecified;
+//   - a *tree-language* evaluator accepts a tree iff Accepting() is true
+//     after the final event of the encoding.
+type Evaluator interface {
+	// Reset returns the machine to its initial configuration.
+	Reset()
+	// Step processes one tag event.
+	Step(e encoding.Event)
+	// Accepting reports whether the current configuration is accepting.
+	Accepting() bool
+}
+
+// Match is one pre-selected node reported by Select.
+type Match struct {
+	// Pos is the preorder position of the node (0-based).
+	Pos int
+	// Depth is the node's depth (root = 1).
+	Depth int
+	// Label is the node's label.
+	Label string
+	// Path is the label path from the root, filled only when Select is
+	// configured to track it (see SelectOptions).
+	Path []string
+}
+
+// Select streams src through ev and calls fn for every pre-selected node,
+// in document order. It returns the number of events processed. Errors from
+// the source (other than io.EOF) are returned as-is.
+func Select(ev Evaluator, src encoding.Source, fn func(Match)) (int, error) {
+	ev.Reset()
+	events := 0
+	pos := -1
+	depth := 0
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return events, err
+		}
+		events++
+		if e.Kind == encoding.Open {
+			pos++
+			depth++
+		} else {
+			depth--
+		}
+		ev.Step(e)
+		if e.Kind == encoding.Open && ev.Accepting() {
+			fn(Match{Pos: pos, Depth: depth, Label: e.Label})
+		}
+	}
+}
+
+// SelectPositions runs Select and collects the preorder positions of all
+// selected nodes.
+func SelectPositions(ev Evaluator, src encoding.Source) ([]int, error) {
+	var out []int
+	_, err := Select(ev, src, func(m Match) { out = append(out, m.Pos) })
+	return out, err
+}
+
+// Recognize streams src through ev and returns the final acceptance value.
+func Recognize(ev Evaluator, src encoding.Source) (bool, error) {
+	ev.Reset()
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return ev.Accepting(), nil
+		}
+		if err != nil {
+			return false, err
+		}
+		ev.Step(e)
+	}
+}
+
+// RunEvents feeds a slice of events (after Reset) and returns the final
+// acceptance — a convenience for tests.
+func RunEvents(ev Evaluator, events []encoding.Event) bool {
+	ev.Reset()
+	for _, e := range events {
+		ev.Step(e)
+	}
+	return ev.Accepting()
+}
+
+// elWrapper turns an evaluator realizing QL into a recognizer of EL, per
+// the proof of Theorem 3.1: move to an all-accepting sink when a closing
+// tag immediately follows an opening tag read in an accepting state —
+// i.e. when a selected leaf is detected.
+type elWrapper struct {
+	inner            Evaluator
+	prevOpenSelected bool
+	matched          bool
+}
+
+// ELFromQL wraps a QL evaluator into an EL recognizer (Theorem 3.1 proof).
+func ELFromQL(inner Evaluator) Evaluator { return &elWrapper{inner: inner} }
+
+func (w *elWrapper) Reset() {
+	w.inner.Reset()
+	w.prevOpenSelected = false
+	w.matched = false
+}
+
+func (w *elWrapper) Step(e encoding.Event) {
+	if w.matched {
+		return
+	}
+	if e.Kind == encoding.Close && w.prevOpenSelected {
+		w.matched = true
+		return
+	}
+	w.inner.Step(e)
+	w.prevOpenSelected = e.Kind == encoding.Open && w.inner.Accepting()
+}
+
+func (w *elWrapper) Accepting() bool { return w.matched }
+
+// alWrapper is the dual construction from the proof of Theorem 3.2(3):
+// move to an all-rejecting sink when a leaf is read in a rejecting state.
+type alWrapper struct {
+	inner            Evaluator
+	prevOpenRejected bool
+	failed           bool
+	started          bool
+}
+
+// ALFromQL wraps a QL evaluator into an AL recognizer (Theorem 3.2 proof).
+func ALFromQL(inner Evaluator) Evaluator { return &alWrapper{inner: inner} }
+
+func (w *alWrapper) Reset() {
+	w.inner.Reset()
+	w.prevOpenRejected = false
+	w.failed = false
+	w.started = false
+}
+
+func (w *alWrapper) Step(e encoding.Event) {
+	if w.failed {
+		return
+	}
+	w.started = true
+	if e.Kind == encoding.Close && w.prevOpenRejected {
+		w.failed = true
+		return
+	}
+	w.inner.Step(e)
+	w.prevOpenRejected = e.Kind == encoding.Open && !w.inner.Accepting()
+}
+
+func (w *alWrapper) Accepting() bool { return w.started && !w.failed }

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"stackless/internal/alphabet"
+	"stackless/internal/dfa"
+)
+
+// The concrete depth-register automata of Examples 2.2, 2.5 and 2.6,
+// constructed as formal table DRAs (Definition 2.1).
+
+// regEq, regGT and regLT name the (X≤, X≥) test outcomes for a one-register
+// machine: the stored value is equal to / strictly greater than / strictly
+// less than the current depth.
+const (
+	reg0 RegSet = 1
+)
+
+// Example22 builds the Example 2.2 machine over {a,b}: trees in which all
+// a-labelled nodes are at the same depth. The language is *not* regular, so
+// the automaton is necessarily unrestricted: it remembers an absolute depth
+// across arbitrary climbs.
+//
+// States: 0 — no a seen (register unused); 1 — depth of the first a stored;
+// 2 — rejecting sink.
+func Example22() *DRA {
+	alph := alphabet.Letters("ab")
+	d := NewDRA(alph, 3, 0, 1)
+	a, b := alph.MustID("a"), alph.MustID("b")
+	d.Accept[0], d.Accept[1] = true, true
+
+	// State 0: first a loads the current depth and moves to state 1.
+	d.SetForAllTests(0, a, false, reg0, 1)
+	d.SetForAllTests(0, a, true, 0, 0)
+	d.SetForAllTests(0, b, false, 0, 0)
+	d.SetForAllTests(0, b, true, 0, 0)
+
+	// State 1: an opening a at a different depth rejects.
+	for le := RegSet(0); le <= 1; le++ {
+		for ge := RegSet(0); ge <= 1; ge++ {
+			if le|ge != 1 {
+				continue
+			}
+			next := 2
+			if le == 1 && ge == 1 { // stored depth == current depth
+				next = 1
+			}
+			d.SetTransition(1, a, false, le, ge, 0, next)
+		}
+	}
+	d.SetForAllTests(1, a, true, 0, 1)
+	d.SetForAllTests(1, b, false, 0, 1)
+	d.SetForAllTests(1, b, true, 0, 1)
+
+	// State 2: sink.
+	for _, sym := range []int{a, b} {
+		d.SetForAllTests(2, sym, false, 0, 2)
+		d.SetForAllTests(2, sym, true, 0, 2)
+	}
+	return d
+}
+
+// Example25 builds the Example 2.5 machine for a regular L: the tree
+// language H_L of trees whose root's children, read left to right, spell a
+// word of L. The machine stores depth 1 in its single register after the
+// first tag and simulates L's automaton on exactly the closing tags whose
+// depth equals the stored value — these belong to the children of the root
+// in every valid encoding.
+//
+// States: 0 — before the root tag; 1+q — simulating L in state q.
+func Example25(l *dfa.DFA) *DRA {
+	alph := l.Alphabet
+	n := l.NumStates()
+	d := NewDRA(alph, 1+n, 0, 1)
+	for q := 0; q < n; q++ {
+		d.Accept[1+q] = l.Accept[q]
+	}
+	for sym := 0; sym < alph.Size(); sym++ {
+		// Root's opening tag: load depth 1, start simulating from l.Start.
+		d.SetForAllTestsRestricted(0, sym, false, reg0, 1+l.Start)
+		d.SetForAllTestsRestricted(0, sym, true, 0, 0) // invalid encoding; don't care
+		for q := 0; q < n; q++ {
+			// Opening tags never advance the simulation.
+			d.SetForAllTestsRestricted(1+q, sym, false, 0, 1+q)
+			// Closing tags advance iff the current depth equals the stored
+			// depth 1 (le and ge both true for the register). The root's own
+			// closing tag (depth 0 < stored 1) reloads the register, keeping
+			// the automaton restricted; nothing follows it in a valid
+			// encoding.
+			for le := RegSet(0); le <= 1; le++ {
+				for ge := RegSet(0); ge <= 1; ge++ {
+					if le|ge != 1 {
+						continue
+					}
+					next := 1 + q
+					if le == 1 && ge == 1 {
+						next = 1 + l.Delta[q][sym]
+					}
+					d.SetTransition(1+q, sym, true, le, ge, ge&^le, next)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Example26 builds the Example 2.6 machine over {a,b,c}: trees in which
+// some a-labelled node has a b-labelled descendant. The machine loops on
+// minimal a-labelled nodes: it stores the depth of the first a, searches
+// its subtree for b, and restarts when the depth drops strictly below the
+// stored value. This automaton is restricted (the language is regular).
+//
+// States: 0 — searching for an opening a; 1 — inside a minimal a-subtree;
+// 2 — accepting sink.
+func Example26() *DRA {
+	alph := alphabet.Letters("abc")
+	d := NewDRA(alph, 3, 0, 1)
+	a, b, c := alph.MustID("a"), alph.MustID("b"), alph.MustID("c")
+	d.Accept[2] = true
+
+	for _, sym := range []int{a, b, c} {
+		// State 0: wait for a. Keep the machine restricted by reloading the
+		// register (it is unused in state 0) whenever it may exceed the
+		// current depth.
+		next0 := 0
+		if sym == a {
+			next0 = 1
+		}
+		d.SetForAllTests(0, sym, false, reg0, next0)
+		d.SetForAllTests(0, sym, true, reg0, 0)
+
+		// State 2: accepting sink (loads keep it restricted).
+		d.SetForAllTests(2, sym, false, reg0, 2)
+		d.SetForAllTests(2, sym, true, reg0, 2)
+	}
+
+	// State 1: looking for b strictly inside the stored subtree. (At an
+	// opening tag in state 1 the stored depth is always strictly below the
+	// current depth, so the restricted-completion of the unreachable
+	// entries never fires.)
+	d.SetForAllTestsRestricted(1, b, false, 0, 2)
+	d.SetForAllTestsRestricted(1, a, false, 0, 1)
+	d.SetForAllTestsRestricted(1, c, false, 0, 1)
+	for _, sym := range []int{a, b, c} {
+		for le := RegSet(0); le <= 1; le++ {
+			for ge := RegSet(0); ge <= 1; ge++ {
+				if le|ge != 1 {
+					continue
+				}
+				if ge == 1 && le == 0 {
+					// Depth dropped strictly below the stored value: the
+					// a-subtree is closed; restart (reload to stay
+					// restricted).
+					d.SetTransition(1, sym, true, le, ge, reg0, 0)
+				} else {
+					d.SetTransition(1, sym, true, le, ge, 0, 1)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Example27Minimal builds the positive machine discussed in Example 2.7:
+// trees over {a,b,c} in which some *minimal* a-labelled node (one without
+// a-labelled ancestors) has a b-labelled *child*. One register stores the
+// depth of the current minimal a-node; a state bit remembers whether the
+// previous event left us exactly at that depth, so the next opening tag is
+// a child of the a-node precisely when the bit is set. (Without the
+// minimality restriction the language is not stackless — that is the
+// point of Example 2.7, certified by the classifier on Γ*ab.)
+//
+// States: 0 — searching for a minimal a; 1 — inside the a-subtree, at the
+// a-node's depth; 2 — inside, strictly deeper; 3 — accepting sink.
+func Example27Minimal() *DRA {
+	alph := alphabet.Letters("abc")
+	d := NewDRA(alph, 4, 0, 1)
+	a, b, c := alph.MustID("a"), alph.MustID("b"), alph.MustID("c")
+	d.Accept[3] = true
+
+	for _, sym := range []int{a, b, c} {
+		next0 := 0
+		if sym == a {
+			next0 = 1 // the opening a is the candidate; we are at its depth
+		}
+		d.SetForAllTestsRestricted(0, sym, false, reg0, next0)
+		d.SetForAllTestsRestricted(0, sym, true, reg0, 0)
+		d.SetForAllTestsRestricted(3, sym, false, reg0, 3)
+		d.SetForAllTestsRestricted(3, sym, true, reg0, 3)
+	}
+
+	// In-subtree transitions for states 1 (previous position at the
+	// a-node's depth) and 2 (strictly deeper). The register tests after the
+	// depth update tell us where we are now: le∧ge — at the stored depth;
+	// le∧¬ge — deeper; ¬le∧ge — the subtree just closed.
+	for _, state := range []int{1, 2} {
+		for _, sym := range []int{a, b, c} {
+			for _, closing := range []bool{false, true} {
+				for le := RegSet(0); le <= 1; le++ {
+					for ge := RegSet(0); ge <= 1; ge++ {
+						if le|ge != 1 {
+							continue
+						}
+						var next int
+						var load RegSet
+						switch {
+						case ge == 1 && le == 0:
+							// Climbed above the a-node: resume the search.
+							next, load = 0, reg0
+						case le == 1 && ge == 1:
+							next = 1
+						default:
+							next = 2
+						}
+						if state == 1 && !closing && sym == b {
+							// Opening b whose parent is the a-node.
+							next, load = 3, reg0
+						}
+						d.SetTransition(state, sym, closing, le, ge, load, next)
+					}
+				}
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/classify"
+	"stackless/internal/encoding"
+	"stackless/internal/rex"
+	"stackless/internal/tree"
+)
+
+// TestExample25AgainstOracle checks the H_L machine (children of the root
+// spell a word of L) for several regular L against direct evaluation.
+func TestExample25AgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	alph := alphabet.Letters("ab")
+	for _, expr := range []string{"ab*", "(ab)*", "a*|b*", "%", ".*a"} {
+		l := rex.MustCompile(expr, alph)
+		d := Example25(l)
+		if !d.IsRestricted() {
+			t.Errorf("%s: Example 2.5 machine should be restricted", expr)
+		}
+		for i := 0; i < 300; i++ {
+			tr := randomTree(rng, []string{"a", "b"}, 1+rng.Intn(12))
+			kids := make([]string, len(tr.Children))
+			for j, c := range tr.Children {
+				kids[j] = c.Label
+			}
+			want := l.AcceptsSymbols(kids)
+			got := RunEvents(d.Evaluator(), encoding.Markup(tr))
+			if got != want {
+				t.Fatalf("%s: H_L(%s) = %v, want %v", expr, tr, got, want)
+			}
+		}
+	}
+}
+
+// TestExample25DeepChildrenIgnored: grandchildren must not influence the
+// machine even when their labels would extend words of L.
+func TestExample25DeepChildrenIgnored(t *testing.T) {
+	l := rex.MustCompile("ab", alphabet.Letters("ab"))
+	d := Example25(l)
+	yes := tree.MustParse("b(a(b(a)),b)")  // children: a b ∈ L
+	no := tree.MustParse("b(a(b),b(a),a)") // children: a b a ∉ L
+	if !RunEvents(d.Evaluator(), encoding.Markup(yes)) {
+		t.Error("children ab should be accepted despite deep noise")
+	}
+	if RunEvents(d.Evaluator(), encoding.Markup(no)) {
+		t.Error("children aba should be rejected")
+	}
+}
+
+// TestExample22DepthDisagreementAcrossBranches pins the non-regular
+// behaviour: equal depth across far-apart branches accepted, unequal
+// rejected.
+func TestExample22DepthDisagreementAcrossBranches(t *testing.T) {
+	d := Example22()
+	deepEqual := tree.MustParse("b(b(b(a)),b(b(a)))")
+	deepUnequal := tree.MustParse("b(b(b(a)),b(a))")
+	if !RunEvents(d.Evaluator(), encoding.Markup(deepEqual)) {
+		t.Error("equal-depth a's rejected")
+	}
+	if RunEvents(d.Evaluator(), encoding.Markup(deepUnequal)) {
+		t.Error("unequal-depth a's accepted")
+	}
+}
+
+// TestDRAEvaluatorPoisonOnForeignLabel: a label outside the alphabet makes
+// the whole run non-accepting, and Reset recovers.
+func TestDRAEvaluatorPoisonOnForeignLabel(t *testing.T) {
+	d := Example26()
+	ev := d.Evaluator()
+	ev.Reset()
+	ev.Step(encoding.Event{Kind: encoding.Open, Label: "zzz"})
+	ev.Step(encoding.Event{Kind: encoding.Open, Label: "a"})
+	ev.Step(encoding.Event{Kind: encoding.Open, Label: "b"})
+	if ev.Accepting() {
+		t.Error("poisoned run reported accepting")
+	}
+	ev.Reset()
+	if !RunEvents(ev, encoding.Markup(tree.MustParse("a(b)"))) {
+		t.Error("Reset did not clear poison")
+	}
+}
+
+// minimalAWithBChild is the oracle for Example27Minimal.
+func minimalAWithBChild(t *tree.Node) bool {
+	var rec func(n *tree.Node, aAbove bool) bool
+	rec = func(n *tree.Node, aAbove bool) bool {
+		if n.Label == "a" && !aAbove {
+			for _, c := range n.Children {
+				if c.Label == "b" {
+					return true
+				}
+			}
+		}
+		for _, c := range n.Children {
+			if rec(c, aAbove || n.Label == "a") {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(t, false)
+}
+
+func TestExample27MinimalAgainstOracle(t *testing.T) {
+	d := Example27Minimal()
+	if !d.IsRestricted() {
+		t.Error("Example 2.7's minimal-variant machine should be restricted")
+	}
+	cases := []struct {
+		tr   string
+		want bool
+	}{
+		{"a(b)", true},
+		{"a(c(b))", false}, // b is a grandchild, not a child
+		{"c(a(b),b)", true},
+		{"a(a(b))", false},     // the inner a is not minimal
+		{"c(a(c),a(b))", true}, // second minimal a has the b-child
+		{"b(a)", false},
+		{"c(a(c(a(b))))", false}, // only non-minimal a has the b-child
+	}
+	for _, c := range cases {
+		tr := tree.MustParse(c.tr)
+		got := RunEvents(d.Evaluator(), encoding.Markup(tr))
+		if got != c.want {
+			t.Errorf("Example27Minimal(%s) = %v, want %v", c.tr, got, c.want)
+		}
+		if want := minimalAWithBChild(tr); c.want != want {
+			t.Fatalf("test case %s mislabelled: oracle says %v", c.tr, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(24))
+	for i := 0; i < 800; i++ {
+		tr := randomTree(rng, []string{"a", "b", "c"}, 1+rng.Intn(18))
+		got := RunEvents(d.Evaluator(), encoding.Markup(tr))
+		if want := minimalAWithBChild(tr); got != want {
+			t.Fatalf("Example27Minimal(%s) = %v, want %v", tr, got, want)
+		}
+	}
+}
+
+// TestExample27FullVersionNotStackless certifies the negative half of
+// Example 2.7 via the classifier: with arbitrary (not necessarily minimal)
+// a-nodes, the query language Γ*ab is not HAR, so no depth-register
+// automaton exists (see also TestStacklessQLFig3).
+func TestExample27FullVersionNotStackless(t *testing.T) {
+	an := classifyAnalyze(t, ".*ab")
+	if har, _ := an.HAR(); har {
+		t.Fatal("Γ*ab must not be HAR (Example 2.7 / Theorem 3.1)")
+	}
+}
+
+func classifyAnalyze(t *testing.T, expr string) *classify.Analysis {
+	t.Helper()
+	d, err := rex.CompileString(expr, alphabet.Letters("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return classify.Analyze(d)
+}

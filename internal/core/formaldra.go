@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+
+	"stackless/internal/classify"
+)
+
+// FormalDRA materializes the Lemma 3.8 evaluator as a table depth-register
+// automaton in the exact sense of Definition 2.1, witnessing the paper's
+// remark that "all depth-register automata we construct are restricted".
+//
+// Registers: one per strongly connected component of the minimal automaton
+// (register c holds the depth at which the simulated run left component c;
+// unused registers are kept at or below the current depth by restricted
+// reloads). States: pairs (candidate state p, active chain), where the
+// chain lists the abandoned components in order together with the
+// candidate state recorded for each. On a closing tag the machine pops
+// exactly when the top chain register exceeds the current depth —
+// detectable from the X≥/X≤ masks because all deeper records were loaded
+// at strictly smaller depths.
+//
+// The construction is exponential in the SCC DAG in the worst case, so the
+// state space is capped; the compiled StacklessEvaluator remains the
+// practical implementation, while FormalDRA is the formal object used by
+// the Proposition 2.3/2.13 pipeline.
+
+// chainEntry is one abandoned component with its recorded candidate state.
+type chainEntry struct {
+	comp  int
+	state int
+}
+
+// formalState is a machine state before interning.
+type formalState struct {
+	p     int
+	chain []chainEntry
+}
+
+func (s formalState) key() string {
+	b := make([]byte, 0, 4+len(s.chain)*8)
+	put := func(v int) { b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24)) }
+	put(s.p)
+	for _, c := range s.chain {
+		put(c.comp)
+		put(c.state)
+	}
+	return string(b)
+}
+
+// FormalDRA compiles the formal restricted DRA for QL (markup encoding).
+// Fails unless L is HAR, the component count fits the 16-register table
+// limit, or the reachable state space exceeds maxStates (0 for a default
+// of 20000).
+func FormalDRA(an *classify.Analysis, maxStates int) (*DRA, error) {
+	if !an.Minimal() {
+		return nil, fmt.Errorf("core: FormalDRA requires the minimal automaton")
+	}
+	if ok, w := an.HAR(); !ok {
+		return nil, &classError{"hierarchically almost-reversible", w}
+	}
+	if maxStates <= 0 {
+		maxStates = 20000
+	}
+	regs := len(an.Comps)
+	if regs > 16 {
+		return nil, fmt.Errorf("core: FormalDRA needs %d registers, table limit is 16", regs)
+	}
+	A := an.D
+	k := A.Alphabet.Size()
+
+	// The in-component backtrack tables, as in the evaluator.
+	back := make([][]int, k)
+	for a := 0; a < k; a++ {
+		back[a] = make([]int, A.NumStates())
+		for p := 0; p < A.NumStates(); p++ {
+			back[a][p] = -1
+			for cand := 0; cand < A.NumStates(); cand++ {
+				if an.Comp[cand] != an.Comp[p] {
+					continue
+				}
+				succ := A.Delta[cand][a]
+				if an.Comp[succ] == an.Comp[p] && an.AlmostEquivalent(succ, p) {
+					back[a][p] = cand
+					break
+				}
+			}
+		}
+	}
+
+	// Discover the reachable state space (BFS over the abstract machine,
+	// ignoring depths — transitions depend only on pop-vs-backtrack, both
+	// of which we enumerate).
+	index := map[string]int{}
+	var states []formalState
+	intern := func(s formalState) (int, error) {
+		kk := s.key()
+		if id, ok := index[kk]; ok {
+			return id, nil
+		}
+		if len(states) >= maxStates {
+			return 0, fmt.Errorf("core: FormalDRA state budget %d exceeded", maxStates)
+		}
+		id := len(states)
+		index[kk] = id
+		states = append(states, formalState{p: s.p, chain: append([]chainEntry(nil), s.chain...)})
+		return id, nil
+	}
+	startID, err := intern(formalState{p: A.Start})
+	if err != nil {
+		return nil, err
+	}
+	dead := -1 // created on demand below via a sentinel state
+
+	type edge struct {
+		from    int
+		sym     int
+		closing bool
+		pop     bool // closing only: pop vs in-component backtrack
+		to      int
+	}
+	var edges []edge
+	for cur := 0; cur < len(states); cur++ {
+		s := states[cur]
+		for a := 0; a < k; a++ {
+			// Opening tag.
+			next := A.Delta[s.p][a]
+			var ns formalState
+			if an.Comp[next] == an.Comp[s.p] {
+				ns = formalState{p: next, chain: s.chain}
+			} else {
+				ns = formalState{p: next, chain: append(append([]chainEntry(nil), s.chain...), chainEntry{an.Comp[s.p], s.p})}
+			}
+			id, err := intern(ns)
+			if err != nil {
+				return nil, err
+			}
+			edges = append(edges, edge{cur, a, false, false, id})
+
+			// Closing tag, pop case (only if the chain is nonempty).
+			if n := len(s.chain); n > 0 {
+				top := s.chain[n-1]
+				id, err := intern(formalState{p: top.state, chain: s.chain[:n-1]})
+				if err != nil {
+					return nil, err
+				}
+				edges = append(edges, edge{cur, a, true, true, id})
+			}
+			// Closing tag, backtrack case.
+			if cand := back[a][s.p]; cand >= 0 {
+				id, err := intern(formalState{p: cand, chain: s.chain})
+				if err != nil {
+					return nil, err
+				}
+				edges = append(edges, edge{cur, a, true, false, id})
+			} else {
+				dead = -2 // mark that a dead state is needed
+			}
+		}
+	}
+	n := len(states)
+	deadID := n
+	total := n
+	if dead == -2 {
+		total++
+	}
+
+	d := NewDRA(A.Alphabet, total, startID, regs)
+	for i, s := range states {
+		d.Accept[i] = A.Accept[s.p]
+	}
+	// Default-fill every transition as a restricted-safe self-loop; real
+	// edges overwrite the feasible mask combinations below.
+	for q := 0; q < total; q++ {
+		for a := 0; a < k; a++ {
+			d.SetForAllTestsRestricted(q, a, false, 0, q)
+			d.SetForAllTestsRestricted(q, a, true, 0, q)
+		}
+	}
+	if dead == -2 {
+		for a := 0; a < k; a++ {
+			d.SetForAllTestsRestricted(deadID, a, false, 0, deadID)
+			d.SetForAllTestsRestricted(deadID, a, true, 0, deadID)
+		}
+	}
+
+	full := RegSet(1<<uint(regs)) - 1
+	// Install the real edges over every mask combination consistent with
+	// their firing condition.
+	for _, e := range edges {
+		s := states[e.from]
+		topReg := -1
+		if len(s.chain) > 0 {
+			topReg = s.chain[len(s.chain)-1].comp
+		}
+		for le := RegSet(0); le <= full; le++ {
+			for ge := RegSet(0); ge <= full; ge++ {
+				if le|ge != full {
+					continue
+				}
+				if e.closing {
+					popFires := topReg >= 0 && ge.Has(topReg) && !le.Has(topReg)
+					if popFires != e.pop {
+						continue
+					}
+				}
+				// Loads: the restricted completion (overwrite everything
+				// above the current depth), plus the chain-push load on
+				// component changes at opening tags.
+				load := ge &^ le
+				if !e.closing {
+					ns := states[e.to]
+					if len(ns.chain) > len(s.chain) {
+						load = load.With(ns.chain[len(ns.chain)-1].comp)
+					}
+				}
+				d.SetTransition(e.from, e.sym, e.closing, le, ge, load, e.to)
+			}
+		}
+	}
+	// Backtrack-missing cases: closing edges where back is undefined and no
+	// pop fires go to the dead state.
+	if dead == -2 {
+		for cur := 0; cur < n; cur++ {
+			s := states[cur]
+			for a := 0; a < k; a++ {
+				if back[a][s.p] >= 0 {
+					continue
+				}
+				topReg := -1
+				if len(s.chain) > 0 {
+					topReg = s.chain[len(s.chain)-1].comp
+				}
+				for le := RegSet(0); le <= full; le++ {
+					for ge := RegSet(0); ge <= full; ge++ {
+						if le|ge != full {
+							continue
+						}
+						popFires := topReg >= 0 && ge.Has(topReg) && !le.Has(topReg)
+						if popFires {
+							continue
+						}
+						d.SetTransition(cur, a, true, le, ge, ge&^le, deadID)
+					}
+				}
+			}
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/classify"
+	"stackless/internal/dfa"
+	"stackless/internal/encoding"
+	"stackless/internal/paperfigs"
+	"stackless/internal/rex"
+)
+
+// TestFormalDRAIsRestrictedAndEquivalent is the paper's remark made
+// formal: the Lemma 3.8 machine, written out as a Definition 2.1 table
+// DRA, is restricted and pre-selects exactly the same nodes as the
+// compiled evaluator (hence as the query oracle).
+func TestFormalDRAIsRestrictedAndEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	for _, expr := range []string{paperfigs.Fig3aRegex, paperfigs.Fig3bRegex, paperfigs.Fig3cRegex, "ab*", "(b|ab*a)*"} {
+		an := classify.Analyze(rex.MustCompile(expr, paperfigs.GammaABC()))
+		d, err := FormalDRA(an, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", expr, err)
+		}
+		if !d.IsRestricted() {
+			t.Errorf("%s: formal Lemma 3.8 DRA must be restricted", expr)
+		}
+		ev, err := StacklessQL(an)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 120; i++ {
+			tr := randomTree(rng, []string{"a", "b", "c"}, 1+rng.Intn(20))
+			events := encoding.Markup(tr)
+			got, err := SelectPositions(d.Evaluator(), encoding.NewSliceSource(events))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := SelectPositions(ev, encoding.NewSliceSource(events))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalInts(got, want) {
+				t.Fatalf("%s: formal DRA selects %v, evaluator %v on %s", expr, got, want, tr)
+			}
+		}
+	}
+}
+
+// TestFormalDRARegisterCount: one register per SCC, as Lemma 3.8 promises.
+func TestFormalDRARegisterCount(t *testing.T) {
+	an := classify.Analyze(rex.MustCompile(paperfigs.Fig3cRegex, paperfigs.GammaABC()))
+	d, err := FormalDRA(an, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regs != len(an.Comps) {
+		t.Errorf("registers = %d, want one per SCC (%d)", d.Regs, len(an.Comps))
+	}
+}
+
+// TestFormalDRARefusesNonHAR mirrors the compiler contract.
+func TestFormalDRARefusesNonHAR(t *testing.T) {
+	an := classify.Analyze(rex.MustCompile(paperfigs.Fig3dRegex, paperfigs.GammaABC()))
+	if _, err := FormalDRA(an, 0); err == nil {
+		t.Error("Γ*ab must not admit a formal DRA")
+	}
+}
+
+// TestFormalDRAStateBudget errors instead of exploding.
+func TestFormalDRAStateBudget(t *testing.T) {
+	an := classify.Analyze(rex.MustCompile(paperfigs.Fig3cRegex, paperfigs.GammaABC()))
+	if _, err := FormalDRA(an, 1); err == nil {
+		t.Error("expected state-budget error")
+	}
+}
+
+// TestFormalDRARandomHAR extends the equivalence check to random HAR
+// languages.
+func TestFormalDRARandomHAR(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	alph := alphabet.Letters("ab")
+	tested := 0
+	for i := 0; i < 4000 && tested < 40; i++ {
+		an := classify.Analyze(dfa.Random(rng, alph, 1+rng.Intn(5)))
+		if ok, _ := an.HAR(); !ok {
+			continue
+		}
+		if len(an.Comps) > 8 {
+			continue
+		}
+		d, err := FormalDRA(an, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.IsRestricted() {
+			t.Fatalf("unrestricted formal DRA for\n%s", an.D)
+		}
+		ev, err := StacklessQL(an)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tested++
+		for j := 0; j < 25; j++ {
+			tr := randomTree(rng, []string{"a", "b"}, 1+rng.Intn(18))
+			events := encoding.Markup(tr)
+			got, _ := SelectPositions(d.Evaluator(), encoding.NewSliceSource(events))
+			want, _ := SelectPositions(ev, encoding.NewSliceSource(events))
+			if !equalInts(got, want) {
+				t.Fatalf("formal DRA deviates on %s for\n%s", tr, an.D)
+			}
+		}
+	}
+	if tested < 20 {
+		t.Fatalf("too few HAR samples: %d", tested)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"stackless/internal/encoding"
+	"stackless/internal/tree"
+)
+
+// Proposition 2.8: for each descendent pattern π, the set of trees
+// containing π is stackless. The construction is a tree of sub-automata,
+// one per pattern node, each holding a single depth register (the depth of
+// its current candidate node); a sub-automaton searches for a *minimal*
+// node with the right label and runs its children's sub-automata inside the
+// candidate's subtree, falling back to the search when the candidate closes
+// unmatched. Minimality is sound: if a nested candidate could succeed, the
+// enclosing one already has (descendants of the inner node are descendants
+// of the outer one).
+//
+// Closing labels are never inspected, so the same machine works for the
+// markup and the term encoding.
+
+// PatternMatcher is the compiled Proposition 2.8 machine. It implements
+// Evaluator with tree-language acceptance.
+type PatternMatcher struct {
+	pattern *tree.Node
+	root    *pmNode
+	depth   int
+}
+
+// pmNode is the sub-automaton for one pattern node.
+type pmNode struct {
+	pat       *tree.Node
+	base      int // launch region: candidates must have depth > base
+	phase     pmPhase
+	candDepth int // register: depth of the current candidate node
+	children  []*pmNode
+}
+
+type pmPhase uint8
+
+const (
+	pmSearching pmPhase = iota
+	pmRunning
+	pmSucceeded
+)
+
+// NewPatternMatcher compiles a descendent pattern (any tree) into its
+// Proposition 2.8 evaluator. The number of depth registers used is at most
+// the number of pattern nodes.
+func NewPatternMatcher(pattern *tree.Node) *PatternMatcher {
+	m := &PatternMatcher{pattern: pattern}
+	m.Reset()
+	return m
+}
+
+// Registers returns the number of depth registers currently holding a
+// candidate (benchmark accounting); it never exceeds the pattern size.
+func (m *PatternMatcher) Registers() int {
+	var count func(*pmNode) int
+	count = func(n *pmNode) int {
+		if n == nil || n.phase != pmRunning {
+			return 0
+		}
+		total := 1
+		for _, c := range n.children {
+			total += count(c)
+		}
+		return total
+	}
+	return count(m.root)
+}
+
+// Reset implements Evaluator.
+func (m *PatternMatcher) Reset() {
+	m.depth = 0
+	m.root = &pmNode{pat: m.pattern, base: 0}
+}
+
+// Step implements Evaluator.
+func (m *PatternMatcher) Step(e encoding.Event) {
+	if e.Kind == encoding.Open {
+		m.depth++
+	} else {
+		m.depth--
+	}
+	m.root.step(e, m.depth)
+}
+
+// Accepting implements Evaluator: the pattern has been matched.
+func (m *PatternMatcher) Accepting() bool { return m.root.phase == pmSucceeded }
+
+func (n *pmNode) step(e encoding.Event, depth int) {
+	switch n.phase {
+	case pmSucceeded:
+		return
+	case pmSearching:
+		if e.Kind == encoding.Open && e.Label == n.pat.Label && depth > n.base {
+			if len(n.pat.Children) == 0 {
+				n.phase = pmSucceeded
+				return
+			}
+			n.candDepth = depth
+			n.children = n.children[:0]
+			for _, pc := range n.pat.Children {
+				n.children = append(n.children, &pmNode{pat: pc, base: depth})
+			}
+			n.phase = pmRunning
+		}
+	case pmRunning:
+		if e.Kind == encoding.Close && depth < n.candDepth {
+			// The candidate's subtree closed without completing the match:
+			// resume the minimal-candidate search.
+			n.phase = pmSearching
+			return
+		}
+		all := true
+		for _, c := range n.children {
+			c.step(e, depth)
+			if c.phase != pmSucceeded {
+				all = false
+			}
+		}
+		if all {
+			n.phase = pmSucceeded
+		}
+	}
+}
+
+// StateKey returns a canonical fingerprint of the matcher's configuration,
+// used by the Example 2.9 counting experiments: two runs with equal keys
+// behave identically on every continuation.
+func (m *PatternMatcher) StateKey() string {
+	var b []byte
+	put := func(v int) { b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24)) }
+	put(m.depth)
+	var rec func(n *pmNode)
+	rec = func(n *pmNode) {
+		put(int(n.phase))
+		put(n.base)
+		if n.phase == pmRunning {
+			put(n.candDepth)
+			for _, c := range n.children {
+				rec(c)
+			}
+		}
+	}
+	rec(m.root)
+	return string(b)
+}

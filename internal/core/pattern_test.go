@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"stackless/internal/encoding"
+	"stackless/internal/tree"
+)
+
+func TestPatternMatcherExamples(t *testing.T) {
+	cases := []struct {
+		pattern, tr string
+		want        bool
+	}{
+		// Example 2.6: a with b descendant.
+		{"a(b)", "a(b)", true},
+		{"a(b)", "a(c(b))", true},
+		{"a(b)", "c(a(c),b)", false},
+		{"a(b)", "c(a(c),a(c(c(b))))", true},
+		{"a(b)", "b(a)", false},
+		// Nested chains of a (Example 2.7's hard direction is the child
+		// relation; the descendant version is fine).
+		{"a(b)", "a(a(a(b)))", true},
+		// Multi-child patterns.
+		{"a(b,c)", "a(x(b),y(c))", true},
+		{"a(b,c)", "a(x(b))", false},
+		{"a(b,c)", "a(b(c))", true},
+		// Deeper pattern: Figure 1's π = b(b(a,c),c).
+		{"b(b(a,c),c)", "b(b(a,c),c)", true},
+		{"b(b(a,c),c)", "b(b(x(a),y(c)),z(c))", true},
+		{"b(b(a,c),c)", "b(b(a),c)", false},
+		// Matching must survive failed outer candidates.
+		{"a(b)", "a(c,a(c),b)", true},
+		{"a(b,b)", "a(b)", true}, // both pattern b's may map to the same node
+	}
+	for _, c := range cases {
+		pat := tree.MustParse(c.pattern)
+		tr := tree.MustParse(c.tr)
+		m := NewPatternMatcher(pat)
+		got := RunEvents(m, encoding.Markup(tr))
+		if got != c.want {
+			t.Errorf("Contains(%s, %s) = %v, want %v", c.tr, c.pattern, got, c.want)
+		}
+		if want := tree.Contains(tr, pat); got != want {
+			t.Errorf("oracle disagrees on (%s, %s): matcher %v oracle %v", c.tr, c.pattern, got, want)
+		}
+		// The same machine must work on the term encoding.
+		if gotTerm := RunEvents(m, encoding.Term(tr)); gotTerm != got {
+			t.Errorf("term encoding disagrees on (%s, %s)", c.tr, c.pattern)
+		}
+	}
+}
+
+func randomPattern(rng *rand.Rand, labels []string, budget int) *tree.Node {
+	n := tree.New(labels[rng.Intn(len(labels))])
+	budget--
+	for budget > 0 && rng.Intn(2) == 0 {
+		sub := 1 + rng.Intn(budget)
+		n.Children = append(n.Children, randomPattern(rng, labels, sub))
+		budget -= sub
+	}
+	return n
+}
+
+// TestPatternMatcherRandom is the property test of Proposition 2.8: the
+// streaming matcher agrees with the in-memory containment oracle.
+func TestPatternMatcherRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	labels := []string{"a", "b", "c"}
+	for i := 0; i < 2000; i++ {
+		pat := randomPattern(rng, labels, 1+rng.Intn(4))
+		tr := randomTree(rng, labels, 1+rng.Intn(20))
+		m := NewPatternMatcher(pat)
+		got := RunEvents(m, encoding.Markup(tr))
+		want := tree.Contains(tr, pat)
+		if got != want {
+			t.Fatalf("Contains(%s, %s): matcher %v, oracle %v", tr, pat, got, want)
+		}
+	}
+}
+
+// TestPatternMatcherRegisterBound: register usage is bounded by the pattern
+// size regardless of document depth.
+func TestPatternMatcherRegisterBound(t *testing.T) {
+	pat := tree.MustParse("a(b(c),b)")
+	bound := pat.Size()
+	m := NewPatternMatcher(pat)
+	rng := rand.New(rand.NewSource(22))
+	labels := []string{"a", "b", "c"}
+	var chain []string
+	for i := 0; i < 2000; i++ {
+		chain = append(chain, labels[rng.Intn(3)])
+	}
+	m.Reset()
+	for _, e := range encoding.Markup(tree.Chain(chain)) {
+		m.Step(e)
+		if m.Registers() > bound {
+			t.Fatalf("register usage %d exceeds pattern size %d", m.Registers(), bound)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"stackless/internal/classify"
+)
+
+// Lemma 3.5: a finite automaton over Γ ∪ Γ̄ realizing the query QL when L
+// is almost-reversible — and its blind counterpart from Theorem B.1 for
+// the term encoding when L is blindly almost-reversible.
+
+// ErrNotInClass is wrapped by the compilers when the language falls outside
+// the syntactic class that the requested evaluator needs.
+type classError struct {
+	class   string
+	witness any
+}
+
+func (e *classError) Error() string {
+	return fmt.Sprintf("core: language is not %s (witness: %+v)", e.class, e.witness)
+}
+
+// RegisterlessQL compiles the Lemma 3.5 simulation: a TagDFA over Γ ∪ Γ̄
+// that pre-selects exactly the nodes of QL. Fails unless the language is
+// almost-reversible (Definition 3.4), per Theorem 3.2(3).
+func RegisterlessQL(an *classify.Analysis) (*TagDFA, error) {
+	if !an.Minimal() {
+		return nil, fmt.Errorf("core: RegisterlessQL requires the minimal automaton (use classify.Analyze)")
+	}
+	if ok, w := an.AlmostReversible(); !ok {
+		return nil, &classError{"almost-reversible", w}
+	}
+	A := an.D
+	n := A.NumStates()
+	bot := n // all-rejecting sink ⊥
+	t := NewTagDFA(A.Alphabet, n+1, A.Start)
+	copy(t.Accept, A.Accept)
+	for q := 0; q < n; q++ {
+		for a := 0; a < A.Alphabet.Size(); a++ {
+			// Opening tags follow A.
+			t.OpenT[q][a] = A.Delta[q][a]
+			// Closing tag ā in state p: the minimal internal p' with p'·a
+			// almost equivalent to p; ⊥ if none exists.
+			t.CloseT[q][a] = bot
+			for p := 0; p < n; p++ {
+				if an.Internal[p] && an.AlmostEquivalent(A.Delta[p][a], q) {
+					t.CloseT[q][a] = p
+					break
+				}
+			}
+		}
+	}
+	for a := 0; a < A.Alphabet.Size(); a++ {
+		t.OpenT[bot][a] = bot
+		t.CloseT[bot][a] = bot
+	}
+	return t, nil
+}
+
+// BlindRegisterlessQL compiles the Theorem B.1 analogue of Lemma 3.5 for
+// the term encoding: on the universal closing tag ◁ in state p, move to the
+// minimal internal p' such that p'·a is almost equivalent to p for *some*
+// letter a. Fails unless the language is blindly almost-reversible.
+func BlindRegisterlessQL(an *classify.Analysis) (*TagDFA, error) {
+	if !an.Minimal() {
+		return nil, fmt.Errorf("core: BlindRegisterlessQL requires the minimal automaton")
+	}
+	if ok, w := an.BlindAlmostReversible(); !ok {
+		return nil, &classError{"blindly almost-reversible", w}
+	}
+	A := an.D
+	n := A.NumStates()
+	bot := n
+	t := NewTermTagDFA(A.Alphabet, n+1, A.Start)
+	copy(t.Accept, A.Accept)
+	for q := 0; q < n; q++ {
+		for a := 0; a < A.Alphabet.Size(); a++ {
+			t.OpenT[q][a] = A.Delta[q][a]
+		}
+		t.CloseAny[q] = bot
+	ploop:
+		for p := 0; p < n; p++ {
+			if !an.Internal[p] {
+				continue
+			}
+			for a := 0; a < A.Alphabet.Size(); a++ {
+				if an.AlmostEquivalent(A.Delta[p][a], q) {
+					t.CloseAny[q] = p
+					break ploop
+				}
+			}
+		}
+	}
+	for a := 0; a < A.Alphabet.Size(); a++ {
+		t.OpenT[bot][a] = bot
+	}
+	t.CloseAny[bot] = bot
+	return t, nil
+}

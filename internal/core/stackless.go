@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/classify"
+	"stackless/internal/encoding"
+)
+
+// Lemma 3.8: a depth-register automaton realizing QL when L is
+// hierarchically almost-reversible, and the Theorem B.2 blind variant for
+// the term encoding.
+//
+// The machine keeps one register per strongly connected component on the
+// current chain of the SCC DAG, storing the depth at which the simulated
+// run entered the next component, together with a candidate state of the
+// abandoned component that meets (inside it) the true state the simulated
+// automaton would have to be reverted to. Backtracking inside the current
+// component uses the precomputed back tables (the "minimal p′" choice that
+// keeps the machine deterministic).
+
+// StacklessQL compiles the Lemma 3.8 evaluator. Fails unless the language
+// is HAR (Definition 3.6), per Theorem 3.1.
+func StacklessQL(an *classify.Analysis) (*StacklessEvaluator, error) {
+	if !an.Minimal() {
+		return nil, fmt.Errorf("core: StacklessQL requires the minimal automaton (use classify.Analyze)")
+	}
+	if ok, w := an.HAR(); !ok {
+		return nil, &classError{"hierarchically almost-reversible", w}
+	}
+	return newStackless(an, false), nil
+}
+
+// BlindStacklessQL compiles the Theorem B.2 evaluator for the term
+// encoding. Fails unless the language is blindly HAR.
+func BlindStacklessQL(an *classify.Analysis) (*StacklessEvaluator, error) {
+	if !an.Minimal() {
+		return nil, fmt.Errorf("core: BlindStacklessQL requires the minimal automaton")
+	}
+	if ok, w := an.BlindHAR(); !ok {
+		return nil, &classError{"blindly hierarchically almost-reversible", w}
+	}
+	return newStackless(an, true), nil
+}
+
+// StacklessEvaluator is the compiled depth-register machine of Lemma 3.8.
+// Its register usage is bounded by the depth of the SCC DAG of the minimal
+// automaton — a constant of the query, independent of the document.
+type StacklessEvaluator struct {
+	an    *classify.Analysis
+	blind bool
+	// back[sym][p] (markup): minimal p' in p's component Y with p'·sym ∈ Y
+	// and p'·sym almost equivalent to p; -1 if none.
+	back [][]int
+	// backAny[p] (term): minimal p' in Y with p'·a ∈ Y and p'·a almost
+	// equivalent to p for some letter a; -1 if none.
+	backAny []int
+
+	res *alphabet.Resolver
+
+	// Runtime configuration.
+	state    int // candidate state p (equals the true state after opens)
+	depth    int
+	records  []record // register file: one per abandoned SCC on the chain
+	poisoned bool
+}
+
+// record is one register of the machine: the depth at which the simulated
+// run left component scc, and a candidate state inside it.
+type record struct {
+	depth int
+	state int
+}
+
+func newStackless(an *classify.Analysis, blind bool) *StacklessEvaluator {
+	A := an.D
+	n := A.NumStates()
+	k := A.Alphabet.Size()
+	ev := &StacklessEvaluator{an: an, blind: blind, res: alphabet.NewResolver(an.D.Alphabet)}
+	if blind {
+		ev.backAny = make([]int, n)
+		for p := 0; p < n; p++ {
+			ev.backAny[p] = -1
+			comp := an.Comp[p]
+		search:
+			for cand := 0; cand < n; cand++ {
+				if an.Comp[cand] != comp {
+					continue
+				}
+				for a := 0; a < k; a++ {
+					succ := A.Delta[cand][a]
+					if an.Comp[succ] == comp && an.AlmostEquivalent(succ, p) {
+						ev.backAny[p] = cand
+						break search
+					}
+				}
+			}
+		}
+	} else {
+		ev.back = make([][]int, k)
+		for a := 0; a < k; a++ {
+			ev.back[a] = make([]int, n)
+			for p := 0; p < n; p++ {
+				ev.back[a][p] = -1
+				comp := an.Comp[p]
+				for cand := 0; cand < n; cand++ {
+					if an.Comp[cand] != comp {
+						continue
+					}
+					succ := A.Delta[cand][a]
+					if an.Comp[succ] == comp && an.AlmostEquivalent(succ, p) {
+						ev.back[a][p] = cand
+						break
+					}
+				}
+			}
+		}
+	}
+	ev.Reset()
+	return ev
+}
+
+// Registers returns the number of registers currently in use (for the
+// memory accounting in the benchmarks).
+func (ev *StacklessEvaluator) Registers() int { return len(ev.records) }
+
+// MaxRegisters returns the compile-time bound on register usage: the depth
+// of the SCC DAG of the minimal automaton.
+func (ev *StacklessEvaluator) MaxRegisters() int { return ev.an.D.SCCDAGDepth() }
+
+// Reset implements Evaluator.
+func (ev *StacklessEvaluator) Reset() {
+	ev.state = ev.an.D.Start
+	ev.depth = 0
+	ev.records = ev.records[:0]
+	ev.poisoned = false
+}
+
+// Step implements Evaluator.
+func (ev *StacklessEvaluator) Step(e encoding.Event) {
+	if ev.poisoned {
+		return
+	}
+	A := ev.an.D
+	if e.Kind == encoding.Open {
+		sym, ok := ev.res.ID(e.Label)
+		if !ok {
+			ev.poisoned = true
+			return
+		}
+		ev.depth++
+		next := A.Delta[ev.state][sym]
+		if ev.an.Comp[next] != ev.an.Comp[ev.state] {
+			// Leaving the current component: remember it in a register.
+			ev.records = append(ev.records, record{depth: ev.depth, state: ev.state})
+		}
+		ev.state = next
+		return
+	}
+	// Closing tag.
+	ev.depth--
+	if n := len(ev.records); n > 0 && ev.depth < ev.records[n-1].depth {
+		// Climbed above the node where the last SCC change happened:
+		// revert to the recorded candidate of the abandoned component.
+		ev.state = ev.records[n-1].state
+		ev.records = ev.records[:n-1]
+		return
+	}
+	// Backtrack inside the current component.
+	var cand int
+	if ev.blind {
+		cand = ev.backAny[ev.state]
+	} else {
+		sym, ok := ev.res.ID(e.Label)
+		if !ok {
+			ev.poisoned = true
+			return
+		}
+		cand = ev.back[sym][ev.state]
+	}
+	if cand < 0 {
+		// No valid predecessor: the input is not a well-formed encoding the
+		// invariant covers; the automaton may answer arbitrarily, so park.
+		ev.poisoned = true
+		return
+	}
+	ev.state = cand
+}
+
+// Accepting implements Evaluator. The value is guaranteed correct
+// immediately after Open events (pre-selection); see Evaluator.
+func (ev *StacklessEvaluator) Accepting() bool {
+	return !ev.poisoned && ev.an.D.Accept[ev.state]
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/classify"
+	"stackless/internal/dfa"
+	"stackless/internal/encoding"
+	"stackless/internal/paperfigs"
+	"stackless/internal/rex"
+	"stackless/internal/tree"
+)
+
+// checkELAgainstOracle compares an EL recognizer with the in-memory oracle
+// on random trees over the automaton's alphabet.
+func checkELAgainstOracle(t *testing.T, name string, d *dfa.DFA, ev Evaluator, blind bool, rng *rand.Rand, iters int) {
+	t.Helper()
+	labels := d.Alphabet.Symbols()
+	for i := 0; i < iters; i++ {
+		tr := randomTree(rng, labels, 1+rng.Intn(22))
+		var events []encoding.Event
+		if blind {
+			events = encoding.Term(tr)
+		} else {
+			events = encoding.Markup(tr)
+		}
+		got, err := Recognize(ev, encoding.NewSliceSource(events))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := tree.InEL(d, tr); got != want {
+			t.Fatalf("%s: EL(%s) = %v, want %v\n%s", name, tr, got, want, d)
+		}
+	}
+}
+
+func checkALAgainstOracle(t *testing.T, name string, d *dfa.DFA, ev Evaluator, blind bool, rng *rand.Rand, iters int) {
+	t.Helper()
+	labels := d.Alphabet.Symbols()
+	for i := 0; i < iters; i++ {
+		tr := randomTree(rng, labels, 1+rng.Intn(22))
+		var events []encoding.Event
+		if blind {
+			events = encoding.Term(tr)
+		} else {
+			events = encoding.Markup(tr)
+		}
+		got, err := Recognize(ev, encoding.NewSliceSource(events))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := tree.InAL(d, tr); got != want {
+			t.Fatalf("%s: AL(%s) = %v, want %v\n%s", name, tr, got, want, d)
+		}
+	}
+}
+
+// TestSynopsisELFig3a: aΓ*b is E-flat, so its EL is registerless.
+func TestSynopsisELFig3a(t *testing.T) {
+	an := classify.Analyze(paperfigs.Fig3a())
+	m, err := RegisterlessEL(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkELAgainstOracle(t, "EL(aΓ*b)", an.D, m, false, rand.New(rand.NewSource(11)), 500)
+}
+
+// TestSynopsisELCofinite: co-finite languages are E-flat (Section 3.3);
+// check the synopsis machine on one with several SCC levels.
+func TestSynopsisELCofinite(t *testing.T) {
+	d, err := rex.CompileString("ab|ba", alphabet.Letters("ab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := classify.Analyze(d.Complement())
+	m, err := RegisterlessEL(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkELAgainstOracle(t, "EL(co-finite)", an.D, m, false, rand.New(rand.NewSource(12)), 500)
+}
+
+// TestSynopsisELRejectsNonEFlat: ab (Fig 3b) is not E-flat.
+func TestSynopsisELRejectsNonEFlat(t *testing.T) {
+	an := classify.Analyze(paperfigs.Fig3b())
+	if _, err := RegisterlessEL(an); err == nil {
+		t.Error("ab: expected E-flat class error")
+	}
+}
+
+// TestSynopsisELRandomEFlat is the main property test of Lemma 3.11 /
+// Appendix A: random E-flat languages, random trees, oracle comparison.
+func TestSynopsisELRandomEFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tested := 0
+	for i := 0; i < 20000 && tested < 120; i++ {
+		var alph *alphabet.Alphabet
+		if i%2 == 0 {
+			alph = alphabet.Letters("ab")
+		} else {
+			alph = alphabet.Letters("abc")
+		}
+		an := classify.Analyze(dfa.Random(rng, alph, 1+rng.Intn(6)))
+		ok, _ := an.EFlat()
+		if !ok {
+			continue
+		}
+		// Skip trivial (all-accepting / all-rejecting) automata half the
+		// time to concentrate on interesting cases.
+		if an.D.NumStates() == 1 && tested%3 != 0 {
+			continue
+		}
+		m, err := RegisterlessEL(an)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tested++
+		checkELAgainstOracle(t, "EL random", an.D, m, false, rng, 30)
+	}
+	if tested < 60 {
+		t.Fatalf("too few E-flat samples: %d", tested)
+	}
+}
+
+// TestSynopsisELBlindRandom is the property test of the Appendix B variant.
+func TestSynopsisELBlindRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	tested := 0
+	for i := 0; i < 30000 && tested < 100; i++ {
+		an := classify.Analyze(dfa.Random(rng, alphabet.Letters("ab"), 1+rng.Intn(6)))
+		ok, _ := an.BlindEFlat()
+		if !ok {
+			continue
+		}
+		m, err := BlindRegisterlessEL(an)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tested++
+		checkELAgainstOracle(t, "blind EL random", an.D, m, true, rng, 30)
+	}
+	if tested < 50 {
+		t.Fatalf("too few blindly E-flat samples: %d", tested)
+	}
+}
+
+// TestRegisterlessALRandomAFlat checks the dual construction.
+func TestRegisterlessALRandomAFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	tested := 0
+	for i := 0; i < 20000 && tested < 100; i++ {
+		an := classify.Analyze(dfa.Random(rng, alphabet.Letters("ab"), 1+rng.Intn(6)))
+		ok, _ := an.AFlat()
+		if !ok {
+			continue
+		}
+		ev, err := RegisterlessAL(an)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tested++
+		checkALAgainstOracle(t, "AL random", an.D, ev, false, rng, 30)
+	}
+	if tested < 50 {
+		t.Fatalf("too few A-flat samples: %d", tested)
+	}
+}
+
+// TestBlindRegisterlessALRandom checks the blind dual.
+func TestBlindRegisterlessALRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	tested := 0
+	for i := 0; i < 30000 && tested < 80; i++ {
+		an := classify.Analyze(dfa.Random(rng, alphabet.Letters("ab"), 1+rng.Intn(5)))
+		ok, _ := an.BlindAFlat()
+		if !ok {
+			continue
+		}
+		ev, err := BlindRegisterlessAL(an)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tested++
+		checkALAgainstOracle(t, "blind AL random", an.D, ev, true, rng, 30)
+	}
+	if tested < 40 {
+		t.Fatalf("too few blindly A-flat samples: %d", tested)
+	}
+}
+
+// TestSynopsisFiniteALViaStack sanity check: finite language, AL
+// registerless (Section 3.3's stack-of-bounded-depth intuition).
+func TestSynopsisFiniteAL(t *testing.T) {
+	an := classify.Analyze(rex.MustCompile("a|ab|abb", alphabet.Letters("ab")))
+	ev, err := RegisterlessAL(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		tree string
+		want bool
+	}{
+		{"a", true},
+		{"a(b)", true},
+		{"a(b(b))", true},
+		{"a(b(b(b)))", false},
+		{"b", false},
+		{"a(b,b(b),a)", false}, // branch aa ∉ L
+	}
+	for _, c := range cases {
+		tr := tree.MustParse(c.tree)
+		got, err := Recognize(ev, encoding.NewSliceSource(encoding.Markup(tr)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("AL(%s) = %v, want %v", c.tree, got, c.want)
+		}
+	}
+}
+
+// TestSynopsisStateSpaceBounded: the discovered synopsis state space stays
+// small even across many documents (the paper bounds it via the SCC DAG).
+func TestSynopsisStateSpaceBounded(t *testing.T) {
+	an := classify.Analyze(paperfigs.Fig3a())
+	m, err := RegisterlessEL(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 300; i++ {
+		tr := randomTree(rng, []string{"a", "b", "c"}, 1+rng.Intn(40))
+		if _, err := Recognize(m, encoding.NewSliceSource(encoding.Markup(tr))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := m.StatesDiscovered(); n > 1000 {
+		t.Errorf("synopsis state space unexpectedly large: %d", n)
+	}
+}

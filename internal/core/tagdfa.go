@@ -1,0 +1,101 @@
+package core
+
+import (
+	"stackless/internal/alphabet"
+	"stackless/internal/encoding"
+)
+
+// TagDFA is a finite automaton over the tag alphabet: Γ ∪ Γ̄ under the
+// markup encoding, or Γ ∪ {◁} under the term encoding. It is the output
+// form of the registerless compilations (Lemmas 3.5 and 3.11 and their
+// blind variants).
+type TagDFA struct {
+	Alphabet *alphabet.Alphabet
+	Start    int
+	Accept   []bool
+	// OpenT[q][sym] is the successor on the opening tag of sym.
+	OpenT [][]int
+	// CloseT[q][sym] is the successor on the closing tag of sym (markup
+	// encoding); nil for term-encoding automata.
+	CloseT [][]int
+	// CloseAny[q] is the successor on the universal closing tag ◁ (term
+	// encoding); nil for markup-encoding automata.
+	CloseAny []int
+}
+
+// NumStates returns the number of states.
+func (t *TagDFA) NumStates() int { return len(t.OpenT) }
+
+// NewTagDFA allocates a markup-encoding tag automaton with n states.
+func NewTagDFA(alph *alphabet.Alphabet, n, start int) *TagDFA {
+	t := &TagDFA{
+		Alphabet: alph,
+		Start:    start,
+		Accept:   make([]bool, n),
+		OpenT:    make([][]int, n),
+		CloseT:   make([][]int, n),
+	}
+	for i := 0; i < n; i++ {
+		t.OpenT[i] = make([]int, alph.Size())
+		t.CloseT[i] = make([]int, alph.Size())
+	}
+	return t
+}
+
+// NewTermTagDFA allocates a term-encoding tag automaton with n states.
+func NewTermTagDFA(alph *alphabet.Alphabet, n, start int) *TagDFA {
+	t := &TagDFA{
+		Alphabet: alph,
+		Start:    start,
+		Accept:   make([]bool, n),
+		OpenT:    make([][]int, n),
+		CloseAny: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		t.OpenT[i] = make([]int, alph.Size())
+	}
+	return t
+}
+
+// tagEvaluator runs a TagDFA over events. Labels outside the alphabet
+// poison the run.
+type tagEvaluator struct {
+	t        *TagDFA
+	res      *alphabet.Resolver
+	state    int
+	poisoned bool
+}
+
+// Evaluator returns a fresh streaming evaluator.
+func (t *TagDFA) Evaluator() Evaluator {
+	return &tagEvaluator{t: t, res: alphabet.NewResolver(t.Alphabet), state: t.Start}
+}
+
+func (ev *tagEvaluator) Reset() {
+	ev.state = ev.t.Start
+	ev.poisoned = false
+}
+
+func (ev *tagEvaluator) Step(e encoding.Event) {
+	if ev.poisoned {
+		return
+	}
+	if e.Kind == encoding.Close && ev.t.CloseAny != nil {
+		ev.state = ev.t.CloseAny[ev.state]
+		return
+	}
+	sym, ok := ev.res.ID(e.Label)
+	if !ok {
+		ev.poisoned = true
+		return
+	}
+	if e.Kind == encoding.Open {
+		ev.state = ev.t.OpenT[ev.state][sym]
+	} else {
+		ev.state = ev.t.CloseT[ev.state][sym]
+	}
+}
+
+func (ev *tagEvaluator) Accepting() bool {
+	return !ev.poisoned && ev.t.Accept[ev.state]
+}

@@ -1,0 +1,272 @@
+// Package dfa implements deterministic finite automata over interned
+// alphabets, together with the constructions the paper relies on: boolean
+// combinations, reachability, Hopcroft and Moore minimization, language
+// equivalence with counterexample words, and Tarjan's strongly connected
+// components.
+//
+// All automata are complete: Delta[q][a] is defined for every state q and
+// symbol id a. Partial automata must be completed (with an explicit sink)
+// before being wrapped in a DFA.
+package dfa
+
+import (
+	"fmt"
+
+	"stackless/internal/alphabet"
+)
+
+// DFA is a complete deterministic finite automaton.
+//
+// States are 0..NumStates-1. Delta is indexed as Delta[state][symbolID].
+type DFA struct {
+	Alphabet *alphabet.Alphabet
+	Start    int
+	Accept   []bool  // len == NumStates
+	Delta    [][]int // [NumStates][Alphabet.Size()]
+}
+
+// NumStates returns the number of states.
+func (d *DFA) NumStates() int { return len(d.Delta) }
+
+// New allocates a DFA with n states over alph, all transitions pointing to
+// state 0 and no accepting states. Callers fill in Delta and Accept.
+func New(alph *alphabet.Alphabet, n, start int) *DFA {
+	d := &DFA{
+		Alphabet: alph,
+		Start:    start,
+		Accept:   make([]bool, n),
+		Delta:    make([][]int, n),
+	}
+	for i := range d.Delta {
+		d.Delta[i] = make([]int, alph.Size())
+	}
+	return d
+}
+
+// Validate checks structural well-formedness: start and all transition
+// targets in range, table dimensions consistent.
+func (d *DFA) Validate() error {
+	n := d.NumStates()
+	if n == 0 {
+		return fmt.Errorf("dfa: no states")
+	}
+	if d.Start < 0 || d.Start >= n {
+		return fmt.Errorf("dfa: start state %d out of range [0,%d)", d.Start, n)
+	}
+	if len(d.Accept) != n {
+		return fmt.Errorf("dfa: accept vector has %d entries for %d states", len(d.Accept), n)
+	}
+	k := d.Alphabet.Size()
+	for q, row := range d.Delta {
+		if len(row) != k {
+			return fmt.Errorf("dfa: state %d has %d transitions for alphabet of size %d", q, len(row), k)
+		}
+		for a, t := range row {
+			if t < 0 || t >= n {
+				return fmt.Errorf("dfa: transition %d --%s--> %d out of range", q, d.Alphabet.Symbol(a), t)
+			}
+		}
+	}
+	return nil
+}
+
+// Step returns the successor of state q on symbol id a.
+func (d *DFA) Step(q, a int) int { return d.Delta[q][a] }
+
+// StepWord returns q · w for a word of symbol ids.
+func (d *DFA) StepWord(q int, w []int) int {
+	for _, a := range w {
+		q = d.Delta[q][a]
+	}
+	return q
+}
+
+// StepString returns q · w where w is a sequence of symbols given by name.
+// It panics on symbols outside the alphabet (test/construction helper).
+func (d *DFA) StepString(q int, symbols ...string) int {
+	for _, s := range symbols {
+		q = d.Delta[q][d.Alphabet.MustID(s)]
+	}
+	return q
+}
+
+// Accepts reports whether the automaton accepts the word of symbol ids.
+func (d *DFA) Accepts(w []int) bool {
+	return d.Accept[d.StepWord(d.Start, w)]
+}
+
+// AcceptsSymbols reports acceptance of a word given as symbol names.
+// Symbols outside the alphabet make the word rejected (there is no run).
+func (d *DFA) AcceptsSymbols(symbols []string) bool {
+	q := d.Start
+	for _, s := range symbols {
+		id, ok := d.Alphabet.ID(s)
+		if !ok {
+			return false
+		}
+		q = d.Delta[q][id]
+	}
+	return d.Accept[q]
+}
+
+// Clone returns a deep copy sharing only the (immutable) alphabet.
+func (d *DFA) Clone() *DFA {
+	c := &DFA{
+		Alphabet: d.Alphabet,
+		Start:    d.Start,
+		Accept:   make([]bool, len(d.Accept)),
+		Delta:    make([][]int, len(d.Delta)),
+	}
+	copy(c.Accept, d.Accept)
+	for i, row := range d.Delta {
+		c.Delta[i] = make([]int, len(row))
+		copy(c.Delta[i], row)
+	}
+	return c
+}
+
+// Complement returns a DFA for the complement language (same states,
+// accepting set flipped).
+func (d *DFA) Complement() *DFA {
+	c := d.Clone()
+	for i := range c.Accept {
+		c.Accept[i] = !c.Accept[i]
+	}
+	return c
+}
+
+// Reachable returns the set of states reachable from Start (as a bool
+// vector) and their count.
+func (d *DFA) Reachable() ([]bool, int) {
+	seen := make([]bool, d.NumStates())
+	stack := []int{d.Start}
+	seen[d.Start] = true
+	count := 1
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range d.Delta[q] {
+			if !seen[t] {
+				seen[t] = true
+				count++
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen, count
+}
+
+// Trim returns an equivalent DFA containing only the states reachable from
+// Start, renumbered in BFS discovery order (so Start becomes 0).
+func (d *DFA) Trim() *DFA {
+	n := d.NumStates()
+	remap := make([]int, n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	order := []int{d.Start}
+	remap[d.Start] = 0
+	for i := 0; i < len(order); i++ {
+		q := order[i]
+		for _, t := range d.Delta[q] {
+			if remap[t] == -1 {
+				remap[t] = len(order)
+				order = append(order, t)
+			}
+		}
+	}
+	t := New(d.Alphabet, len(order), 0)
+	for newQ, oldQ := range order {
+		t.Accept[newQ] = d.Accept[oldQ]
+		for a, tgt := range d.Delta[oldQ] {
+			t.Delta[newQ][a] = remap[tgt]
+		}
+	}
+	return t
+}
+
+// IsEmpty reports whether the recognized language is empty.
+func (d *DFA) IsEmpty() bool {
+	seen, _ := d.Reachable()
+	for q, ok := range seen {
+		if ok && d.Accept[q] {
+			return false
+		}
+	}
+	return true
+}
+
+// SomeAcceptedWord returns a shortest accepted word (as symbol ids), or
+// (nil, false) if the language is empty. The empty word is returned as an
+// empty non-nil slice.
+func (d *DFA) SomeAcceptedWord() ([]int, bool) {
+	return d.ShortestWordToAccept(d.Start)
+}
+
+// ShortestWordToAccept returns a shortest word w with Accept[q·w], searching
+// by BFS from q. The empty word is returned as an empty non-nil slice.
+func (d *DFA) ShortestWordToAccept(q int) ([]int, bool) {
+	return d.ShortestWordTo(q, func(s int) bool { return d.Accept[s] })
+}
+
+// ShortestWordTo returns a shortest word w such that goal(q·w) holds.
+func (d *DFA) ShortestWordTo(q int, goal func(int) bool) ([]int, bool) {
+	type pred struct{ from, sym int }
+	n := d.NumStates()
+	prev := make([]pred, n)
+	seen := make([]bool, n)
+	queue := []int{q}
+	seen[q] = true
+	prev[q] = pred{-1, -1}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if goal(s) {
+			var w []int
+			for cur := s; prev[cur].from != -1; cur = prev[cur].from {
+				w = append(w, prev[cur].sym)
+			}
+			for i, j := 0, len(w)-1; i < j; i, j = i+1, j-1 {
+				w[i], w[j] = w[j], w[i]
+			}
+			if w == nil {
+				w = []int{}
+			}
+			return w, true
+		}
+		for a, t := range d.Delta[s] {
+			if !seen[t] {
+				seen[t] = true
+				prev[t] = pred{s, a}
+				queue = append(queue, t)
+			}
+		}
+	}
+	return nil, false
+}
+
+// WordString renders a word of symbol ids using the automaton's alphabet.
+func (d *DFA) WordString(w []int) string {
+	out := ""
+	for _, a := range w {
+		out += d.Alphabet.Symbol(a)
+	}
+	return out
+}
+
+// String renders a compact human-readable transition table.
+func (d *DFA) String() string {
+	s := fmt.Sprintf("DFA(states=%d start=%d alphabet=%s)\n", d.NumStates(), d.Start, d.Alphabet)
+	for q := range d.Delta {
+		mark := " "
+		if d.Accept[q] {
+			mark = "*"
+		}
+		s += fmt.Sprintf("%s%3d:", mark, q)
+		for a, t := range d.Delta[q] {
+			s += fmt.Sprintf(" %s->%d", d.Alphabet.Symbol(a), t)
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,361 @@
+package dfa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stackless/internal/alphabet"
+)
+
+func abAlphabet() *alphabet.Alphabet { return alphabet.Letters("ab") }
+
+// evenAs builds a 2-state DFA over {a,b} accepting words with an even
+// number of a's.
+func evenAs(t *testing.T) *DFA {
+	t.Helper()
+	d := New(abAlphabet(), 2, 0)
+	a, b := d.Alphabet.MustID("a"), d.Alphabet.MustID("b")
+	d.Accept[0] = true
+	d.Delta[0][a], d.Delta[0][b] = 1, 0
+	d.Delta[1][a], d.Delta[1][b] = 0, 1
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// endsInA accepts words ending in a.
+func endsInA(t *testing.T) *DFA {
+	t.Helper()
+	d := New(abAlphabet(), 2, 0)
+	a, b := d.Alphabet.MustID("a"), d.Alphabet.MustID("b")
+	d.Accept[1] = true
+	d.Delta[0][a], d.Delta[0][b] = 1, 0
+	d.Delta[1][a], d.Delta[1][b] = 1, 0
+	return d
+}
+
+func wordIDs(d *DFA, w string) []int {
+	ids := make([]int, 0, len(w))
+	for _, r := range w {
+		ids = append(ids, d.Alphabet.MustID(string(r)))
+	}
+	return ids
+}
+
+func TestStepAndAccepts(t *testing.T) {
+	d := evenAs(t)
+	cases := map[string]bool{
+		"":      true,
+		"a":     false,
+		"aa":    true,
+		"ab":    false,
+		"ba":    false,
+		"bb":    true,
+		"abab":  true,
+		"aabab": false,
+	}
+	for w, want := range cases {
+		if got := d.Accepts(wordIDs(d, w)); got != want {
+			t.Errorf("evenAs(%q) = %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestValidateRejectsBadAutomata(t *testing.T) {
+	d := evenAs(t)
+	d.Start = 7
+	if err := d.Validate(); err == nil {
+		t.Error("expected error for out-of-range start")
+	}
+	d = evenAs(t)
+	d.Delta[0][0] = 99
+	if err := d.Validate(); err == nil {
+		t.Error("expected error for out-of-range transition")
+	}
+	d = evenAs(t)
+	d.Accept = d.Accept[:1]
+	if err := d.Validate(); err == nil {
+		t.Error("expected error for short accept vector")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	d := evenAs(t)
+	c := d.Complement()
+	for _, w := range []string{"", "a", "ab", "ba", "aa", "bab"} {
+		if d.Accepts(wordIDs(d, w)) == c.Accepts(wordIDs(c, w)) {
+			t.Errorf("complement agrees with original on %q", w)
+		}
+	}
+}
+
+func TestProductOps(t *testing.T) {
+	x, y := evenAs(t), endsInA(t)
+	inter, err := Intersect(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := Union(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"", "a", "aa", "ba", "aba", "abab", "baa"} {
+		ids := wordIDs(x, w)
+		wantI := x.Accepts(ids) && y.Accepts(ids)
+		wantU := x.Accepts(ids) || y.Accepts(ids)
+		if got := inter.Accepts(wordIDs(inter, w)); got != wantI {
+			t.Errorf("intersect(%q) = %v, want %v", w, got, wantI)
+		}
+		if got := uni.Accepts(wordIDs(uni, w)); got != wantU {
+			t.Errorf("union(%q) = %v, want %v", w, got, wantU)
+		}
+	}
+}
+
+func TestTrimRemovesUnreachable(t *testing.T) {
+	d := New(abAlphabet(), 3, 0)
+	// state 2 unreachable
+	d.Accept[0] = true
+	d.Accept[2] = true
+	for a := 0; a < 2; a++ {
+		d.Delta[0][a] = 0
+		d.Delta[1][a] = 2
+		d.Delta[2][a] = 2
+	}
+	tr := d.Trim()
+	if tr.NumStates() != 1 {
+		t.Fatalf("Trim: got %d states, want 1", tr.NumStates())
+	}
+	if !tr.Accept[0] {
+		t.Error("Trim lost acceptance of start state")
+	}
+}
+
+func TestMinimizeCanonical(t *testing.T) {
+	// Two structurally different automata for "ends in a" minimize to
+	// identical automata.
+	d1 := endsInA(t)
+	// A redundant 4-state version.
+	d2 := New(abAlphabet(), 4, 0)
+	a, b := d2.Alphabet.MustID("a"), d2.Alphabet.MustID("b")
+	d2.Accept[1] = true
+	d2.Accept[3] = true
+	d2.Delta[0][a], d2.Delta[0][b] = 1, 2
+	d2.Delta[1][a], d2.Delta[1][b] = 3, 0
+	d2.Delta[2][a], d2.Delta[2][b] = 3, 2
+	d2.Delta[3][a], d2.Delta[3][b] = 1, 2
+	m1, m2 := Minimize(d1), Minimize(d2)
+	if m1.NumStates() != 2 || m2.NumStates() != 2 {
+		t.Fatalf("minimal sizes: %d and %d, want 2 and 2", m1.NumStates(), m2.NumStates())
+	}
+	eq, w, err := Equivalent(m1, m2)
+	if err != nil || !eq {
+		t.Fatalf("minimized automata not equivalent (witness %v, err %v)", w, err)
+	}
+}
+
+func TestMinimizeEmptyAndFull(t *testing.T) {
+	d := New(abAlphabet(), 3, 0)
+	for q := 0; q < 3; q++ {
+		for a := 0; a < 2; a++ {
+			d.Delta[q][a] = (q + 1) % 3
+		}
+	}
+	m := Minimize(d)
+	if m.NumStates() != 1 || m.Accept[0] {
+		t.Errorf("empty language should minimize to 1 rejecting state, got %d states", m.NumStates())
+	}
+	if !m.IsEmpty() {
+		t.Error("IsEmpty false for empty language")
+	}
+	for q := range d.Accept {
+		d.Accept[q] = true
+	}
+	m = Minimize(d)
+	if m.NumStates() != 1 || !m.Accept[0] {
+		t.Errorf("full language should minimize to 1 accepting state")
+	}
+}
+
+func TestHopcroftAgreesWithMooreRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alph := alphabet.Letters("abc")
+	for i := 0; i < 200; i++ {
+		d := Random(rng, alph, 1+rng.Intn(12)).Trim()
+		h := hopcroft(d)
+		m := MoorePartition(d)
+		// Same partition up to renaming: states in same h-block iff same m-block.
+		rename := map[int]int{}
+		for q := range h {
+			if prev, ok := rename[h[q]]; ok {
+				if prev != m[q] {
+					t.Fatalf("iteration %d: partitions disagree at state %d\n%s", i, q, d)
+				}
+			} else {
+				rename[h[q]] = m[q]
+			}
+		}
+		// And injectively.
+		back := map[int]int{}
+		for hb, mb := range rename {
+			if prev, ok := back[mb]; ok && prev != hb {
+				t.Fatalf("iteration %d: Hopcroft splits a Moore block\n%s", i, d)
+			}
+			back[mb] = hb
+		}
+	}
+}
+
+func TestMinimizePreservesLanguageRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alph := alphabet.Letters("ab")
+	for i := 0; i < 100; i++ {
+		d := Random(rng, alph, 1+rng.Intn(10))
+		m := Minimize(d)
+		if !IsMinimal(m) {
+			t.Fatalf("Minimize result not minimal:\n%s", m)
+		}
+		// Probe random words.
+		for j := 0; j < 50; j++ {
+			w := make([]int, rng.Intn(12))
+			for k := range w {
+				w[k] = rng.Intn(2)
+			}
+			if d.Accepts(w) != m.Accepts(w) {
+				t.Fatalf("language changed by minimization on word %v\nbefore:\n%s\nafter:\n%s", w, d, m)
+			}
+		}
+	}
+}
+
+func TestEquivalentWitness(t *testing.T) {
+	x, y := evenAs(t), endsInA(t)
+	eq, w, err := Equivalent(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("evenAs and endsInA reported equivalent")
+	}
+	if x.Accepts(w) == y.Accepts(w) {
+		t.Errorf("witness %v does not separate the languages", w)
+	}
+}
+
+func TestShortestWordToAccept(t *testing.T) {
+	d := endsInA(t)
+	w, ok := d.SomeAcceptedWord()
+	if !ok || len(w) != 1 || d.Alphabet.Symbol(w[0]) != "a" {
+		t.Errorf("shortest accepted word = %v, want [a]", w)
+	}
+}
+
+func TestSCCsChainAndCycle(t *testing.T) {
+	// 0 -> 1 <-> 2, plus self loop on 0 via b.
+	alph := abAlphabet()
+	d := New(alph, 3, 0)
+	a, b := alph.MustID("a"), alph.MustID("b")
+	d.Delta[0][a], d.Delta[0][b] = 1, 0
+	d.Delta[1][a], d.Delta[1][b] = 2, 2
+	d.Delta[2][a], d.Delta[2][b] = 1, 1
+	comp, comps := d.SCCs()
+	if len(comps) != 2 {
+		t.Fatalf("got %d SCCs, want 2", len(comps))
+	}
+	if comp[1] != comp[2] || comp[0] == comp[1] {
+		t.Errorf("bad SCC assignment %v", comp)
+	}
+	if d.AllSCCsSingleton() {
+		t.Error("AllSCCsSingleton true despite a 2-cycle")
+	}
+	if got := d.SCCDAGDepth(); got != 2 {
+		t.Errorf("SCCDAGDepth = %d, want 2", got)
+	}
+}
+
+func TestSCCPropertiesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alph := alphabet.Letters("ab")
+	f := func(seed int64) bool {
+		d := Random(rand.New(rand.NewSource(seed)), alph, 1+rng.Intn(15))
+		comp, comps := d.SCCs()
+		// Every state in exactly one component.
+		seen := make([]bool, d.NumStates())
+		for ci, members := range comps {
+			for _, q := range members {
+				if seen[q] || comp[q] != ci {
+					return false
+				}
+				seen[q] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		// Transitions never go to a later-indexed component (reverse topo).
+		for q := range d.Delta {
+			for _, tgt := range d.Delta[q] {
+				if comp[tgt] > comp[q] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSinkDetection(t *testing.T) {
+	d := New(abAlphabet(), 2, 0)
+	d.Accept[0] = true
+	for a := 0; a < 2; a++ {
+		d.Delta[0][a] = 1
+		d.Delta[1][a] = 1
+	}
+	if got := d.Sink(); got != 1 {
+		t.Errorf("Sink() = %d, want 1", got)
+	}
+	d.Accept[1] = true
+	if got := d.Sink(); got != -1 {
+		t.Errorf("Sink() = %d, want -1 for accepting sink", got)
+	}
+}
+
+func TestRemapAlphabet(t *testing.T) {
+	d := evenAs(t)
+	ba := alphabet.Letters("ba")
+	r, err := d.RemapAlphabet(ba)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"", "a", "ab", "aa", "bba"} {
+		if d.Accepts(wordIDs(d, w)) != r.Accepts(wordIDs(r, w)) {
+			t.Errorf("remapped automaton differs on %q", w)
+		}
+	}
+}
+
+// TestBrzozowskiAgreesWithHopcroft cross-checks the third minimization
+// algorithm: same language, same (minimal) size.
+func TestBrzozowskiAgreesWithHopcroft(t *testing.T) {
+	rng := rand.New(rand.NewSource(4444))
+	alph := alphabet.Letters("ab")
+	for i := 0; i < 150; i++ {
+		d := Random(rng, alph, 1+rng.Intn(9))
+		h := Minimize(d)
+		bz := Brzozowski(d)
+		if h.NumStates() != bz.NumStates() {
+			t.Fatalf("iter %d: Hopcroft %d states vs Brzozowski %d\n%s", i, h.NumStates(), bz.NumStates(), d)
+		}
+		eq, w, err := Equivalent(h, bz)
+		if err != nil || !eq {
+			t.Fatalf("iter %d: languages differ (witness %v, err %v)", i, w, err)
+		}
+	}
+}

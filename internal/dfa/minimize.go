@@ -1,0 +1,278 @@
+package dfa
+
+// Minimize returns the canonical minimal DFA for d's language: trim to
+// reachable states, merge Myhill–Nerode-equivalent states via Hopcroft's
+// partition refinement, and renumber in BFS order from the start state so
+// that equal languages yield identical automata.
+//
+// The result always contains at least one state; a DFA for the empty
+// language minimizes to a single rejecting sink.
+func Minimize(d *DFA) *DFA {
+	t := d.Trim()
+	part := hopcroft(t)
+	return quotient(t, part).Trim()
+}
+
+// IsMinimal reports whether d is already minimal (all states reachable and
+// pairwise inequivalent).
+func IsMinimal(d *DFA) bool {
+	_, reach := d.Reachable()
+	if reach != d.NumStates() {
+		return false
+	}
+	return Minimize(d).NumStates() == d.NumStates()
+}
+
+// hopcroft computes the coarsest congruence respecting acceptance and
+// returns, for each state, the id of its block.
+func hopcroft(d *DFA) []int {
+	n := d.NumStates()
+	k := d.Alphabet.Size()
+
+	// Reverse transition lists: rev[a][q] = states p with p·a = q.
+	rev := make([][][]int32, k)
+	for a := 0; a < k; a++ {
+		rev[a] = make([][]int32, n)
+	}
+	for p := 0; p < n; p++ {
+		for a := 0; a < k; a++ {
+			q := d.Delta[p][a]
+			rev[a][q] = append(rev[a][q], int32(p))
+		}
+	}
+
+	// Partition as blocks of states.
+	block := make([]int, n) // state -> block id
+	var blocks [][]int32    // block id -> states
+	var accSt, rejSt []int32
+	for q := 0; q < n; q++ {
+		if d.Accept[q] {
+			accSt = append(accSt, int32(q))
+		} else {
+			rejSt = append(rejSt, int32(q))
+		}
+	}
+	addBlock := func(states []int32) int {
+		id := len(blocks)
+		blocks = append(blocks, states)
+		for _, s := range states {
+			block[s] = id
+		}
+		return id
+	}
+	if len(rejSt) > 0 {
+		addBlock(rejSt)
+	}
+	if len(accSt) > 0 {
+		addBlock(accSt)
+	}
+
+	// Worklist of (block, symbol) splitters.
+	type splitter struct{ b, a int }
+	work := make([]splitter, 0, len(blocks)*k)
+	inWork := map[splitter]bool{}
+	push := func(s splitter) {
+		if !inWork[s] {
+			inWork[s] = true
+			work = append(work, s)
+		}
+	}
+	// Seed with the smaller block for every symbol (classic optimization);
+	// seeding with all blocks is also correct and simpler to reason about.
+	for b := range blocks {
+		for a := 0; a < k; a++ {
+			push(splitter{b, a})
+		}
+	}
+
+	mark := make([]bool, n)
+	for len(work) > 0 {
+		sp := work[len(work)-1]
+		work = work[:len(work)-1]
+		delete(inWork, sp)
+
+		// X = preimage of splitter block under symbol a.
+		var x []int32
+		for _, q := range blocks[sp.b] {
+			x = append(x, rev[sp.a][q]...)
+		}
+		if len(x) == 0 {
+			continue
+		}
+		// Group X by current block; split any block partially covered.
+		touched := map[int][]int32{}
+		for _, p := range x {
+			if !mark[p] {
+				mark[p] = true
+				touched[block[p]] = append(touched[block[p]], p)
+			}
+		}
+		for _, p := range x {
+			mark[p] = false
+		}
+		for b, inX := range touched {
+			if len(inX) == len(blocks[b]) {
+				continue // block entirely inside X; no split
+			}
+			// Split block b into inX and rest.
+			inXSet := make(map[int32]bool, len(inX))
+			for _, p := range inX {
+				inXSet[p] = true
+			}
+			var rest []int32
+			for _, p := range blocks[b] {
+				if !inXSet[p] {
+					rest = append(rest, p)
+				}
+			}
+			blocks[b] = inX
+			nb := addBlock(rest)
+			// Requeue: the smaller part for each symbol; if (b,a) is
+			// already queued the other part must be queued too.
+			for a := 0; a < k; a++ {
+				if inWork[splitter{b, a}] {
+					push(splitter{nb, a})
+				} else if len(inX) <= len(rest) {
+					push(splitter{b, a})
+				} else {
+					push(splitter{nb, a})
+				}
+			}
+		}
+	}
+	return block
+}
+
+// MoorePartition computes the same congruence as hopcroft by iterated
+// signature refinement (Moore's algorithm). Exported for cross-checking in
+// tests; quadratic but simple.
+func MoorePartition(d *DFA) []int {
+	n := d.NumStates()
+	k := d.Alphabet.Size()
+	class := make([]int, n)
+	for q := 0; q < n; q++ {
+		if d.Accept[q] {
+			class[q] = 1
+		}
+	}
+	next := make([]int, n)
+	for {
+		type sig struct {
+			own  int
+			succ string
+		}
+		index := map[sig]int{}
+		changed := false
+		for q := 0; q < n; q++ {
+			s := sig{own: class[q]}
+			b := make([]byte, 0, k*4)
+			for a := 0; a < k; a++ {
+				c := class[d.Delta[q][a]]
+				b = append(b, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+			}
+			s.succ = string(b)
+			id, ok := index[s]
+			if !ok {
+				id = len(index)
+				index[s] = id
+			}
+			next[q] = id
+		}
+		for q := 0; q < n; q++ {
+			if next[q] != class[q] {
+				changed = true
+			}
+			class[q] = next[q]
+		}
+		if !changed {
+			return class
+		}
+	}
+}
+
+// quotient merges states according to the block assignment.
+func quotient(d *DFA, block []int) *DFA {
+	nb := 0
+	for _, b := range block {
+		if b+1 > nb {
+			nb = b + 1
+		}
+	}
+	q := New(d.Alphabet, nb, block[d.Start])
+	for s := range d.Delta {
+		b := block[s]
+		q.Accept[b] = d.Accept[s]
+		for a, t := range d.Delta[s] {
+			q.Delta[b][a] = block[t]
+		}
+	}
+	return q
+}
+
+// Brzozowski implements Brzozowski's minimization — reverse, determinize,
+// reverse, determinize — as a structurally independent cross-check of
+// Hopcroft and Moore. It returns a minimal DFA for d's language.
+func Brzozowski(d *DFA) *DFA {
+	return reverseDeterminize(reverseDeterminize(d))
+}
+
+// reverseDeterminize computes a DFA for the reverse of d's language via the
+// subset construction over reversed transitions.
+func reverseDeterminize(d *DFA) *DFA {
+	n := d.NumStates()
+	k := d.Alphabet.Size()
+	rev := make([][][]int, k)
+	for a := 0; a < k; a++ {
+		rev[a] = make([][]int, n)
+	}
+	for q := 0; q < n; q++ {
+		for a := 0; a < k; a++ {
+			t := d.Delta[q][a]
+			rev[a][t] = append(rev[a][t], q)
+		}
+	}
+	key := func(set []bool) string {
+		b := make([]byte, (n+7)/8)
+		for i, v := range set {
+			if v {
+				b[i/8] |= 1 << (i % 8)
+			}
+		}
+		return string(b)
+	}
+	start := make([]bool, n)
+	for q := 0; q < n; q++ {
+		start[q] = d.Accept[q]
+	}
+	index := map[string]int{key(start): 0}
+	sets := [][]bool{start}
+	var delta [][]int
+	var accept []bool
+	for i := 0; i < len(sets); i++ {
+		cur := sets[i]
+		row := make([]int, k)
+		acc := cur[d.Start]
+		for a := 0; a < k; a++ {
+			succ := make([]bool, n)
+			for q := 0; q < n; q++ {
+				if !cur[q] {
+					continue
+				}
+				for _, p := range rev[a][q] {
+					succ[p] = true
+				}
+			}
+			kk := key(succ)
+			id, ok := index[kk]
+			if !ok {
+				id = len(sets)
+				index[kk] = id
+				sets = append(sets, succ)
+			}
+			row[a] = id
+		}
+		delta = append(delta, row)
+		accept = append(accept, acc)
+	}
+	return &DFA{Alphabet: d.Alphabet, Start: 0, Accept: accept, Delta: delta}
+}

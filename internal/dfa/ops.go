@@ -1,0 +1,128 @@
+package dfa
+
+import (
+	"fmt"
+
+	"stackless/internal/alphabet"
+)
+
+// BoolOp combines the acceptance bits of two automata in a product
+// construction.
+type BoolOp func(a, b bool) bool
+
+// And, Or and Xor are the standard boolean combinators for Product.
+var (
+	And BoolOp = func(a, b bool) bool { return a && b }
+	Or  BoolOp = func(a, b bool) bool { return a || b }
+	Xor BoolOp = func(a, b bool) bool { return a != b }
+	// Diff accepts words in the first language but not the second.
+	Diff BoolOp = func(a, b bool) bool { return a && !b }
+)
+
+// Product builds the synchronous product of two DFAs over the same symbol
+// set, accepting according to op. Only the reachable part of the product is
+// materialized. The result uses x's alphabet; y must contain the same
+// symbols (possibly with different ids).
+func Product(x, y *DFA, op BoolOp) (*DFA, error) {
+	if !x.Alphabet.SameSymbolSet(y.Alphabet) {
+		return nil, fmt.Errorf("dfa: product over different alphabets %s vs %s", x.Alphabet, y.Alphabet)
+	}
+	// Map x's symbol ids onto y's.
+	ymap := make([]int, x.Alphabet.Size())
+	for a := 0; a < x.Alphabet.Size(); a++ {
+		ymap[a] = y.Alphabet.MustID(x.Alphabet.Symbol(a))
+	}
+
+	type pair struct{ p, q int }
+	index := map[pair]int{}
+	var order []pair
+	getID := func(pr pair) int {
+		if id, ok := index[pr]; ok {
+			return id
+		}
+		id := len(order)
+		index[pr] = id
+		order = append(order, pr)
+		return id
+	}
+	start := getID(pair{x.Start, y.Start})
+
+	k := x.Alphabet.Size()
+	var delta [][]int
+	var accept []bool
+	for i := 0; i < len(order); i++ {
+		pr := order[i]
+		row := make([]int, k)
+		for a := 0; a < k; a++ {
+			row[a] = getID(pair{x.Delta[pr.p][a], y.Delta[pr.q][ymap[a]]})
+		}
+		delta = append(delta, row)
+		accept = append(accept, op(x.Accept[pr.p], y.Accept[pr.q]))
+	}
+	return &DFA{Alphabet: x.Alphabet, Start: start, Accept: accept, Delta: delta}, nil
+}
+
+// Intersect returns a DFA for L(x) ∩ L(y).
+func Intersect(x, y *DFA) (*DFA, error) { return Product(x, y, And) }
+
+// Union returns a DFA for L(x) ∪ L(y).
+func Union(x, y *DFA) (*DFA, error) { return Product(x, y, Or) }
+
+// SymDiff returns a DFA for the symmetric difference of the two languages.
+func SymDiff(x, y *DFA) (*DFA, error) { return Product(x, y, Xor) }
+
+// Equivalent reports whether x and y recognize the same language, using a
+// union-find product exploration (Hopcroft–Karp). On inequivalence it also
+// returns a witness word (symbol ids in x's alphabet) accepted by exactly
+// one of the two.
+func Equivalent(x, y *DFA) (bool, []int, error) {
+	if !x.Alphabet.SameSymbolSet(y.Alphabet) {
+		return false, nil, fmt.Errorf("dfa: equivalence over different alphabets")
+	}
+	sd, err := SymDiff(x, y)
+	if err != nil {
+		return false, nil, err
+	}
+	if w, ok := sd.SomeAcceptedWord(); ok {
+		return false, w, nil
+	}
+	return true, nil, nil
+}
+
+// Sink returns the id of an all-rejecting sink state if one exists
+// (a non-accepting state with all transitions to itself), or -1.
+func (d *DFA) Sink() int {
+	for q := range d.Delta {
+		if d.Accept[q] {
+			continue
+		}
+		sink := true
+		for _, t := range d.Delta[q] {
+			if t != q {
+				sink = false
+				break
+			}
+		}
+		if sink {
+			return q
+		}
+	}
+	return -1
+}
+
+// RemapAlphabet returns an automaton over target (which must contain the
+// same symbols as d's alphabet, possibly with different ids) with the
+// transition table re-indexed accordingly.
+func (d *DFA) RemapAlphabet(target *alphabet.Alphabet) (*DFA, error) {
+	if !d.Alphabet.SameSymbolSet(target) {
+		return nil, fmt.Errorf("dfa: remap to alphabet with different symbols")
+	}
+	out := New(target, d.NumStates(), d.Start)
+	copy(out.Accept, d.Accept)
+	for q, row := range d.Delta {
+		for a, t := range row {
+			out.Delta[q][target.MustID(d.Alphabet.Symbol(a))] = t
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,36 @@
+package dfa
+
+import (
+	"math/rand"
+
+	"stackless/internal/alphabet"
+)
+
+// Random returns a uniformly random complete DFA with n states over alph,
+// using rng. Each transition target and each acceptance bit is independent
+// and uniform. Intended for property-based tests.
+func Random(rng *rand.Rand, alph *alphabet.Alphabet, n int) *DFA {
+	d := New(alph, n, 0)
+	for q := 0; q < n; q++ {
+		d.Accept[q] = rng.Intn(2) == 1
+		for a := 0; a < alph.Size(); a++ {
+			d.Delta[q][a] = rng.Intn(n)
+		}
+	}
+	return d
+}
+
+// RandomMinimal returns a random *minimal* DFA with at most n states: it
+// draws random automata and minimizes, retrying until the result has at
+// least two states (so both acceptance outcomes are inhabited) or maxTries
+// is exhausted, in which case the last minimization is returned anyway.
+func RandomMinimal(rng *rand.Rand, alph *alphabet.Alphabet, n int) *DFA {
+	var m *DFA
+	for try := 0; try < 50; try++ {
+		m = Minimize(Random(rng, alph, n))
+		if m.NumStates() >= 2 {
+			return m
+		}
+	}
+	return m
+}

@@ -1,0 +1,167 @@
+package dfa
+
+// SCCs computes the strongly connected components of the transition graph
+// using Tarjan's algorithm (iterative). It returns, for each state, the id
+// of its component, plus the list of components. Component ids are assigned
+// in reverse topological order of the condensation DAG: every transition
+// leads from a component to one with an id less than or equal to its own...
+// see Topological below for the forward order used by the simulations.
+func (d *DFA) SCCs() (comp []int, comps [][]int) {
+	n := d.NumStates()
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var next int
+
+	type frame struct {
+		v, ai int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		call := []frame{{root, 0}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.ai < len(d.Delta[f.v]) {
+				w := d.Delta[f.v][f.ai]
+				f.ai++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Post-order for f.v.
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := &call[len(call)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var members []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = len(comps)
+					members = append(members, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, members)
+			}
+		}
+	}
+	return comp, comps
+}
+
+// TrivialSCC reports whether component c (given the comp assignment from
+// SCCs) is trivial: a single state with no self loop.
+func (d *DFA) TrivialSCC(members []int) bool {
+	if len(members) != 1 {
+		return false
+	}
+	q := members[0]
+	for _, t := range d.Delta[q] {
+		if t == q {
+			return false // a self loop makes it non-trivial
+		}
+	}
+	return true
+}
+
+// NonTrivialSCC reports whether the component has a cycle (more than one
+// state, or a self loop).
+func (d *DFA) NonTrivialSCC(members []int) bool {
+	if len(members) > 1 {
+		return true
+	}
+	q := members[0]
+	for _, t := range d.Delta[q] {
+		if t == q {
+			return true
+		}
+	}
+	return false
+}
+
+// AllSCCsSingleton reports whether every SCC is a singleton (possibly with a
+// self loop): the structural condition for R-trivial languages used in
+// Section 3.2 of the paper.
+func (d *DFA) AllSCCsSingleton() bool {
+	_, comps := d.SCCs()
+	for _, members := range comps {
+		if len(members) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// SCCDAGDepth returns the length (in components) of the longest chain in
+// the condensation DAG starting from the start state's component. This
+// bounds the synopsis length in Lemma 3.11 and the register count in
+// Lemma 3.8.
+func (d *DFA) SCCDAGDepth() int {
+	comp, comps := d.SCCs()
+	nc := len(comps)
+	// Build condensation adjacency.
+	succ := make([][]int, nc)
+	seen := make([]map[int]bool, nc)
+	for i := range seen {
+		seen[i] = map[int]bool{}
+	}
+	for q := range d.Delta {
+		for _, t := range d.Delta[q] {
+			a, b := comp[q], comp[t]
+			if a != b && !seen[a][b] {
+				seen[a][b] = true
+				succ[a] = append(succ[a], b)
+			}
+		}
+	}
+	memo := make([]int, nc)
+	for i := range memo {
+		memo[i] = -1
+	}
+	var depth func(c int) int
+	depth = func(c int) int {
+		if memo[c] != -1 {
+			return memo[c]
+		}
+		best := 1
+		memo[c] = 1 // provisional; condensation is acyclic so no real cycles
+		for _, s := range succ[c] {
+			if d := depth(s) + 1; d > best {
+				best = d
+			}
+		}
+		memo[c] = best
+		return best
+	}
+	return depth(comp[d.Start])
+}

@@ -1,0 +1,436 @@
+// Package dtd implements Section 4.1: path DTDs, specialized path DTDs,
+// and their connection to the Segoufin–Vianu weak validation problem. A
+// path DTD's tree language is exactly AL for the regular language L of its
+// allowed root-to-node label paths, so Theorems 3.1 and 3.2 decide whether
+// weak validation is possible with a finite automaton (A-flatness) or a
+// depth-register automaton (HAR). The package also provides a stack-based
+// validator for arbitrary DTDs with regular content models, the classical
+// baseline.
+package dtd
+
+import (
+	"fmt"
+	"sort"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/classify"
+	"stackless/internal/core"
+	"stackless/internal/dfa"
+	"stackless/internal/encoding"
+	"stackless/internal/nfa"
+)
+
+// Production is a path-DTD production a → (b1 + … + bn)* or (b1 + … + bn)+.
+type Production struct {
+	// Symbols are the allowed child labels (the bi).
+	Symbols []string
+	// Plus marks a (…)+ production: the element must have at least one
+	// child, i.e. it may not be a leaf.
+	Plus bool
+}
+
+// PathDTD is a DTD whose productions all have the restricted form above.
+type PathDTD struct {
+	// Root is the initial symbol a0.
+	Root  string
+	Prods map[string]Production
+}
+
+// Symbols returns the declared symbols, sorted.
+func (d *PathDTD) Symbols() []string {
+	out := make([]string, 0, len(d.Prods))
+	for s := range d.Prods {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks structural sanity: the root and all production symbols
+// are declared.
+func (d *PathDTD) Validate() error {
+	if _, ok := d.Prods[d.Root]; !ok {
+		return fmt.Errorf("dtd: root symbol %q has no production", d.Root)
+	}
+	for a, p := range d.Prods {
+		for _, b := range p.Symbols {
+			if _, ok := d.Prods[b]; !ok {
+				return fmt.Errorf("dtd: production of %q uses undeclared symbol %q", a, b)
+			}
+		}
+	}
+	return nil
+}
+
+// PathLanguage builds the deterministic automaton of allowed root-to-node
+// label paths (Section 4.1): states are the symbols plus an initial state
+// and a dead sink; a symbol state is accepting iff its production uses *
+// (a leaf may end the branch there).
+func (d *PathDTD) PathLanguage() *dfa.DFA {
+	syms := d.Symbols()
+	alph := alphabet.New(syms...)
+	n := len(syms)
+	init, dead := n, n+1
+	out := dfa.New(alph, n+2, init)
+	idx := map[string]int{}
+	for i, s := range syms {
+		idx[s] = i
+	}
+	for q := 0; q < n+2; q++ {
+		for a := 0; a < alph.Size(); a++ {
+			out.Delta[q][a] = dead
+		}
+	}
+	for i, s := range syms {
+		out.Accept[i] = !d.Prods[s].Plus
+		for _, b := range d.Prods[s].Symbols {
+			out.Delta[i][alph.MustID(b)] = idx[b]
+		}
+	}
+	out.Delta[init][alph.MustID(d.Root)] = idx[d.Root]
+	return out
+}
+
+// Report classifies the weak-validation feasibility of the DTD's tree
+// language AL via the characterization theorems.
+type Report struct {
+	// The classification of the path language L.
+	Classes *classify.Report
+}
+
+// Registerless reports whether the DTD admits weak validation by a finite
+// automaton under the markup encoding (Theorem 3.2(2): A-flatness).
+func (r *Report) Registerless() bool { return r.Classes.AFlat }
+
+// Stackless reports whether the DTD admits weak validation by a
+// depth-register automaton (Theorem 3.1: HAR).
+func (r *Report) Stackless() bool { return r.Classes.HAR }
+
+// TermRegisterless and TermStackless are the term-encoding counterparts.
+func (r *Report) TermRegisterless() bool { return r.Classes.BlindAFlat }
+
+// TermStackless reports term-encoding stackless weak validation.
+func (r *Report) TermStackless() bool { return r.Classes.BlindHAR }
+
+// Analyze classifies the DTD's path language.
+func (d *PathDTD) Analyze() (*Report, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	an := classify.Analyze(d.PathLanguage())
+	return &Report{Classes: an.Report()}, nil
+}
+
+// Validator compiles the best weak validator available for the DTD under
+// the markup encoding: a finite automaton if L is A-flat, a depth-register
+// machine if L is HAR, and nil (with ok=false) otherwise — callers then
+// fall back to a stack validator.
+func (d *PathDTD) Validator() (core.Evaluator, string, error) {
+	an := classify.Analyze(d.PathLanguage())
+	if ev, err := core.RegisterlessAL(an); err == nil {
+		return ev, "registerless", nil
+	}
+	if ql, err := core.StacklessQL(an); err == nil {
+		return core.ALFromQL(ql), "stackless", nil
+	}
+	return nil, "", fmt.Errorf("dtd: weak validation of %q needs a stack (not HAR)", d.Root)
+}
+
+// --- Specialized path DTDs (Section 4.1, Figure 6) ---
+
+// Specialized is a path DTD over an annotated alphabet Γ′ together with a
+// projection π : Γ′ → Γ. Its tree language is the projection of the
+// annotated DTD's language, and its path language is the projection of the
+// annotated path language — in general nondeterministic before the subset
+// construction.
+type Specialized struct {
+	PathDTD
+	// Projection maps each annotated symbol to its visible label.
+	Projection map[string]string
+}
+
+// ProjectedPathLanguage builds the minimal DFA over Γ of the projected path
+// language, via an NFA and the subset construction — the "determinize and
+// minimize" step that Section 4.1 shows is essential before applying the
+// A-flatness criterion.
+func (s *Specialized) ProjectedPathLanguage() (*dfa.DFA, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	visible := alphabet.New()
+	for _, g := range s.Symbols() {
+		p, ok := s.Projection[g]
+		if !ok {
+			return nil, fmt.Errorf("dtd: symbol %q has no projection", g)
+		}
+		visible.Add(p)
+	}
+	syms := s.Symbols()
+	idx := map[string]int{}
+	for i, g := range syms {
+		idx[g] = i
+	}
+	// NFA states: one per annotated symbol, plus an initial state.
+	m := nfa.New(visible, len(syms)+1, len(syms))
+	for i, g := range syms {
+		m.Accept[i] = !s.Prods[g].Plus
+		for _, b := range s.Prods[g].Symbols {
+			m.AddEdge(i, visible.MustID(s.Projection[b]), idx[b])
+		}
+	}
+	m.AddEdge(len(syms), visible.MustID(s.Projection[s.Root]), idx[s.Root])
+	return dfa.Minimize(m.Determinize()), nil
+}
+
+// NaiveAFlat applies the A-flatness criterion directly to the annotated
+// partial automaton, reading it as an incomplete deterministic automaton in
+// the sense of Pin's reversible automata: almost-equivalence compares
+// successors only on letters where both states have transitions. Section
+// 4.1 observes that this naive application can succeed (Figure 6) while the
+// correct criterion — on the determinized, minimized projection — fails.
+func (s *Specialized) NaiveAFlat() bool {
+	syms := s.Symbols()
+	idx := map[string]int{}
+	for i, g := range syms {
+		idx[g] = i
+	}
+	n := len(syms)
+	// Partial transitions over Γ′: succ[state][annotated child] = state.
+	succ := make([]map[string]int, n)
+	for i, g := range syms {
+		succ[i] = map[string]int{}
+		for _, b := range s.Prods[g].Symbols {
+			succ[i][b] = idx[b]
+		}
+	}
+	internal := make([]bool, n)
+	for i := range syms {
+		for _, t := range succ[i] {
+			internal[t] = true
+		}
+	}
+	internal[idx[s.Root]] = true // reachable from the fresh initial state
+	// All symbol states are acceptive: from any symbol some * state is
+	// reachable in a sane DTD; compute properly.
+	acceptive := make([]bool, n)
+	for i, g := range syms {
+		acceptive[i] = !s.Prods[g].Plus
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range syms {
+			if acceptive[i] {
+				continue
+			}
+			for _, t := range succ[i] {
+				if acceptive[t] {
+					acceptive[i] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	lenientEq := func(p, q int) bool {
+		if p == q {
+			return true
+		}
+		for b, tp := range succ[p] {
+			if tq, ok := succ[q][b]; ok && tp != tq {
+				return false
+			}
+		}
+		return true
+	}
+	// meets-in-q over the synchronized (annotated-letter) pair graph of the
+	// partial automaton.
+	meetsIn := func(p, q int) bool {
+		type pair struct{ x, y int }
+		seen := map[pair]bool{{p, q}: true}
+		queue := []pair{{p, q}}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if cur.x == q && cur.y == q {
+				return true
+			}
+			for b, tx := range succ[cur.x] {
+				if ty, ok := succ[cur.y][b]; ok {
+					np := pair{tx, ty}
+					if !seen[np] {
+						seen[np] = true
+						queue = append(queue, np)
+					}
+				}
+			}
+		}
+		return false
+	}
+	for p := 0; p < n; p++ {
+		if !internal[p] {
+			continue
+		}
+		for q := 0; q < n; q++ {
+			if p == q || !acceptive[q] {
+				continue
+			}
+			if meetsIn(p, q) && !lenientEq(p, q) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Fig6 returns the specialized path DTD of Figure 6:
+//
+//	a → (a + b + ã)*,  b → (a + b + ã)*,  ã → c*,  c → (a + b)*
+//
+// with projection a↦a, ã↦a, b↦b, c↦c and root ã (the symbol whose children
+// are constrained to c).
+func Fig6() *Specialized {
+	return &Specialized{
+		PathDTD: PathDTD{
+			Root: "ã",
+			Prods: map[string]Production{
+				"a": {Symbols: []string{"a", "b", "ã"}},
+				"b": {Symbols: []string{"a", "b", "ã"}},
+				"ã": {Symbols: []string{"c"}},
+				"c": {Symbols: []string{"a", "b"}},
+			},
+		},
+		Projection: map[string]string{"a": "a", "b": "b", "ã": "a", "c": "c"},
+	}
+}
+
+// --- General DTDs and the stack baseline ---
+
+// General is an unrestricted DTD: each symbol's content model is a regular
+// language over the symbol alphabet, given as a DFA.
+type General struct {
+	Root  string
+	Alph  *alphabet.Alphabet
+	Prods map[string]*dfa.DFA // content models; nil means any children
+}
+
+// StackValidator is the classical streaming validator: one content-model
+// DFA state per open element — Θ(depth) memory.
+type StackValidator struct {
+	d     *General
+	stack []frame
+	state validatorState
+}
+
+type frame struct {
+	label string
+	horiz int // content-model state
+}
+
+type validatorState uint8
+
+const (
+	vRunning validatorState = iota
+	vAccepted
+	vRejected
+)
+
+// NewStackValidator returns a fresh validator for the DTD.
+func (d *General) NewStackValidator() *StackValidator {
+	return &StackValidator{d: d}
+}
+
+// Reset implements core.Evaluator.
+func (v *StackValidator) Reset() {
+	v.stack = v.stack[:0]
+	v.state = vRunning
+}
+
+// Step implements core.Evaluator.
+func (v *StackValidator) Step(e encoding.Event) {
+	if v.state == vRejected {
+		return
+	}
+	switch e.Kind {
+	case encoding.Open:
+		if v.state == vAccepted {
+			v.state = vRejected // content after the root element
+			return
+		}
+		if len(v.stack) == 0 {
+			if e.Label != v.d.Root {
+				v.state = vRejected
+				return
+			}
+		} else {
+			top := &v.stack[len(v.stack)-1]
+			model := v.d.Prods[top.label]
+			if model != nil {
+				sym, ok := model.Alphabet.ID(e.Label)
+				if !ok {
+					v.state = vRejected
+					return
+				}
+				top.horiz = model.Delta[top.horiz][sym]
+			}
+		}
+		start := 0
+		if model := v.d.Prods[e.Label]; model != nil {
+			start = model.Start
+		}
+		v.stack = append(v.stack, frame{label: e.Label, horiz: start})
+	case encoding.Close:
+		if len(v.stack) == 0 {
+			v.state = vRejected
+			return
+		}
+		top := v.stack[len(v.stack)-1]
+		if e.Label != "" && e.Label != top.label {
+			v.state = vRejected
+			return
+		}
+		if model := v.d.Prods[top.label]; model != nil && !model.Accept[top.horiz] {
+			v.state = vRejected
+			return
+		}
+		v.stack = v.stack[:len(v.stack)-1]
+		if len(v.stack) == 0 {
+			v.state = vAccepted
+		}
+	}
+}
+
+// Accepting implements core.Evaluator.
+func (v *StackValidator) Accepting() bool { return v.state == vAccepted }
+
+// StackDepth returns the current stack depth (benchmark accounting).
+func (v *StackValidator) StackDepth() int { return len(v.stack) }
+
+// AsGeneral converts a path DTD to the general form (for baseline
+// comparisons).
+func (d *PathDTD) AsGeneral() *General {
+	alph := alphabet.New(d.Symbols()...)
+	g := &General{Root: d.Root, Alph: alph, Prods: map[string]*dfa.DFA{}}
+	for a, p := range d.Prods {
+		// Content model: (b1 + … + bn)* or +.
+		m := dfa.New(alph, 3, 0)
+		// 0: no child yet; 1: at least one allowed child; 2: dead.
+		allowed := map[int]bool{}
+		for _, b := range p.Symbols {
+			allowed[alph.MustID(b)] = true
+		}
+		for sym := 0; sym < alph.Size(); sym++ {
+			if allowed[sym] {
+				m.Delta[0][sym] = 1
+				m.Delta[1][sym] = 1
+			} else {
+				m.Delta[0][sym] = 2
+				m.Delta[1][sym] = 2
+			}
+			m.Delta[2][sym] = 2
+		}
+		m.Accept[1] = true
+		m.Accept[0] = !p.Plus
+		g.Prods[a] = m
+	}
+	return g
+}

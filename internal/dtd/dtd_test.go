@@ -1,0 +1,368 @@
+package dtd
+
+import (
+	"math/rand"
+	"testing"
+
+	"stackless/internal/classify"
+	"stackless/internal/core"
+	"stackless/internal/encoding"
+	"stackless/internal/tree"
+)
+
+// recursiveDTD: a list-of-items document, fully recursive.
+func recursiveDTD() *PathDTD {
+	return &PathDTD{
+		Root: "doc",
+		Prods: map[string]Production{
+			"doc":  {Symbols: []string{"item"}},
+			"item": {Symbols: []string{"item", "leaf"}},
+			"leaf": {Symbols: nil},
+		},
+	}
+}
+
+func TestPathDTDValidate(t *testing.T) {
+	d := recursiveDTD()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &PathDTD{Root: "x", Prods: map[string]Production{"a": {}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for undeclared root")
+	}
+	bad2 := &PathDTD{Root: "a", Prods: map[string]Production{"a": {Symbols: []string{"zz"}}}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("expected error for undeclared child symbol")
+	}
+}
+
+func TestPathLanguageMatchesTreeSemantics(t *testing.T) {
+	d := recursiveDTD()
+	l := d.PathLanguage()
+	// doc; doc item; doc item leaf; doc item item leaf ∈ L.
+	for _, w := range [][]string{{"doc"}, {"doc", "item"}, {"doc", "item", "leaf"}, {"doc", "item", "item", "leaf"}} {
+		if !l.AcceptsSymbols(w) {
+			t.Errorf("path %v should be allowed", w)
+		}
+	}
+	for _, w := range [][]string{{"item"}, {"doc", "leaf", "item"}, {"doc", "doc"}, {}} {
+		if l.AcceptsSymbols(w) {
+			t.Errorf("path %v should be forbidden", w)
+		}
+	}
+}
+
+// naive in-memory DTD validity check for path DTDs.
+func validTree(d *PathDTD, t *tree.Node) bool {
+	if t.Label != d.Root {
+		return false
+	}
+	var rec func(n *tree.Node) bool
+	rec = func(n *tree.Node) bool {
+		p, ok := d.Prods[n.Label]
+		if !ok {
+			return false
+		}
+		if p.Plus && len(n.Children) == 0 {
+			return false
+		}
+		allowed := map[string]bool{}
+		for _, s := range p.Symbols {
+			allowed[s] = true
+		}
+		for _, c := range n.Children {
+			if !allowed[c.Label] || !rec(c) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(t)
+}
+
+func randomLabeledTree(rng *rand.Rand, labels []string, budget int) *tree.Node {
+	n := tree.New(labels[rng.Intn(len(labels))])
+	budget--
+	for budget > 0 && rng.Intn(3) != 0 {
+		sub := 1 + rng.Intn(budget)
+		n.Children = append(n.Children, randomLabeledTree(rng, labels, sub))
+		budget -= sub
+	}
+	return n
+}
+
+// randomValidish generates trees biased toward validity so both outcomes
+// are exercised.
+func randomValidish(rng *rand.Rand, d *PathDTD, budget int) *tree.Node {
+	var rec func(label string, budget int) *tree.Node
+	rec = func(label string, budget int) *tree.Node {
+		n := tree.New(label)
+		p := d.Prods[label]
+		if len(p.Symbols) == 0 {
+			return n
+		}
+		kids := rng.Intn(3)
+		if p.Plus && kids == 0 {
+			kids = 1
+		}
+		for i := 0; i < kids && budget > 0; i++ {
+			budget--
+			n.Children = append(n.Children, rec(p.Symbols[rng.Intn(len(p.Symbols))], budget/2))
+		}
+		return n
+	}
+	return rec(d.Root, budget)
+}
+
+func TestWeakValidationAgainstOracle(t *testing.T) {
+	d := recursiveDTD()
+	rep, err := d.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// This fully-recursive DTD should at least be stackless; assert
+	// whatever the classifier says is honored by Validator().
+	ev, kind, err := d.Validator()
+	if err != nil {
+		t.Skipf("validator unavailable: %v (classes: HAR=%v)", err, rep.Stackless())
+	}
+	if rep.Registerless() && kind != "registerless" {
+		t.Errorf("A-flat DTD compiled to %q", kind)
+	}
+	rng := rand.New(rand.NewSource(51))
+	labels := []string{"doc", "item", "leaf"}
+	seenValid, seenInvalid := 0, 0
+	for i := 0; i < 600; i++ {
+		var tr *tree.Node
+		if i%2 == 0 {
+			tr = randomValidish(rng, d, 1+rng.Intn(15))
+		} else {
+			tr = randomLabeledTree(rng, labels, 1+rng.Intn(10))
+		}
+		want := validTree(d, tr)
+		got, err := core.Recognize(ev, encoding.NewSliceSource(encoding.Markup(tr)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%s validator on %s: got %v, want %v", kind, tr, got, want)
+		}
+		if want {
+			seenValid++
+		} else {
+			seenInvalid++
+		}
+	}
+	if seenValid == 0 || seenInvalid == 0 {
+		t.Fatalf("degenerate sampling: %d valid, %d invalid", seenValid, seenInvalid)
+	}
+}
+
+func TestStackValidatorAgainstOracle(t *testing.T) {
+	d := recursiveDTD()
+	g := d.AsGeneral()
+	v := g.NewStackValidator()
+	rng := rand.New(rand.NewSource(52))
+	labels := []string{"doc", "item", "leaf"}
+	for i := 0; i < 600; i++ {
+		var tr *tree.Node
+		if i%2 == 0 {
+			tr = randomValidish(rng, d, 1+rng.Intn(15))
+		} else {
+			tr = randomLabeledTree(rng, labels, 1+rng.Intn(10))
+		}
+		want := validTree(d, tr)
+		got, err := core.Recognize(v, encoding.NewSliceSource(encoding.Markup(tr)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("stack validator on %s: got %v, want %v", tr, got, want)
+		}
+	}
+}
+
+func TestStackAndStacklessValidatorsAgree(t *testing.T) {
+	d := recursiveDTD()
+	ev, _, err := d.Validator()
+	if err != nil {
+		t.Skip("no stackless validator for this DTD")
+	}
+	g := d.AsGeneral()
+	sv := g.NewStackValidator()
+	rng := rand.New(rand.NewSource(53))
+	labels := []string{"doc", "item", "leaf"}
+	for i := 0; i < 400; i++ {
+		tr := randomLabeledTree(rng, labels, 1+rng.Intn(12))
+		ev1, err := core.Recognize(ev, encoding.NewSliceSource(encoding.Markup(tr)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev2, err := core.Recognize(sv, encoding.NewSliceSource(encoding.Markup(tr)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev1 != ev2 {
+			t.Fatalf("validators disagree on %s: stackless=%v stack=%v", tr, ev1, ev2)
+		}
+	}
+}
+
+// TestFig6Phenomenon is the Section 4.1 experiment: the naive A-flatness
+// check on the annotated partial automaton passes, while the correct check
+// on the determinized+minimized projection fails — so the criterion must be
+// applied after determinization and minimization.
+func TestFig6Phenomenon(t *testing.T) {
+	s := Fig6()
+	if !s.NaiveAFlat() {
+		t.Error("Figure 6's annotated automaton should pass the naive A-flat check")
+	}
+	proj, err := s.ProjectedPathLanguage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := classify.Analyze(proj)
+	if ok, _ := an.AFlat(); ok {
+		t.Error("Figure 6's projected minimal automaton should NOT be A-flat")
+	}
+	// And consequently the projected tree language is not registerless,
+	// though it may still be stackless if L is HAR.
+	if har, _ := an.HAR(); har {
+		t.Logf("Figure 6 language is HAR: stackless weak validation available")
+	}
+}
+
+func TestGeneralDTDRejectsMalformedStreams(t *testing.T) {
+	d := recursiveDTD().AsGeneral()
+	v := d.NewStackValidator()
+	v.Reset()
+	v.Step(encoding.Event{Kind: encoding.Close, Label: "doc"})
+	if v.Accepting() {
+		t.Error("close-before-open accepted")
+	}
+	v.Reset()
+	v.Step(encoding.Event{Kind: encoding.Open, Label: "doc"})
+	v.Step(encoding.Event{Kind: encoding.Close, Label: "item"})
+	if v.Accepting() {
+		t.Error("mismatched closing label accepted")
+	}
+}
+
+func TestParsePathDTDRoundTrip(t *testing.T) {
+	src := `
+# a recursive document grammar
+root doc
+doc  -> (item)*
+item -> (item | leaf)*
+leaf -> ()*
+sect -> (leaf)+
+`
+	d, err := ParsePathDTD(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root != "doc" || len(d.Prods) != 4 {
+		t.Fatalf("parsed %+v", d)
+	}
+	if !d.Prods["sect"].Plus || d.Prods["item"].Plus {
+		t.Error("star/plus flags wrong")
+	}
+	back, err := ParsePathDTD(d.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Format() != d.Format() {
+		t.Errorf("format round trip:\n%s\nvs\n%s", d.Format(), back.Format())
+	}
+}
+
+func TestParsePathDTDErrors(t *testing.T) {
+	bad := []string{
+		"",                             // no root
+		"root a",                       // root has no production
+		"root a\na -> (b)*",            // b undeclared
+		"root a\na -> b*",              // missing parens
+		"root a\na -> ()+",             // unsatisfiable
+		"root a\na -> (a)*\na -> (a)*", // duplicate
+		"root a\nroot b\na -> (a)*",    // duplicate root
+		"root a\na -> (a | )*",         // empty alternative
+		"root a\nnonsense line",        // no arrow
+	}
+	for _, src := range bad {
+		if _, err := ParsePathDTD(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+// randomPathDTD builds a random path DTD over k symbols.
+func randomPathDTD(rng *rand.Rand, k int) *PathDTD {
+	syms := make([]string, k)
+	for i := range syms {
+		syms[i] = string(rune('p' + i))
+	}
+	d := &PathDTD{Root: syms[rng.Intn(k)], Prods: map[string]Production{}}
+	for _, s := range syms {
+		var p Production
+		for _, c := range syms {
+			if rng.Intn(2) == 0 {
+				p.Symbols = append(p.Symbols, c)
+			}
+		}
+		p.Plus = len(p.Symbols) > 0 && rng.Intn(4) == 0
+		d.Prods[s] = p
+	}
+	return d
+}
+
+// TestRandomDTDValidatorsAgainstOracle: for random path DTDs, whatever
+// validator the classifier grants must agree with the in-memory validity
+// oracle, and the stack validator always must.
+func TestRandomDTDValidatorsAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	compiled, stackOnly := 0, 0
+	for i := 0; i < 120; i++ {
+		d := randomPathDTD(rng, 1+rng.Intn(3))
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		ev, _, err := d.Validator()
+		if err != nil {
+			stackOnly++
+			ev = nil
+		} else {
+			compiled++
+		}
+		sv := d.AsGeneral().NewStackValidator()
+		labels := d.Symbols()
+		for j := 0; j < 40; j++ {
+			var tr *tree.Node
+			if j%2 == 0 {
+				tr = randomValidish(rng, d, 1+rng.Intn(12))
+			} else {
+				tr = randomLabeledTree(rng, labels, 1+rng.Intn(10))
+			}
+			want := validTree(d, tr)
+			gotStack, err := core.Recognize(sv, encoding.NewSliceSource(encoding.Markup(tr)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotStack != want {
+				t.Fatalf("stack validator wrong on %s for DTD\n%s", tr, d.Format())
+			}
+			if ev != nil {
+				got, err := core.Recognize(ev, encoding.NewSliceSource(encoding.Markup(tr)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("compiled validator wrong on %s for DTD\n%s", tr, d.Format())
+				}
+			}
+		}
+	}
+	if compiled == 0 {
+		t.Fatalf("no DTD admitted a stackless validator (stack-only: %d)", stackOnly)
+	}
+}

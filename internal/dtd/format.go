@@ -1,0 +1,116 @@
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A small text format for path DTDs, used by cmd/validate:
+//
+//	root doc
+//	doc  -> (item)*
+//	item -> (item | leaf)*
+//	leaf -> ()*
+//	sect -> (para | sect)+
+//
+// «*» allows leaves, «+» requires at least one child (Section 4.1's two
+// production forms). Blank lines and «#» comments are ignored.
+
+// ParsePathDTD parses the text format.
+func ParsePathDTD(src string) (*PathDTD, error) {
+	d := &PathDTD{Prods: map[string]Production{}}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "root "); ok {
+			if d.Root != "" {
+				return nil, fmt.Errorf("dtd: line %d: duplicate root declaration", lineNo+1)
+			}
+			d.Root = strings.TrimSpace(rest)
+			if d.Root == "" {
+				return nil, fmt.Errorf("dtd: line %d: empty root symbol", lineNo+1)
+			}
+			continue
+		}
+		name, rhs, ok := strings.Cut(line, "->")
+		if !ok {
+			return nil, fmt.Errorf("dtd: line %d: expected 'name -> (…)* or (…)+', got %q", lineNo+1, line)
+		}
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("dtd: line %d: empty production name", lineNo+1)
+		}
+		if _, dup := d.Prods[name]; dup {
+			return nil, fmt.Errorf("dtd: line %d: duplicate production for %q", lineNo+1, name)
+		}
+		prod, err := parseProduction(strings.TrimSpace(rhs))
+		if err != nil {
+			return nil, fmt.Errorf("dtd: line %d: %v", lineNo+1, err)
+		}
+		d.Prods[name] = prod
+	}
+	if d.Root == "" {
+		return nil, fmt.Errorf("dtd: missing 'root <symbol>' declaration")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func parseProduction(rhs string) (Production, error) {
+	var p Production
+	switch {
+	case strings.HasSuffix(rhs, ")*"):
+		p.Plus = false
+	case strings.HasSuffix(rhs, ")+"):
+		p.Plus = true
+	default:
+		return p, fmt.Errorf("production must end in )* or )+, got %q", rhs)
+	}
+	if !strings.HasPrefix(rhs, "(") {
+		return p, fmt.Errorf("production must start with '(', got %q", rhs)
+	}
+	inner := strings.TrimSpace(rhs[1 : len(rhs)-2])
+	if inner == "" {
+		if p.Plus {
+			return p, fmt.Errorf("()+ is unsatisfiable (a child is required but none is allowed)")
+		}
+		return p, nil
+	}
+	for _, sym := range strings.Split(inner, "|") {
+		sym = strings.TrimSpace(sym)
+		if sym == "" {
+			return p, fmt.Errorf("empty alternative in %q", rhs)
+		}
+		p.Symbols = append(p.Symbols, sym)
+	}
+	return p, nil
+}
+
+// Format renders the DTD back to the text format (canonical order).
+func (d *PathDTD) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "root %s\n", d.Root)
+	names := make([]string, 0, len(d.Prods))
+	for n := range d.Prods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := d.Prods[n]
+		suffix := "*"
+		if p.Plus {
+			suffix = "+"
+		}
+		fmt.Fprintf(&b, "%s -> (%s)%s\n", n, strings.Join(p.Symbols, " | "), suffix)
+	}
+	return b.String()
+}

@@ -1,0 +1,226 @@
+package encoding
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"stackless/internal/tree"
+)
+
+func drain(t *testing.T, src Source) []Event {
+	t.Helper()
+	var out []Event
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("source error: %v", err)
+		}
+		out = append(out, e)
+	}
+}
+
+func TestMarkupEventsPaperExample(t *testing.T) {
+	// Section 2: aaācc̄ā encodes the tree a(a,c).
+	n := tree.MustParse("a(a,c)")
+	got := Markup(n)
+	want := []Event{{Open, "a"}, {Open, "a"}, {Close, "a"}, {Open, "c"}, {Close, "c"}, {Close, "a"}}
+	if len(got) != len(want) {
+		t.Fatalf("Markup = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Markup[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTermEventsPaperExample(t *testing.T) {
+	// Section 4.2: a{b{a{}a{}}c{}} for the tree whose markup is abaāaāb̄cc̄ā.
+	n := tree.MustParse("a(b(a,a),c)")
+	if got := TermString(n); got != "a{b{a{}a{}}c{}}" {
+		t.Errorf("TermString = %q", got)
+	}
+	ev := Term(n)
+	opens, closesWithLabel := 0, 0
+	for _, e := range ev {
+		if e.Kind == Open {
+			opens++
+		} else if e.Label != "" {
+			closesWithLabel++
+		}
+	}
+	if opens != 5 || closesWithLabel != 0 {
+		t.Errorf("Term events malformed: %v", ev)
+	}
+}
+
+func randomTree(rng *rand.Rand, budget int) *tree.Node {
+	labels := []string{"a", "b", "c", "item", "x"}
+	n := tree.New(labels[rng.Intn(len(labels))])
+	budget--
+	for budget > 0 && rng.Intn(3) != 0 {
+		sub := 1 + rng.Intn(budget)
+		n.Children = append(n.Children, randomTree(rng, sub))
+		budget -= sub
+	}
+	return n
+}
+
+func TestRoundTripsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomTree(rng, 1+rng.Intn(40))
+		// markup events
+		if back, err := Decode(NewSliceSource(Markup(n))); err != nil || !back.Equal(n) {
+			return false
+		}
+		// term events
+		if back, err := Decode(NewSliceSource(Term(n))); err != nil || !back.Equal(n) {
+			return false
+		}
+		// XML text through the hand-rolled scanner
+		if back, err := ParseXML(XMLString(n)); err != nil || !back.Equal(n) {
+			return false
+		}
+		// term text
+		if back, err := ParseTerm(TermString(n)); err != nil || !back.Equal(n) {
+			return false
+		}
+		// encoding/xml bridge
+		if back, err := Decode(NewStdXMLSource(strings.NewReader(XMLString(n)))); err != nil || !back.Equal(n) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	bad := [][]Event{
+		{},
+		{{Close, "a"}},
+		{{Open, "a"}},
+		{{Open, "a"}, {Close, "b"}},
+		{{Open, "a"}, {Close, "a"}, {Open, "b"}, {Close, "b"}}, // two roots
+		{{Open, "a"}, {Close, "a"}, {Close, "a"}},
+	}
+	for i, ev := range bad {
+		if _, err := Decode(NewSliceSource(ev)); err == nil {
+			t.Errorf("case %d: expected malformed error for %v", i, ev)
+		}
+	}
+	if !IsWellFormedMarkup(Markup(tree.MustParse("a(b)"))) {
+		t.Error("well-formed encoding rejected")
+	}
+}
+
+func TestXMLScannerSkipsNoise(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+<!-- a comment -->
+<catalog kind="test">
+  text to skip
+  <item id="1"><name/></item>
+  <item id='2'/>
+</catalog>`
+	n, err := Decode(NewXMLScanner(strings.NewReader(doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tree.MustParse("catalog(item(name),item)")
+	if !n.Equal(want) {
+		t.Errorf("scanned %s, want %s", n, want)
+	}
+}
+
+func TestXMLScannerAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		n := randomTree(rng, 1+rng.Intn(30))
+		doc := XMLString(n)
+		fast := drain(t, NewXMLScanner(strings.NewReader(doc)))
+		std := drain(t, NewStdXMLSource(strings.NewReader(doc)))
+		if len(fast) != len(std) {
+			t.Fatalf("event count differs: %d vs %d on %s", len(fast), len(std), doc)
+		}
+		for j := range fast {
+			if fast[j] != std[j] {
+				t.Fatalf("event %d differs: %v vs %v", j, fast[j], std[j])
+			}
+		}
+	}
+}
+
+func TestJSONSourceMapping(t *testing.T) {
+	cases := []struct {
+		json string
+		want string
+	}{
+		{`{"a": 1}`, "'$'(a)"},
+		{`{"a": {"b": 1, "c": [2, 3]}}`, "'$'(a(b,c(item,item)))"},
+		{`[1, [2], {"k": 3}]`, "'$'(item,item(item),item(k))"},
+		{`42`, "'$'(value)"},
+		{`{"store":{"book":[{"title":1},{"title":2}]}}`,
+			"'$'(store(book(item(title),item(title))))"},
+	}
+	for _, c := range cases {
+		n, err := Decode(NewJSONSource(strings.NewReader(c.json)))
+		if err != nil {
+			t.Fatalf("%s: %v", c.json, err)
+		}
+		if got := n.String(); got != c.want {
+			t.Errorf("JSON %s → %s, want %s", c.json, got, c.want)
+		}
+	}
+}
+
+func TestJSONSourceErrors(t *testing.T) {
+	for _, doc := range []string{`{"a":`, `{`, `[1,`} {
+		if _, err := Decode(NewJSONSource(strings.NewReader(doc))); err == nil {
+			t.Errorf("expected error for truncated JSON %q", doc)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	if (Event{Open, "a"}).String() != "a" {
+		t.Error("open rendering")
+	}
+	if (Event{Close, "a"}).String() != "ā" && (Event{Close, "a"}).String() != "ā" {
+		t.Errorf("close rendering: %q", Event{Close, "a"})
+	}
+	if (Event{Kind: Close}).String() != "◁" {
+		t.Error("term close rendering")
+	}
+}
+
+func TestXMLScannerCommentsAndCDATA(t *testing.T) {
+	doc := `<a><!-- a > tricky --> <b/><![CDATA[ <fake/> > ]]><c/></a>`
+	n, err := Decode(NewXMLScanner(strings.NewReader(doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tree.MustParse("a(b,c)")
+	if !n.Equal(want) {
+		t.Errorf("scanned %s, want %s", n, want)
+	}
+	// Unterminated constructs error instead of hanging.
+	for _, bad := range []string{"<a><!-- never closed", "<a><![CDATA[ open"} {
+		if _, err := Decode(NewXMLScanner(strings.NewReader(bad))); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+	// Processing instruction containing '>'.
+	doc2 := `<?pi with > inside ?><a/>`
+	n2, err := Decode(NewXMLScanner(strings.NewReader(doc2)))
+	if err != nil || n2.Label != "a" {
+		t.Errorf("PI handling broken: %v %v", n2, err)
+	}
+}

@@ -1,0 +1,59 @@
+package encoding
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the scanners must never panic on arbitrary input, and
+// anything they successfully decode must round-trip.
+
+func FuzzXMLScanner(f *testing.F) {
+	f.Add("<a><b/></a>")
+	f.Add("<a><b></b></a>")
+	f.Add("<?xml?><!-- c --><a x='1'/>")
+	f.Add("<a><b></a></b>")
+	f.Add("<<<>>>")
+	f.Add("")
+	f.Add("<a")
+	f.Fuzz(func(t *testing.T, doc string) {
+		n, err := Decode(NewXMLScanner(strings.NewReader(doc)))
+		if err != nil {
+			return
+		}
+		back, err := ParseXML(XMLString(n))
+		if err != nil || !back.Equal(n) {
+			t.Fatalf("decoded tree %s does not round-trip", n)
+		}
+	})
+}
+
+func FuzzTermScanner(f *testing.F) {
+	f.Add("a{b{}c{}}")
+	f.Add("a{")
+	f.Add("}}}{")
+	f.Add("")
+	f.Add("label with spaces{}")
+	f.Fuzz(func(t *testing.T, doc string) {
+		n, err := Decode(NewTermScanner(strings.NewReader(doc)))
+		if err != nil {
+			return
+		}
+		back, err := ParseTerm(TermString(n))
+		if err != nil || !back.Equal(n) {
+			t.Fatalf("decoded tree %s does not round-trip", n)
+		}
+	})
+}
+
+func FuzzJSONSource(f *testing.F) {
+	f.Add(`{"a": 1}`)
+	f.Add(`[1,[2],{"k":3}]`)
+	f.Add(`{`)
+	f.Add(`tru`)
+	f.Add(`{"a": {"b": [1,2,{"c": null}]}}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		// Must not panic; errors are fine.
+		_, _ = Decode(NewJSONSource(strings.NewReader(doc)))
+	})
+}

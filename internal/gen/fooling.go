@@ -1,0 +1,142 @@
+package gen
+
+import (
+	"stackless/internal/classify"
+	"stackless/internal/dfa"
+	"stackless/internal/tree"
+)
+
+// Fooling-tree constructions, mechanized from the classifier witnesses.
+
+// wordLabels converts a word of symbol ids to labels.
+func wordLabels(d *dfa.DFA, w []int) []string {
+	out := make([]string, len(w))
+	for i, s := range w {
+		out[i] = d.Alphabet.Symbol(s)
+	}
+	return out
+}
+
+func repeatWord(w []int, k int) []int {
+	out := make([]int, 0, len(w)*k)
+	for i := 0; i < k; i++ {
+		out = append(out, w...)
+	}
+	return out
+}
+
+func concatWords(ws ...[]int) []int {
+	var out []int
+	for _, w := range ws {
+		out = append(out, w...)
+	}
+	return out
+}
+
+// Fig4Trees builds the Lemma 3.12 fooling pair (Figure 4) from a non-E-flat
+// witness of L's minimal automaton d, with pump exponent e (use
+// PumpExponent(n) to fool automata with at most n states over Γ ∪ Γ̄):
+//
+//	S  = s( u^e·x , t , u^e·x )      S ∈ EL  iff st ∈ L
+//	S′ = s( u^e( u^e·x , t , u^e·x ) )   S′ ∈ EL iff st ∉ L
+//
+// Exactly one of the two is in EL, yet every deterministic finite automaton
+// with at most n states accepts ⟨S⟩ iff it accepts ⟨S′⟩.
+func Fig4Trees(d *dfa.DFA, w *classify.FlatWitness, e int) (s, sPrime *tree.Node) {
+	ue := repeatWord(w.U, e)
+	arm := func() *tree.Node { return tree.Chain(wordLabels(d, concatWords(ue, w.X))) }
+	tArm := func() *tree.Node { return tree.Chain(wordLabels(d, w.T)) }
+	s = tree.Chain(wordLabels(d, w.S), arm(), tArm(), arm())
+	sPrime = tree.Chain(wordLabels(d, concatWords(w.S, ue)), arm(), tArm(), arm())
+	return s, sPrime
+}
+
+// Fig7Trees builds the Appendix B (Figure 7) fooling pair for the term
+// encoding from a blind non-E-flat witness: u1 leads from P to Q, u2 loops
+// at Q, |u1| = |u2|. The construction depends on whether st ∈ L (i.e.
+// whether P·T accepts); it returns the pair with exactly one tree in EL
+// (inELFirst reports which).
+func Fig7Trees(d *dfa.DFA, w *classify.FlatWitness, e int) (s, sPrime *tree.Node, inELFirst bool) {
+	u2e := repeatWord(w.U2, e)
+	stInL := d.Accept[d.StepWord(d.StepWord(d.Start, w.S), w.T)]
+	if !stInL {
+		// S = s( u1·u2^e·x , t , u1·u2^e·x ): all named branches ∉ L.
+		// S′ pushes t below u1·u2^{e-1}, where the state is Q and Q·t ∈ L.
+		arm := func() *tree.Node {
+			return tree.Chain(wordLabels(d, concatWords(w.U, u2e, w.X)))
+		}
+		s = tree.Chain(wordLabels(d, w.S), arm(), tree.Chain(wordLabels(d, w.T)), arm())
+		mid := concatWords(w.S, w.U, repeatWord(w.U2, e-1))
+		sPrime = tree.Chain(wordLabels(d, mid),
+			tree.Chain(wordLabels(d, concatWords(repeatWord(w.U2, e+1), w.X))),
+			tree.Chain(wordLabels(d, w.T)),
+			arm(),
+		)
+		return s, sPrime, false
+	}
+	// st ∈ L: S keeps its t-branch in L; S′ replaces every t-context so all
+	// its controlled branches avoid L (the appendix's modified variant).
+	armU1 := func() *tree.Node {
+		return tree.Chain(wordLabels(d, concatWords(w.U, u2e, w.X)))
+	}
+	armU2 := func() *tree.Node {
+		return tree.Chain(wordLabels(d, concatWords(w.U2, u2e, w.X)))
+	}
+	s = tree.Chain(wordLabels(d, w.S), armU1(), tree.Chain(wordLabels(d, w.T)), armU2())
+	mid := concatWords(w.S, w.U, repeatWord(w.U2, e-1))
+	sPrime = tree.Chain(wordLabels(d, mid),
+		tree.Chain(wordLabels(d, concatWords(repeatWord(w.U2, e+1), w.X))),
+		tree.Chain(wordLabels(d, w.T)),
+		armU2(),
+	)
+	return s, sPrime, true
+}
+
+// Fig5Trees builds a Lemma 3.16 (Figure 5) fooling pair from a non-HAR
+// witness, with pump exponent e. Writing y = W·U1·(V·U1)^{2e} (a loop at
+// the meeting state R), the original tree R chains 2e+1 isomorphic blocks
+//
+//	block = y^e · W ( U1(V·U1)^{2e}·[next] , U1(V·U1)^{2e}·y^e·W·T , T )
+//
+// whose branches all lie in s(wu+vu)*wt ⊆ Lᶜ, so R ∉ EL. The pumped tree
+// R′ replaces the T-leaf of block e+1 by the chain (U1·V)^e · T, creating a
+// branch in s(wu+vu)*vt ⊆ L, so R′ ∈ EL. The two encodings differ only in
+// pumped segments, which depth-register automata with few states and
+// registers cannot distinguish.
+//
+// The witness must be oriented as produced by classify (P·T accepting,
+// Q·T rejecting, R·V = P, R·W = Q, P·U1 = R).
+func Fig5Trees(d *dfa.DFA, w *classify.HARWitness, e int) (r, rPrime *tree.Node) {
+	vu := concatWords(w.V, w.U1)
+	y := concatWords(w.W, w.U1, repeatWord(vu, 2*e)) // loops at R
+	ye := repeatWord(y, e)
+	uvLoop := concatWords(w.U1, repeatWord(vu, 2*e)) // from Q back to R
+	uve := repeatWord(concatWords(w.U1, w.V), e)     // Q·(U1 V)^e = P
+
+	side := func() *tree.Node {
+		// U1(VU1)^{2e} · y^e · W · T, a single branch ending in state Q·T.
+		return tree.Chain(wordLabels(d, concatWords(uvLoop, ye, w.W, w.T)))
+	}
+	tLeaf := func() *tree.Node { return tree.Chain(wordLabels(d, w.T)) }
+
+	build := func(pumpAt int) *tree.Node {
+		// Innermost block first.
+		inner := tree.Chain(wordLabels(d, concatWords(ye, w.W, w.T)))
+		for i := 2*e + 1; i >= 1; i-- {
+			var tb *tree.Node
+			if i == pumpAt {
+				tb = tree.Chain(wordLabels(d, concatWords(uve, w.T)))
+			} else {
+				tb = tLeaf()
+			}
+			block := tree.Chain(wordLabels(d, concatWords(ye, w.W)),
+				tree.Chain(wordLabels(d, uvLoop), inner),
+				side(),
+				tb,
+			)
+			inner = block
+		}
+		return tree.Chain(wordLabels(d, w.S), inner)
+	}
+	return build(0), build(e + 1)
+}

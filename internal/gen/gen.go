@@ -1,0 +1,202 @@
+// Package gen generates workloads and the paper's fooling trees:
+//
+//   - synthetic documents (random trees, deep chains, wide fanouts, and a
+//     DBLP-style catalog) for the throughput and memory benchmarks;
+//   - the K_n schema trees of Figure 1 (Example 2.9);
+//   - the fooling-tree pairs of Figure 4 (Lemma 3.12), Figure 5
+//     (Lemma 3.16) and Figure 7 (Theorem B.1), built mechanically from the
+//     constructive witnesses produced by internal/classify.
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"stackless/internal/tree"
+)
+
+// RandomTree returns a random tree with exactly size nodes over the given
+// labels (uniform label choice, geometric-ish fanout).
+func RandomTree(rng *rand.Rand, labels []string, size int) *tree.Node {
+	if size < 1 {
+		size = 1
+	}
+	n := tree.New(labels[rng.Intn(len(labels))])
+	budget := size - 1
+	for budget > 0 {
+		sub := 1 + rng.Intn(budget)
+		n.Children = append(n.Children, RandomTree(rng, labels, sub))
+		budget -= sub
+	}
+	return n
+}
+
+// DeepChain returns a single-branch tree of the given depth with random
+// labels.
+func DeepChain(rng *rand.Rand, labels []string, depth int) *tree.Node {
+	words := make([]string, depth)
+	for i := range words {
+		words[i] = labels[rng.Intn(len(labels))]
+	}
+	return tree.Chain(words)
+}
+
+// Comb returns a tree of the given depth whose spine is labelled spine and
+// where every spine node carries fanout leaf children — deep *and* wide.
+func Comb(spine, leaf string, depth, fanout int) *tree.Node {
+	node := tree.New(spine)
+	for f := 0; f < fanout; f++ {
+		node.Children = append(node.Children, tree.New(leaf))
+	}
+	for d := 1; d < depth; d++ {
+		parent := tree.New(spine)
+		for f := 0; f < fanout/2; f++ {
+			parent.Children = append(parent.Children, tree.New(leaf))
+		}
+		parent.Children = append(parent.Children, node)
+		for f := fanout / 2; f < fanout; f++ {
+			parent.Children = append(parent.Children, tree.New(leaf))
+		}
+		node = parent
+	}
+	return node
+}
+
+// Catalog returns a DBLP/product-catalog-style document: a root with items
+// entries, each item holding name, price and a category path of the given
+// depth — the realistic workload of the throughput benchmarks.
+func Catalog(rng *rand.Rand, items, categoryDepth int) *tree.Node {
+	root := tree.New("catalog")
+	for i := 0; i < items; i++ {
+		item := tree.New("item",
+			tree.New("name"),
+			tree.New("price"),
+		)
+		cat := tree.New("category")
+		cur := cat
+		for d := 1 + rng.Intn(categoryDepth); d > 0; d-- {
+			next := tree.New("category")
+			cur.Children = append(cur.Children, next)
+			cur = next
+		}
+		cur.Children = append(cur.Children, tree.New("name"))
+		item.Children = append(item.Children, cat)
+		if rng.Intn(3) == 0 {
+			item.Children = append(item.Children, tree.New("discount"))
+		}
+		root.Children = append(root.Children, item)
+	}
+	return root
+}
+
+// WriteCatalogXML streams a catalog of the given size as XML without
+// materializing the tree — used to build large benchmark inputs.
+func WriteCatalogXML(w io.Writer, rng *rand.Rand, items, categoryDepth int) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString("<catalog>")
+	for i := 0; i < items; i++ {
+		bw.WriteString("<item><name/><price/>")
+		d := 1 + rng.Intn(categoryDepth)
+		for j := 0; j < d; j++ {
+			bw.WriteString("<category>")
+		}
+		bw.WriteString("<name/>")
+		for j := 0; j < d; j++ {
+			bw.WriteString("</category>")
+		}
+		if rng.Intn(3) == 0 {
+			bw.WriteString("<discount/>")
+		}
+		bw.WriteString("</item>")
+	}
+	bw.WriteString("</catalog>")
+	return bw.Flush()
+}
+
+// RecursiveDoc returns a document with controlled recursion depth: nested
+// sections each containing a few paragraphs, the depth-sweep workload.
+func RecursiveDoc(rng *rand.Rand, depth, breadth int) *tree.Node {
+	var rec func(d int) *tree.Node
+	rec = func(d int) *tree.Node {
+		n := tree.New("section")
+		for i := 0; i < breadth; i++ {
+			n.Children = append(n.Children, tree.New("para"))
+		}
+		if d > 1 {
+			n.Children = append(n.Children, rec(d-1))
+		}
+		return n
+	}
+	root := tree.New("doc", rec(depth))
+	return root
+}
+
+// Kn returns a tree of the Figure 1 schema K_n: a main branch of n
+// b-labelled nodes where node i (1-based, i < n) carries an a-labelled
+// child to the left of the main branch iff aCh[i-1], and every node i
+// carries a c-labelled child to the right iff cCh[i-1]. len(aCh) must be
+// n-1 and len(cCh) must be n.
+func Kn(n int, aCh, cCh []bool) *tree.Node {
+	if len(aCh) != n-1 || len(cCh) != n {
+		panic(fmt.Sprintf("gen: Kn wants len(aCh)=%d, len(cCh)=%d", n-1, n))
+	}
+	// Build bottom-up.
+	node := tree.New("b")
+	if cCh[n-1] {
+		node.Children = append(node.Children, tree.New("c"))
+	}
+	for i := n - 2; i >= 0; i-- {
+		parent := tree.New("b")
+		if aCh[i] {
+			parent.Children = append(parent.Children, tree.New("a"))
+		}
+		parent.Children = append(parent.Children, node)
+		if cCh[i] {
+			parent.Children = append(parent.Children, tree.New("c"))
+		}
+		node = parent
+	}
+	return node
+}
+
+// Fig1Pattern returns the pattern π of Figure 1a: b(b(a,c),c) with
+// descendant edges.
+func Fig1Pattern() *tree.Node { return tree.MustParse("b(b(a,c),c)") }
+
+// Fig1Pair returns the match/no-match pair of Figures 1c and 1d: two K_n
+// trees that differ only in whether the i-th main-branch node has an
+// a-child, with c-children at positions i-1 and i+1 (1-based i,
+// 2 ≤ i ≤ n-1). The first tree strictly contains π, the second does not.
+func Fig1Pair(n, i int) (match, noMatch *tree.Node) {
+	aMatch := make([]bool, n-1)
+	aNo := make([]bool, n-1)
+	cCh := make([]bool, n)
+	aMatch[i-1] = true // node i has the a-child in the matching tree only
+	cCh[i-2] = true    // node i-1 has a c-child
+	cCh[i] = true      // node i+1 has a c-child
+	return Kn(n, aMatch, cCh), Kn(n, aNo, cCh)
+}
+
+// PumpExponent returns an exponent e usable in place of n! in the paper's
+// pumping arguments for automata with at most n states: lcm(1..n), which is
+// ≥ n and divisible by every cycle length ≤ n.
+func PumpExponent(n int) int {
+	lcm := 1
+	for i := 2; i <= n; i++ {
+		g := gcd(lcm, i)
+		lcm = lcm / g * i
+	}
+	if lcm < n {
+		lcm = n
+	}
+	return lcm
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,368 @@
+package gen
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/classify"
+	"stackless/internal/core"
+	"stackless/internal/dfa"
+	"stackless/internal/encoding"
+	"stackless/internal/paperfigs"
+	"stackless/internal/rex"
+	"stackless/internal/tree"
+)
+
+func TestGeneratorsBasicShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	rt := RandomTree(rng, []string{"a", "b"}, 30)
+	if rt.Size() != 30 {
+		t.Errorf("RandomTree size = %d, want 30", rt.Size())
+	}
+	dc := DeepChain(rng, []string{"a"}, 50)
+	if dc.Height() != 50 || dc.Size() != 50 {
+		t.Errorf("DeepChain shape wrong: h=%d s=%d", dc.Height(), dc.Size())
+	}
+	cb := Comb("s", "l", 10, 4)
+	if cb.Height() != 11 {
+		t.Errorf("Comb height = %d", cb.Height())
+	}
+	cat := Catalog(rng, 20, 3)
+	if len(cat.Children) != 20 || cat.Label != "catalog" {
+		t.Errorf("Catalog shape wrong")
+	}
+	doc := RecursiveDoc(rng, 7, 2)
+	if doc.Height() != 9 { // doc + 7 sections + para leaves
+		t.Errorf("RecursiveDoc height = %d, want 9", doc.Height())
+	}
+}
+
+func TestWriteCatalogXMLParses(t *testing.T) {
+	var buf bytes.Buffer
+	rng := rand.New(rand.NewSource(62))
+	if err := WriteCatalogXML(&buf, rng, 50, 4); err != nil {
+		t.Fatal(err)
+	}
+	n, err := encoding.Decode(encoding.NewXMLScanner(bytes.NewReader(buf.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Label != "catalog" || len(n.Children) != 50 {
+		t.Errorf("streamed catalog mis-shaped: %s...", n.Label)
+	}
+}
+
+func TestPumpExponent(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 6, 4: 12, 5: 60, 6: 60}
+	for n, want := range cases {
+		if got := PumpExponent(n); got != want {
+			t.Errorf("PumpExponent(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestFig1PairStrictContainment: the Figure 1c/1d pair differ on strict
+// containment of π but agree on plain containment.
+func TestFig1PairStrictContainment(t *testing.T) {
+	pat := Fig1Pattern()
+	for _, n := range []int{5, 8, 12} {
+		for i := 2; i <= n-1; i += 3 {
+			match, noMatch := Fig1Pair(n, i)
+			if !tree.StrictlyContains(match, pat) {
+				t.Errorf("K_%d i=%d: match tree does not strictly contain π\n%s", n, i, match)
+			}
+			if tree.StrictlyContains(noMatch, pat) {
+				t.Errorf("K_%d i=%d: no-match tree strictly contains π\n%s", n, i, noMatch)
+			}
+		}
+	}
+}
+
+// knPrefix returns the events of w_T: the prefix of ⟨T⟩ for the K_n tree
+// with the given a-children, ending at the opening tag of the deepest b.
+// The a-subtrees hang to the left of the main branch, so they are entirely
+// inside this prefix; the c-subtrees are to the right and entirely outside.
+func knPrefix(n int, aCh []bool) []encoding.Event {
+	var ev []encoding.Event
+	for j := 1; j <= n-1; j++ {
+		ev = append(ev, encoding.Event{Kind: encoding.Open, Label: "b"})
+		if aCh[j-1] {
+			ev = append(ev,
+				encoding.Event{Kind: encoding.Open, Label: "a"},
+				encoding.Event{Kind: encoding.Close, Label: "a"})
+		}
+	}
+	return append(ev, encoding.Event{Kind: encoding.Open, Label: "b"})
+}
+
+// TestFig1CountingFoolsBoundedMachines is Example 2.9's counting argument
+// made executable for the Proposition 2.8 pattern matcher: among the
+// 2^(n-1) prefix choices of K_n, two must drive the machine into the same
+// configuration; completing both with the same suffix (c-children at i−1
+// and i+1 for a position i where the choices differ) yields trees with
+// different strict-containment status on which the machine necessarily
+// agrees — so no machine of this kind decides strict containment.
+func TestFig1CountingFoolsBoundedMachines(t *testing.T) {
+	pat := Fig1Pattern()
+	n := 10
+	byKey := map[string][]int{}
+	for mask := 0; mask < 1<<(n-1); mask++ {
+		aCh := make([]bool, n-1)
+		for j := range aCh {
+			aCh[j] = mask&(1<<j) != 0
+		}
+		m := core.NewPatternMatcher(pat)
+		for _, e := range knPrefix(n, aCh) {
+			m.Step(e)
+		}
+		key := m.StateKey()
+		byKey[key] = append(byKey[key], mask)
+	}
+	// Find a colliding pair and a differing position i (2 ≤ i ≤ n-1) where
+	// the identically-completed trees differ on strict containment.
+	found := false
+	for _, masks := range byKey {
+		if found || len(masks) < 2 {
+			continue
+		}
+		for ai := 0; ai < len(masks) && !found; ai++ {
+			for bi := ai + 1; bi < len(masks) && !found; bi++ {
+				u, v := masks[ai], masks[bi]
+				for i := 2; i <= n-1 && !found; i++ {
+					if (u>>(i-1))&1 == (v>>(i-1))&1 {
+						continue
+					}
+					cCh := make([]bool, n)
+					cCh[i-2], cCh[i] = true, true
+					su := Kn(n, maskBits(u, n-1), cCh)
+					sv := Kn(n, maskBits(v, n-1), cCh)
+					strictU := tree.StrictlyContains(su, pat)
+					strictV := tree.StrictlyContains(sv, pat)
+					if strictU == strictV {
+						continue
+					}
+					// The machine cannot separate them: equal prefix state
+					// and identical suffix force equal verdicts.
+					mu := core.NewPatternMatcher(pat)
+					mv := core.NewPatternMatcher(pat)
+					vu := core.RunEvents(mu, encoding.Markup(su))
+					vv := core.RunEvents(mv, encoding.Markup(sv))
+					if vu != vv {
+						t.Fatalf("colliding prefixes led to different verdicts (u=%b v=%b i=%d)", u, v, i)
+					}
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no strictness-separating collision found; the counting experiment is vacuous")
+	}
+}
+
+func maskBits(mask, n int) []bool {
+	out := make([]bool, n)
+	for j := 0; j < n; j++ {
+		out[j] = mask&(1<<j) != 0
+	}
+	return out
+}
+
+func minimalWithWitness(t *testing.T, expr string, gamma string) (*dfa.DFA, *classify.Analysis) {
+	t.Helper()
+	d, err := rex.CompileString(expr, alphabet.Letters(gamma))
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := classify.Analyze(d)
+	return an.D, an
+}
+
+// TestFig4TreesMembership checks the Lemma 3.12 construction: exactly one
+// of S, S′ lies in EL, for several non-E-flat languages.
+func TestFig4TreesMembership(t *testing.T) {
+	for _, expr := range []string{paperfigs.Fig3bRegex, paperfigs.Fig3cRegex, paperfigs.Fig3dRegex} {
+		d, an := minimalWithWitness(t, expr, "abc")
+		ok, w := an.EFlat()
+		if ok {
+			t.Fatalf("%s unexpectedly E-flat", expr)
+		}
+		for _, e := range []int{2, 6, 12} {
+			s, sp := Fig4Trees(d, w, e)
+			in1, in2 := tree.InEL(d, s), tree.InEL(d, sp)
+			if in1 == in2 {
+				t.Errorf("%s e=%d: InEL(S)=%v == InEL(S')=%v", expr, e, in1, in2)
+			}
+		}
+	}
+}
+
+// TestFig4FoolsFiniteAutomata: every DFA over Γ ∪ Γ̄ with at most n states
+// gives the same verdict on ⟨S⟩ and ⟨S′⟩ built with e = PumpExponent(n).
+// We check a large random sample plus every compiled paper automaton of
+// that size.
+func TestFig4FoolsFiniteAutomata(t *testing.T) {
+	d, an := minimalWithWitness(t, paperfigs.Fig3dRegex, "abc")
+	_, w := an.EFlat()
+	nStates := 4
+	e := PumpExponent(nStates)
+	s, sp := Fig4Trees(d, w, e)
+	wordS := tagWord(encoding.Markup(s))
+	wordSp := tagWord(encoding.Markup(sp))
+	tagAlph := alphabet.New("a", "b", "c", "ā", "b̄", "c̄")
+	rng := rand.New(rand.NewSource(63))
+	for i := 0; i < 500; i++ {
+		b := dfa.Random(rng, tagAlph, 1+rng.Intn(nStates))
+		if b.AcceptsSymbols(wordS) != b.AcceptsSymbols(wordSp) {
+			t.Fatalf("random %d-state DFA separates the Fig 4 pair", b.NumStates())
+		}
+	}
+}
+
+func tagWord(events []encoding.Event) []string {
+	out := make([]string, len(events))
+	for i, ev := range events {
+		if ev.Kind == encoding.Open {
+			out[i] = ev.Label
+		} else {
+			out[i] = ev.Label + "̄"
+		}
+	}
+	return out
+}
+
+// TestFig7TreesMembership checks the Appendix B construction under the term
+// encoding for blind-non-E-flat languages, in both st∈L and st∉L variants.
+func TestFig7TreesMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	alph := alphabet.Letters("ab")
+	variants := map[bool]int{}
+	tested := 0
+	for i := 0; i < 20000 && tested < 60; i++ {
+		an := classify.Analyze(dfa.Random(rng, alph, 1+rng.Intn(5)))
+		ok, w := an.BlindEFlat()
+		if ok {
+			continue
+		}
+		tested++
+		d := an.D
+		s, sp, inELFirst := Fig7Trees(d, w, 4)
+		variants[d.Accept[d.StepWord(d.StepWord(d.Start, w.S), w.T)]]++
+		in1, in2 := tree.InEL(d, s), tree.InEL(d, sp)
+		if in1 == in2 {
+			t.Fatalf("Fig7: InEL(S)=%v == InEL(S')=%v\n%s", in1, in2, d)
+		}
+		if in1 != inELFirst {
+			t.Fatalf("Fig7: inELFirst=%v but InEL(S)=%v", inELFirst, in1)
+		}
+	}
+	if tested < 30 || variants[true] == 0 || variants[false] == 0 {
+		t.Fatalf("coverage too low: tested=%d variants=%v", tested, variants)
+	}
+}
+
+// TestFig7FoolsFiniteAutomataOnTermEncoding: term-encoding words of the
+// pair are indistinguishable for small automata over Γ ∪ {◁}.
+func TestFig7FoolsFiniteAutomataOnTermEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	alph := alphabet.Letters("ab")
+	var d *dfa.DFA
+	var w *classify.FlatWitness
+	for {
+		an := classify.Analyze(dfa.Random(rng, alph, 4))
+		if ok, ww := an.BlindEFlat(); !ok {
+			d, w = an.D, ww
+			break
+		}
+	}
+	nStates := 3
+	e := PumpExponent(nStates * 2) // generous: covers both word and pair cycles
+	s, sp, _ := Fig7Trees(d, w, e)
+	termAlph := alphabet.New("a", "b", "◁")
+	wordS := termWord(encoding.Term(s))
+	wordSp := termWord(encoding.Term(sp))
+	for i := 0; i < 500; i++ {
+		b := dfa.Random(rng, termAlph, 1+rng.Intn(nStates))
+		if b.AcceptsSymbols(wordS) != b.AcceptsSymbols(wordSp) {
+			t.Fatalf("random %d-state DFA separates the Fig 7 pair", b.NumStates())
+		}
+	}
+}
+
+func termWord(events []encoding.Event) []string {
+	out := make([]string, len(events))
+	for i, ev := range events {
+		if ev.Kind == encoding.Open {
+			out[i] = ev.Label
+		} else {
+			out[i] = "◁"
+		}
+	}
+	return out
+}
+
+// TestFig5TreesMembership checks the Lemma 3.16 construction: R ∉ EL and
+// R′ ∈ EL for non-HAR languages.
+func TestFig5TreesMembership(t *testing.T) {
+	d, an := minimalWithWitness(t, paperfigs.Fig3dRegex, "abc")
+	ok, w := an.HAR()
+	if ok {
+		t.Fatal("Γ*ab unexpectedly HAR")
+	}
+	for _, e := range []int{1, 2, 3} {
+		r, rp := Fig5Trees(d, w, e)
+		if tree.InEL(d, r) {
+			t.Errorf("e=%d: R should not be in EL", e)
+		}
+		if !tree.InEL(d, rp) {
+			t.Errorf("e=%d: R' should be in EL", e)
+		}
+	}
+}
+
+// TestFig5FoolsRandomDRAs: random table DRAs with k states and one register
+// give equal verdicts on ⟨R⟩ and ⟨R′⟩ built with e = PumpExponent(2k).
+func TestFig5FoolsRandomDRAs(t *testing.T) {
+	d, an := minimalWithWitness(t, paperfigs.Fig3dRegex, "abc")
+	_, w := an.HAR()
+	k := 2
+	e := PumpExponent(2 * k)
+	r, rp := Fig5Trees(d, w, e)
+	evR := encoding.Markup(r)
+	evRp := encoding.Markup(rp)
+	rng := rand.New(rand.NewSource(66))
+	alph := alphabet.Letters("abc")
+	for i := 0; i < 120; i++ {
+		b := randomDRA(rng, alph, k, 1)
+		v1 := core.RunEvents(b.Evaluator(), evR)
+		v2 := core.RunEvents(b.Evaluator(), evRp)
+		if v1 != v2 {
+			t.Fatalf("random DRA #%d separates the Fig 5 pair", i)
+		}
+	}
+}
+
+// randomDRA builds a random table DRA.
+func randomDRA(rng *rand.Rand, alph *alphabet.Alphabet, states, regs int) *core.DRA {
+	d := core.NewDRA(alph, states, rng.Intn(states), regs)
+	full := core.RegSet(1<<uint(regs)) - 1
+	for q := 0; q < states; q++ {
+		d.Accept[q] = rng.Intn(2) == 1
+		for sym := 0; sym < alph.Size(); sym++ {
+			for _, closing := range []bool{false, true} {
+				for le := core.RegSet(0); le <= full; le++ {
+					for ge := core.RegSet(0); ge <= full; ge++ {
+						if le|ge != full {
+							continue
+						}
+						d.SetTransition(q, sym, closing, le, ge,
+							core.RegSet(rng.Intn(int(full)+1)), rng.Intn(states))
+					}
+				}
+			}
+		}
+	}
+	return d
+}

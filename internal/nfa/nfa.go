@@ -1,0 +1,169 @@
+// Package nfa implements nondeterministic finite automata with ε-moves and
+// the subset construction to DFAs. It is the compilation target of the
+// regular-expression package and the substrate for specialized DTDs
+// (Section 4.1 of the paper), which are naturally nondeterministic.
+package nfa
+
+import (
+	"sort"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/dfa"
+)
+
+// NFA is a nondeterministic automaton with ε-transitions over an interned
+// alphabet. States are 0..NumStates-1.
+type NFA struct {
+	Alphabet *alphabet.Alphabet
+	Start    int
+	Accept   []bool
+	// Trans[q][a] lists the successors of q on symbol id a.
+	Trans [][][]int
+	// Eps[q] lists the ε-successors of q.
+	Eps [][]int
+}
+
+// New allocates an NFA with n states and no transitions.
+func New(alph *alphabet.Alphabet, n, start int) *NFA {
+	m := &NFA{
+		Alphabet: alph,
+		Start:    start,
+		Accept:   make([]bool, n),
+		Trans:    make([][][]int, n),
+		Eps:      make([][]int, n),
+	}
+	for i := range m.Trans {
+		m.Trans[i] = make([][]int, alph.Size())
+	}
+	return m
+}
+
+// AddState appends a fresh state and returns its id.
+func (m *NFA) AddState() int {
+	id := len(m.Trans)
+	m.Trans = append(m.Trans, make([][]int, m.Alphabet.Size()))
+	m.Eps = append(m.Eps, nil)
+	m.Accept = append(m.Accept, false)
+	return id
+}
+
+// AddEdge adds a transition p --a--> q for symbol id a.
+func (m *NFA) AddEdge(p, a, q int) {
+	m.Trans[p][a] = append(m.Trans[p][a], q)
+}
+
+// AddEps adds an ε-transition p --ε--> q.
+func (m *NFA) AddEps(p, q int) {
+	m.Eps[p] = append(m.Eps[p], q)
+}
+
+// NumStates returns the number of states.
+func (m *NFA) NumStates() int { return len(m.Trans) }
+
+// closure expands set (sorted ids) with ε-reachability, in place, returning
+// a sorted deduplicated slice.
+func (m *NFA) closure(set []int) []int {
+	seen := make(map[int]bool, len(set))
+	stack := append([]int(nil), set...)
+	for _, q := range set {
+		seen[q] = true
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range m.Eps[q] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for q := range seen {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Determinize performs the subset construction, producing a complete DFA
+// (with an implicit dead state for the empty subset) over the same alphabet.
+func (m *NFA) Determinize() *dfa.DFA {
+	key := func(set []int) string {
+		b := make([]byte, 0, len(set)*4)
+		for _, q := range set {
+			b = append(b, byte(q), byte(q>>8), byte(q>>16), byte(q>>24))
+		}
+		return string(b)
+	}
+	k := m.Alphabet.Size()
+	index := map[string]int{}
+	var subsets [][]int
+	getID := func(set []int) int {
+		kk := key(set)
+		if id, ok := index[kk]; ok {
+			return id
+		}
+		id := len(subsets)
+		index[kk] = id
+		subsets = append(subsets, set)
+		return id
+	}
+	start := getID(m.closure([]int{m.Start}))
+
+	var delta [][]int
+	var accept []bool
+	for i := 0; i < len(subsets); i++ {
+		set := subsets[i]
+		row := make([]int, k)
+		acc := false
+		for _, q := range set {
+			if m.Accept[q] {
+				acc = true
+			}
+		}
+		for a := 0; a < k; a++ {
+			var succ []int
+			seen := map[int]bool{}
+			for _, q := range set {
+				for _, t := range m.Trans[q][a] {
+					if !seen[t] {
+						seen[t] = true
+						succ = append(succ, t)
+					}
+				}
+			}
+			sort.Ints(succ)
+			row[a] = getID(m.closure(succ))
+		}
+		delta = append(delta, row)
+		accept = append(accept, acc)
+	}
+	return &dfa.DFA{Alphabet: m.Alphabet, Start: start, Accept: accept, Delta: delta}
+}
+
+// Accepts reports whether the NFA accepts the word of symbol ids (test
+// helper; determinize for repeated evaluation).
+func (m *NFA) Accepts(w []int) bool {
+	cur := m.closure([]int{m.Start})
+	for _, a := range w {
+		var succ []int
+		seen := map[int]bool{}
+		for _, q := range cur {
+			for _, t := range m.Trans[q][a] {
+				if !seen[t] {
+					seen[t] = true
+					succ = append(succ, t)
+				}
+			}
+		}
+		sort.Ints(succ)
+		cur = m.closure(succ)
+	}
+	for _, q := range cur {
+		if m.Accept[q] {
+			return true
+		}
+	}
+	return false
+}

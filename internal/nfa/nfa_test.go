@@ -1,0 +1,135 @@
+package nfa
+
+import (
+	"math/rand"
+	"testing"
+
+	"stackless/internal/alphabet"
+)
+
+// endsWithA builds the canonical NFA for Γ*a over {a,b}.
+func endsWithA() *NFA {
+	m := New(alphabet.Letters("ab"), 2, 0)
+	a, b := 0, 1
+	m.AddEdge(0, a, 0)
+	m.AddEdge(0, b, 0)
+	m.AddEdge(0, a, 1)
+	m.Accept[1] = true
+	return m
+}
+
+func ids(m *NFA, w string) []int {
+	out := make([]int, 0, len(w))
+	for _, r := range w {
+		out = append(out, m.Alphabet.MustID(string(r)))
+	}
+	return out
+}
+
+func TestNFAAccepts(t *testing.T) {
+	m := endsWithA()
+	cases := map[string]bool{"": false, "a": true, "b": false, "ba": true, "ab": false, "aba": true}
+	for w, want := range cases {
+		if got := m.Accepts(ids(m, w)); got != want {
+			t.Errorf("Accepts(%q) = %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestDeterminizeAgrees(t *testing.T) {
+	m := endsWithA()
+	d := m.Determinize()
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 500; i++ {
+		w := make([]int, rng.Intn(12))
+		for j := range w {
+			w[j] = rng.Intn(2)
+		}
+		if m.Accepts(w) != d.Accepts(w) {
+			t.Fatalf("NFA and subset DFA disagree on %v", w)
+		}
+	}
+}
+
+func TestEpsilonClosureChains(t *testing.T) {
+	// 0 -ε-> 1 -ε-> 2, 2 -a-> 3(acc).
+	m := New(alphabet.Letters("a"), 4, 0)
+	m.AddEps(0, 1)
+	m.AddEps(1, 2)
+	m.AddEdge(2, 0, 3)
+	m.Accept[3] = true
+	if !m.Accepts([]int{0}) {
+		t.Error("ε-chain not followed")
+	}
+	if m.Accepts(nil) {
+		t.Error("empty word accepted")
+	}
+	d := m.Determinize()
+	if !d.Accepts([]int{0}) || d.Accepts(nil) {
+		t.Error("determinized ε-chain wrong")
+	}
+}
+
+func TestEpsilonCycle(t *testing.T) {
+	// ε-cycle must not loop forever.
+	m := New(alphabet.Letters("a"), 2, 0)
+	m.AddEps(0, 1)
+	m.AddEps(1, 0)
+	m.AddEdge(1, 0, 1)
+	m.Accept[1] = true
+	if !m.Accepts(nil) || !m.Accepts([]int{0}) {
+		t.Error("ε-cycle handling wrong")
+	}
+	d := m.Determinize()
+	if !d.Accepts(nil) {
+		t.Error("determinization of ε-cycle wrong")
+	}
+}
+
+// TestRandomNFADeterminize property-checks the subset construction against
+// direct NFA simulation.
+func TestRandomNFADeterminize(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	alph := alphabet.Letters("ab")
+	for i := 0; i < 100; i++ {
+		n := 1 + rng.Intn(6)
+		m := New(alph, n, rng.Intn(n))
+		for q := 0; q < n; q++ {
+			m.Accept[q] = rng.Intn(3) == 0
+			for e := 0; e < 3; e++ {
+				if rng.Intn(2) == 0 {
+					m.AddEdge(q, rng.Intn(2), rng.Intn(n))
+				}
+			}
+			if rng.Intn(4) == 0 {
+				m.AddEps(q, rng.Intn(n))
+			}
+		}
+		d := m.Determinize()
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 60; j++ {
+			w := make([]int, rng.Intn(10))
+			for k := range w {
+				w[k] = rng.Intn(2)
+			}
+			if m.Accepts(w) != d.Accepts(w) {
+				t.Fatalf("iter %d: disagree on %v", i, w)
+			}
+		}
+	}
+}
+
+func TestAddState(t *testing.T) {
+	m := New(alphabet.Letters("a"), 1, 0)
+	id := m.AddState()
+	if id != 1 || m.NumStates() != 2 {
+		t.Errorf("AddState gave %d (n=%d)", id, m.NumStates())
+	}
+	m.AddEdge(0, 0, id)
+	m.Accept[id] = true
+	if !m.Accepts([]int{0}) {
+		t.Error("edge to fresh state not used")
+	}
+}

@@ -1,0 +1,81 @@
+// Package paperfigs provides the concrete automata and languages appearing
+// in the paper's figures and examples, for use by tests, benchmarks and the
+// example programs:
+//
+//	Figure 2   — the reversible automaton for (b*ab*ab*)*
+//	Figure 3   — the four automata of increasing hardness over Γ={a,b,c}
+//	Figure 6   — the specialized path DTD over Γ={a,b,c}
+//	Example 2.12 — the table of four RPQs (same languages as Figure 3)
+package paperfigs
+
+import (
+	"stackless/internal/alphabet"
+	"stackless/internal/dfa"
+	"stackless/internal/rex"
+)
+
+// GammaAB is the alphabet {a,b} of Figure 2.
+func GammaAB() *alphabet.Alphabet { return alphabet.Letters("ab") }
+
+// GammaABC is the alphabet {a,b,c} of Figure 3 and Example 2.12.
+func GammaABC() *alphabet.Alphabet { return alphabet.Letters("abc") }
+
+// Fig2 returns the reversible two-state automaton of Figure 2, recognizing
+// (b*ab*ab*)* — the words over {a,b} with an even number of a's.
+func Fig2() *dfa.DFA {
+	alph := GammaAB()
+	d := dfa.New(alph, 2, 0)
+	a, b := alph.MustID("a"), alph.MustID("b")
+	d.Accept[0] = true
+	d.Delta[0][a], d.Delta[0][b] = 1, 0
+	d.Delta[1][a], d.Delta[1][b] = 0, 1
+	return d
+}
+
+// Fig2Regex is an exact regular expression for the Figure 2 automaton's
+// language: the words over {a,b} with an even number of a's. (The paper
+// writes the language as (b*ab*ab*)*, which read literally excludes pure-b
+// words; the figure's automaton — and this expression — includes them.)
+const Fig2Regex = "(b|ab*a)*"
+
+// The four languages of Figure 3 / Example 2.12, in paper order. RegEx
+// column of Example 2.12, with «.» standing for Γ.
+const (
+	Fig3aRegex = "a.*b"   // XPath /a//b   JSONPath $.a..b
+	Fig3bRegex = "ab"     // XPath /a/b    JSONPath $.a.b
+	Fig3cRegex = ".*a.*b" // XPath //a//b  JSONPath $..a..b
+	Fig3dRegex = ".*ab"   // XPath //a/b   JSONPath $..a.b
+)
+
+// Fig3a returns the minimal automaton of a Γ*b over Γ={a,b,c} (Figure 3a).
+func Fig3a() *dfa.DFA { return rex.MustCompile(Fig3aRegex, GammaABC()) }
+
+// Fig3b returns the minimal automaton of ab (Figure 3b).
+func Fig3b() *dfa.DFA { return rex.MustCompile(Fig3bRegex, GammaABC()) }
+
+// Fig3c returns the minimal automaton of Γ*a Γ*b (Figure 3c).
+func Fig3c() *dfa.DFA { return rex.MustCompile(Fig3cRegex, GammaABC()) }
+
+// Fig3d returns the minimal automaton of Γ*ab (Figure 3d).
+func Fig3d() *dfa.DFA { return rex.MustCompile(Fig3dRegex, GammaABC()) }
+
+// Example212Row is one row of the Example 2.12 table.
+type Example212Row struct {
+	XPath    string
+	JSONPath string
+	Regex    string
+	// Expected classifications from the paper (markup encoding).
+	Registerless bool
+	Stackless    bool
+}
+
+// Example212 returns the four rows of the Example 2.12 table with the
+// paper's expected verdicts.
+func Example212() []Example212Row {
+	return []Example212Row{
+		{"/a//b", "$.a..b", Fig3aRegex, true, true},
+		{"/a/b", "$.a.b", Fig3bRegex, false, true},
+		{"//a//b", "$..a..b", Fig3cRegex, false, true},
+		{"//a/b", "$..a.b", Fig3dRegex, false, false},
+	}
+}

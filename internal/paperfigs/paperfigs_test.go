@@ -1,0 +1,52 @@
+package paperfigs
+
+import (
+	"testing"
+
+	"stackless/internal/dfa"
+	"stackless/internal/rex"
+)
+
+func TestFig2MatchesItsRegex(t *testing.T) {
+	compiled := rex.MustCompile(Fig2Regex, GammaAB())
+	eq, w, err := dfa.Equivalent(Fig2(), compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("Fig2 automaton differs from %s on witness %v", Fig2Regex, compiled.WordString(w))
+	}
+	if Fig2().NumStates() != 2 {
+		t.Errorf("Fig2 should have 2 states")
+	}
+}
+
+func TestFig3MinimalSizes(t *testing.T) {
+	// The figure draws 4, 4, 3 and 3 states (including the rejecting sink).
+	sizes := map[string]int{
+		Fig3aRegex: 4,
+		Fig3bRegex: 4,
+		Fig3cRegex: 3,
+		Fig3dRegex: 3,
+	}
+	figs := map[string]func() *dfa.DFA{
+		Fig3aRegex: Fig3a, Fig3bRegex: Fig3b, Fig3cRegex: Fig3c, Fig3dRegex: Fig3d,
+	}
+	for expr, want := range sizes {
+		d := figs[expr]()
+		if got := d.NumStates(); got != want {
+			t.Errorf("%s: minimal automaton has %d states, figure draws %d\n%s", expr, got, want, d)
+		}
+		if !dfa.IsMinimal(d) {
+			t.Errorf("%s: not minimal", expr)
+		}
+	}
+}
+
+func TestExample212RowsCompile(t *testing.T) {
+	for _, row := range Example212() {
+		if _, err := rex.CompileString(row.Regex, GammaABC()); err != nil {
+			t.Errorf("%s: %v", row.Regex, err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package rex implements regular expressions over finite alphabets of named
+// symbols: parsing, compilation to minimal DFAs (via Thompson + subset
+// construction + Hopcroft), and a Brzozowski-derivative matcher used as an
+// independent test oracle.
+//
+// The concrete syntax follows the paper's usage with ASCII operators:
+//
+//	a Γ*b     is written  a.*b     («.» matches any symbol of Γ)
+//	Γ*a Γ*b   is written  .*a.*b
+//	(b*ab*ab*)*  is written  (b*ab*ab*)*
+//
+// Single letters are one-character symbols; multi-character symbols are
+// quoted: 'item'. «|» is union, juxtaposition is concatenation, «*», «+»,
+// «?» are the usual postfix operators, «()» groups, and «%» denotes the
+// empty word ε (handy for unions like (a|%)).
+package rex
+
+import (
+	"sort"
+	"strings"
+)
+
+// Kind discriminates AST node types.
+type Kind int
+
+// AST node kinds.
+const (
+	KEmpty Kind = iota // ∅, the empty language
+	KEps               // ε, the empty word
+	KSym               // a named symbol
+	KAny               // any single symbol of the alphabet («.»)
+	KConcat
+	KUnion
+	KStar
+	KPlus
+	KOpt
+)
+
+// Node is a regular-expression AST node.
+type Node struct {
+	Kind Kind
+	Name string  // for KSym
+	Subs []*Node // children for Concat/Union/Star/Plus/Opt
+}
+
+// Constructors.
+
+// Empty returns the ∅ node.
+func Empty() *Node { return &Node{Kind: KEmpty} }
+
+// Eps returns the ε node.
+func Eps() *Node { return &Node{Kind: KEps} }
+
+// Sym returns a symbol node.
+func Sym(name string) *Node { return &Node{Kind: KSym, Name: name} }
+
+// Any returns the «.» node.
+func Any() *Node { return &Node{Kind: KAny} }
+
+// Concat returns the concatenation of the given nodes (ε for none).
+func Concat(subs ...*Node) *Node {
+	if len(subs) == 0 {
+		return Eps()
+	}
+	if len(subs) == 1 {
+		return subs[0]
+	}
+	return &Node{Kind: KConcat, Subs: subs}
+}
+
+// Union returns the union of the given nodes (∅ for none).
+func Union(subs ...*Node) *Node {
+	if len(subs) == 0 {
+		return Empty()
+	}
+	if len(subs) == 1 {
+		return subs[0]
+	}
+	return &Node{Kind: KUnion, Subs: subs}
+}
+
+// Star returns x*.
+func Star(x *Node) *Node { return &Node{Kind: KStar, Subs: []*Node{x}} }
+
+// Plus returns x+.
+func Plus(x *Node) *Node { return &Node{Kind: KPlus, Subs: []*Node{x}} }
+
+// Opt returns x?.
+func Opt(x *Node) *Node { return &Node{Kind: KOpt, Subs: []*Node{x}} }
+
+// SymbolNames returns the sorted set of symbol names appearing in the
+// expression.
+func (n *Node) SymbolNames() []string {
+	set := map[string]bool{}
+	var walk func(*Node)
+	walk = func(x *Node) {
+		if x == nil {
+			return
+		}
+		if x.Kind == KSym {
+			set[x.Name] = true
+		}
+		for _, s := range x.Subs {
+			walk(s)
+		}
+	}
+	walk(n)
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the expression back to the concrete syntax.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+// precedence levels: union < concat < postfix < atom.
+func (n *Node) render(b *strings.Builder, prec int) {
+	paren := func(need int, f func()) {
+		if prec > need {
+			b.WriteByte('(')
+			f()
+			b.WriteByte(')')
+		} else {
+			f()
+		}
+	}
+	switch n.Kind {
+	case KEmpty:
+		b.WriteString("[]") // no concrete syntax; only from programmatic use
+	case KEps:
+		b.WriteByte('%')
+	case KAny:
+		b.WriteByte('.')
+	case KSym:
+		if len(n.Name) == 1 && isSymbolChar(rune(n.Name[0])) {
+			b.WriteString(n.Name)
+		} else {
+			b.WriteByte('\'')
+			b.WriteString(n.Name)
+			b.WriteByte('\'')
+		}
+	case KConcat:
+		paren(1, func() {
+			for _, s := range n.Subs {
+				s.render(b, 2)
+			}
+		})
+	case KUnion:
+		paren(0, func() {
+			for i, s := range n.Subs {
+				if i > 0 {
+					b.WriteByte('|')
+				}
+				s.render(b, 1)
+			}
+		})
+	case KStar, KPlus, KOpt:
+		n.Subs[0].render(b, 3)
+		switch n.Kind {
+		case KStar:
+			b.WriteByte('*')
+		case KPlus:
+			b.WriteByte('+')
+		default:
+			b.WriteByte('?')
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package rex
+
+import (
+	"fmt"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/dfa"
+	"stackless/internal/nfa"
+)
+
+// Compile translates the expression into a minimal DFA over the given
+// alphabet via the Thompson construction and the subset construction.
+// Every symbol of the expression must belong to alph; «.» expands to all of
+// alph, so the language depends on the alphabet, matching the paper's Γ.
+func Compile(n *Node, alph *alphabet.Alphabet) (*dfa.DFA, error) {
+	for _, s := range n.SymbolNames() {
+		if !alph.Contains(s) {
+			return nil, fmt.Errorf("rex: symbol %q not in alphabet %s", s, alph)
+		}
+	}
+	m := nfa.New(alph, 2, 0)
+	final := 1
+	if err := thompson(m, n, 0, final); err != nil {
+		return nil, err
+	}
+	m.Accept[final] = true
+	return dfa.Minimize(m.Determinize()), nil
+}
+
+// MustCompile compiles, panicking on error.
+func MustCompile(expr string, alph *alphabet.Alphabet) *dfa.DFA {
+	d, err := Compile(MustParse(expr), alph)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// CompileString parses and compiles in one step.
+func CompileString(expr string, alph *alphabet.Alphabet) (*dfa.DFA, error) {
+	n, err := Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(n, alph)
+}
+
+// thompson wires fragment n between states from and to of m.
+func thompson(m *nfa.NFA, n *Node, from, to int) error {
+	switch n.Kind {
+	case KEmpty:
+		// no edges: unreachable acceptance
+		return nil
+	case KEps:
+		m.AddEps(from, to)
+		return nil
+	case KSym:
+		id, ok := m.Alphabet.ID(n.Name)
+		if !ok {
+			return fmt.Errorf("rex: symbol %q not in alphabet", n.Name)
+		}
+		m.AddEdge(from, id, to)
+		return nil
+	case KAny:
+		for a := 0; a < m.Alphabet.Size(); a++ {
+			m.AddEdge(from, a, to)
+		}
+		return nil
+	case KConcat:
+		cur := from
+		for i, sub := range n.Subs {
+			next := to
+			if i < len(n.Subs)-1 {
+				next = m.AddState()
+			}
+			if err := thompson(m, sub, cur, next); err != nil {
+				return err
+			}
+			cur = next
+		}
+		if len(n.Subs) == 0 {
+			m.AddEps(from, to)
+		}
+		return nil
+	case KUnion:
+		for _, sub := range n.Subs {
+			if err := thompson(m, sub, from, to); err != nil {
+				return err
+			}
+		}
+		return nil
+	case KStar:
+		mid := m.AddState()
+		m.AddEps(from, mid)
+		m.AddEps(mid, to)
+		return thompson(m, n.Subs[0], mid, mid)
+	case KPlus:
+		mid := m.AddState()
+		mid2 := m.AddState()
+		m.AddEps(from, mid)
+		m.AddEps(mid2, mid)
+		m.AddEps(mid2, to)
+		return thompson(m, n.Subs[0], mid, mid2)
+	case KOpt:
+		m.AddEps(from, to)
+		return thompson(m, n.Subs[0], from, to)
+	default:
+		return fmt.Errorf("rex: unknown node kind %d", n.Kind)
+	}
+}

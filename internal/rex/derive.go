@@ -1,0 +1,126 @@
+package rex
+
+// Brzozowski-derivative matcher. This is an independent implementation of
+// regular-expression matching used as a test oracle against the
+// NFA/DFA pipeline: Match(n, w) must agree with Compile(n).Accepts(w).
+
+// Nullable reports whether the expression matches the empty word.
+func Nullable(n *Node) bool {
+	switch n.Kind {
+	case KEps, KStar, KOpt:
+		return true
+	case KEmpty, KSym, KAny:
+		return false
+	case KConcat:
+		for _, s := range n.Subs {
+			if !Nullable(s) {
+				return false
+			}
+		}
+		return true
+	case KUnion:
+		for _, s := range n.Subs {
+			if Nullable(s) {
+				return true
+			}
+		}
+		return false
+	case KPlus:
+		return Nullable(n.Subs[0])
+	}
+	return false
+}
+
+// Derive returns the Brzozowski derivative of n with respect to symbol a,
+// with light simplification to keep terms small.
+func Derive(n *Node, a string) *Node {
+	switch n.Kind {
+	case KEmpty, KEps:
+		return Empty()
+	case KSym:
+		if n.Name == a {
+			return Eps()
+		}
+		return Empty()
+	case KAny:
+		return Eps()
+	case KConcat:
+		// d(xy) = d(x)y | [nullable(x)] d(y); generalized over the list.
+		var alts []*Node
+		for i := range n.Subs {
+			rest := append([]*Node{Derive(n.Subs[i], a)}, n.Subs[i+1:]...)
+			alts = append(alts, simplifyConcat(rest))
+			if !Nullable(n.Subs[i]) {
+				break
+			}
+		}
+		return simplifyUnion(alts)
+	case KUnion:
+		var alts []*Node
+		for _, s := range n.Subs {
+			alts = append(alts, Derive(s, a))
+		}
+		return simplifyUnion(alts)
+	case KStar:
+		return simplifyConcat([]*Node{Derive(n.Subs[0], a), n})
+	case KPlus:
+		return simplifyConcat([]*Node{Derive(n.Subs[0], a), Star(n.Subs[0])})
+	case KOpt:
+		return Derive(n.Subs[0], a)
+	}
+	return Empty()
+}
+
+// Match reports whether the expression matches the word of symbol names,
+// by repeated derivation.
+func Match(n *Node, w []string) bool {
+	cur := n
+	for _, a := range w {
+		cur = Derive(cur, a)
+		if cur.Kind == KEmpty {
+			return false
+		}
+	}
+	return Nullable(cur)
+}
+
+func simplifyConcat(subs []*Node) *Node {
+	var out []*Node
+	for _, s := range subs {
+		switch s.Kind {
+		case KEmpty:
+			return Empty()
+		case KEps:
+			// drop
+		case KConcat:
+			out = append(out, s.Subs...)
+		default:
+			out = append(out, s)
+		}
+	}
+	return Concat(out...)
+}
+
+func simplifyUnion(subs []*Node) *Node {
+	var out []*Node
+	seen := map[string]bool{}
+	for _, s := range subs {
+		if s.Kind == KEmpty {
+			continue
+		}
+		var flat []*Node
+		if s.Kind == KUnion {
+			flat = s.Subs
+		} else {
+			flat = []*Node{s}
+		}
+		for _, f := range flat {
+			key := f.String()
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, f)
+			}
+		}
+	}
+	return Union(out...)
+}

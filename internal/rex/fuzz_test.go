@@ -1,0 +1,23 @@
+package rex
+
+import "testing"
+
+// FuzzParse: the parser must never panic, and successful parses must
+// re-parse from their rendering.
+func FuzzParse(f *testing.F) {
+	f.Add("a.*b")
+	f.Add("(b|ab*a)*")
+	f.Add("''")
+	f.Add("((((")
+	f.Add("a|%|.")
+	f.Add("'multi word'+?*")
+	f.Fuzz(func(t *testing.T, expr string) {
+		n, err := Parse(expr)
+		if err != nil {
+			return
+		}
+		if _, err := Parse(n.String()); err != nil {
+			t.Fatalf("rendering %q of %q does not re-parse: %v", n.String(), expr, err)
+		}
+	})
+}

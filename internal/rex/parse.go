@@ -1,0 +1,167 @@
+package rex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses the concrete syntax described in the package comment.
+func Parse(expr string) (*Node, error) {
+	p := &parser{src: []rune(strings.TrimSpace(expr))}
+	if len(p.src) == 0 {
+		return nil, fmt.Errorf("rex: empty expression")
+	}
+	n, err := p.union()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("rex: unexpected %q at offset %d", string(p.src[p.pos]), p.pos)
+	}
+	return n, nil
+}
+
+// MustParse parses expr, panicking on error (for tests and fixed tables).
+func MustParse(expr string) *Node {
+	n, err := Parse(expr)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	src []rune
+	pos int
+}
+
+func (p *parser) peek() (rune, bool) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0, false
+	}
+	return p.src[p.pos], true
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) union() (*Node, error) {
+	first, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Node{first}
+	for {
+		c, ok := p.peek()
+		if !ok || c != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	return Union(subs...), nil
+}
+
+func (p *parser) concat() (*Node, error) {
+	var subs []*Node
+	for {
+		c, ok := p.peek()
+		if !ok || c == '|' || c == ')' {
+			break
+		}
+		atom, err := p.postfix()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, atom)
+	}
+	if len(subs) == 0 {
+		return Eps(), nil
+	}
+	return Concat(subs...), nil
+}
+
+func (p *parser) postfix() (*Node, error) {
+	n, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return n, nil
+		}
+		switch c {
+		case '*':
+			p.pos++
+			n = Star(n)
+		case '+':
+			p.pos++
+			n = Plus(n)
+		case '?':
+			p.pos++
+			n = Opt(n)
+		default:
+			return n, nil
+		}
+	}
+}
+
+func isSymbolChar(c rune) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func (p *parser) atom() (*Node, error) {
+	c, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("rex: unexpected end of expression")
+	}
+	switch {
+	case c == '(':
+		p.pos++
+		n, err := p.union()
+		if err != nil {
+			return nil, err
+		}
+		c2, ok := p.peek()
+		if !ok || c2 != ')' {
+			return nil, fmt.Errorf("rex: missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return n, nil
+	case c == '.':
+		p.pos++
+		return Any(), nil
+	case c == '%':
+		p.pos++
+		return Eps(), nil
+	case c == '\'':
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '\'' {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("rex: unterminated quoted symbol")
+		}
+		name := string(p.src[start:p.pos])
+		p.pos++
+		if name == "" {
+			return nil, fmt.Errorf("rex: empty quoted symbol")
+		}
+		return Sym(name), nil
+	case isSymbolChar(c):
+		p.pos++
+		return Sym(string(c)), nil
+	default:
+		return nil, fmt.Errorf("rex: unexpected character %q at offset %d", string(c), p.pos)
+	}
+}

@@ -1,0 +1,201 @@
+package rex
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"stackless/internal/alphabet"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"a.*b",
+		"ab",
+		".*a.*b",
+		".*ab",
+		"(b*ab*ab*)*",
+		"a|b|c",
+		"(a|b)*c+d?",
+		"'item''price'*",
+		"%|a",
+	}
+	for _, expr := range cases {
+		n, err := Parse(expr)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", expr, err)
+		}
+		// Reparse the rendering; must yield the same language (checked via DFA).
+		n2, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("reparse of %q → %q: %v", expr, n.String(), err)
+		}
+		alph := alphabet.New(append(n.SymbolNames(), "z")...)
+		d1, err := Compile(n, alph)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", expr, err)
+		}
+		d2, err := Compile(n2, alph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1.NumStates() != d2.NumStates() {
+			t.Errorf("%q: round-trip changed minimal DFA size %d -> %d", expr, d1.NumStates(), d2.NumStates())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, expr := range []string{"", "(", "(a", "a)", "'unterminated", "''", "*a", "|a)(", "a$"} {
+		if _, err := Parse(expr); err == nil {
+			t.Errorf("Parse(%q): expected error", expr)
+		}
+	}
+}
+
+func TestCompileRejectsForeignSymbols(t *testing.T) {
+	n := MustParse("ab")
+	if _, err := Compile(n, alphabet.Letters("a")); err == nil {
+		t.Error("expected error for symbol outside alphabet")
+	}
+}
+
+func TestCompileKnownLanguages(t *testing.T) {
+	alph := alphabet.Letters("abc")
+	cases := []struct {
+		expr   string
+		accept []string
+		reject []string
+	}{
+		{"a.*b", []string{"ab", "acb", "aab", "acccb"}, []string{"", "a", "b", "ba", "abc"}},
+		{"ab", []string{"ab"}, []string{"", "a", "b", "abc", "aab"}},
+		{".*a.*b", []string{"ab", "cacb", "aab", "abab"}, []string{"", "ba", "ccc", "a", "b"}},
+		{".*ab", []string{"ab", "cab", "abab"}, []string{"", "ba", "aba", "b"}},
+		{"(b*ab*ab*)*", []string{"", "aa", "baba", "aabbaab"}, []string{"a", "aab" + "a", "b" + "a"}},
+		{"a+b?", []string{"a", "aa", "ab", "aaab"}, []string{"", "b", "aba"}},
+		{"%", []string{""}, []string{"a", "b"}},
+	}
+	for _, c := range cases {
+		d, err := CompileString(c.expr, alph)
+		if err != nil {
+			t.Fatalf("%q: %v", c.expr, err)
+		}
+		for _, w := range c.accept {
+			if !d.AcceptsSymbols(strings.Split(w, "")) && w != "" || w == "" && !d.Accept[d.Start] {
+				t.Errorf("%q should accept %q", c.expr, w)
+			}
+		}
+		for _, w := range c.reject {
+			if w == "" {
+				if d.Accept[d.Start] {
+					t.Errorf("%q should reject ε", c.expr)
+				}
+				continue
+			}
+			if d.AcceptsSymbols(strings.Split(w, "")) {
+				t.Errorf("%q should reject %q", c.expr, w)
+			}
+		}
+	}
+}
+
+func TestDeriveOracleBasics(t *testing.T) {
+	n := MustParse("a.*b")
+	if Match(n, []string{"b"}) {
+		t.Error("a.*b matched b")
+	}
+	if !Match(n, []string{"a", "c", "b"}) {
+		t.Error("a.*b did not match acb")
+	}
+	if !Nullable(MustParse("a*")) {
+		t.Error("a* not nullable")
+	}
+	if Nullable(MustParse("a+")) {
+		t.Error("a+ nullable")
+	}
+}
+
+// randomNode builds a random small AST over {a,b,c}.
+func randomNode(rng *rand.Rand, depth int) *Node {
+	if depth == 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return Sym("a")
+		case 1:
+			return Sym("b")
+		case 2:
+			return Sym("c")
+		case 3:
+			return Any()
+		default:
+			return Eps()
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return Concat(randomNode(rng, depth-1), randomNode(rng, depth-1))
+	case 1:
+		return Union(randomNode(rng, depth-1), randomNode(rng, depth-1))
+	case 2:
+		return Star(randomNode(rng, depth-1))
+	case 3:
+		return Plus(randomNode(rng, depth-1))
+	case 4:
+		return Opt(randomNode(rng, depth-1))
+	default:
+		return randomNode(rng, 0)
+	}
+}
+
+// TestDFAPipelineAgreesWithDerivativeOracle is the core property test:
+// Thompson→subset→Hopcroft must agree with the Brzozowski matcher on random
+// expressions and random words.
+func TestDFAPipelineAgreesWithDerivativeOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2021))
+	alph := alphabet.Letters("abc")
+	letters := []string{"a", "b", "c"}
+	for i := 0; i < 300; i++ {
+		n := randomNode(rng, 3)
+		d, err := Compile(n, alph)
+		if err != nil {
+			t.Fatalf("Compile(%s): %v", n, err)
+		}
+		for j := 0; j < 30; j++ {
+			w := make([]string, rng.Intn(8))
+			for k := range w {
+				w[k] = letters[rng.Intn(3)]
+			}
+			want := Match(n, w)
+			got := d.AcceptsSymbols(w)
+			if got != want {
+				t.Fatalf("expr %s word %v: dfa=%v oracle=%v", n, w, got, want)
+			}
+		}
+	}
+}
+
+func TestAnyDependsOnAlphabet(t *testing.T) {
+	n := MustParse(".")
+	d2, _ := Compile(n, alphabet.Letters("ab"))
+	d3, _ := Compile(n, alphabet.Letters("abc"))
+	if !d3.AcceptsSymbols([]string{"c"}) {
+		t.Error("«.» over {a,b,c} should accept c")
+	}
+	if d2.AcceptsSymbols([]string{"c"}) {
+		t.Error("«.» over {a,b} accepted foreign symbol c")
+	}
+}
+
+func TestSymbolNames(t *testing.T) {
+	n := MustParse("'item'a|b*")
+	got := n.SymbolNames()
+	want := []string{"a", "b", "item"}
+	if len(got) != len(want) {
+		t.Fatalf("SymbolNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SymbolNames = %v, want %v", got, want)
+		}
+	}
+}

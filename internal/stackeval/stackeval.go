@@ -1,0 +1,81 @@
+// Package stackeval implements the classical stack-based (pushdown)
+// streaming evaluation that the paper's stackless model competes with: the
+// evaluator pushes the simulated DFA state at every opening tag and pops at
+// every closing tag, so it realizes QL — and recognizes EL and AL — for
+// *every* regular language, at the cost of Θ(depth) memory.
+//
+// These evaluators are the baselines of every benchmark and the reference
+// implementation for the streaming tests (they are themselves validated
+// against the in-memory oracles of internal/tree).
+package stackeval
+
+import (
+	"stackless/internal/alphabet"
+	"stackless/internal/core"
+	"stackless/internal/dfa"
+	"stackless/internal/encoding"
+)
+
+// QL returns a stack-based evaluator pre-selecting the nodes of QL.
+// It works for every regular language and both encodings (the closing tag's
+// label, when present, is not needed: the stack remembers everything).
+func QL(d *dfa.DFA) *Evaluator {
+	return &Evaluator{d: d, res: alphabet.NewResolver(d.Alphabet)}
+}
+
+// Evaluator is the explicit-stack machine. It implements core.Evaluator.
+type Evaluator struct {
+	d   *dfa.DFA
+	res *alphabet.Resolver
+	// stack holds the DFA state before each currently-open element;
+	// alive[i] mirrors whether the path so far stayed inside the alphabet.
+	stack []int32
+	alive []bool
+	state int
+	ok    bool
+}
+
+var _ core.Evaluator = (*Evaluator)(nil)
+
+// Reset implements core.Evaluator.
+func (ev *Evaluator) Reset() {
+	ev.stack = ev.stack[:0]
+	ev.alive = ev.alive[:0]
+	ev.state = ev.d.Start
+	ev.ok = true
+}
+
+// Step implements core.Evaluator.
+func (ev *Evaluator) Step(e encoding.Event) {
+	if e.Kind == encoding.Open {
+		ev.stack = append(ev.stack, int32(ev.state))
+		ev.alive = append(ev.alive, ev.ok)
+		if ev.ok {
+			if sym, ok := ev.res.ID(e.Label); ok {
+				ev.state = ev.d.Delta[ev.state][sym]
+			} else {
+				ev.ok = false
+			}
+		}
+		return
+	}
+	if n := len(ev.stack); n > 0 {
+		ev.state = int(ev.stack[n-1])
+		ev.ok = ev.alive[n-1]
+		ev.stack = ev.stack[:n-1]
+		ev.alive = ev.alive[:n-1]
+	}
+}
+
+// Accepting implements core.Evaluator.
+func (ev *Evaluator) Accepting() bool { return ev.ok && ev.d.Accept[ev.state] }
+
+// StackDepth returns the current stack depth (for memory accounting in
+// benchmarks).
+func (ev *Evaluator) StackDepth() int { return len(ev.stack) }
+
+// EL returns a stack-based recognizer of EL (some branch labelled in L).
+func EL(d *dfa.DFA) core.Evaluator { return core.ELFromQL(QL(d)) }
+
+// AL returns a stack-based recognizer of AL (every branch labelled in L).
+func AL(d *dfa.DFA) core.Evaluator { return core.ALFromQL(QL(d)) }

@@ -1,0 +1,137 @@
+package stackeval
+
+import (
+	"math/rand"
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/core"
+	"stackless/internal/dfa"
+	"stackless/internal/encoding"
+	"stackless/internal/rex"
+	"stackless/internal/tree"
+)
+
+func randomTree(rng *rand.Rand, labels []string, budget int) *tree.Node {
+	n := tree.New(labels[rng.Intn(len(labels))])
+	budget--
+	for budget > 0 && rng.Intn(3) != 0 {
+		sub := 1 + rng.Intn(budget)
+		n.Children = append(n.Children, randomTree(rng, labels, sub))
+		budget -= sub
+	}
+	return n
+}
+
+// TestStackQLAgainstOracle validates the baseline itself against the
+// in-memory oracle, for arbitrary regular languages and both encodings.
+func TestStackQLAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	alph := alphabet.Letters("ab")
+	for i := 0; i < 150; i++ {
+		d := dfa.Minimize(dfa.Random(rng, alph, 1+rng.Intn(6)))
+		ev := QL(d)
+		for j := 0; j < 20; j++ {
+			tr := randomTree(rng, []string{"a", "b"}, 1+rng.Intn(20))
+			want := tree.SelectQL(d, tr)
+			got, err := core.SelectPositions(ev, encoding.NewSliceSource(encoding.Markup(tr)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("markup: %v vs %v on %s", got, want, tr)
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("markup: %v vs %v on %s", got, want, tr)
+				}
+			}
+			// Term encoding: the stack does not need closing labels.
+			gotTerm, err := core.SelectPositions(ev, encoding.NewSliceSource(encoding.Term(tr)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gotTerm) != len(want) {
+				t.Fatalf("term: %v vs %v on %s", gotTerm, want, tr)
+			}
+		}
+	}
+}
+
+func TestStackELALAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	d := rex.MustCompile("a(a|b)*b", alphabet.Letters("ab"))
+	el := EL(d)
+	al := AL(d)
+	for i := 0; i < 400; i++ {
+		tr := randomTree(rng, []string{"a", "b"}, 1+rng.Intn(20))
+		ev := encoding.NewSliceSource(encoding.Markup(tr))
+		gotEL, err := core.Recognize(el, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := tree.InEL(d, tr); gotEL != want {
+			t.Fatalf("EL(%s) = %v, want %v", tr, gotEL, want)
+		}
+		gotAL, err := core.Recognize(al, encoding.NewSliceSource(encoding.Markup(tr)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := tree.InAL(d, tr); gotAL != want {
+			t.Fatalf("AL(%s) = %v, want %v", tr, gotAL, want)
+		}
+	}
+}
+
+// TestForeignLabelsNeverSelect: labels outside the alphabet kill the whole
+// path (and any path through them), matching the oracle convention.
+func TestForeignLabelsNeverSelect(t *testing.T) {
+	d := rex.MustCompile("a*", alphabet.Letters("a"))
+	ev := QL(d)
+	tr := tree.MustParse("a(z(a),a)")
+	got, err := core.SelectPositions(ev, encoding.NewSliceSource(encoding.Markup(tr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tree.SelectQL(d, tr) // selects positions 0 and 3 only
+	if len(got) != len(want) {
+		t.Fatalf("foreign labels: got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("foreign labels: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStackDepthTracksDocument(t *testing.T) {
+	d := rex.MustCompile("a*", alphabet.Letters("a"))
+	ev := QL(d)
+	ev.Reset()
+	chain := tree.Chain([]string{"a", "a", "a", "a"})
+	maxDepth := 0
+	for _, e := range encoding.Markup(chain) {
+		ev.Step(e)
+		if ev.StackDepth() > maxDepth {
+			maxDepth = ev.StackDepth()
+		}
+	}
+	if maxDepth != 4 {
+		t.Errorf("max stack depth = %d, want 4", maxDepth)
+	}
+	if ev.StackDepth() != 0 {
+		t.Errorf("stack not drained: %d", ev.StackDepth())
+	}
+}
+
+func TestUnbalancedCloseIsIgnoredGracefully(t *testing.T) {
+	d := rex.MustCompile("a", alphabet.Letters("a"))
+	ev := QL(d)
+	ev.Reset()
+	ev.Step(encoding.Event{Kind: encoding.Close, Label: "a"})
+	// No panic; evaluator remains usable.
+	ev.Step(encoding.Event{Kind: encoding.Open, Label: "a"})
+	if !ev.Accepting() {
+		t.Error("evaluator broken after stray close")
+	}
+}

@@ -1,0 +1,22 @@
+package tree
+
+import "testing"
+
+// FuzzParse: the literal parser must never panic, and successful parses
+// must round-trip through String.
+func FuzzParse(f *testing.F) {
+	f.Add("a(b,c(d))")
+	f.Add("'weird'(x)")
+	f.Add("a((b)")
+	f.Add(",,,")
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(n.String())
+		if err != nil || !back.Equal(n) {
+			t.Fatalf("round trip failed for %q → %q", s, n.String())
+		}
+	})
+}

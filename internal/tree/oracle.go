@@ -1,0 +1,258 @@
+package tree
+
+import "stackless/internal/dfa"
+
+// Reference ("oracle") implementations of the paper's queries and tree
+// languages, computed directly on the in-memory tree. These are the ground
+// truth the streaming evaluators are tested against.
+
+// SelectQL returns, in document order, the preorder positions (0-based) of
+// the nodes selected by the path query QL: nodes v such that the label path
+// from the root to v is a word of L (Section 2.3). The automaton runs over
+// label paths; labels outside its alphabet make the node (and its subtree's
+// paths through it) unselectable.
+func SelectQL(d *dfa.DFA, t *Node) []int {
+	var out []int
+	pos := -1
+	var rec func(n *Node, q int, alive bool)
+	rec = func(n *Node, q int, alive bool) {
+		pos++
+		id, ok := d.Alphabet.ID(n.Label)
+		nq := q
+		if alive && ok {
+			nq = d.Delta[q][id]
+			if d.Accept[nq] {
+				out = append(out, pos)
+			}
+		} else {
+			alive = false
+		}
+		for _, c := range n.Children {
+			rec(c, nq, alive)
+		}
+	}
+	rec(t, d.Start, true)
+	return out
+}
+
+// InEL reports whether the tree has some branch (root-to-leaf label path)
+// in L (the language EL of Section 2.3).
+func InEL(d *dfa.DFA, t *Node) bool {
+	return someBranch(d, t, d.Start, true)
+}
+
+func someBranch(d *dfa.DFA, n *Node, q int, alive bool) bool {
+	id, ok := d.Alphabet.ID(n.Label)
+	if !ok {
+		alive = false
+	}
+	nq := q
+	if alive {
+		nq = d.Delta[q][id]
+	}
+	if n.IsLeaf() {
+		return alive && d.Accept[nq]
+	}
+	for _, c := range n.Children {
+		if someBranch(d, c, nq, alive) {
+			return true
+		}
+	}
+	return false
+}
+
+// InAL reports whether every branch of the tree is labelled by a word of L
+// (the language AL). Branches through labels outside the automaton's
+// alphabet do not count as members of L.
+func InAL(d *dfa.DFA, t *Node) bool {
+	return everyBranch(d, t, d.Start, true)
+}
+
+func everyBranch(d *dfa.DFA, n *Node, q int, alive bool) bool {
+	id, ok := d.Alphabet.ID(n.Label)
+	if !ok {
+		alive = false
+	}
+	nq := q
+	if alive {
+		nq = d.Delta[q][id]
+	}
+	if n.IsLeaf() {
+		return alive && d.Accept[nq]
+	}
+	for _, c := range n.Children {
+		if !everyBranch(d, c, nq, alive) {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether the tree contains the descendent pattern π
+// (Section 2.2): a matching h mapping pattern nodes to tree nodes that
+// preserves labels and maps the child relation into the descendant
+// relation.
+func Contains(t, pattern *Node) bool {
+	// matchAt(v, u): pattern node u can be matched at tree node v
+	// (h(u) = v), with u's children matched in v's proper subtree.
+	memo := map[[2]*Node]int{} // 0 unknown, 1 yes, 2 no
+	var matchAt func(v, u *Node) bool
+	var matchBelow func(v, u *Node) bool
+	matchAt = func(v, u *Node) bool {
+		key := [2]*Node{v, u}
+		if m := memo[key]; m != 0 {
+			return m == 1
+		}
+		res := false
+		if v.Label == u.Label {
+			res = true
+			for _, uc := range u.Children {
+				found := false
+				for _, vc := range v.Children {
+					if matchBelow(vc, uc) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					res = false
+					break
+				}
+			}
+		}
+		if res {
+			memo[key] = 1
+		} else {
+			memo[key] = 2
+		}
+		return res
+	}
+	matchBelow = func(v, u *Node) bool {
+		if matchAt(v, u) {
+			return true
+		}
+		for _, vc := range v.Children {
+			if matchBelow(vc, u) {
+				return true
+			}
+		}
+		return false
+	}
+	return matchAt(t, pattern) || func() bool {
+		for _, c := range t.Children {
+			if matchBelow(c, pattern) {
+				return true
+			}
+		}
+		return false
+	}()
+}
+
+// StrictlyContains reports whether the tree strictly contains the pattern
+// (Example 2.9): there is a matching h as in Contains that additionally
+// reflects ancestry — whenever h(v) is a descendant of h(u), v is a
+// descendant of u. Equivalently, pattern nodes on different branches must
+// map to tree nodes on different branches. Exponential-time brute force
+// over small patterns.
+func StrictlyContains(t, pattern *Node) bool {
+	treeNodes := t.Nodes()
+	// Precompute ancestry: anc[i][j] = node i is a proper ancestor of j.
+	index := map[*Node]int{}
+	for i, n := range treeNodes {
+		index[n] = i
+	}
+	anc := make([][]bool, len(treeNodes))
+	for i := range anc {
+		anc[i] = make([]bool, len(treeNodes))
+	}
+	var mark func(n *Node, ancestors []int)
+	mark = func(n *Node, ancestors []int) {
+		i := index[n]
+		for _, a := range ancestors {
+			anc[a][i] = true
+		}
+		for _, c := range n.Children {
+			mark(c, append(ancestors, i))
+		}
+	}
+	mark(t, nil)
+
+	patNodes := pattern.Nodes()
+	patParent := map[*Node]*Node{}
+	var markP func(n *Node)
+	markP = func(n *Node) {
+		for _, c := range n.Children {
+			patParent[c] = n
+			markP(c)
+		}
+	}
+	markP(pattern)
+
+	// Backtracking assignment of pattern nodes (in document order) to tree
+	// nodes.
+	assign := make([]int, len(patNodes))
+	var try func(k int) bool
+	try = func(k int) bool {
+		if k == len(patNodes) {
+			return true
+		}
+		u := patNodes[k]
+		for i, v := range treeNodes {
+			if v.Label != u.Label {
+				continue
+			}
+			ok := true
+			// h must map u below its pattern parent's image.
+			if p, has := patParent[u]; has {
+				pi := assign[indexOfPat(patNodes, p)]
+				if !anc[pi][i] {
+					continue
+				}
+			}
+			// Strictness: for every earlier pattern node w, ancestry between
+			// images must imply ancestry in the pattern (both directions).
+			for j := 0; j < k; j++ {
+				w := patNodes[j]
+				wi := assign[j]
+				if wi == i {
+					continue // equal images are never proper descendants
+				}
+				if anc[wi][i] && !isPatAncestor(patParent, w, u) {
+					ok = false
+					break
+				}
+				if anc[i][wi] && !isPatAncestor(patParent, u, w) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			assign[k] = i
+			if try(k + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return try(0)
+}
+
+func indexOfPat(nodes []*Node, n *Node) int {
+	for i, x := range nodes {
+		if x == n {
+			return i
+		}
+	}
+	return -1
+}
+
+func isPatAncestor(parent map[*Node]*Node, a, b *Node) bool {
+	for cur := parent[b]; cur != nil; cur = parent[cur] {
+		if cur == a {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,284 @@
+// Package tree implements the paper's data model: ordered unranked finite
+// trees with labels from a finite alphabet (Section 2). It also provides
+// slow-but-obviously-correct reference implementations ("oracles") of the
+// queries and tree languages studied in the paper — QL, EL, AL, descendent
+// pattern containment and strict containment — against which the streaming
+// evaluators are tested.
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is a node of an ordered unranked tree. The zero value is unusable;
+// create nodes with New.
+type Node struct {
+	Label    string
+	Children []*Node
+}
+
+// New builds a node with the given label and children.
+func New(label string, children ...*Node) *Node {
+	return &Node{Label: label, Children: children}
+}
+
+// Chain builds a single-branch tree labelled by the words read top-down,
+// with the given subtrees attached (in order) to the deepest node. An empty
+// labels slice returns the subtrees' parent as nil, which is invalid, so
+// labels must be nonempty.
+func Chain(labels []string, at ...*Node) *Node {
+	if len(labels) == 0 {
+		panic("tree: Chain needs at least one label")
+	}
+	bottom := New(labels[len(labels)-1], at...)
+	for i := len(labels) - 2; i >= 0; i-- {
+		bottom = New(labels[i], bottom)
+	}
+	return bottom
+}
+
+// Size returns the number of nodes.
+func (n *Node) Size() int {
+	s := 1
+	for _, c := range n.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// Height returns the number of nodes on the longest root-to-leaf path.
+func (n *Node) Height() int {
+	h := 0
+	for _, c := range n.Children {
+		if ch := c.Height(); ch > h {
+			h = ch
+		}
+	}
+	return h + 1
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Equal reports structural equality.
+func (n *Node) Equal(m *Node) bool {
+	if n == nil || m == nil {
+		return n == m
+	}
+	if n.Label != m.Label || len(n.Children) != len(m.Children) {
+		return false
+	}
+	for i := range n.Children {
+		if !n.Children[i].Equal(m.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (n *Node) Clone() *Node {
+	c := &Node{Label: n.Label}
+	if len(n.Children) > 0 {
+		c.Children = make([]*Node, len(n.Children))
+		for i, ch := range n.Children {
+			c.Children[i] = ch.Clone()
+		}
+	}
+	return c
+}
+
+// String renders the tree in the literal syntax accepted by Parse:
+// a(b,c(d)).
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder) {
+	writeLabel(b, n.Label)
+	if len(n.Children) == 0 {
+		return
+	}
+	b.WriteByte('(')
+	for i, c := range n.Children {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		c.render(b)
+	}
+	b.WriteByte(')')
+}
+
+func writeLabel(b *strings.Builder, label string) {
+	if isPlainLabel(label) {
+		b.WriteString(label)
+	} else {
+		b.WriteByte('\'')
+		b.WriteString(label)
+		b.WriteByte('\'')
+	}
+}
+
+func isPlainLabel(label string) bool {
+	if label == "" {
+		return false
+	}
+	for _, r := range label {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' || r == '-') {
+			return false
+		}
+	}
+	return true
+}
+
+// Parse reads the literal syntax: label(child,child,...), labels being
+// runs of [a-zA-Z0-9_-] or quoted 'any text'. Whitespace is ignored.
+func Parse(s string) (*Node, error) {
+	p := &parser{src: []rune(s)}
+	n, err := p.node()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("tree: trailing input at offset %d", p.pos)
+	}
+	return n, nil
+}
+
+// MustParse parses the literal syntax, panicking on error.
+func MustParse(s string) *Node {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	src []rune
+	pos int
+}
+
+func (p *parser) skip() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\n' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) node() (*Node, error) {
+	p.skip()
+	label, err := p.label()
+	if err != nil {
+		return nil, err
+	}
+	n := New(label)
+	p.skip()
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		p.pos++
+		for {
+			c, err := p.node()
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, c)
+			p.skip()
+			if p.pos >= len(p.src) {
+				return nil, fmt.Errorf("tree: missing ')'")
+			}
+			if p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			if p.src[p.pos] == ')' {
+				p.pos++
+				break
+			}
+			return nil, fmt.Errorf("tree: unexpected %q at offset %d", string(p.src[p.pos]), p.pos)
+		}
+	}
+	return n, nil
+}
+
+func (p *parser) label() (string, error) {
+	p.skip()
+	if p.pos >= len(p.src) {
+		return "", fmt.Errorf("tree: missing label")
+	}
+	if p.src[p.pos] == '\'' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '\'' {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return "", fmt.Errorf("tree: unterminated quoted label")
+		}
+		label := string(p.src[start:p.pos])
+		p.pos++
+		if label == "" {
+			return "", fmt.Errorf("tree: empty label")
+		}
+		return label, nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) {
+		r := p.src[p.pos]
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' || r == '-' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("tree: missing label at offset %d", p.pos)
+	}
+	return string(p.src[start:p.pos]), nil
+}
+
+// Walk visits the nodes in document order (preorder), calling fn with each
+// node and its depth (root depth = 1, matching the markup encoding's
+// counter). Walk stops early if fn returns false.
+func (n *Node) Walk(fn func(node *Node, depth int) bool) {
+	var rec func(*Node, int) bool
+	rec = func(x *Node, d int) bool {
+		if !fn(x, d) {
+			return false
+		}
+		for _, c := range x.Children {
+			if !rec(c, d+1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(n, 1)
+}
+
+// Nodes returns all nodes in document order.
+func (n *Node) Nodes() []*Node {
+	var out []*Node
+	n.Walk(func(x *Node, _ int) bool {
+		out = append(out, x)
+		return true
+	})
+	return out
+}
+
+// Labels returns the distinct labels occurring in the tree, in document
+// order of first occurrence.
+func (n *Node) Labels() []string {
+	var out []string
+	seen := map[string]bool{}
+	n.Walk(func(x *Node, _ int) bool {
+		if !seen[x.Label] {
+			seen[x.Label] = true
+			out = append(out, x.Label)
+		}
+		return true
+	})
+	return out
+}

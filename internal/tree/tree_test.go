@@ -1,0 +1,211 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/rex"
+)
+
+func TestParseAndString(t *testing.T) {
+	cases := []string{
+		"a",
+		"a(b)",
+		"a(b,c(d))",
+		"a(a(a),c)",
+		"'weird label'(x)",
+		"item(name,'price tag')",
+	}
+	for _, s := range cases {
+		n, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		back, err := Parse(n.String())
+		if err != nil || !n.Equal(back) {
+			t.Errorf("round trip failed for %q → %q", s, n.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "(", "a(", "a(b", "a(b,)", "a)b", "a(b))", "''", "a(,b)"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): expected error", s)
+		}
+	}
+}
+
+func TestSizeHeightChain(t *testing.T) {
+	n := MustParse("a(b(c),d)")
+	if n.Size() != 4 {
+		t.Errorf("Size = %d, want 4", n.Size())
+	}
+	if n.Height() != 3 {
+		t.Errorf("Height = %d, want 3", n.Height())
+	}
+	c := Chain([]string{"a", "b", "c"}, New("x"), New("y"))
+	if got := c.String(); got != "a(b(c(x,y)))" {
+		t.Errorf("Chain = %s", got)
+	}
+}
+
+func TestWalkOrderAndDepth(t *testing.T) {
+	n := MustParse("a(b(c),d)")
+	var labels []string
+	var depths []int
+	n.Walk(func(x *Node, d int) bool {
+		labels = append(labels, x.Label)
+		depths = append(depths, d)
+		return true
+	})
+	wantL := []string{"a", "b", "c", "d"}
+	wantD := []int{1, 2, 3, 2}
+	for i := range wantL {
+		if labels[i] != wantL[i] || depths[i] != wantD[i] {
+			t.Fatalf("Walk order %v %v, want %v %v", labels, depths, wantL, wantD)
+		}
+	}
+}
+
+func TestSelectQLExample212(t *testing.T) {
+	alph := alphabet.Letters("abc")
+	// Query /a//b = a Γ*b on the tree a(b, c(b), a(b)).
+	d := rex.MustCompile("a.*b", alph)
+	n := MustParse("a(b,c(b),a(b))")
+	// Document order: a=0 b=1 c=2 b=3 a=4 b=5. Paths: ab ✓, acb ✓, aab ✓.
+	got := SelectQL(d, n)
+	want := []int{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("SelectQL = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SelectQL = %v, want %v", got, want)
+		}
+	}
+	// Query /a/b = ab selects only depth-2 b's.
+	d2 := rex.MustCompile("ab", alph)
+	got2 := SelectQL(d2, n)
+	if len(got2) != 1 || got2[0] != 1 {
+		t.Errorf("SelectQL(ab) = %v, want [1]", got2)
+	}
+}
+
+func TestInELInAL(t *testing.T) {
+	alph := alphabet.Letters("abc")
+	d := rex.MustCompile("a b*", alph) // paths a b^k
+	inside := MustParse("a(b(b),b)")
+	if !InEL(d, inside) || !InAL(d, inside) {
+		t.Error("a(b(b),b): all branches in ab*, expected EL and AL membership")
+	}
+	mixed := MustParse("a(b,c)")
+	if !InEL(d, mixed) {
+		t.Error("a(b,c) has branch ab ∈ L")
+	}
+	if InAL(d, mixed) {
+		t.Error("a(b,c) has branch ac ∉ L")
+	}
+	outside := MustParse("c(a)")
+	if InEL(d, outside) {
+		t.Error("c(a) has no branch in ab*")
+	}
+}
+
+func TestALComplementDuality(t *testing.T) {
+	// (AL)ᶜ = E(Lᶜ) on random trees (Section 2.3).
+	alph := alphabet.Letters("ab")
+	d := rex.MustCompile("a(a|b)*b", alph)
+	dc := d.Complement()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		n := randomTree(rng, []string{"a", "b"}, 8)
+		if InAL(d, n) == InEL(dc, n) {
+			t.Fatalf("duality violated on %s", n)
+		}
+	}
+}
+
+func randomTree(rng *rand.Rand, labels []string, budget int) *Node {
+	n := New(labels[rng.Intn(len(labels))])
+	budget--
+	for budget > 0 && rng.Intn(3) != 0 {
+		sub := 1 + rng.Intn(budget)
+		n.Children = append(n.Children, randomTree(rng, labels, sub))
+		budget -= sub
+	}
+	return n
+}
+
+func TestContainsPattern(t *testing.T) {
+	// Pattern a with child b: matched by descendant relation.
+	pat := MustParse("a(b)")
+	yes := MustParse("c(a(c(b)))") // b is a descendant of a
+	no := MustParse("c(a(c),b)")   // b is not below a
+	if !Contains(yes, pat) {
+		t.Error("pattern a(b) should match c(a(c(b)))")
+	}
+	if Contains(no, pat) {
+		t.Error("pattern a(b) should not match c(a(c),b)")
+	}
+	// Multi-child pattern.
+	pat2 := MustParse("a(b,c)")
+	if !Contains(MustParse("a(x(b),y(c))"), pat2) {
+		t.Error("a(b,c) should match a(x(b),y(c))")
+	}
+	if Contains(MustParse("a(x(b))"), pat2) { // no c below a
+		t.Error("a(b,c) should not match a(x(b))")
+	}
+	// The same tree node can serve two incomparable pattern nodes... it
+	// cannot here because labels differ, but b below both works:
+	if !Contains(MustParse("a(b(c))"), pat2) {
+		t.Error("a(b,c) should match a(b(c)): c is also a descendant of a")
+	}
+}
+
+func TestStrictContainment(t *testing.T) {
+	// Figure 1 pattern: b(b(a,c),c) with descendant edges.
+	pat := MustParse("b(b(a,c),c)")
+	// Figure 1c-style match: the a-child and c-child hang off different
+	// b-nodes on the main branch with proper separation.
+	match := MustParse("b(b(a,c(x)),c)")
+	if !StrictlyContains(match, pat) {
+		t.Error("expected strict containment for direct embedding")
+	}
+	// Non-strict but contained: a and the inner c below the SAME node that
+	// also provides the outer c forces incomparability violations.
+	nonStrict := MustParse("b(b(x),c(a,c))") // a,c under the outer c's branch
+	if StrictlyContains(nonStrict, pat) && !Contains(nonStrict, pat) {
+		t.Error("inconsistent containment verdicts")
+	}
+	// Sanity: strict implies plain containment on random trees.
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 100; i++ {
+		tr := randomTree(rng, []string{"a", "b", "c"}, 10)
+		if StrictlyContains(tr, pat) && !Contains(tr, pat) {
+			t.Fatalf("strict ⊄ plain on %s", tr)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	n := MustParse("a(b(a),c)")
+	got := n.Labels()
+	want := []string{"a", "b", "c"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("Labels = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := MustParse("a(b,c)")
+	c := n.Clone()
+	c.Children[0].Label = "z"
+	if n.Children[0].Label != "b" {
+		t.Error("Clone shares structure with original")
+	}
+	if !n.Equal(MustParse("a(b,c)")) {
+		t.Error("original mutated")
+	}
+}

@@ -1,0 +1,593 @@
+// Package treeauto implements nondeterministic bottom-up automata on
+// ordered unranked trees, with regular horizontal languages given as
+// deterministic stepping functions. It provides membership, emptiness,
+// product and language equivalence, and hosts the paper's Propositions 2.3
+// (restricted depth-register automata recognize regular tree languages) and
+// 2.13 (deciding whether a restricted DRA realizes an RPQ).
+package treeauto
+
+import (
+	"fmt"
+	"sort"
+
+	"stackless/internal/tree"
+)
+
+// Horiz is a deterministic automaton over the NTA's state alphabet: it
+// reads the sequence of states assigned to a node's children. States are
+// implementation-interned ints starting from Start().
+type Horiz interface {
+	Start() int
+	Step(h int, childState int) int
+	Accepting(h int) bool
+}
+
+// Rule allows a node labelled Label to be assigned State when the sequence
+// of its children's states is accepted by H.
+type Rule struct {
+	Label string
+	State int
+	H     Horiz
+}
+
+// NTA is a nondeterministic bottom-up unranked tree automaton.
+type NTA struct {
+	States int
+	Final  []bool
+	Rules  []Rule
+
+	byLabel map[string][]int // rule indices per label
+}
+
+// New builds an NTA; call AddRule then Seal (or use the helpers below).
+func New(states int) *NTA {
+	return &NTA{
+		States:  states,
+		Final:   make([]bool, states),
+		byLabel: map[string][]int{},
+	}
+}
+
+// AddRule registers a rule.
+func (n *NTA) AddRule(r Rule) {
+	n.byLabel[r.Label] = append(n.byLabel[r.Label], len(n.Rules))
+	n.Rules = append(n.Rules, r)
+}
+
+// stateSet is a canonical (sorted) set of NTA states.
+type stateSet []int
+
+func (s stateSet) key() string {
+	b := make([]byte, 0, len(s)*4)
+	for _, v := range s {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func canonical(set map[int]bool) stateSet {
+	out := make(stateSet, 0, len(set))
+	for q := range set {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// possibleStates returns the set of states assignable to a node with the
+// given label whose children already have the given state sets.
+func (n *NTA) possibleStates(label string, children []stateSet) stateSet {
+	result := map[int]bool{}
+	for _, ri := range n.byLabel[label] {
+		r := n.Rules[ri]
+		// Reachable H-states after consuming the children, any choice of
+		// child state per position.
+		cur := map[int]bool{r.H.Start(): true}
+		for _, cs := range children {
+			next := map[int]bool{}
+			for h := range cur {
+				for _, q := range cs {
+					next[r.H.Step(h, q)] = true
+				}
+			}
+			cur = next
+			if len(cur) == 0 {
+				break
+			}
+		}
+		for h := range cur {
+			if r.H.Accepting(h) {
+				result[r.State] = true
+				break
+			}
+		}
+	}
+	return canonical(result)
+}
+
+// StatesOf computes the set of states assignable to the root of t.
+func (n *NTA) StatesOf(t *tree.Node) stateSet {
+	children := make([]stateSet, len(t.Children))
+	for i, c := range t.Children {
+		children[i] = n.StatesOf(c)
+	}
+	return n.possibleStates(t.Label, children)
+}
+
+// Accepts reports whether the automaton accepts t.
+func (n *NTA) Accepts(t *tree.Node) bool {
+	for _, q := range n.StatesOf(t) {
+		if n.Final[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// Inhabited computes the set of states q for which some tree evaluates to
+// a state set containing q — the least fixpoint used by the emptiness test.
+func (n *NTA) Inhabited() []bool {
+	inhabited := make([]bool, n.States)
+	changed := true
+	for changed {
+		changed = false
+		for _, r := range n.Rules {
+			if inhabited[r.State] {
+				continue
+			}
+			if n.horizReachable(r.H, func(q int) bool { return inhabited[q] }) {
+				inhabited[r.State] = true
+				changed = true
+			}
+		}
+	}
+	return inhabited
+}
+
+// horizReachable reports whether H accepts some word over the allowed
+// states, by BFS over H's (finitely many reachable) states.
+func (n *NTA) horizReachable(h Horiz, allowed func(int) bool) bool {
+	seen := map[int]bool{h.Start(): true}
+	queue := []int{h.Start()}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if h.Accepting(cur) {
+			return true
+		}
+		for q := 0; q < n.States; q++ {
+			if !allowed(q) {
+				continue
+			}
+			next := h.Step(cur, q)
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return false
+}
+
+// IsEmpty reports whether the recognized tree language is empty.
+func (n *NTA) IsEmpty() bool {
+	inhabited := n.Inhabited()
+	for q := 0; q < n.States; q++ {
+		if n.Final[q] && inhabited[q] {
+			return false
+		}
+	}
+	return true
+}
+
+// Labels returns the labels that have at least one rule, sorted.
+func (n *NTA) Labels() []string {
+	out := make([]string, 0, len(n.byLabel))
+	for l := range n.byLabel {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equivalent decides whether two automata recognize the same tree language,
+// by a fixpoint over the reachable pairs of determinized state sets. Both
+// automata should use the same label set (labels present in only one side
+// are still handled: the other side simply has no rules for them).
+//
+// The procedure is exponential in the worst case; maxPairs bounds the
+// explored pair space (0 means 1<<16) and an error is returned when the
+// bound is hit.
+func Equivalent(a, b *NTA, maxPairs int) (bool, error) {
+	if maxPairs <= 0 {
+		maxPairs = 1 << 16
+	}
+	labels := map[string]bool{}
+	for _, l := range a.Labels() {
+		labels[l] = true
+	}
+	for _, l := range b.Labels() {
+		labels[l] = true
+	}
+
+	pairKey := func(p ssPair) string { return p.sa.key() + "|" + p.sb.key() }
+	reach := map[string]ssPair{}
+	var order []ssPair
+
+	consistent := func(p ssPair) bool {
+		accA, accB := false, false
+		for _, q := range p.sa {
+			if a.Final[q] {
+				accA = true
+			}
+		}
+		for _, q := range p.sb {
+			if b.Final[q] {
+				accB = true
+			}
+		}
+		return accA == accB
+	}
+
+	add := func(p ssPair) (bool, error) {
+		k := pairKey(p)
+		if _, ok := reach[k]; ok {
+			return true, nil
+		}
+		if len(reach) >= maxPairs {
+			return false, fmt.Errorf("treeauto: pair bound %d exceeded", maxPairs)
+		}
+		reach[k] = p
+		order = append(order, p)
+		return consistent(p), nil
+	}
+
+	// Fixpoint: repeatedly extend the reachable pair set by building one
+	// more tree level. For each label, explore the reachable "horizontal
+	// configurations": sets of H-states per rule, on each side.
+	changed := true
+	for changed {
+		changed = false
+		before := len(order)
+		for label := range labels {
+			ok, err := exploreLabel(a, b, label, order, add)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		if len(order) > before {
+			changed = true
+		}
+	}
+	return true, nil
+}
+
+// exploreLabel enumerates every state-set pair producible at a node with
+// the given label from children drawn from the known reachable pairs, and
+// feeds them to add. It returns false as soon as add reports an
+// inconsistent pair.
+// ssPair is a pair of determinized state sets, one per automaton.
+type ssPair struct{ sa, sb stateSet }
+
+func exploreLabel(a, b *NTA, label string, known []ssPair, add func(ssPair) (bool, error)) (bool, error) {
+	type cfg struct {
+		ha [][]int // per a-rule: sorted reachable H-state set
+		hb [][]int
+	}
+	ruleA := a.byLabel[label]
+	ruleB := b.byLabel[label]
+
+	encode := func(c cfg) string {
+		s := ""
+		for _, hs := range c.ha {
+			s += fmt.Sprint(hs, ";")
+		}
+		s += "|"
+		for _, hs := range c.hb {
+			s += fmt.Sprint(hs, ";")
+		}
+		return s
+	}
+	start := cfg{}
+	for _, ri := range ruleA {
+		start.ha = append(start.ha, []int{a.Rules[ri].H.Start()})
+	}
+	for _, ri := range ruleB {
+		start.hb = append(start.hb, []int{b.Rules[ri].H.Start()})
+	}
+	seen := map[string]bool{encode(start): true}
+	queue := []cfg{start}
+
+	emit := func(c cfg) (bool, error) {
+		var p ssPair
+		setA := map[int]bool{}
+		for i, ri := range ruleA {
+			r := a.Rules[ri]
+			for _, h := range c.ha[i] {
+				if r.H.Accepting(h) {
+					setA[r.State] = true
+					break
+				}
+			}
+		}
+		setB := map[int]bool{}
+		for i, ri := range ruleB {
+			r := b.Rules[ri]
+			for _, h := range c.hb[i] {
+				if r.H.Accepting(h) {
+					setB[r.State] = true
+					break
+				}
+			}
+		}
+		p.sa, p.sb = canonical(setA), canonical(setB)
+		return add(p)
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if ok, err := emit(cur); err != nil || !ok {
+			return ok, err
+		}
+		// Extend with one more child, drawn from any known reachable pair.
+		for _, child := range known {
+			next := cfg{ha: make([][]int, len(cur.ha)), hb: make([][]int, len(cur.hb))}
+			for i := range cur.ha {
+				next.ha[i] = stepSet(a.Rules[ruleA[i]].H, cur.ha[i], child.sa)
+			}
+			for i := range cur.hb {
+				next.hb[i] = stepSet(b.Rules[ruleB[i]].H, cur.hb[i], child.sb)
+			}
+			k := encode(next)
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return true, nil
+}
+
+func stepSet(h Horiz, hs []int, childStates stateSet) []int {
+	set := map[int]bool{}
+	for _, s := range hs {
+		for _, q := range childStates {
+			set[h.Step(s, q)] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// --- Common horizontal languages ---
+
+// internTable lazily assigns dense ids to comparable keys.
+type internTable[K comparable] struct {
+	ids  map[K]int
+	keys []K
+}
+
+func newIntern[K comparable]() *internTable[K] {
+	return &internTable[K]{ids: map[K]int{}}
+}
+
+func (t *internTable[K]) id(k K) int {
+	if id, ok := t.ids[k]; ok {
+		return id
+	}
+	id := len(t.keys)
+	t.ids[k] = id
+	t.keys = append(t.keys, k)
+	return id
+}
+
+func (t *internTable[K]) key(id int) K { return t.keys[id] }
+
+// wordHoriz accepts exactly the given sequences of states. Its H-states are
+// the prefixes of those sequences plus a dead state, so the state space is
+// finite (required by the emptiness and equivalence fixpoints).
+type wordHoriz struct {
+	words    map[string]bool
+	prefixes map[string]bool
+	in       *internTable[string]
+}
+
+const deadPrefix = "\x00dead"
+
+// ExactWords returns a Horiz accepting exactly the listed state sequences.
+func ExactWords(words ...[]int) Horiz {
+	h := &wordHoriz{words: map[string]bool{}, prefixes: map[string]bool{}, in: newIntern[string]()}
+	for _, w := range words {
+		h.words[fmt.Sprint(w)] = true
+		for i := 0; i <= len(w); i++ {
+			h.prefixes[fmt.Sprint(w[:i])] = true
+		}
+	}
+	h.in.id("[]")
+	h.in.id(deadPrefix)
+	return h
+}
+
+func (h *wordHoriz) Start() int { return h.in.id("[]") }
+
+func (h *wordHoriz) Step(s int, q int) int {
+	cur := h.in.key(s)
+	if cur == deadPrefix {
+		return s
+	}
+	next := appendPrinted(cur, q)
+	if !h.prefixes[next] {
+		return h.in.id(deadPrefix)
+	}
+	return h.in.id(next)
+}
+
+func appendPrinted(prefix string, q int) string {
+	if prefix == "[]" {
+		return fmt.Sprintf("[%d]", q)
+	}
+	return fmt.Sprintf("%s %d]", prefix[:len(prefix)-1], q)
+}
+
+func (h *wordHoriz) Accepting(s int) bool { return h.words[h.in.key(s)] }
+
+// AnyWord accepts every sequence of states drawn from the allowed set.
+type anyHoriz struct {
+	allowed map[int]bool
+	all     bool
+}
+
+// AllOf returns a Horiz accepting any sequence over the allowed states
+// (nil means all states).
+func AllOf(allowed []int) Horiz {
+	if allowed == nil {
+		return &anyHoriz{all: true}
+	}
+	m := map[int]bool{}
+	for _, q := range allowed {
+		m[q] = true
+	}
+	return &anyHoriz{allowed: m}
+}
+
+func (h *anyHoriz) Start() int { return 0 }
+
+func (h *anyHoriz) Step(s int, q int) int {
+	if s == 1 {
+		return 1
+	}
+	if h.all || h.allowed[q] {
+		return 0
+	}
+	return 1
+}
+
+func (h *anyHoriz) Accepting(s int) bool { return s == 0 }
+
+// oneOrMoreHoriz accepts every nonempty sequence over the allowed states.
+type oneOrMoreHoriz struct {
+	allowed map[int]bool
+}
+
+// OneOrMoreOf returns a Horiz accepting any *nonempty* sequence over the
+// allowed states.
+func OneOrMoreOf(allowed []int) Horiz {
+	m := map[int]bool{}
+	for _, q := range allowed {
+		m[q] = true
+	}
+	return &oneOrMoreHoriz{allowed: m}
+}
+
+func (h *oneOrMoreHoriz) Start() int { return 0 }
+
+func (h *oneOrMoreHoriz) Step(s int, q int) int {
+	if s == 2 || !h.allowed[q] {
+		return 2
+	}
+	return 1
+}
+
+func (h *oneOrMoreHoriz) Accepting(s int) bool { return s == 1 }
+
+// UnionNTA returns an automaton for L(a) ∪ L(b): the disjoint union of the
+// two automata (regular tree languages are closed under union).
+func UnionNTA(a, b *NTA) *NTA {
+	out := New(a.States + b.States)
+	for _, r := range a.Rules {
+		out.AddRule(r)
+	}
+	for _, r := range b.Rules {
+		out.AddRule(Rule{Label: r.Label, State: r.State + a.States, H: &shiftedHoriz{inner: r.H, shift: a.States}})
+	}
+	copy(out.Final, a.Final)
+	for q, f := range b.Final {
+		out.Final[a.States+q] = f
+	}
+	return out
+}
+
+// shiftedHoriz renumbers the child-state alphabet of a horizontal language
+// embedded in a disjoint union: states below shift belong to the other
+// component and send the run to a dead H-state.
+type shiftedHoriz struct {
+	inner Horiz
+	shift int
+}
+
+func (h *shiftedHoriz) Start() int { return h.inner.Start() + 1 }
+
+func (h *shiftedHoriz) Step(s int, q int) int {
+	if s == 0 {
+		return 0 // dead
+	}
+	if q < h.shift {
+		return 0
+	}
+	return h.inner.Step(s-1, q-h.shift) + 1
+}
+
+func (h *shiftedHoriz) Accepting(s int) bool {
+	return s != 0 && h.inner.Accepting(s-1)
+}
+
+// IntersectNTA returns an automaton for L(a) ∩ L(b): the product
+// construction, with horizontal languages running in lockstep over state
+// pairs.
+func IntersectNTA(a, b *NTA) *NTA {
+	nb := b.States
+	out := New(a.States * nb)
+	for _, ra := range a.Rules {
+		for _, rb := range b.Rules {
+			if ra.Label != rb.Label {
+				continue
+			}
+			out.AddRule(Rule{
+				Label: ra.Label,
+				State: ra.State*nb + rb.State,
+				H:     &pairHoriz{x: ra.H, y: rb.H, nb: nb},
+			})
+		}
+	}
+	for qa := 0; qa < a.States; qa++ {
+		for qb := 0; qb < nb; qb++ {
+			out.Final[qa*nb+qb] = a.Final[qa] && b.Final[qb]
+		}
+	}
+	return out
+}
+
+// pairHoriz runs two horizontal automata in lockstep over pair-encoded
+// child states; its own states are interned pairs.
+type pairHoriz struct {
+	x, y Horiz
+	nb   int
+	in   internTable[[2]int]
+}
+
+func (h *pairHoriz) id(sx, sy int) int {
+	if h.in.ids == nil {
+		h.in.ids = map[[2]int]int{}
+	}
+	return h.in.id([2]int{sx, sy})
+}
+
+func (h *pairHoriz) Start() int { return h.id(h.x.Start(), h.y.Start()) }
+
+func (h *pairHoriz) Step(s int, q int) int {
+	pair := h.in.key(s)
+	return h.id(h.x.Step(pair[0], q/h.nb), h.y.Step(pair[1], q%h.nb))
+}
+
+func (h *pairHoriz) Accepting(s int) bool {
+	pair := h.in.key(s)
+	return h.x.Accepting(pair[0]) && h.y.Accepting(pair[1])
+}

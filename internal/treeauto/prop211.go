@@ -1,0 +1,231 @@
+package treeauto
+
+import (
+	"fmt"
+
+	"stackless/internal/core"
+	"stackless/internal/tree"
+)
+
+// Proposition 2.11 (bounded checks): every stackless query invariant under
+// sibling order is an RPQ, namely Q_L for the language L read off the
+// descending projection of the automaton. Since full invariance checking is
+// undecidable-adjacent for raw table DRAs, this file provides
+// bounded-model-checking companions to the exact Proposition 2.13
+// procedure: enumerate all trees up to a node budget and verify the
+// property directly. A bounded check that fails is a definitive
+// counterexample; one that passes is evidence, not proof (use IsPathQuery
+// for the exact decision on restricted DRAs).
+
+// EnumerateTrees calls fn with every tree over the given labels having at
+// most maxNodes nodes, and returns the number of trees visited. Trees are
+// generated in a canonical order.
+func EnumerateTrees(labels []string, maxNodes int, fn func(*tree.Node) bool) int {
+	count := 0
+	// forests(budget) = all forests (ordered lists of trees) using exactly
+	// k ≤ budget nodes, returned as (forest, nodesUsed).
+	var trees func(budget int) []*tree.Node
+	var forests func(budget int) [][]*tree.Node
+	treeMemo := map[int][]*tree.Node{}
+	forestMemo := map[int][][]*tree.Node{}
+	trees = func(budget int) []*tree.Node {
+		if budget < 1 {
+			return nil
+		}
+		if m, ok := treeMemo[budget]; ok {
+			return m
+		}
+		var out []*tree.Node
+		for _, l := range labels {
+			for _, f := range forests(budget - 1) {
+				out = append(out, tree.New(l, f...))
+			}
+		}
+		treeMemo[budget] = out
+		return out
+	}
+	forests = func(budget int) [][]*tree.Node {
+		if m, ok := forestMemo[budget]; ok {
+			return m
+		}
+		out := [][]*tree.Node{{}} // the empty forest
+		for first := 1; first <= budget; first++ {
+			for _, head := range treesExactly(trees, first) {
+				for _, rest := range forests(budget - first) {
+					f := append([]*tree.Node{head}, rest...)
+					out = append(out, f)
+				}
+			}
+		}
+		forestMemo[budget] = out
+		return out
+	}
+	for n := 1; n <= maxNodes; n++ {
+		for _, t := range treesExactly(trees, n) {
+			count++
+			// The memoized construction shares subtree objects; hand out a
+			// fresh copy so callers may rely on node identity.
+			if !fn(t.Clone()) {
+				return count
+			}
+		}
+	}
+	return count
+}
+
+// treesExactly filters the ≤budget tree list to exactly n nodes.
+func treesExactly(trees func(int) []*tree.Node, n int) []*tree.Node {
+	var out []*tree.Node
+	for _, t := range trees(n) {
+		if t.Size() == n {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// IsSiblingInvariantUpTo checks invariance under sibling order
+// (Section 2.3) for all trees with at most maxNodes nodes over the DRA's
+// alphabet: swapping two adjacent sibling subtrees must permute the
+// selected set accordingly. Returns a counterexample tree when violated.
+func IsSiblingInvariantUpTo(d *core.DRA, maxNodes int) (bool, *tree.Node, error) {
+	labels := d.Alphabet.Symbols()
+	var failure *tree.Node
+	var firstErr error
+	EnumerateTrees(labels, maxNodes, func(t *tree.Node) bool {
+		base, err := SelectedPositions(d, t)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		ok, err := checkSwaps(d, t, base)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		if !ok {
+			failure = t
+			return false
+		}
+		return true
+	})
+	if firstErr != nil {
+		return false, nil, firstErr
+	}
+	return failure == nil, failure, nil
+}
+
+// checkSwaps tries every adjacent-sibling swap in t and verifies the
+// selected node set is carried along by the swap bijection.
+func checkSwaps(d *core.DRA, t *tree.Node, base []int) (bool, error) {
+	nodes := t.Nodes()
+	for _, parent := range nodes {
+		for i := 0; i+1 < len(parent.Children); i++ {
+			swapped := t.Clone()
+			// Find the corresponding parent in the clone by position.
+			pi := indexOfNode(nodes, parent)
+			cp := swapped.Nodes()[pi]
+			cp.Children[i], cp.Children[i+1] = cp.Children[i+1], cp.Children[i]
+			got, err := SelectedPositions(d, swapped)
+			if err != nil {
+				return false, err
+			}
+			want := mapPositionsThroughSwap(t, parent, i, base)
+			if !equalIntSets(got, want) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func indexOfNode(nodes []*tree.Node, n *tree.Node) int {
+	for i, x := range nodes {
+		if x == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// mapPositionsThroughSwap computes where each selected preorder position
+// lands after swapping children i and i+1 of parent.
+func mapPositionsThroughSwap(t *tree.Node, parent *tree.Node, i int, sel []int) []int {
+	// Compute preorder position of each node and the bijection.
+	pos := map[*tree.Node]int{}
+	counter := 0
+	var number func(n *tree.Node)
+	number = func(n *tree.Node) {
+		pos[n] = counter
+		counter++
+		for _, c := range n.Children {
+			number(c)
+		}
+	}
+	number(t)
+	a, b := parent.Children[i], parent.Children[i+1]
+	aStart, bStart := pos[a], pos[b]
+	aSize, bSize := a.Size(), b.Size()
+	remap := func(p int) int {
+		switch {
+		case p >= aStart && p < aStart+aSize:
+			return p + bSize // a's subtree shifts right past b
+		case p >= bStart && p < bStart+bSize:
+			return p - aSize // b's subtree shifts left
+		default:
+			return p
+		}
+	}
+	out := make([]int, len(sel))
+	for j, p := range sel {
+		out[j] = remap(p)
+	}
+	return out
+}
+
+func equalIntSets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := map[int]int{}
+	for _, x := range a {
+		seen[x]++
+	}
+	for _, x := range b {
+		seen[x]--
+	}
+	for _, v := range seen {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RealizesProjectionRPQUpTo checks Proposition 2.11's conclusion on all
+// trees up to maxNodes: the DRA's pre-selections coincide with Q_L for
+// L = the descending-projection language. Returns a counterexample when
+// they differ.
+func RealizesProjectionRPQUpTo(d *core.DRA, maxNodes int) (bool, *tree.Node, error) {
+	l := ProjectionDFA(d)
+	labels := d.Alphabet.Symbols()
+	var failure *tree.Node
+	var firstErr error
+	EnumerateTrees(labels, maxNodes, func(t *tree.Node) bool {
+		got, err := SelectedPositions(d, t)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		want := tree.SelectQL(l, t)
+		if !equalIntSets(got, want) {
+			failure = t
+			return false
+		}
+		return true
+	})
+	if firstErr != nil {
+		return false, nil, fmt.Errorf("treeauto: %w", firstErr)
+	}
+	return failure == nil, failure, nil
+}

@@ -1,0 +1,103 @@
+package treeauto
+
+import (
+	"fmt"
+
+	"stackless/internal/core"
+	"stackless/internal/dfa"
+	"stackless/internal/encoding"
+	"stackless/internal/tree"
+)
+
+// Proposition 2.13: it is decidable whether the query realized by a given
+// restricted depth-register automaton is an RPQ. Following the proof:
+//
+//  1. build the NTA for M_Q, the marked trees (T, Q(T)) (Proposition 2.3's
+//     labelling, marking a node iff the state after its opening tag is
+//     accepting);
+//  2. extract L_Q, the path language read off single-branch runs — on a
+//     descending run every register stays strictly below the current depth,
+//     so the DRA projects to an ordinary DFA over Γ (Proposition 2.11);
+//  3. build the NTA for M_{L_Q}, the trees marked at exactly the nodes
+//     whose root path lies in L_Q;
+//  4. test the two NTAs for equivalence.
+
+// ProjectionDFA extracts the descending-run DFA over Γ: the automaton
+// obtained by restricting the DRA to opening tags, where the register tests
+// are constantly (X≤, X≥) = (Ξ, ∅).
+func ProjectionDFA(d *core.DRA) *dfa.DFA {
+	fullXi := core.RegSet(1<<uint(d.Regs)) - 1
+	out := dfa.New(d.Alphabet, d.States, d.Start)
+	copy(out.Accept, d.Accept)
+	for q := 0; q < d.States; q++ {
+		for a := 0; a < d.Alphabet.Size(); a++ {
+			out.Delta[q][a] = d.Transition(q, a, false, fullXi, 0).Next
+		}
+	}
+	return out
+}
+
+// MarkedPathNTA builds the NTA recognizing M_L for the path language of l:
+// trees over the marked alphabet in which a node is marked iff the label
+// path from the root to it is accepted by l.
+func MarkedPathNTA(l *dfa.DFA) *NTA {
+	// State (sym, q): the node has label sym and the DFA reaches q on the
+	// path from the root up to and including this node.
+	type pathState struct{ sym, q int }
+	st := newIntern[pathState]()
+	k := l.Alphabet.Size()
+	for sym := 0; sym < k; sym++ {
+		for q := 0; q < l.NumStates(); q++ {
+			st.id(pathState{sym, q})
+		}
+	}
+	n := New(k * l.NumStates())
+	for sym := 0; sym < k; sym++ {
+		for q := 0; q < l.NumStates(); q++ {
+			id := st.id(pathState{sym, q})
+			// Children must carry states (b, δ(q, b)).
+			allowed := make([]int, 0, k)
+			for b := 0; b < k; b++ {
+				allowed = append(allowed, st.id(pathState{b, l.Delta[q][b]}))
+			}
+			n.AddRule(Rule{
+				Label: MarkLabel(l.Alphabet.Symbol(sym), l.Accept[q]),
+				State: id,
+				H:     AllOf(allowed),
+			})
+			if l.Delta[l.Start][sym] == q {
+				n.Final[id] = true
+			}
+		}
+	}
+	return n
+}
+
+// IsPathQuery decides whether the query realized (by pre-selection) by the
+// restricted DRA d is an RPQ, i.e. a path query (Proposition 2.13).
+// maxPairs bounds the equivalence test's search (0 for the default).
+func IsPathQuery(d *core.DRA, maxPairs int) (bool, error) {
+	conv, err := FromRestrictedDRA(d, true)
+	if err != nil {
+		return false, err
+	}
+	ml := MarkedPathNTA(ProjectionDFA(d))
+	return Equivalent(conv.NTA, ml, maxPairs)
+}
+
+// SelectedPositions runs the DRA over the markup encoding of t and returns
+// the preorder positions it pre-selects — the reference semantics for the
+// M_Q automata (test helper).
+func SelectedPositions(d *core.DRA, t *tree.Node) ([]int, error) {
+	return core.SelectPositions(d.Evaluator(), encoding.NewSliceSource(encoding.Markup(t)))
+}
+
+// AcceptsTree runs the DRA over the markup encoding of t (test helper for
+// the Proposition 2.3 conversion).
+func AcceptsTree(d *core.DRA, t *tree.Node) (bool, error) {
+	ok, err := core.Recognize(d.Evaluator(), encoding.NewSliceSource(encoding.Markup(t)))
+	if err != nil {
+		return false, fmt.Errorf("treeauto: %w", err)
+	}
+	return ok, nil
+}

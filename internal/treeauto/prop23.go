@@ -1,0 +1,205 @@
+package treeauto
+
+import (
+	"fmt"
+
+	"stackless/internal/core"
+	"stackless/internal/tree"
+)
+
+// Proposition 2.3: every restricted depth-register automaton recognizes a
+// regular tree language. The construction follows the paper's proof: the
+// NTA guesses, for each node v, an auxiliary label
+//
+//	((X, p), Y, (Z, q), q′)
+//
+// meaning: reading v's opening tag loads the current depth into X and moves
+// to state p; the infix strictly between v's tags loads exactly the
+// registers Y; v's closing tag loads Z and moves to q; and q′ is the state
+// just before the closing tag (p for a leaf, the exit state of the last
+// child otherwise). The horizontal languages verify the rephrased local
+// conditions of the proof, which are sound precisely because the automaton
+// is restricted (Xi ∪ Yi ⊆ Zi after climbing).
+//
+// (The root's closing-tag test set is Ξ \ (X ∪ Y): exactly the registers
+// never loaded still hold the initial 0 ≤ 0.)
+
+// auxState is the interned NTA state.
+type auxState struct {
+	sym    int // label id in the DRA's alphabet
+	x      core.RegSet
+	p      int
+	y      core.RegSet
+	z      core.RegSet
+	q      int
+	qprime int
+}
+
+// DRAConversion is the result of converting a restricted DRA.
+type DRAConversion struct {
+	NTA *NTA
+	dra *core.DRA
+	st  *internTable[auxState]
+}
+
+// FromRestrictedDRA converts a restricted DRA into an equivalent NTA
+// (Proposition 2.3). If markQuery is true, the NTA instead recognizes the
+// marked-tree language M_Q of the query the DRA realizes by pre-selection
+// (every correctly marked tree is accepted regardless of the DRA's final
+// verdict); node labels then take the form MarkLabel(a, selected).
+func FromRestrictedDRA(d *core.DRA, markQuery bool) (*DRAConversion, error) {
+	if !d.IsRestricted() {
+		return nil, fmt.Errorf("treeauto: Proposition 2.3 requires a restricted DRA")
+	}
+	fullXi := core.RegSet(1<<uint(d.Regs)) - 1
+	st := newIntern[auxState]()
+
+	// Enumerate all auxiliary states.
+	var all []auxState
+	for sym := 0; sym < d.Alphabet.Size(); sym++ {
+		for x := core.RegSet(0); x <= fullXi; x++ {
+			for p := 0; p < d.States; p++ {
+				// Prune with the opening condition relative to any
+				// predecessor state: (X,p) must be in the image of
+				// δ(·, a, Ξ, ∅).
+				feasible := false
+				for pred := 0; pred < d.States; pred++ {
+					tr := d.Transition(pred, sym, false, fullXi, 0)
+					if tr.Load == x && tr.Next == p {
+						feasible = true
+						break
+					}
+				}
+				if !feasible {
+					continue
+				}
+				for y := core.RegSet(0); y <= fullXi; y++ {
+					for z := core.RegSet(0); z <= fullXi; z++ {
+						for q := 0; q < d.States; q++ {
+							for qp := 0; qp < d.States; qp++ {
+								s := auxState{sym, x, p, y, z, q, qp}
+								st.id(s)
+								all = append(all, s)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	n := New(len(all))
+	conv := &DRAConversion{NTA: n, dra: d, st: st}
+	for _, s := range all {
+		label := d.Alphabet.Symbol(s.sym)
+		if markQuery {
+			label = MarkLabel(label, d.Accept[s.p])
+		}
+		n.AddRule(Rule{Label: label, State: st.id(s), H: &auxHoriz{d: d, st: st, parent: s, in: newIntern[hKey]()}})
+		// Root consistency: the opening from the initial configuration and
+		// the closing back to depth 0.
+		openTr := d.Transition(d.Start, s.sym, false, fullXi, 0)
+		if openTr.Load != s.x || openTr.Next != s.p {
+			continue
+		}
+		closeTr := d.Transition(s.qprime, s.sym, true, fullXi&^(s.x|s.y), fullXi)
+		if closeTr.Load != s.z || closeTr.Next != s.q {
+			continue
+		}
+		if markQuery || d.Accept[s.q] {
+			n.Final[st.id(s)] = true
+		}
+	}
+	return conv, nil
+}
+
+// MarkLabel builds the marked-alphabet label used by the M_Q automata.
+func MarkLabel(label string, marked bool) string {
+	if marked {
+		return label + "#1"
+	}
+	return label + "#0"
+}
+
+// MarkTree returns a copy of t over the marked alphabet, marked at exactly
+// the preorder positions in sel (which must be sorted).
+func MarkTree(t *tree.Node, sel []int) *tree.Node {
+	pos := -1
+	selIdx := 0
+	var rec func(n *tree.Node) *tree.Node
+	rec = func(n *tree.Node) *tree.Node {
+		pos++
+		marked := selIdx < len(sel) && sel[selIdx] == pos
+		if marked {
+			selIdx++
+		}
+		out := tree.New(MarkLabel(n.Label, marked))
+		for _, c := range n.Children {
+			out.Children = append(out.Children, rec(c))
+		}
+		return out
+	}
+	return rec(t)
+}
+
+// hKey is the interned horizontal state: the expected entry state for the
+// next child, the accumulated interior loads, the accumulated
+// X ∪ Z1 ∪ … ∪ Zi, and the last child's exit state (-1 for none, -2 dead).
+type hKey struct {
+	pNext int
+	yAcc  core.RegSet
+	zAcc  core.RegSet
+	lastQ int
+}
+
+type auxHoriz struct {
+	d      *core.DRA
+	st     *internTable[auxState]
+	parent auxState
+	in     *internTable[hKey]
+}
+
+func (h *auxHoriz) Start() int {
+	return h.in.id(hKey{pNext: h.parent.p, yAcc: 0, zAcc: h.parent.x, lastQ: -1})
+}
+
+func (h *auxHoriz) Step(hs int, childState int) int {
+	cur := h.in.key(hs)
+	if cur.lastQ == -2 {
+		return hs // dead
+	}
+	c := h.st.key(childState)
+	fullXi := core.RegSet(1<<uint(h.d.Regs)) - 1
+	dead := h.in.id(hKey{lastQ: -2})
+
+	// Opening condition: (Xi, pi) = δ(p′, ai, Ξ, ∅).
+	openTr := h.d.Transition(cur.pNext, c.sym, false, fullXi, 0)
+	if openTr.Load != c.x || openTr.Next != c.p {
+		return dead
+	}
+	// Closing condition:
+	// (Zi, qi) = δ(q′i, āi, Ξ\(Xi∪Yi), X∪Z1..Zi-1∪Xi∪Yi).
+	closeTr := h.d.Transition(c.qprime, c.sym, true, fullXi&^(c.x|c.y), cur.zAcc|c.x|c.y)
+	if closeTr.Load != c.z || closeTr.Next != c.q {
+		return dead
+	}
+	return h.in.id(hKey{
+		pNext: c.q,
+		yAcc:  cur.yAcc | c.x | c.y | c.z,
+		zAcc:  cur.zAcc | c.z,
+		lastQ: c.q,
+	})
+}
+
+func (h *auxHoriz) Accepting(hs int) bool {
+	cur := h.in.key(hs)
+	if cur.lastQ == -2 {
+		return false
+	}
+	if cur.lastQ == -1 {
+		// Leaf: no interior loads, and the state before the closing tag is
+		// the state after the opening tag.
+		return h.parent.y == 0 && h.parent.qprime == h.parent.p
+	}
+	return cur.yAcc == h.parent.y && h.parent.qprime == cur.lastQ
+}

@@ -1,0 +1,337 @@
+package treeauto
+
+import (
+	"math/rand"
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/classify"
+	"stackless/internal/core"
+	"stackless/internal/dfa"
+	"stackless/internal/rex"
+	"stackless/internal/tree"
+)
+
+// leafNTA builds a tiny NTA over {a,b}: state 0 for b-leaves, state 1 for
+// any a-node, final 1 — accepting trees with an a-root whose children are
+// all b-leaves or a-nodes.
+func leafNTA() *NTA {
+	n := New(2)
+	n.AddRule(Rule{Label: "b", State: 0, H: ExactWords([]int{})})
+	n.AddRule(Rule{Label: "a", State: 1, H: AllOf([]int{0, 1})})
+	n.Final[1] = true
+	return n
+}
+
+func TestNTAMembership(t *testing.T) {
+	n := leafNTA()
+	cases := []struct {
+		tr   string
+		want bool
+	}{
+		{"a", true},
+		{"a(b,b)", true},
+		{"a(a(b),b)", true},
+		{"b", false},
+		{"a(b(b))", false}, // b with a child has no rule
+	}
+	for _, c := range cases {
+		if got := n.Accepts(tree.MustParse(c.tr)); got != c.want {
+			t.Errorf("Accepts(%s) = %v, want %v", c.tr, got, c.want)
+		}
+	}
+}
+
+func TestNTAEmptiness(t *testing.T) {
+	n := leafNTA()
+	if n.IsEmpty() {
+		t.Error("nonempty automaton reported empty")
+	}
+	// An automaton whose only final state is uninhabited.
+	m := New(2)
+	m.AddRule(Rule{Label: "a", State: 0, H: ExactWords([]int{1})}) // needs state 1 below
+	m.Final[0] = true
+	if !m.IsEmpty() {
+		t.Error("empty automaton reported nonempty")
+	}
+}
+
+func TestNTAEquivalenceSmall(t *testing.T) {
+	// Two different presentations of "all-a trees".
+	a := New(1)
+	a.AddRule(Rule{Label: "a", State: 0, H: AllOf([]int{0})})
+	a.Final[0] = true
+
+	b := New(2)
+	b.AddRule(Rule{Label: "a", State: 0, H: ExactWords([]int{})})      // a-leaf
+	b.AddRule(Rule{Label: "a", State: 1, H: OneOrMoreOf([]int{0, 1})}) // internal a
+	b.Final[0], b.Final[1] = true, true
+
+	eq, err := Equivalent(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("equivalent automata reported inequivalent")
+	}
+
+	// Tweak: b no longer accepts single leaves.
+	b.Final[0] = false
+	eq, err = Equivalent(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("inequivalent automata reported equivalent")
+	}
+}
+
+// TestProp23Example26 converts the Example 2.6 restricted DRA to an NTA and
+// compares them on random trees — the executable content of Prop 2.3.
+func TestProp23Example26(t *testing.T) {
+	d := core.Example26()
+	conv, err := FromRestrictedDRA(d, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	labels := []string{"a", "b", "c"}
+	agreeTrue, agreeFalse := 0, 0
+	for i := 0; i < 400; i++ {
+		tr := randomTree(rng, labels, 1+rng.Intn(14))
+		want, err := AcceptsTree(d, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := conv.NTA.Accepts(tr)
+		if got != want {
+			t.Fatalf("Prop 2.3 NTA disagrees on %s: nta=%v dra=%v", tr, got, want)
+		}
+		if want {
+			agreeTrue++
+		} else {
+			agreeFalse++
+		}
+	}
+	if agreeTrue == 0 || agreeFalse == 0 {
+		t.Fatalf("degenerate sampling: %d accepting, %d rejecting", agreeTrue, agreeFalse)
+	}
+}
+
+// TestProp23Example25 does the same for the Example 2.5 machine (children
+// of the root spell a word of ab*).
+func TestProp23Example25(t *testing.T) {
+	l := rex.MustCompile("ab*", alphabet.Letters("ab"))
+	d := core.Example25(l)
+	if !d.IsRestricted() {
+		t.Fatal("Example 2.5 DRA should be restricted")
+	}
+	conv, err := FromRestrictedDRA(d, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	for i := 0; i < 300; i++ {
+		tr := randomTree(rng, []string{"a", "b"}, 1+rng.Intn(10))
+		want, err := AcceptsTree(d, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := conv.NTA.Accepts(tr); got != want {
+			t.Fatalf("Prop 2.3 NTA disagrees on %s: nta=%v dra=%v", tr, got, want)
+		}
+	}
+}
+
+func TestProp23RejectsUnrestricted(t *testing.T) {
+	if _, err := FromRestrictedDRA(core.Example22(), false); err == nil {
+		t.Error("Example 2.2 is unrestricted; conversion must fail")
+	}
+}
+
+// queryDRAFromDFA builds a trivially restricted DRA (no registers) that
+// simulates a DFA over opening tags and ignores register structure; closing
+// tags revert... they cannot, so we use a DFA-realizable query: one whose
+// tag DFA comes from RegisterlessQL. For the Prop 2.13 tests we instead
+// exercise hand-built DRAs below.
+//
+// registerlessDRA wraps a registerless tag automaton (Lemma 3.5 output)
+// as a 0-register table DRA.
+func registerlessDRA(tag *core.TagDFA) *core.DRA {
+	d := core.NewDRA(tag.Alphabet, tag.NumStates(), tag.Start, 0)
+	copy(d.Accept, tag.Accept)
+	for q := 0; q < tag.NumStates(); q++ {
+		for a := 0; a < tag.Alphabet.Size(); a++ {
+			d.SetForAllTests(q, a, false, 0, tag.OpenT[q][a])
+			d.SetForAllTests(q, a, true, 0, tag.CloseT[q][a])
+		}
+	}
+	return d
+}
+
+// TestMarkedQueryNTA checks the M_Q automaton against the DRA's actual
+// selections on random trees.
+func TestMarkedQueryNTA(t *testing.T) {
+	// The query QL for L = a(a|b)* (registerless: almost-reversible).
+	l := rex.MustCompile("a(a|b)*", alphabet.Letters("ab"))
+	tag := compileRegisterless(t, l)
+	d := registerlessDRA(tag)
+	conv, err := FromRestrictedDRA(d, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(33))
+	for i := 0; i < 200; i++ {
+		tr := randomTree(rng, []string{"a", "b"}, 1+rng.Intn(10))
+		sel, err := SelectedPositions(d, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		marked := MarkTree(tr, sel)
+		if !conv.NTA.Accepts(marked) {
+			t.Fatalf("M_Q rejects correctly marked tree %s", marked)
+		}
+		// Flip one mark: must be rejected.
+		if tr.Size() > 0 {
+			flipPos := rng.Intn(tr.Size())
+			var wrong []int
+			found := false
+			for _, p := range sel {
+				if p == flipPos {
+					found = true
+					continue
+				}
+				wrong = append(wrong, p)
+			}
+			if !found {
+				wrong = append(wrong, flipPos)
+				sortInts(wrong)
+			}
+			badMarked := MarkTree(tr, wrong)
+			if conv.NTA.Accepts(badMarked) {
+				t.Fatalf("M_Q accepts incorrectly marked tree %s (correct %v, used %v)", badMarked, sel, wrong)
+			}
+		}
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}
+
+func compileRegisterless(t *testing.T, l *dfa.DFA) *core.TagDFA {
+	t.Helper()
+	an := classify.Analyze(l)
+	tag, err := core.RegisterlessQL(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tag
+}
+
+// TestProp213PathQueryYes: a registerless DRA realizing an RPQ must be
+// recognized as a path query.
+func TestProp213PathQueryYes(t *testing.T) {
+	l := rex.MustCompile("a(a|b)*", alphabet.Letters("ab"))
+	d := registerlessDRA(compileRegisterless(t, l))
+	ok, err := IsPathQuery(d, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("query of a(a|b)* should be a path query")
+	}
+}
+
+// TestProp213PathQueryNo: a DRA that selects a node only when it is a
+// *leaf* (closing right after opening) is sibling-order invariant but not a
+// path query... pre-selection cannot see ahead, so instead use a query that
+// depends on the *previous* siblings: select every node that is preceded by
+// some earlier sibling subtree — not a path query.
+func TestProp213PathQueryNo(t *testing.T) {
+	// DRA over {a}: select an opening tag iff some closing tag was read
+	// before it (i.e. the node is not on the leftmost branch). This query is
+	// not a path query: in a(a,a) the second child is selected but the
+	// single-branch tree with the same path a·a is not.
+	alph := alphabet.Letters("a")
+	d := core.NewDRA(alph, 2, 0, 0)
+	d.Accept[1] = true
+	d.SetForAllTests(0, 0, false, 0, 0)
+	d.SetForAllTests(0, 0, true, 0, 1)
+	d.SetForAllTests(1, 0, false, 0, 1)
+	d.SetForAllTests(1, 0, true, 0, 1)
+	ok, err := IsPathQuery(d, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("non-path query misclassified as a path query")
+	}
+}
+
+func randomTree(rng *rand.Rand, labels []string, budget int) *tree.Node {
+	n := tree.New(labels[rng.Intn(len(labels))])
+	budget--
+	for budget > 0 && rng.Intn(3) != 0 {
+		sub := 1 + rng.Intn(budget)
+		n.Children = append(n.Children, randomTree(rng, labels, sub))
+		budget -= sub
+	}
+	return n
+}
+
+// TestNTAUnionIntersection checks the tree-language closures against
+// per-tree evaluation on random trees.
+func TestNTAUnionIntersection(t *testing.T) {
+	// a-trees: every node labelled a; b-leaf trees: root a, children are
+	// b-leaves or nested a-nodes (the leafNTA language).
+	allA := New(1)
+	allA.AddRule(Rule{Label: "a", State: 0, H: AllOf([]int{0})})
+	allA.Final[0] = true
+	mixed := leafNTA()
+
+	uni := UnionNTA(allA, mixed)
+	inter := IntersectNTA(allA, mixed)
+	rng := rand.New(rand.NewSource(34))
+	both, either := 0, 0
+	for i := 0; i < 500; i++ {
+		tr := randomTree(rng, []string{"a", "b"}, 1+rng.Intn(8))
+		inA, inM := allA.Accepts(tr), mixed.Accepts(tr)
+		if got := uni.Accepts(tr); got != (inA || inM) {
+			t.Fatalf("union wrong on %s: got %v, want %v∨%v", tr, got, inA, inM)
+		}
+		if got := inter.Accepts(tr); got != (inA && inM) {
+			t.Fatalf("intersection wrong on %s", tr)
+		}
+		if inA && inM {
+			both++
+		}
+		if inA != inM {
+			either++
+		}
+	}
+	if both == 0 || either == 0 {
+		t.Fatalf("degenerate sampling: both=%d either=%d", both, either)
+	}
+	// All-a trees are already in the leafNTA language, so the union must be
+	// equivalent to mixed — while the intersection (exactly the all-a
+	// trees) must not be.
+	eq, err := Equivalent(uni, mixed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("L(allA) ⊆ L(mixed), so the union should equal mixed")
+	}
+	eq, err = Equivalent(inter, mixed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("the intersection is a proper sublanguage of mixed")
+	}
+}

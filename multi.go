@@ -1,0 +1,103 @@
+package stackless
+
+import (
+	"fmt"
+	"io"
+
+	"stackless/internal/core"
+	"stackless/internal/encoding"
+)
+
+// Multi-query evaluation: run several path queries over one document in a
+// single streaming pass. This is the workload the paper's introduction
+// highlights (factoring the dominant parsing cost across queries, as in
+// SAX-based systems): the document is scanned once, and each query's
+// machine steps on every event.
+
+// MultiQuery is a set of compiled queries evaluated together.
+type MultiQuery struct {
+	queries []*Query
+}
+
+// NewMultiQuery groups queries for single-pass evaluation.
+func NewMultiQuery(queries ...*Query) (*MultiQuery, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("stackless: empty multi-query")
+	}
+	return &MultiQuery{queries: queries}, nil
+}
+
+// MultiMatch is a selected node together with the index of the query that
+// selected it.
+type MultiMatch struct {
+	Query int
+	Match
+}
+
+// MultiStats describes a multi-query run.
+type MultiStats struct {
+	// Strategies per query.
+	Strategies []Strategy
+	// Events processed once for the whole batch.
+	Events int
+	// Matches per query.
+	Matches []int
+}
+
+// SelectXML streams the document once and reports each query's matches.
+func (m *MultiQuery) SelectXML(r io.Reader, opt Options, fn func(MultiMatch)) (MultiStats, error) {
+	return m.selectSource(encoding.NewXMLScanner(r), MarkupEncoding, opt, fn)
+}
+
+// SelectJSON streams a JSON document once under the term encoding.
+func (m *MultiQuery) SelectJSON(r io.Reader, opt Options, fn func(MultiMatch)) (MultiStats, error) {
+	return m.selectSource(encoding.NewJSONSource(r), TermEncoding, opt, fn)
+}
+
+func (m *MultiQuery) selectSource(src encoding.Source, enc Encoding, opt Options, fn func(MultiMatch)) (MultiStats, error) {
+	src = opt.guard(src)
+	stats := MultiStats{
+		Strategies: make([]Strategy, len(m.queries)),
+		Matches:    make([]int, len(m.queries)),
+	}
+	evs := make([]core.Evaluator, len(m.queries))
+	for i, q := range m.queries {
+		var err error
+		if opt.ForceStack {
+			evs[i], stats.Strategies[i] = q.stackQuery(), Stack
+		} else {
+			evs[i], stats.Strategies[i], err = q.queryEvaluator(enc, !opt.ForbidStack)
+		}
+		if err != nil {
+			return stats, fmt.Errorf("query %d (%s): %w", i, q, err)
+		}
+		evs[i].Reset()
+	}
+	pos := -1
+	depth := 0
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return stats, nil
+		}
+		if err != nil {
+			return stats, err
+		}
+		stats.Events++
+		if e.Kind == encoding.Open {
+			pos++
+			depth++
+		} else {
+			depth--
+		}
+		for i, ev := range evs {
+			ev.Step(e)
+			if e.Kind == encoding.Open && ev.Accepting() {
+				stats.Matches[i]++
+				if fn != nil {
+					fn(MultiMatch{Query: i, Match: Match{Pos: pos, Depth: depth, Label: e.Label}})
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package stackless
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"stackless/internal/encoding"
+	"stackless/internal/gen"
+	"stackless/internal/tree"
+)
+
+func TestMultiQueryAgreesWithSingle(t *testing.T) {
+	q1 := MustCompileRegex("a.*b", abc)
+	q2 := MustCompileRegex(".*a.*b", abc)
+	q3 := MustCompileRegex(".*ab", abc) // needs the stack
+	mq, err := NewMultiQuery(q1, q2, q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(91))
+	for i := 0; i < 100; i++ {
+		tr := gen.RandomTree(rng, abc, 1+rng.Intn(30))
+		doc := encoding.XMLString(tr)
+		multi := map[int][]int{}
+		stats, err := mq.SelectXML(strings.NewReader(doc), Options{}, func(m MultiMatch) {
+			multi[m.Query] = append(multi[m.Query], m.Pos)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range []*Query{q1, q2, q3} {
+			var single []int
+			if _, err := q.SelectXML(strings.NewReader(doc), Options{}, func(m Match) {
+				single = append(single, m.Pos)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(single) != len(multi[qi]) || stats.Matches[qi] != len(single) {
+				t.Fatalf("query %d on %s: multi %v vs single %v", qi, tr, multi[qi], single)
+			}
+			for j := range single {
+				if single[j] != multi[qi][j] {
+					t.Fatalf("query %d on %s: multi %v vs single %v", qi, tr, multi[qi], single)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiQueryStrategiesIndependent(t *testing.T) {
+	q1 := MustCompileRegex("a.*b", abc) // registerless
+	q3 := MustCompileRegex(".*ab", abc) // stack only
+	mq, _ := NewMultiQuery(q1, q3)
+	stats, err := mq.SelectXML(strings.NewReader("<a><b/></a>"), Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Strategies[0] != Registerless || stats.Strategies[1] != Stack {
+		t.Errorf("strategies = %v", stats.Strategies)
+	}
+	// ForbidStack fails because of the second query.
+	if _, err := mq.SelectXML(strings.NewReader("<a/>"), Options{ForbidStack: true}, nil); err == nil {
+		t.Error("expected error with ForbidStack")
+	}
+	if _, err := NewMultiQuery(); err == nil {
+		t.Error("expected error for empty multi-query")
+	}
+}
+
+func TestPostQuerySubtreeWitness(t *testing.T) {
+	labels := []string{"catalog", "item", "name", "discount"}
+	p, err := CompilePostQuery("'catalog''item'", "discount", labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := `<catalog>
+	  <item><name/><discount/></item>
+	  <item><name/></item>
+	  <item><name/><name/><discount/></item>
+	</catalog>`
+	var got []PostMatch
+	stats, err := p.SelectXML(strings.NewReader(doc), func(m PostMatch) { got = append(got, m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Matches != 2 || len(got) != 2 {
+		t.Fatalf("matches = %d, want 2 (%+v)", stats.Matches, got)
+	}
+	if got[0].Pos != 1 || got[0].SubtreeSize != 3 {
+		t.Errorf("first match %+v, want pos=1 size=3", got[0])
+	}
+	if got[1].Pos != 6 || got[1].SubtreeSize != 4 {
+		t.Errorf("second match %+v, want pos=6 size=4", got[1])
+	}
+}
+
+// postOracle recomputes post-selection on the in-memory tree.
+func postOracle(q *Query, witness string, tr *tree.Node) []int {
+	selected := map[int]bool{}
+	for _, pos := range tree.SelectQL(q.automaton(), tr) {
+		selected[pos] = true
+	}
+	var out []int
+	pos := -1
+	var hasWitness func(n *tree.Node) bool
+	hasWitness = func(n *tree.Node) bool {
+		if n.Label == witness {
+			return true
+		}
+		for _, c := range n.Children {
+			if hasWitness(c) {
+				return true
+			}
+		}
+		return false
+	}
+	// Closing order = reverse document order of closings: innermost-first,
+	// i.e. postorder.
+	var walk func(n *tree.Node)
+	walk = func(n *tree.Node) {
+		myPos := pos + 1
+		pos++
+		for _, c := range n.Children {
+			walk(c)
+		}
+		if selected[myPos] && hasWitness(n) {
+			out = append(out, myPos)
+		}
+	}
+	walk(tr)
+	return out
+}
+
+func TestPostQueryAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	post, err := CompilePostQuery(".*a", "b", []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := MustCompileRegex(".*a", []string{"a", "b", "c"})
+	for i := 0; i < 300; i++ {
+		tr := gen.RandomTree(rng, []string{"a", "b", "c"}, 1+rng.Intn(25))
+		want := postOracle(base, "b", tr)
+		var got []int
+		if _, err := post.SelectXML(strings.NewReader(encoding.XMLString(tr)), func(m PostMatch) {
+			got = append(got, m.Pos)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("post-selection on %s: got %v, want %v", tr, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("post-selection on %s: got %v, want %v", tr, got, want)
+			}
+		}
+	}
+	// Term encoding gives the same answers (the stack ignores close labels).
+	tr := gen.RandomTree(rng, []string{"a", "b", "c"}, 40)
+	var viaXML, viaTerm []int
+	post.SelectXML(strings.NewReader(encoding.XMLString(tr)), func(m PostMatch) { viaXML = append(viaXML, m.Pos) })
+	post.SelectTerm(strings.NewReader(encoding.TermString(tr)), func(m PostMatch) { viaTerm = append(viaTerm, m.Pos) })
+	if len(viaXML) != len(viaTerm) {
+		t.Fatalf("encodings disagree: %v vs %v", viaXML, viaTerm)
+	}
+}

@@ -1,0 +1,194 @@
+package stackless
+
+import (
+	"fmt"
+	"strings"
+)
+
+// XPath and JSONPath front-ends for the downward-axis fragments of
+// Example 2.12: child («/a», «.a») and descendant («//a», «..a») steps plus
+// the «*» wildcard. These translate to path regexes:
+//
+//	/a//b   →  a.*b        $.a..b  →  a.*b
+//	//a/b   →  .*ab        $..a.b  →  .*ab
+//	/*/b    →  .b
+
+// CompileXPath compiles an XPath expression of the downward fragment over
+// the given alphabet. The expression must start with «/» or «//».
+func CompileXPath(expr string, labels []string) (*Query, error) {
+	rx, err := XPathToRegex(expr)
+	if err != nil {
+		return nil, err
+	}
+	q, err := CompileRegex(rx, labels)
+	if err != nil {
+		return nil, err
+	}
+	q.source = expr
+	return q, nil
+}
+
+// CompileJSONPath compiles a JSONPath expression of the downward fragment.
+// The expression must start with «$».
+func CompileJSONPath(expr string, labels []string) (*Query, error) {
+	rx, err := JSONPathToRegex(expr)
+	if err != nil {
+		return nil, err
+	}
+	q, err := CompileRegex(rx, labels)
+	if err != nil {
+		return nil, err
+	}
+	q.source = expr
+	return q, nil
+}
+
+// XPathToRegex translates the downward XPath fragment to a path regex.
+// Top-level unions are supported: «/a/b | /a/c» (RPQs are closed under
+// union, so the result is still a single query).
+func XPathToRegex(expr string) (string, error) {
+	if parts := splitTopLevelUnion(expr); len(parts) > 1 {
+		var alts []string
+		for _, p := range parts {
+			rx, err := XPathToRegex(p)
+			if err != nil {
+				return "", err
+			}
+			alts = append(alts, "("+rx+")")
+		}
+		return strings.Join(alts, "|"), nil
+	}
+	if !strings.HasPrefix(expr, "/") {
+		return "", fmt.Errorf("stackless: XPath %q must start with / or //", expr)
+	}
+	var b strings.Builder
+	rest := expr
+	for len(rest) > 0 {
+		descend := false
+		switch {
+		case strings.HasPrefix(rest, "//"):
+			descend = true
+			rest = rest[2:]
+		case strings.HasPrefix(rest, "/"):
+			rest = rest[1:]
+		default:
+			return "", fmt.Errorf("stackless: expected step separator in XPath at %q", rest)
+		}
+		name, remaining, err := readStep(rest, "/")
+		if err != nil {
+			return "", err
+		}
+		rest = remaining
+		if descend {
+			b.WriteString(".*")
+		}
+		writeStepRegex(&b, name)
+	}
+	if b.Len() == 0 {
+		return "", fmt.Errorf("stackless: empty XPath")
+	}
+	return b.String(), nil
+}
+
+// splitTopLevelUnion splits on «|» and trims whitespace; quoting is not
+// supported inside union arms (step names with literal | must be queried
+// separately).
+func splitTopLevelUnion(expr string) []string {
+	if !strings.Contains(expr, "|") {
+		return []string{expr}
+	}
+	parts := strings.Split(expr, "|")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// JSONPathToRegex translates the downward JSONPath fragment to a path
+// regex. The root «$» maps to the document root node, so «$.a» selects
+// children of the root named a only when the root itself is the synthetic
+// JSON root: following Example 2.12 we treat «$.a» as the path «a» from the
+// root's children — i.e. «$» matches the root and each «.step» descends.
+func JSONPathToRegex(expr string) (string, error) {
+	if parts := splitTopLevelUnion(expr); len(parts) > 1 {
+		var alts []string
+		for _, p := range parts {
+			rx, err := JSONPathToRegex(p)
+			if err != nil {
+				return "", err
+			}
+			alts = append(alts, "("+rx+")")
+		}
+		return strings.Join(alts, "|"), nil
+	}
+	if !strings.HasPrefix(expr, "$") {
+		return "", fmt.Errorf("stackless: JSONPath %q must start with $", expr)
+	}
+	rest := expr[1:]
+	var b strings.Builder
+	for len(rest) > 0 {
+		descend := false
+		switch {
+		case strings.HasPrefix(rest, ".."):
+			descend = true
+			rest = rest[2:]
+		case strings.HasPrefix(rest, "."):
+			rest = rest[1:]
+		default:
+			return "", fmt.Errorf("stackless: expected step separator in JSONPath at %q", rest)
+		}
+		name, remaining, err := readStep(rest, ".")
+		if err != nil {
+			return "", err
+		}
+		rest = remaining
+		if descend {
+			b.WriteString(".*")
+		}
+		writeStepRegex(&b, name)
+	}
+	if b.Len() == 0 {
+		return "", fmt.Errorf("stackless: empty JSONPath")
+	}
+	return b.String(), nil
+}
+
+func readStep(rest, sep string) (name, remaining string, err error) {
+	if rest == "" {
+		return "", "", fmt.Errorf("stackless: dangling step separator")
+	}
+	end := len(rest)
+	for i := 0; i < len(rest); i++ {
+		if strings.HasPrefix(rest[i:], sep) {
+			end = i
+			break
+		}
+	}
+	name = rest[:end]
+	if name == "" {
+		return "", "", fmt.Errorf("stackless: empty step name")
+	}
+	return name, rest[end:], nil
+}
+
+func writeStepRegex(b *strings.Builder, name string) {
+	if name == "*" {
+		b.WriteString(".")
+		return
+	}
+	// Accept pre-quoted step names ('multi word') by unquoting first.
+	if len(name) >= 2 && name[0] == '\'' && name[len(name)-1] == '\'' {
+		name = name[1 : len(name)-1]
+	}
+	if len(name) == 1 && isWordChar(name[0]) {
+		b.WriteString(name)
+		return
+	}
+	b.WriteByte('\'')
+	b.WriteString(name)
+	b.WriteByte('\'')
+}
+
+func isWordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}

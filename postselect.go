@@ -1,0 +1,134 @@
+package stackless
+
+import (
+	"fmt"
+	"io"
+
+	"stackless/internal/encoding"
+)
+
+// Post-selection (Section 2.3): reporting a node at its *closing* tag,
+// after its whole subtree has been seen. The paper proves pre-selection
+// cannot look into the subtree and leaves stackless post-selection as
+// future work; this file provides the natural stack-based implementation
+// as an extension, for queries of the form
+//
+//	path ∈ L  ∧  the subtree contains a node labelled ℓ
+//
+// (e.g. "items that contain a discount somewhere below"). The evaluator
+// uses Θ(depth) memory — provably unavoidable in general, by the same
+// arguments as Example 2.7.
+
+// PostQuery couples a path query with a required descendant label.
+type PostQuery struct {
+	path    *Query
+	witness string
+}
+
+// CompilePostQuery builds a post-selecting query: nodes whose root path
+// matches pathExpr (a regex as in CompileRegex) and whose subtree contains
+// at least one node labelled witness (the node itself counts).
+func CompilePostQuery(pathExpr string, witness string, labels []string) (*PostQuery, error) {
+	if witness == "" {
+		return nil, fmt.Errorf("stackless: empty witness label")
+	}
+	q, err := CompileRegex(pathExpr, append(labels, witness))
+	if err != nil {
+		return nil, err
+	}
+	return &PostQuery{path: q, witness: witness}, nil
+}
+
+// PostMatch is a node reported at its closing tag.
+type PostMatch struct {
+	// Pos is the node's preorder position.
+	Pos int
+	// Depth is the node's depth (root = 1).
+	Depth int
+	// Label is the node's label.
+	Label string
+	// SubtreeSize is the number of nodes in the reported node's subtree —
+	// information pre-selection can never provide.
+	SubtreeSize int
+}
+
+// SelectXML streams the document and reports matches at closing tags, in
+// closing order (innermost first).
+func (p *PostQuery) SelectXML(r io.Reader, fn func(PostMatch)) (Stats, error) {
+	return p.run(encoding.NewXMLScanner(r), fn)
+}
+
+// SelectTerm streams brace-notation input under the term encoding.
+func (p *PostQuery) SelectTerm(r io.Reader, fn func(PostMatch)) (Stats, error) {
+	return p.run(encoding.NewTermScanner(r), fn)
+}
+
+type postFrame struct {
+	pos        int
+	label      string
+	pathState  int  // path state before this node opened
+	pathAlive  bool // aliveness before this node opened
+	pathOK     bool // path up to and including this node is in L
+	hasWitness bool
+	size       int
+}
+
+func (p *PostQuery) run(src encoding.Source, fn func(PostMatch)) (Stats, error) {
+	d := p.path.automaton()
+	stats := Stats{Strategy: Stack}
+	var stack []postFrame
+	state := d.Start
+	alive := true
+	pos := -1
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return stats, nil
+		}
+		if err != nil {
+			return stats, err
+		}
+		stats.Events++
+		switch e.Kind {
+		case encoding.Open:
+			pos++
+			prevState, prevAlive := state, alive
+			if alive {
+				if sym, ok := d.Alphabet.ID(e.Label); ok {
+					state = d.Delta[state][sym]
+				} else {
+					alive = false
+				}
+			}
+			stack = append(stack, postFrame{
+				pos:        pos,
+				label:      e.Label,
+				pathState:  prevState,
+				pathAlive:  prevAlive,
+				pathOK:     alive && d.Accept[state],
+				hasWitness: e.Label == p.witness,
+				size:       1,
+			})
+		case encoding.Close:
+			if len(stack) == 0 {
+				continue // stray close; ignore like the other evaluators
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if top.pathOK && top.hasWitness {
+				stats.Matches++
+				if fn != nil {
+					fn(PostMatch{Pos: top.pos, Depth: len(stack) + 1, Label: top.label, SubtreeSize: top.size})
+				}
+			}
+			// Restore the path state and propagate subtree facts upward.
+			state = top.pathState
+			alive = top.pathAlive
+			if len(stack) > 0 {
+				parent := &stack[len(stack)-1]
+				parent.hasWitness = parent.hasWitness || top.hasWitness
+				parent.size += top.size
+			}
+		}
+	}
+}

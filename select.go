@@ -1,0 +1,147 @@
+package stackless
+
+import (
+	"io"
+
+	"stackless/internal/core"
+	"stackless/internal/encoding"
+	"stackless/internal/stackeval"
+)
+
+// Match is one selected node, reported at its opening tag (pre-selection,
+// Section 2.3) so callers can stream the node's subtree without buffering.
+type Match struct {
+	// Pos is the node's preorder position in the document, 0-based.
+	Pos int
+	// Depth is the node's depth; the root has depth 1.
+	Depth int
+	// Label is the node's label.
+	Label string
+}
+
+// Stats describes how an evaluation ran.
+type Stats struct {
+	// Strategy actually used (registerless / stackless / stack).
+	Strategy Strategy
+	// Events processed (opening + closing tags).
+	Events int
+	// Matches reported.
+	Matches int
+}
+
+// Options tune evaluation. The zero value is the default: pick the
+// cheapest strategy and fall back to the stack when the theorems say a
+// stackless machine cannot exist.
+type Options struct {
+	// ForbidStack makes evaluation fail instead of falling back to the
+	// pushdown simulation (useful to surface Theorem 3.1 violations).
+	ForbidStack bool
+	// ForceStack skips the stackless machines entirely (baseline runs).
+	ForceStack bool
+	// TrustInput skips the O(1) tag-balance guard. Weak validation assumes
+	// well-formed input; by default the engine still rejects streams whose
+	// tags do not balance (gross transport errors), at one counter's cost.
+	TrustInput bool
+}
+
+func (o Options) guard(src encoding.Source) encoding.Source {
+	if o.TrustInput {
+		return src
+	}
+	return encoding.CheckBalance(src)
+}
+
+// SelectXML streams an XML document and calls fn for each node selected by
+// the query, in document order.
+func (q *Query) SelectXML(r io.Reader, opt Options, fn func(Match)) (Stats, error) {
+	return q.selectSource(encoding.NewXMLScanner(r), MarkupEncoding, opt, fn)
+}
+
+// SelectXMLFull uses the encoding/xml bridge (slower, full XML support).
+func (q *Query) SelectXMLFull(r io.Reader, opt Options, fn func(Match)) (Stats, error) {
+	return q.selectSource(encoding.NewStdXMLSource(r), MarkupEncoding, opt, fn)
+}
+
+// SelectJSON streams a JSON document under the term encoding. Object keys
+// are node labels; array elements are labelled "item"; the document root is
+// labelled "$" (see internal/encoding).
+func (q *Query) SelectJSON(r io.Reader, opt Options, fn func(Match)) (Stats, error) {
+	return q.selectSource(encoding.NewJSONSource(r), TermEncoding, opt, fn)
+}
+
+// SelectTerm streams a brace-notation document (a{b{}c{}}) under the term
+// encoding.
+func (q *Query) SelectTerm(r io.Reader, opt Options, fn func(Match)) (Stats, error) {
+	return q.selectSource(encoding.NewTermScanner(r), TermEncoding, opt, fn)
+}
+
+func (q *Query) selectSource(src encoding.Source, enc Encoding, opt Options, fn func(Match)) (Stats, error) {
+	src = opt.guard(src)
+	var ev core.Evaluator
+	var st Strategy
+	var err error
+	if opt.ForceStack {
+		ev, st, err = q.stackQuery(), Stack, nil
+	} else {
+		ev, st, err = q.queryEvaluator(enc, !opt.ForbidStack)
+	}
+	if err != nil {
+		return Stats{Strategy: st}, err
+	}
+	stats := Stats{Strategy: st}
+	events, err := core.Select(ev, src, func(m core.Match) {
+		stats.Matches++
+		if fn != nil {
+			fn(Match{Pos: m.Pos, Depth: m.Depth, Label: m.Label})
+		}
+	})
+	stats.Events = events
+	return stats, err
+}
+
+// RecognizeEL streams an XML document and reports whether some branch's
+// label path belongs to the query language (the tree language EL).
+func (q *Query) RecognizeEL(r io.Reader, opt Options) (bool, Stats, error) {
+	return q.recognize(encoding.NewXMLScanner(r), MarkupEncoding, opt, q.elEvaluator, q.stackEL)
+}
+
+// RecognizeAL streams an XML document and reports whether every branch's
+// label path belongs to the query language (the tree language AL) — the
+// weak-validation semantics of Section 4.1.
+func (q *Query) RecognizeAL(r io.Reader, opt Options) (bool, Stats, error) {
+	return q.recognize(encoding.NewXMLScanner(r), MarkupEncoding, opt, q.alEvaluator, q.stackAL)
+}
+
+// RecognizeELTerm and RecognizeALTerm are the term-encoding variants over
+// brace-notation input.
+func (q *Query) RecognizeELTerm(r io.Reader, opt Options) (bool, Stats, error) {
+	return q.recognize(encoding.NewTermScanner(r), TermEncoding, opt, q.elEvaluator, q.stackEL)
+}
+
+// RecognizeALTerm recognizes AL over brace-notation input.
+func (q *Query) RecognizeALTerm(r io.Reader, opt Options) (bool, Stats, error) {
+	return q.recognize(encoding.NewTermScanner(r), TermEncoding, opt, q.alEvaluator, q.stackAL)
+}
+
+func (q *Query) recognize(src encoding.Source, enc Encoding, opt Options,
+	pickFn func(Encoding, bool) (core.Evaluator, Strategy, error),
+	stackFn func() core.Evaluator) (bool, Stats, error) {
+	src = opt.guard(src)
+	var ev core.Evaluator
+	var st Strategy
+	var err error
+	if opt.ForceStack {
+		ev, st = stackFn(), Stack
+	} else {
+		ev, st, err = pickFn(enc, !opt.ForbidStack)
+	}
+	if err != nil {
+		return false, Stats{Strategy: st}, err
+	}
+	ok, err := core.Recognize(ev, src)
+	return ok, Stats{Strategy: st}, err
+}
+
+func (q *Query) stackQuery() core.Evaluator { return stackeval.QL(q.an.D) }
+func (q *Query) stackEL() core.Evaluator    { return stackeval.EL(q.an.D) }
+func (q *Query) stackAL() core.Evaluator    { return stackeval.AL(q.an.D) }
