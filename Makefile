@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: ci test race vet fmt build fuzz clean
+
+ci: ## full tier-1 gate: fmt + vet + build + test + race
+	./ci.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# Short fuzz passes over every fuzz target; CI-sized, not a campaign.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/dralint/
+	$(GO) test -run '^$$' -fuzz FuzzDRALint -fuzztime $(FUZZTIME) ./internal/encoding/
+	$(GO) test -run '^$$' -fuzz FuzzXMLScanner -fuzztime $(FUZZTIME) ./internal/encoding/
+	$(GO) test -run '^$$' -fuzz FuzzTermScanner -fuzztime $(FUZZTIME) ./internal/encoding/
+	$(GO) test -run '^$$' -fuzz FuzzJSONSource -fuzztime $(FUZZTIME) ./internal/encoding/
+
+clean:
+	rm -f dralint classify streamq

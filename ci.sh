@@ -1,0 +1,26 @@
+#!/bin/sh
+# Tier-1 verification gate. Run from the repository root: ./ci.sh
+# Every check here must stay green; `make ci` is an alias.
+set -eu
+
+echo '== gofmt =='
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo '== go vet =='
+go vet ./...
+
+echo '== go build =='
+go build ./...
+
+echo '== go test =='
+go test ./...
+
+echo '== go test -race (internal) =='
+go test -race ./internal/...
+
+echo 'tier-1 gate: OK'

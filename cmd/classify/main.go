@@ -6,11 +6,15 @@
 //
 //	classify -regex 'a.*b' -alphabet a,b,c
 //	classify -table            # print the Example 2.12 table
+//
+// The exit status is 0 on success, 1 when the query fails to compile
+// (the error goes to stderr), and 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -18,17 +22,24 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		regex = flag.String("regex", "", "path query as a regular expression")
-		xpath = flag.String("xpath", "", "path query in the downward XPath fragment")
-		alpha = flag.String("alphabet", "", "comma-separated label alphabet Γ")
-		table = flag.Bool("table", false, "print the Example 2.12 table and exit")
+		regex = fs.String("regex", "", "path query as a regular expression")
+		xpath = fs.String("xpath", "", "path query in the downward XPath fragment")
+		alpha = fs.String("alphabet", "", "comma-separated label alphabet Γ")
+		table = fs.Bool("table", false, "print the Example 2.12 table and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *table {
-		printTable()
-		return
+		return printTable(stdout, stderr)
 	}
 
 	var labels []string
@@ -38,29 +49,34 @@ func main() {
 	var q *stackless.Query
 	var err error
 	switch {
+	case *regex != "" && *xpath != "":
+		fmt.Fprintln(stderr, "classify: -regex and -xpath are mutually exclusive")
+		return 2
 	case *regex != "":
 		q, err = stackless.CompileRegex(*regex, labels)
 	case *xpath != "":
 		q, err = stackless.CompileXPath(*xpath, labels)
 	default:
-		err = fmt.Errorf("one of -regex or -xpath is required (or -table)")
+		fmt.Fprintln(stderr, "classify: one of -regex or -xpath is required (or -table)")
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "classify:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "classify:", err)
+		return 1
 	}
-	fmt.Printf("query: %s over %v\n%s", q, q.Alphabet(), q.Report())
+	fmt.Fprintf(stdout, "query: %s over %v\n%s", q, q.Alphabet(), q.Report())
 	if why := q.Explain(); len(why) > 0 {
-		fmt.Println("why:")
+		fmt.Fprintln(stdout, "why:")
 		for _, line := range why {
-			fmt.Printf("  - %s\n", line)
+			fmt.Fprintf(stdout, "  - %s\n", line)
 		}
 	}
+	return 0
 }
 
 // printTable regenerates the Example 2.12 table from the decision
 // procedures — the paper's headline summary.
-func printTable() {
+func printTable(stdout, stderr io.Writer) int {
 	rows := []struct{ xpath, jsonpath, regex string }{
 		{"/a//b", "$.a..b", "a.*b"},
 		{"/a/b", "$.a.b", "ab"},
@@ -73,19 +89,20 @@ func printTable() {
 		}
 		return "✗"
 	}
-	fmt.Println("Example 2.12 (over Γ = {a,b,c}):")
-	fmt.Printf("%-10s %-10s %-10s %-14s %-11s %-16s %-14s\n",
+	fmt.Fprintln(stdout, "Example 2.12 (over Γ = {a,b,c}):")
+	fmt.Fprintf(stdout, "%-10s %-10s %-10s %-14s %-11s %-16s %-14s\n",
 		"XPath", "JSONPath", "RegEx", "Registerless?", "Stackless?", "Term-registerless?", "Term-stackless?")
 	for _, r := range rows {
 		q, err := stackless.CompileRegex(r.regex, []string{"a", "b", "c"})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "classify:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "classify:", err)
+			return 1
 		}
 		c := q.Classify()
-		fmt.Printf("%-10s %-10s %-10s %-14s %-11s %-16s %-14s\n",
+		fmt.Fprintf(stdout, "%-10s %-10s %-10s %-14s %-11s %-16s %-14s\n",
 			r.xpath, r.jsonpath, r.regex,
 			mark(c.Registerless), mark(c.StacklessQuery),
 			mark(c.TermRegisterless), mark(c.TermStackless))
 	}
+	return 0
 }

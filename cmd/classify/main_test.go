@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, err strings.Builder
+	code = run(args, &out, &err)
+	return code, out.String(), err.String()
+}
+
+func TestClassifyRegex(t *testing.T) {
+	code, out, stderr := runCmd(t, "-regex", "a.*b", "-alphabet", "a,b,c")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "query:") {
+		t.Errorf("missing report:\n%s", out)
+	}
+}
+
+func TestClassifyTable(t *testing.T) {
+	code, out, _ := runCmd(t, "-table")
+	if code != 0 || !strings.Contains(out, "Example 2.12") {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+}
+
+// TestClassifyBadQuery: compile failures exit non-zero with the error on
+// stderr and nothing on stdout.
+func TestClassifyBadQuery(t *testing.T) {
+	for _, args := range [][]string{
+		{"-regex", "a(*", "-alphabet", "a,b"},
+		{"-xpath", "///", "-alphabet", "a,b"},
+		{"-xpath", "//a[", "-alphabet", "a,b"},
+	} {
+		code, out, stderr := runCmd(t, args...)
+		if code != 1 {
+			t.Errorf("%v: exit %d, want 1", args, code)
+		}
+		if !strings.Contains(stderr, "classify:") {
+			t.Errorf("%v: stderr %q lacks the error", args, stderr)
+		}
+		if out != "" {
+			t.Errorf("%v: unexpected stdout %q", args, out)
+		}
+	}
+}
+
+func TestClassifyUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-regex", "a", "-xpath", "//a"},
+		{"-frobnicate"},
+	} {
+		code, _, stderr := runCmd(t, args...)
+		if code != 2 || stderr == "" {
+			t.Errorf("%v: exit %d, stderr %q, want usage failure", args, code, stderr)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command dralint is a "go vet" for depth-register automata: it checks
+// DRA transition tables against the side conditions of Definition 2.1 and
+// Section 2.2 of the paper and reports structured findings.
+//
+// With no arguments it lints every automaton the repository constructs
+// from the paper (Examples 2.2, 2.5–2.7, the Proposition 2.8 chain
+// machines and the Proposition 2.3 FormalDRA translations) — a smoke test
+// of both the constructions and the linter. With file arguments it parses
+// each as a .dra machine (see internal/dralint.Parse for the format) and
+// lints it, honouring the file's 'restricted' directive.
+//
+//	dralint                    # lint the builtin paper machines
+//	dralint machine.dra        # lint a machine from a file
+//	dralint -restricted m.dra  # hold it to §2.2 even without the directive
+//	dralint -all m.dra         # show Info-level findings too
+//
+// The exit status is 0 when every machine is clean (no findings at
+// Warning severity or above), 1 otherwise, and 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/classify"
+	"stackless/internal/core"
+	"stackless/internal/dralint"
+	"stackless/internal/paperfigs"
+	"stackless/internal/rex"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dralint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	restricted := fs.Bool("restricted", false, "require the §2.2 restriction for all machines")
+	all := fs.Bool("all", false, "show Info-level findings, not only Warning and above")
+	maxPerKind := fs.Int("max", 0, "cap findings reported per kind (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	failed := false
+	report := func(name string, d *core.DRA, cfg dralint.Config) {
+		cfg.MaxPerKind = *maxPerKind
+		diags := dralint.LintWith(d, cfg)
+		if !dralint.Clean(diags) {
+			failed = true
+		}
+		shown := diags
+		if !*all {
+			shown = dralint.Filter(diags, dralint.Warning)
+		}
+		if len(shown) == 0 {
+			fmt.Fprintf(stdout, "%s: clean\n", name)
+			return
+		}
+		fmt.Fprintf(stdout, "%s:\n", name)
+		for _, di := range shown {
+			fmt.Fprintf(stdout, "  %s\n", di)
+		}
+	}
+
+	if fs.NArg() == 0 {
+		lintBuiltins(report, *restricted)
+	} else {
+		for _, path := range fs.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "dralint:", err)
+				return 2
+			}
+			d, expect, err := dralint.Parse(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			report(path, d, dralint.Config{RequireRestricted: *restricted || expect.Restricted})
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// lintBuiltins runs the linter over the repository's paper machines. The
+// restricted ones are always held to §2.2; Example 2.2 only when the flag
+// forces it (the paper constructs it unrestricted on purpose).
+func lintBuiltins(report func(string, *core.DRA, dralint.Config), restricted bool) {
+	strict := dralint.Config{RequireRestricted: true}
+	report("Example 2.2 (binary counter)", core.Example22(), dralint.Config{RequireRestricted: restricted})
+	for _, expr := range []string{"ab*", "(ab)*", ".*a"} {
+		l := rex.MustCompile(expr, alphabet.Letters("ab"))
+		report("Example 2.5 (leftmost branch ∈ "+expr+")", core.Example25(l), strict)
+	}
+	report("Example 2.6 (a with b-descendant)", core.Example26(), strict)
+	report("Example 2.7 (minimal a with b-child)", core.Example27Minimal(), strict)
+	for _, chain := range [][]string{{"a", "b"}, {"a", "b", "c"}} {
+		d, err := core.ChainPatternDRA(alphabet.Letters("abc"), chain)
+		if err != nil {
+			panic(err) // fixed inputs; cannot happen
+		}
+		report(fmt.Sprintf("Prop 2.8 (chain pattern %v)", chain), d, strict)
+	}
+	for _, expr := range []string{paperfigs.Fig3aRegex, paperfigs.Fig3bRegex, paperfigs.Fig3cRegex} {
+		an := classify.Analyze(rex.MustCompile(expr, paperfigs.GammaABC()))
+		d, err := core.FormalDRA(an, 0)
+		if err != nil {
+			panic(err)
+		}
+		report("Prop 2.3 FormalDRA ("+expr+")", d, strict)
+	}
+}

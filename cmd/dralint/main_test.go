@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, err strings.Builder
+	code = run(args, &out, &err)
+	return code, out.String(), err.String()
+}
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBuiltinsClean(t *testing.T) {
+	code, out, _ := runCmd(t)
+	if code != 0 {
+		t.Fatalf("exit %d on builtins:\n%s", code, out)
+	}
+	if !strings.Contains(out, "Example 2.6") || !strings.Contains(out, "clean") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestLintFileFindings(t *testing.T) {
+	// One register, never loaded nor tested, and an unreachable accepting
+	// state: two warnings, exit 1.
+	path := writeFile(t, "dirty.dra", `
+alphabet a
+states 2
+regs 1
+accept 1
+forall 0 a - 0
+forall 0 /a - 0
+forall 1 a - 1
+forall 1 /a - 1
+`)
+	code, out, _ := runCmd(t, path)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	for _, want := range []string{"register-unused", "unreachable-accept"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestLintFileClean(t *testing.T) {
+	path := writeFile(t, "clean.dra", `
+alphabet a
+states 1
+accept 0
+restricted
+forall 0 a - 0
+forall 0 /a - 0
+`)
+	code, out, _ := runCmd(t, path)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s", code, out)
+	}
+	if !strings.Contains(out, "clean") {
+		t.Errorf("output lacks clean verdict:\n%s", out)
+	}
+}
+
+func TestRestrictedFlag(t *testing.T) {
+	// Keeps a stale register without reloading: fine by default, an error
+	// under -restricted.
+	// The register is loaded (state 0) and branched on (state 1 closes),
+	// but the X≥-only close keeps the stale value.
+	path := writeFile(t, "unres.dra", `
+alphabet a
+states 2
+regs 1
+accept 1
+forall 0 a 0 1
+forall 0 /a 0 0
+forall 1 a - 1
+trans 1 /a 0 0 - 0
+trans 1 /a 0 - - 1
+trans 1 /a - 0 - 0
+`)
+	if code, out, _ := runCmd(t, path); code != 0 {
+		t.Fatalf("exit %d without -restricted:\n%s", code, out)
+	}
+	code, out, _ := runCmd(t, "-restricted", path)
+	if code != 1 || !strings.Contains(out, "unrestricted") {
+		t.Fatalf("exit %d with -restricted, want 1 with unrestricted finding:\n%s", code, out)
+	}
+}
+
+// TestGoldenOutput pins the exact report for a small dirty machine.
+func TestGoldenOutput(t *testing.T) {
+	path := writeFile(t, "golden.dra", `
+alphabet a
+states 2
+accept 1
+forall 0 a - 0
+forall 0 /a - 0
+forall 1 a - 1
+forall 1 /a - 1
+`)
+	code, out, _ := runCmd(t, path)
+	want := path + `:
+  warning[unreachable-accept] accepting state 1 is unreachable from start state 0: it can never witness acceptance (Def. 2.1)
+  warning[vacuous-acceptance] no accepting state is reachable: the automaton rejects every tree (Def. 2.1)
+`
+	if code != 1 || out != want {
+		t.Errorf("exit %d, output:\n%s\nwant:\n%s", code, out, want)
+	}
+}
+
+func TestUsageAndIOErrors(t *testing.T) {
+	if code, _, stderr := runCmd(t, "-nope"); code != 2 || stderr == "" {
+		t.Errorf("bad flag: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, stderr := runCmd(t, filepath.Join(t.TempDir(), "missing.dra")); code != 2 || stderr == "" {
+		t.Errorf("missing file: exit %d, stderr %q", code, stderr)
+	}
+	path := writeFile(t, "bad.dra", "alphabet a\nstates 1\nfrobnicate\n")
+	if code, _, stderr := runCmd(t, path); code != 2 || !strings.Contains(stderr, "frobnicate") {
+		t.Errorf("parse error: exit %d, stderr %q", code, stderr)
+	}
+}

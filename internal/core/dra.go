@@ -24,6 +24,25 @@ type Transition struct {
 	Next int
 }
 
+// FullRegSet returns the set of all regs registers.
+func FullRegSet(regs int) RegSet { return RegSet(1<<uint(regs)) - 1 }
+
+// EachFeasibleMask calls f for every feasible (X≤, X≥) mask pair over regs
+// registers. A pair is feasible when le|ge covers every register: after any
+// depth update each register value is ≤, ≥ or both of the current depth
+// (Definition 2.1), so exactly the 3^regs covering pairs can occur in a run.
+func EachFeasibleMask(regs int, f func(le, ge RegSet)) {
+	full := FullRegSet(regs)
+	for le := RegSet(0); le <= full; le++ {
+		for ge := RegSet(0); ge <= full; ge++ {
+			if le|ge != full {
+				continue
+			}
+			f(le, ge)
+		}
+	}
+}
+
 // DRA is a depth-register automaton in table form, following Definition 2.1
 // exactly: δ : Q × (Γ ∪ Γ̄) × 2^Ξ × 2^Ξ → 2^Ξ × Q.
 //
@@ -37,13 +56,50 @@ type DRA struct {
 	Accept   []bool
 	Regs     int
 	table    []Transition
+	set      []uint64 // bitmap over table: entries explicitly SetTransition'ed
+}
+
+// MaxTableEntries caps the transition-table size of NewDRA. The table has
+// states·2·|Γ|·2^(2·regs) entries, so the register count alone can push an
+// innocent-looking machine into multi-GiB territory (regs = 10 already
+// costs 2^20 entries per state and tag). 1<<26 entries is ~1 GiB of table.
+const MaxTableEntries = 1 << 26
+
+// TableEntries returns the transition-table size of a DRA with the given
+// dimensions, and whether it is within MaxTableEntries. Negative dimensions
+// and register counts above 16 are reported as oversized.
+func TableEntries(states, alphSize, regs int) (entries uint64, ok bool) {
+	if states < 0 || alphSize < 0 || regs < 0 || regs > 16 {
+		return 0, false
+	}
+	if states > MaxTableEntries || alphSize > MaxTableEntries {
+		return 1 << 63, false // saturated: the product below could overflow
+	}
+	entries = uint64(states) * 2 * uint64(alphSize)
+	masks := uint64(1) << uint(2*regs)
+	if entries == 0 {
+		return 0, true
+	}
+	if masks > (1<<62)/entries {
+		return 1 << 63, false // saturated: far beyond any cap
+	}
+	entries *= masks
+	return entries, entries <= MaxTableEntries
 }
 
 // NewDRA allocates a DRA with all transitions self-looping on state 0 with
-// no loads; callers fill entries with SetTransition.
+// no loads; callers fill entries with SetTransition. It panics if the
+// transition table would exceed MaxTableEntries; callers with dynamic
+// dimensions (e.g. FormalDRA) should pre-check with TableEntries and
+// return an error instead.
 func NewDRA(alph *alphabet.Alphabet, states, start, regs int) *DRA {
-	if regs > 16 {
-		panic("core: at most 16 registers supported in table DRAs")
+	if regs < 0 || regs > 16 {
+		panic("core: register count must be between 0 and 16 in table DRAs")
+	}
+	entries, ok := TableEntries(states, alph.Size(), regs)
+	if !ok {
+		panic(fmt.Sprintf("core: DRA table with %d states, %d symbols and %d registers needs %d entries, above the %d cap",
+			states, alph.Size(), regs, entries, MaxTableEntries))
 	}
 	d := &DRA{
 		Alphabet: alph,
@@ -52,7 +108,8 @@ func NewDRA(alph *alphabet.Alphabet, states, start, regs int) *DRA {
 		Accept:   make([]bool, states),
 		Regs:     regs,
 	}
-	d.table = make([]Transition, states*2*alph.Size()*(1<<uint(2*regs)))
+	d.table = make([]Transition, entries)
+	d.set = make([]uint64, (entries+63)/64)
 	return d
 }
 
@@ -65,23 +122,33 @@ func (d *DRA) index(q, sym int, closing bool, le, ge RegSet) int {
 	return ((q*2*d.Alphabet.Size()+tag)<<(2*r) | int(le)<<r | int(ge))
 }
 
-// SetTransition defines δ(q, tag, X≤, X≥) = (load, next).
+// SetTransition defines δ(q, tag, X≤, X≥) = (load, next) and records the
+// entry as explicitly set (see WasSet).
 func (d *DRA) SetTransition(q, sym int, closing bool, le, ge RegSet, load RegSet, next int) {
-	d.table[d.index(q, sym, closing, le, ge)] = Transition{Load: load, Next: next}
+	i := d.index(q, sym, closing, le, ge)
+	d.table[i] = Transition{Load: load, Next: next}
+	d.set[i/64] |= 1 << uint(i%64)
 }
+
+// WasSet reports whether the entry was explicitly defined via SetTransition
+// (directly or through the SetForAllTests helpers), as opposed to still
+// holding the NewDRA default. The linter uses this to distinguish intended
+// transitions from accidental reliance on the zero default.
+func (d *DRA) WasSet(q, sym int, closing bool, le, ge RegSet) bool {
+	i := d.index(q, sym, closing, le, ge)
+	return d.set[i/64]&(1<<uint(i%64)) != 0
+}
+
+// TableLen returns the allocated transition-table length, for structural
+// validation by the linter.
+func (d *DRA) TableLen() int { return len(d.table) }
 
 // SetForAllTests defines the same transition for every feasible (X≤, X≥)
 // combination — convenience for transitions that ignore the registers.
 func (d *DRA) SetForAllTests(q, sym int, closing bool, load RegSet, next int) {
-	full := RegSet(1<<uint(d.Regs)) - 1
-	for le := RegSet(0); le <= full; le++ {
-		for ge := RegSet(0); ge <= full; ge++ {
-			if le|ge != full {
-				continue // every register is ≤, ≥ or both
-			}
-			d.SetTransition(q, sym, closing, le, ge, load, next)
-		}
-	}
+	EachFeasibleMask(d.Regs, func(le, ge RegSet) {
+		d.SetTransition(q, sym, closing, le, ge, load, next)
+	})
 }
 
 // SetForAllTestsRestricted is SetForAllTests with the load set extended by
@@ -90,15 +157,9 @@ func (d *DRA) SetForAllTests(q, sym int, closing bool, load RegSet, next int) {
 // combinations with values above the current depth are either unreachable
 // or may safely forget those values.
 func (d *DRA) SetForAllTestsRestricted(q, sym int, closing bool, load RegSet, next int) {
-	full := RegSet(1<<uint(d.Regs)) - 1
-	for le := RegSet(0); le <= full; le++ {
-		for ge := RegSet(0); ge <= full; ge++ {
-			if le|ge != full {
-				continue
-			}
-			d.SetTransition(q, sym, closing, le, ge, load|(ge&^le), next)
-		}
-	}
+	EachFeasibleMask(d.Regs, func(le, ge RegSet) {
+		d.SetTransition(q, sym, closing, le, ge, load|(ge&^le), next)
+	})
 }
 
 // Transition looks up δ(q, tag, X≤, X≥).
@@ -110,20 +171,18 @@ func (d *DRA) Transition(q, sym int, closing bool, le, ge RegSet) Transition {
 // Section 2.2: every transition overwrites all registers storing values
 // strictly greater than the current depth, i.e. X≥ \ X≤ ⊆ Y.
 func (d *DRA) IsRestricted() bool {
-	full := RegSet(1<<uint(d.Regs)) - 1
 	for q := 0; q < d.States; q++ {
 		for sym := 0; sym < d.Alphabet.Size(); sym++ {
 			for _, closing := range []bool{false, true} {
-				for le := RegSet(0); le <= full; le++ {
-					for ge := RegSet(0); ge <= full; ge++ {
-						if le|ge != full {
-							continue
-						}
-						tr := d.Transition(q, sym, closing, le, ge)
-						if ge&^le&^tr.Load != 0 {
-							return false
-						}
+				ok := true
+				EachFeasibleMask(d.Regs, func(le, ge RegSet) {
+					tr := d.Transition(q, sym, closing, le, ge)
+					if ge&^le&^tr.Load != 0 {
+						ok = false
 					}
+				})
+				if !ok {
+					return false
 				}
 			}
 		}

@@ -11,9 +11,11 @@ import (
 // remark that "all depth-register automata we construct are restricted".
 //
 // Registers: one per strongly connected component of the minimal automaton
-// (register c holds the depth at which the simulated run left component c;
-// unused registers are kept at or below the current depth by restricted
-// reloads). States: pairs (candidate state p, active chain), where the
+// that is ever abandoned on a reachable run (register c holds the depth at
+// which the simulated run left component c; components that are never left
+// — terminal components in particular — get no register, keeping the table
+// 4× smaller per saved register). States: pairs (candidate state p, active
+// chain), where the
 // chain lists the abandoned components in order together with the
 // candidate state recorded for each. On a closing tag the machine pops
 // exactly when the top chain register exceeds the current depth —
@@ -62,9 +64,8 @@ func FormalDRA(an *classify.Analysis, maxStates int) (*DRA, error) {
 	if maxStates <= 0 {
 		maxStates = 20000
 	}
-	regs := len(an.Comps)
-	if regs > 16 {
-		return nil, fmt.Errorf("core: FormalDRA needs %d registers, table limit is 16", regs)
+	if len(an.Comps) > 16 {
+		return nil, fmt.Errorf("core: FormalDRA needs up to %d registers, table limit is 16", len(an.Comps))
 	}
 	A := an.D
 	k := A.Alphabet.Size()
@@ -165,6 +166,28 @@ func FormalDRA(an *classify.Analysis, maxStates int) (*DRA, error) {
 		total++
 	}
 
+	// Register allocation: only components that are ever abandoned — i.e.
+	// appear in the chain of some reachable state — need a register. Dense
+	// ids are assigned in discovery order; regOf maps component id to
+	// register (or -1).
+	regOf := make([]int, len(an.Comps))
+	for i := range regOf {
+		regOf[i] = -1
+	}
+	regs := 0
+	for _, s := range states {
+		for _, c := range s.chain {
+			if regOf[c.comp] == -1 {
+				regOf[c.comp] = regs
+				regs++
+			}
+		}
+	}
+	if entries, ok := TableEntries(total, k, regs); !ok {
+		return nil, fmt.Errorf("core: FormalDRA table needs %d entries (%d states, %d registers), above the %d cap",
+			entries, total, regs, MaxTableEntries)
+	}
+
 	d := NewDRA(A.Alphabet, total, startID, regs)
 	for i, s := range states {
 		d.Accept[i] = A.Accept[s.p]
@@ -191,7 +214,7 @@ func FormalDRA(an *classify.Analysis, maxStates int) (*DRA, error) {
 		s := states[e.from]
 		topReg := -1
 		if len(s.chain) > 0 {
-			topReg = s.chain[len(s.chain)-1].comp
+			topReg = regOf[s.chain[len(s.chain)-1].comp]
 		}
 		for le := RegSet(0); le <= full; le++ {
 			for ge := RegSet(0); ge <= full; ge++ {
@@ -211,7 +234,7 @@ func FormalDRA(an *classify.Analysis, maxStates int) (*DRA, error) {
 				if !e.closing {
 					ns := states[e.to]
 					if len(ns.chain) > len(s.chain) {
-						load = load.With(ns.chain[len(ns.chain)-1].comp)
+						load = load.With(regOf[ns.chain[len(ns.chain)-1].comp])
 					}
 				}
 				d.SetTransition(e.from, e.sym, e.closing, le, ge, load, e.to)
@@ -229,7 +252,7 @@ func FormalDRA(an *classify.Analysis, maxStates int) (*DRA, error) {
 				}
 				topReg := -1
 				if len(s.chain) > 0 {
-					topReg = s.chain[len(s.chain)-1].comp
+					topReg = regOf[s.chain[len(s.chain)-1].comp]
 				}
 				for le := RegSet(0); le <= full; le++ {
 					for ge := RegSet(0); ge <= full; ge++ {

@@ -49,15 +49,23 @@ func TestFormalDRAIsRestrictedAndEquivalent(t *testing.T) {
 	}
 }
 
-// TestFormalDRARegisterCount: one register per SCC, as Lemma 3.8 promises.
+// TestFormalDRARegisterCount: at most one register per SCC, as Lemma 3.8
+// promises — and strictly fewer when some component is never abandoned
+// (terminal components need no register, and the linter checks none of the
+// allocated ones is wasted; see TestLintGateFormalDRA).
 func TestFormalDRARegisterCount(t *testing.T) {
 	an := classify.Analyze(rex.MustCompile(paperfigs.Fig3cRegex, paperfigs.GammaABC()))
 	d, err := FormalDRA(an, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d.Regs != len(an.Comps) {
-		t.Errorf("registers = %d, want one per SCC (%d)", d.Regs, len(an.Comps))
+	if d.Regs > len(an.Comps) {
+		t.Errorf("registers = %d, want at most one per SCC (%d)", d.Regs, len(an.Comps))
+	}
+	// Γ*aΓ*b has a terminal all-accepting component that is never left, so
+	// the allocation must save at least one register.
+	if d.Regs >= len(an.Comps) {
+		t.Errorf("registers = %d for %d components, want the terminal component elided", d.Regs, len(an.Comps))
 	}
 }
 

@@ -1,0 +1,183 @@
+// Lint gate: every depth-register automaton this repository constructs
+// must pass dralint with zero findings at Warning severity or above. The
+// package is core_test to break the cycle core → dralint → core.
+package core_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/classify"
+	"stackless/internal/core"
+	"stackless/internal/dfa"
+	"stackless/internal/dralint"
+	"stackless/internal/paperfigs"
+	"stackless/internal/rex"
+)
+
+func gate(t *testing.T, name string, d *core.DRA, restricted bool) {
+	t.Helper()
+	diags := dralint.LintWith(d, dralint.Config{RequireRestricted: restricted})
+	for _, di := range dralint.Filter(diags, dralint.Warning) {
+		t.Errorf("%s: %s", name, di)
+	}
+}
+
+// TestLintGateExamples holds the hand-built paper machines to the gate.
+func TestLintGateExamples(t *testing.T) {
+	gate(t, "Example22", core.Example22(), false)
+	gate(t, "Example26", core.Example26(), true)
+	gate(t, "Example27Minimal", core.Example27Minimal(), true)
+	for _, expr := range []string{"ab*", "(ab)*", "a*|b*", ".*a", "(b|ab*a)*"} {
+		gate(t, "Example25/"+expr, core.Example25(rex.MustCompile(expr, alphabet.Letters("ab"))), true)
+	}
+	for _, chain := range [][]string{{"a"}, {"b", "a"}, {"a", "b", "c"}, {"a", "a", "b", "b"}} {
+		d, err := core.ChainPatternDRA(alphabet.Letters("abc"), chain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gate(t, "ChainPatternDRA", d, true)
+	}
+}
+
+// TestLintGateFormalDRA holds the Proposition 2.3 translation to the gate,
+// over the paper figures and random HAR languages. In particular the
+// register remap must leave no unused registers (see
+// TestFormalDRARegisterCount).
+func TestLintGateFormalDRA(t *testing.T) {
+	for _, expr := range []string{paperfigs.Fig3aRegex, paperfigs.Fig3bRegex, paperfigs.Fig3cRegex, "ab*", "b*a"} {
+		an := classify.Analyze(rex.MustCompile(expr, paperfigs.GammaABC()))
+		d, err := core.FormalDRA(an, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gate(t, "FormalDRA/"+expr, d, true)
+	}
+	rng := rand.New(rand.NewSource(43))
+	alph := alphabet.Letters("ab")
+	tested := 0
+	for i := 0; i < 4000 && tested < 30; i++ {
+		an := classify.Analyze(dfa.Random(rng, alph, 1+rng.Intn(5)))
+		if ok, _ := an.HAR(); !ok || len(an.Comps) > 8 {
+			continue
+		}
+		// An empty language yields a DRA that (correctly) rejects every
+		// tree; the vacuous-acceptance warning is right about it, so only
+		// nonempty languages are held to the gate.
+		if empty := func() bool {
+			for q, r := range dfa.ReachableFrom(an.D.Adjacency(), an.D.Start) {
+				if r && an.D.Accept[q] {
+					return false
+				}
+			}
+			return true
+		}(); empty {
+			continue
+		}
+		d, err := core.FormalDRA(an, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tested++
+		gate(t, "FormalDRA/random", d, true)
+	}
+	if tested < 10 {
+		t.Fatalf("only %d random HAR samples; seed drifted?", tested)
+	}
+}
+
+// TestSetForAllTestsRestrictedLintsClean is the linter-backed contract of
+// the two completion helpers: the restricted variant satisfies §2.2 on
+// every machine, and the plain variant is flagged as soon as a kept
+// register can sit above the depth.
+func TestSetForAllTestsRestrictedLintsClean(t *testing.T) {
+	build := func(restricted bool) *core.DRA {
+		alph := alphabet.Letters("ab")
+		d := core.NewDRA(alph, 2, 0, 1)
+		d.Accept[1] = true
+		for q := 0; q < 2; q++ {
+			for sym := 0; sym < 2; sym++ {
+				next := q
+				if sym == 1 {
+					next = 1
+				}
+				if restricted {
+					d.SetForAllTestsRestricted(q, sym, false, 0, next)
+					d.SetForAllTestsRestricted(q, sym, true, 0, q)
+				} else {
+					d.SetForAllTests(q, sym, false, 0, next)
+					d.SetForAllTests(q, sym, true, 0, q)
+				}
+			}
+		}
+		return d
+	}
+	cfg := dralint.Config{RequireRestricted: true}
+	restrictedDiags := dralint.LintWith(build(true), cfg)
+	if n := len(dralint.ByKind(restrictedDiags)[dralint.KindUnrestricted]); n != 0 {
+		t.Errorf("SetForAllTestsRestricted machine has %d unrestricted findings", n)
+	}
+	if !build(true).IsRestricted() {
+		t.Error("IsRestricted disagrees with the linter on the restricted machine")
+	}
+	plainDiags := dralint.LintWith(build(false), cfg)
+	if len(dralint.ByKind(plainDiags)[dralint.KindUnrestricted]) == 0 {
+		t.Error("SetForAllTests machine not flagged unrestricted")
+	}
+	if build(false).IsRestricted() {
+		t.Error("IsRestricted disagrees with the linter on the plain machine")
+	}
+}
+
+// TestNewDRATableCap: the table allocation is guarded — the panic names
+// the computed size instead of letting the runtime OOM.
+func TestNewDRATableCap(t *testing.T) {
+	check := func(states, regs int) (msg string) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		core.NewDRA(alphabet.Letters("ab"), states, 0, regs)
+		return ""
+	}
+	if msg := check(1<<20, 8); msg == "" {
+		t.Fatal("no panic for a table far above the cap")
+	} else if !strings.Contains(msg, "entries") {
+		t.Errorf("cap panic does not name the size: %q", msg)
+	}
+	if msg := check(1, 17); msg == "" {
+		t.Fatal("no panic for 17 registers")
+	}
+	if msg := check(4, 2); msg != "" {
+		t.Errorf("small machine panicked: %q", msg)
+	}
+}
+
+func TestTableEntries(t *testing.T) {
+	for _, c := range []struct {
+		states, alph, regs int
+		entries            uint64
+		ok                 bool
+	}{
+		{1, 1, 0, 2, true},
+		{3, 2, 1, 3 * 2 * 2 * 4, true},
+		{2, 3, 2, 2 * 2 * 3 * 16, true},
+		{1 << 20, 2, 8, uint64(1<<20) * 2 * 2 * (1 << 16), false},
+		{1, 1, 17, 0, false},
+		{-1, 2, 0, 0, false},
+		{1, -1, 0, 0, false},
+	} {
+		entries, ok := core.TableEntries(c.states, c.alph, c.regs)
+		if ok != c.ok || (ok && entries != c.entries) {
+			t.Errorf("TableEntries(%d,%d,%d) = (%d,%v), want (%d,%v)",
+				c.states, c.alph, c.regs, entries, ok, c.entries, c.ok)
+		}
+	}
+	// Saturation: the reported size never wraps silently.
+	if entries, ok := core.TableEntries(1<<30, 1<<30, 16); ok || entries == 0 {
+		t.Errorf("huge table reported as (%d,%v)", entries, ok)
+	}
+}

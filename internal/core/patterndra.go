@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"stackless/internal/alphabet"
+)
+
+// ChainPatternDRA materializes the Proposition 2.8 machine for a *chain*
+// descendent pattern p₀ // p₁ // … // pₙ₋₁ as a table DRA in the exact
+// sense of Definition 2.1 (the compiled PatternMatcher remains the general
+// construction for branching patterns). The machine realizes the
+// minimal-candidate strategy of the proposition with one depth register
+// per non-final pattern node:
+//
+//   - state i (0 ≤ i < n): candidates for p₀…pᵢ₋₁ are fixed, registers
+//     0…i−1 hold their depths, and the machine scans for the first
+//     pᵢ-labelled proper descendant of candidate i−1;
+//   - an opening pᵢ loads register i and advances to state i+1 (straight
+//     to the accepting sink for the final pattern node, which needs no
+//     register);
+//   - a closing tag that drops the depth strictly below register j kills
+//     candidates j…i−1 and falls back to state j — detectable from the
+//     X≥\X≤ masks, exactly the §2.2-restricted discipline;
+//   - state n is the accepting sink.
+//
+// Minimality is sound for the same reason as in PatternMatcher: a chain
+// matching below a nested candidate also matches below the current one.
+// Closing labels are never inspected, so the machine works for the markup
+// and the term encoding alike. All loads include the restricted completion
+// X≥\X≤, so the automaton is restricted (the language is regular).
+func ChainPatternDRA(alph *alphabet.Alphabet, labels []string) (*DRA, error) {
+	n := len(labels)
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty chain pattern")
+	}
+	syms := make([]int, n)
+	for i, l := range labels {
+		id, ok := alph.ID(l)
+		if !ok {
+			return nil, fmt.Errorf("core: pattern label %q outside alphabet %s", l, alph)
+		}
+		syms[i] = id
+	}
+	regs := n - 1
+	if entries, ok := TableEntries(n+1, alph.Size(), regs); !ok {
+		return nil, fmt.Errorf("core: chain pattern of %d nodes needs a %d-entry table, above the %d cap",
+			n, entries, MaxTableEntries)
+	}
+	d := NewDRA(alph, n+1, 0, regs)
+	d.Accept[n] = true
+
+	for i := 0; i < n; i++ {
+		for sym := 0; sym < alph.Size(); sym++ {
+			// Opening tags: every node opened in state i is a proper
+			// descendant of candidate i−1, so a pᵢ label is the next minimal
+			// candidate.
+			nextOpen, loadOpen := i, RegSet(0)
+			if sym == syms[i] {
+				if i == n-1 {
+					nextOpen = n
+				} else {
+					nextOpen, loadOpen = i+1, RegSet(1)<<uint(i)
+				}
+			}
+			EachFeasibleMask(regs, func(le, ge RegSet) {
+				d.SetTransition(i, sym, false, le, ge, loadOpen|(ge&^le), nextOpen)
+			})
+			// Closing tags: fall back to the shallowest candidate whose
+			// register now exceeds the depth (on live runs only register
+			// i−1 can newly exceed it; smaller ones cover the restricted
+			// completion of unreachable mask combinations).
+			EachFeasibleMask(regs, func(le, ge RegSet) {
+				next := i
+				for j := 0; j < i; j++ {
+					if ge.Has(j) && !le.Has(j) {
+						next = j
+						break
+					}
+				}
+				d.SetTransition(i, sym, true, le, ge, ge&^le, next)
+			})
+		}
+	}
+	for sym := 0; sym < alph.Size(); sym++ {
+		d.SetForAllTestsRestricted(n, sym, false, 0, n)
+		d.SetForAllTestsRestricted(n, sym, true, 0, n)
+	}
+	return d, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/encoding"
+	"stackless/internal/tree"
+)
+
+// TestChainPatternDRAAgainstMatcher checks the Proposition 2.8 table DRA
+// for chain patterns against the compiled PatternMatcher on random trees.
+func TestChainPatternDRAAgainstMatcher(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	alph := alphabet.Letters("abc")
+	for _, chain := range [][]string{
+		{"a"},
+		{"b"},
+		{"a", "b"},
+		{"a", "a"},
+		{"a", "b", "c"},
+		{"c", "c", "a"},
+		{"a", "b", "a", "b"},
+	} {
+		d, err := ChainPatternDRA(alph, chain)
+		if err != nil {
+			t.Fatalf("%v: %v", chain, err)
+		}
+		if !d.IsRestricted() {
+			t.Errorf("%v: chain-pattern DRA must be restricted (§2.2)", chain)
+		}
+		oracle := NewPatternMatcher(tree.Chain(chain))
+		for i := 0; i < 400; i++ {
+			tr := randomTree(rng, []string{"a", "b", "c"}, 1+rng.Intn(16))
+			events := encoding.Markup(tr)
+			got := RunEvents(d.Evaluator(), events)
+			want := RunEvents(oracle, events)
+			if got != want {
+				t.Fatalf("%v on %s: DRA says %v, matcher %v", chain, tr, got, want)
+			}
+		}
+	}
+}
+
+// TestChainPatternDRAFixedCases pins a few hand-checked trees, including
+// the fallback-on-close behaviour.
+func TestChainPatternDRAFixedCases(t *testing.T) {
+	alph := alphabet.Letters("abc")
+	d, err := ChainPatternDRA(alph, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		tr   string
+		want bool
+	}{
+		{"a(b)", true},
+		{"a(c(b))", true}, // descendant, not child
+		{"b(a)", false},
+		{"c(a(c),a(c(b)))", true}, // first candidate fails, second matches
+		{"a(a(b))", true},
+		{"c(b,a)", false},
+	} {
+		tr := tree.MustParse(c.tr)
+		if got := RunEvents(d.Evaluator(), encoding.Markup(tr)); got != c.want {
+			t.Errorf("a//b on %s = %v, want %v", c.tr, got, c.want)
+		}
+	}
+}
+
+// TestChainPatternDRAErrors: foreign labels and empty chains are rejected.
+func TestChainPatternDRAErrors(t *testing.T) {
+	alph := alphabet.Letters("ab")
+	if _, err := ChainPatternDRA(alph, nil); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := ChainPatternDRA(alph, []string{"a", "z"}); err == nil {
+		t.Error("foreign label accepted")
+	}
+}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"math/rand"
+
+	"stackless/internal/alphabet"
+)
+
+// RandomDRA returns a random total table DRA with the given dimensions,
+// following the internal/dfa Random idiom: every feasible (X≤, X≥) entry
+// gets an independent uniform successor and load set, and each acceptance
+// bit is an independent coin flip. Intended for property-based tests and
+// for fuzzing the linter; the machines are structurally well-formed but
+// semantically arbitrary.
+func RandomDRA(rng *rand.Rand, alph *alphabet.Alphabet, states, regs int) *DRA {
+	d := NewDRA(alph, states, rng.Intn(states), regs)
+	for q := 0; q < states; q++ {
+		d.Accept[q] = rng.Intn(2) == 1
+		for sym := 0; sym < alph.Size(); sym++ {
+			for _, closing := range []bool{false, true} {
+				EachFeasibleMask(regs, func(le, ge RegSet) {
+					load := RegSet(rng.Intn(1 << uint(regs)))
+					d.SetTransition(q, sym, closing, le, ge, load, rng.Intn(states))
+				})
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,57 @@
+package dfa
+
+// Graph-level reachability and SCC machinery, shared by the DFA methods in
+// this package and by analyses of machines that are not DFAs (notably the
+// depth-register automata linted by internal/dralint). A graph is an
+// adjacency list: adj[v] lists the successors of vertex v, duplicates
+// allowed.
+
+// ReachableFrom returns the set of vertices reachable from any of the given
+// start vertices (including the starts themselves) by BFS over adj. Start
+// vertices out of range are ignored.
+func ReachableFrom(adj [][]int, starts ...int) []bool {
+	n := len(adj)
+	seen := make([]bool, n)
+	var queue []int
+	for _, s := range starts {
+		if s >= 0 && s < n && !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if w >= 0 && w < n && !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen
+}
+
+// Reverse returns the reversed adjacency list of adj, dropping edges whose
+// target is out of range.
+func Reverse(adj [][]int) [][]int {
+	rev := make([][]int, len(adj))
+	for v, succs := range adj {
+		for _, w := range succs {
+			if w >= 0 && w < len(adj) {
+				rev[w] = append(rev[w], v)
+			}
+		}
+	}
+	return rev
+}
+
+// Adjacency returns the transition graph of the automaton as an adjacency
+// list (one edge per table entry; parallel edges are kept).
+func (d *DFA) Adjacency() [][]int {
+	adj := make([][]int, d.NumStates())
+	for q, row := range d.Delta {
+		adj[q] = append(adj[q], row...)
+	}
+	return adj
+}

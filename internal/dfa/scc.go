@@ -7,7 +7,13 @@ package dfa
 // leads from a component to one with an id less than or equal to its own...
 // see Topological below for the forward order used by the simulations.
 func (d *DFA) SCCs() (comp []int, comps [][]int) {
-	n := d.NumStates()
+	return SCCsOf(d.Adjacency())
+}
+
+// SCCsOf is SCCs on a plain adjacency list (edges with out-of-range targets
+// are ignored), usable for transition graphs of machines that are not DFAs.
+func SCCsOf(adj [][]int) (comp []int, comps [][]int) {
+	n := len(adj)
 	comp = make([]int, n)
 	for i := range comp {
 		comp[i] = -1
@@ -36,9 +42,12 @@ func (d *DFA) SCCs() (comp []int, comps [][]int) {
 		onStack[root] = true
 		for len(call) > 0 {
 			f := &call[len(call)-1]
-			if f.ai < len(d.Delta[f.v]) {
-				w := d.Delta[f.v][f.ai]
+			if f.ai < len(adj[f.v]) {
+				w := adj[f.v][f.ai]
 				f.ai++
+				if w < 0 || w >= n {
+					continue
+				}
 				if index[w] == -1 {
 					index[w] = next
 					low[w] = next

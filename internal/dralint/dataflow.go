@@ -1,0 +1,194 @@
+package dralint
+
+import "stackless/internal/core"
+
+// Forward dataflow over the abstract transition graph of a DRA.
+//
+// The analysis tracks, for every state and register, the set of possible
+// orders between the register value and the current depth at the moment
+// the state is entered: LT (value < depth), EQ, GT, or any subset. The
+// Definition 2.1 semantics drive the transfer function exactly:
+//
+//   - the event updates the depth first: against the incremented depth of
+//     an opening tag, a value that was ≤ the old depth is strictly below,
+//     and a value strictly above the old depth is equal or still above;
+//     closing tags are the mirror image (see transfer);
+//   - then the (X≤, X≥) masks are read against the new depth, so a mask is
+//     only possible if each register's trit is compatible;
+//   - then loads overwrite registers with the new depth (EQ).
+//
+// A feasible table entry whose mask is incompatible with the fixpoint is
+// dead: no run of the machine can ever consult it. States whose fact stays
+// empty are unreachable. The abstraction ignores absolute depths, so it
+// over-approximates reachability (sound for "dead" and "unreachable"
+// verdicts, never flags a live entry).
+type trits uint8
+
+const (
+	tLT  trits = 1 << iota // register value strictly below the depth
+	tEQ                    // equal
+	tGT                    // strictly above
+	tAny = tLT | tEQ | tGT
+)
+
+// maskTrit extracts register i's order from a feasible (X≤, X≥) pair:
+// X≤∩X≥ means EQ, X≤ alone LT, X≥ alone GT.
+func maskTrit(le, ge core.RegSet, i int) trits {
+	switch {
+	case le.Has(i) && ge.Has(i):
+		return tEQ
+	case le.Has(i):
+		return tLT
+	default:
+		return tGT
+	}
+}
+
+// transfer maps the possible orders before an event to the possible orders
+// against the updated depth, per register. Opening tags increment the
+// depth: a value ≤ the old depth is strictly below the new one, and a
+// value strictly above the old depth (hence ≥ the new one) is equal to or
+// still above it. Closing tags are the mirror image.
+func transfer(t trits, closing bool) trits {
+	var out trits
+	if !closing {
+		if t&(tLT|tEQ) != 0 {
+			out |= tLT
+		}
+		if t&tGT != 0 {
+			out |= tEQ | tGT
+		}
+	} else {
+		if t&(tGT|tEQ) != 0 {
+			out |= tGT
+		}
+		if t&tLT != 0 {
+			out |= tLT | tEQ
+		}
+	}
+	return out
+}
+
+// flow is the fixpoint result.
+type flow struct {
+	d       *core.DRA
+	reached []bool
+	fact    [][]trits // fact[q][i]: possible orders on entry to q; nil row = unreachable
+}
+
+// analyze runs the fixpoint. validNext guards against malformed successor
+// entries (they contribute no edges; the structural pass reports them).
+func analyze(d *core.DRA, validNext func(int) bool) *flow {
+	f := &flow{
+		d:       d,
+		reached: make([]bool, d.States),
+		fact:    make([][]trits, d.States),
+	}
+	enter := func(q int, entry []trits) bool {
+		changed := false
+		if !f.reached[q] {
+			f.reached[q] = true
+			f.fact[q] = make([]trits, d.Regs)
+			changed = true
+		}
+		for i, t := range entry {
+			if f.fact[q][i]|t != f.fact[q][i] {
+				f.fact[q][i] |= t
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	// The initial configuration has every register equal to the depth
+	// (both are 0).
+	init := make([]trits, d.Regs)
+	for i := range init {
+		init[i] = tEQ
+	}
+	if d.Start < 0 || d.Start >= d.States {
+		return f // structural pass reports the bad start state
+	}
+	enter(d.Start, init)
+
+	queue := []int{d.Start}
+	inQueue := make([]bool, d.States)
+	inQueue[d.Start] = true
+	entry := make([]trits, d.Regs)
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		inQueue[q] = false
+		for sym := 0; sym < d.Alphabet.Size(); sym++ {
+			for _, closing := range []bool{false, true} {
+				core.EachFeasibleMask(d.Regs, func(le, ge core.RegSet) {
+					if !f.maskLive(q, sym, closing, le, ge) {
+						return
+					}
+					tr := d.Transition(q, sym, closing, le, ge)
+					if !validNext(tr.Next) {
+						return
+					}
+					for i := 0; i < d.Regs; i++ {
+						if tr.Load.Has(i) {
+							entry[i] = tEQ
+						} else {
+							entry[i] = maskTrit(le, ge, i)
+						}
+					}
+					if enter(tr.Next, entry) && !inQueue[tr.Next] {
+						inQueue[tr.Next] = true
+						queue = append(queue, tr.Next)
+					}
+				})
+			}
+		}
+	}
+	return f
+}
+
+// maskLive reports whether the mask pair is possible at (q, sym, closing)
+// under the current facts. Monotone in the facts, so calling it after the
+// fixpoint gives the final verdict.
+func (f *flow) maskLive(q, sym int, closing bool, le, ge core.RegSet) bool {
+	_ = sym
+	if !f.reached[q] {
+		return false
+	}
+	for i := 0; i < f.d.Regs; i++ {
+		if maskTrit(le, ge, i)&transfer(f.fact[q][i], closing) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// liveAdjacency builds the per-state successor lists over live edges with
+// valid targets, deduplicated, for the reachability analyses.
+func (f *flow) liveAdjacency(validNext func(int) bool) [][]int {
+	adj := make([][]int, f.d.States)
+	// seen[t] == q+1 marks that state q already recorded an edge to t; the
+	// generation trick avoids clearing the array between states.
+	seen := make([]int, f.d.States)
+	for q := 0; q < f.d.States; q++ {
+		if !f.reached[q] {
+			continue
+		}
+		for sym := 0; sym < f.d.Alphabet.Size(); sym++ {
+			for _, closing := range []bool{false, true} {
+				core.EachFeasibleMask(f.d.Regs, func(le, ge core.RegSet) {
+					if !f.maskLive(q, sym, closing, le, ge) {
+						return
+					}
+					tr := f.d.Transition(q, sym, closing, le, ge)
+					if !validNext(tr.Next) || seen[tr.Next] == q+1 {
+						return
+					}
+					seen[tr.Next] = q + 1
+					adj[q] = append(adj[q], tr.Next)
+				})
+			}
+		}
+	}
+	return adj
+}

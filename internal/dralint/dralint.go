@@ -1,0 +1,203 @@
+// Package dralint is a static analyzer — a "go vet" — for the table
+// depth-register automata of internal/core (Definition 2.1 of the paper).
+//
+// DRA tables are easy to mis-build and hard to debug: a wrong entry does
+// not crash anything, it silently produces a wrong run. The linter checks
+// the side conditions the paper states around Definition 2.1 and Section
+// 2.2 and reports structured findings:
+//
+//   - structural well-formedness of the table (Definition 2.1);
+//   - entries explicitly set for infeasible (X≤, X≥) mask pairs, which no
+//     run can ever consult;
+//   - feasible entries never set, i.e. accidental reliance on the NewDRA
+//     zero default (δ must be total);
+//   - states unreachable from the start state, separately flagging
+//     unreachable accepting states and machines that cannot accept at all;
+//   - dead transitions: explicitly set entries whose mask combination is
+//     impossible at their state, found by a forward dataflow that tracks,
+//     per state and register, the possible orders between the register
+//     value and the current depth;
+//   - violations of the Section 2.2 restriction (a register above the
+//     current depth that is not overwritten), on demand — Proposition 2.3
+//     silently assumes it, so unrestricted machines must be deliberate,
+//     like Example 2.2;
+//   - register hygiene: registers never loaded, never tested, or wholly
+//     unused — each unused register quadruples the table (NewDRA allocates
+//     states·2·|Γ|·2^(2·regs) entries);
+//   - tables approaching the allocation cap.
+//
+// Lint never panics, even on malformed machines; that property is fuzzed.
+package dralint
+
+import (
+	"fmt"
+	"sort"
+
+	"stackless/internal/core"
+)
+
+// Severity classifies a finding. Info findings are advisory (for example
+// harmless dead completions produced by SetForAllTests); Warning and Error
+// findings indicate a machine that should not ship. The paper examples in
+// internal/core lint clean at Warning and above.
+type Severity uint8
+
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", uint8(s))
+}
+
+// Kind identifies a diagnostic category. Every kind cites the paper clause
+// it enforces (see the Cite field of Diagnostic and DESIGN.md).
+type Kind string
+
+const (
+	KindMalformed           Kind = "malformed"
+	KindInfeasibleMaskSet   Kind = "infeasible-mask-set"
+	KindIncompleteTable     Kind = "incomplete-table"
+	KindUnreachableState    Kind = "unreachable-state"
+	KindUnreachableAccept   Kind = "unreachable-accept"
+	KindVacuousAcceptance   Kind = "vacuous-acceptance"
+	KindDeadTransition      Kind = "dead-transition"
+	KindUnrestricted        Kind = "unrestricted"
+	KindRegisterNeverLoaded Kind = "register-never-loaded"
+	KindRegisterNeverTested Kind = "register-never-tested"
+	KindRegisterUnused      Kind = "register-unused"
+	KindTableBlowup         Kind = "table-blowup"
+	KindTruncated           Kind = "truncated"
+)
+
+// Diagnostic is one finding. State, Sym and Reg are -1 when the finding is
+// not tied to a particular state, symbol or register; HasMask reports
+// whether Le/Ge/Closing locate a concrete table entry.
+type Diagnostic struct {
+	Kind     Kind
+	Severity Severity
+	State    int
+	Sym      int
+	Closing  bool
+	HasMask  bool
+	Le, Ge   core.RegSet
+	Reg      int
+	Message  string
+	Cite     string
+}
+
+func (d Diagnostic) String() string {
+	if d.Cite == "" {
+		return fmt.Sprintf("%s[%s] %s", d.Severity, d.Kind, d.Message)
+	}
+	return fmt.Sprintf("%s[%s] %s (%s)", d.Severity, d.Kind, d.Message, d.Cite)
+}
+
+// Filter returns the diagnostics with severity at least min.
+func Filter(diags []Diagnostic, min Severity) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Severity >= min {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Clean reports whether the diagnostics contain nothing at Warning
+// severity or above — the bar the repo's own automata are held to.
+func Clean(diags []Diagnostic) bool { return len(Filter(diags, Warning)) == 0 }
+
+// ByKind buckets diagnostics by kind.
+func ByKind(diags []Diagnostic) map[Kind][]Diagnostic {
+	out := make(map[Kind][]Diagnostic)
+	for _, d := range diags {
+		out[d.Kind] = append(out[d.Kind], d)
+	}
+	return out
+}
+
+// Config tunes a lint run. The zero value is the default configuration.
+type Config struct {
+	// RequireRestricted reports any violation of the Section 2.2
+	// restriction as an Error. Off by default: general DRAs (Example 2.2)
+	// are legitimately unrestricted, but every machine meant to feed the
+	// Proposition 2.3 stack-elimination pipeline must pass with this on.
+	RequireRestricted bool
+	// MaxPerKind caps the findings reported per kind; a Truncated note
+	// records how many were suppressed. 0 means the default of 8.
+	MaxPerKind int
+	// TableWarnEntries is the table size (in entries) above which a
+	// TableBlowup warning fires. 0 means the default of 1<<20 (a machine
+	// within a factor 64 of the core.MaxTableEntries allocation cap).
+	TableWarnEntries uint64
+}
+
+func (c Config) maxPerKind() int {
+	if c.MaxPerKind <= 0 {
+		return 8
+	}
+	return c.MaxPerKind
+}
+
+func (c Config) tableWarn() uint64 {
+	if c.TableWarnEntries == 0 {
+		return 1 << 20
+	}
+	return c.TableWarnEntries
+}
+
+// Lint analyzes the automaton with the default configuration.
+func Lint(d *core.DRA) []Diagnostic { return LintWith(d, Config{}) }
+
+// collector accumulates diagnostics with a per-kind cap.
+type collector struct {
+	cfg        Config
+	diags      []Diagnostic
+	suppressed map[Kind]int
+}
+
+func (c *collector) add(d Diagnostic) {
+	n := 0
+	for _, have := range c.diags {
+		if have.Kind == d.Kind {
+			n++
+		}
+	}
+	if n >= c.cfg.maxPerKind() {
+		if c.suppressed == nil {
+			c.suppressed = make(map[Kind]int)
+		}
+		c.suppressed[d.Kind]++
+		return
+	}
+	c.diags = append(c.diags, d)
+}
+
+// finish appends truncation notes and orders the findings by descending
+// severity (stable within a severity).
+func (c *collector) finish() []Diagnostic {
+	kinds := make([]Kind, 0, len(c.suppressed))
+	for k := range c.suppressed {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		c.diags = append(c.diags, Diagnostic{
+			Kind: KindTruncated, Severity: Info, State: -1, Sym: -1, Reg: -1,
+			Message: fmt.Sprintf("%d further %s finding(s) suppressed (MaxPerKind=%d)", c.suppressed[k], k, c.cfg.maxPerKind()),
+		})
+	}
+	sort.SliceStable(c.diags, func(i, j int) bool { return c.diags[i].Severity > c.diags[j].Severity })
+	return c.diags
+}

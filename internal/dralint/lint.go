@@ -1,0 +1,368 @@
+package dralint
+
+import (
+	"fmt"
+	"strings"
+
+	"stackless/internal/core"
+	"stackless/internal/dfa"
+)
+
+// LintWith analyzes the automaton and returns its findings, most severe
+// first. It never panics, whatever the state of d; machines too malformed
+// to index safely yield Malformed errors and no deeper analysis.
+func LintWith(d *core.DRA, cfg Config) []Diagnostic {
+	c := &collector{cfg: cfg}
+	l := &linter{d: d, c: c}
+	if l.structural() {
+		l.tableScan()
+		l.flow = analyze(d, l.validNext)
+		l.reachability()
+		l.deadTransitions()
+		if cfg.RequireRestricted {
+			l.restriction()
+		}
+		l.registers()
+		l.blowup()
+	}
+	return c.finish()
+}
+
+type linter struct {
+	d    *core.DRA
+	c    *collector
+	flow *flow
+}
+
+func (l *linter) validNext(q int) bool { return q >= 0 && q < l.d.States }
+
+// loc renders a table position for messages.
+func (l *linter) loc(q, sym int, closing bool, le, ge core.RegSet) string {
+	tag := "open"
+	if closing {
+		tag = "close"
+	}
+	return fmt.Sprintf("state %d, %s %s, %s", q, tag, l.d.Alphabet.Symbol(sym), maskString(le, ge))
+}
+
+func maskString(le, ge core.RegSet) string {
+	return fmt.Sprintf("X≤=%s X≥=%s", regSetString(le), regSetString(ge))
+}
+
+func regSetString(s core.RegSet) string {
+	if s == 0 {
+		return "∅"
+	}
+	var parts []string
+	for i := 0; i < 16; i++ { // all 16 representable bits, so foreign bits of malformed sets show up
+		if s.Has(i) {
+			parts = append(parts, fmt.Sprint(i))
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// structural validates everything needed to index the table safely.
+// Returns false when deeper analyses must be skipped.
+func (l *linter) structural() bool {
+	d := l.d
+	bad := func(msg string, args ...any) bool {
+		l.c.add(Diagnostic{Kind: KindMalformed, Severity: Error, State: -1, Sym: -1, Reg: -1,
+			Message: fmt.Sprintf(msg, args...), Cite: "Def. 2.1"})
+		return false
+	}
+	if d == nil {
+		return bad("nil automaton")
+	}
+	if d.Alphabet == nil || d.Alphabet.Size() == 0 {
+		return bad("empty or missing alphabet: a DRA reads tags from Γ ∪ Γ̄")
+	}
+	if d.States <= 0 {
+		return bad("no states (States=%d)", d.States)
+	}
+	if d.Regs < 0 || d.Regs > 16 {
+		return bad("register count %d outside the table representation's [0,16]", d.Regs)
+	}
+	ok := true
+	if len(d.Accept) != d.States {
+		bad("accept vector has %d entries for %d states", len(d.Accept), d.States)
+		ok = false
+	}
+	if d.Start < 0 || d.Start >= d.States {
+		bad("start state %d out of range [0,%d)", d.Start, d.States)
+		ok = false
+	}
+	entries, sizeOK := core.TableEntries(d.States, d.Alphabet.Size(), d.Regs)
+	if !sizeOK || int(entries) != d.TableLen() {
+		bad("transition table has %d entries, want states·2·|Γ|·2^(2·regs) = %d", d.TableLen(), entries)
+		return false // indexing the table would be out of bounds
+	}
+	return ok
+}
+
+// tableScan walks every table entry once: range checks on explicit
+// entries, infeasible-mask writes, and feasible entries never set.
+func (l *linter) tableScan() {
+	d := l.d
+	full := core.FullRegSet(d.Regs)
+	for q := 0; q < d.States; q++ {
+		for sym := 0; sym < d.Alphabet.Size(); sym++ {
+			for _, closing := range []bool{false, true} {
+				for le := core.RegSet(0); le <= full; le++ {
+					for ge := core.RegSet(0); ge <= full; ge++ {
+						feasible := le|ge == full
+						set := d.WasSet(q, sym, closing, le, ge)
+						switch {
+						case !feasible && set:
+							l.c.add(Diagnostic{Kind: KindInfeasibleMaskSet, Severity: Warning,
+								State: q, Sym: sym, Closing: closing, HasMask: true, Le: le, Ge: ge, Reg: -1,
+								Message: fmt.Sprintf("%s: entry set for an infeasible mask pair — after any event every register is ≤, ≥ or both of the depth, so X≤∪X≥ must cover all registers and this entry is never consulted", l.loc(q, sym, closing, le, ge)),
+								Cite:    "Def. 2.1"})
+						case feasible && !set:
+							l.c.add(Diagnostic{Kind: KindIncompleteTable, Severity: Warning,
+								State: q, Sym: sym, Closing: closing, HasMask: true, Le: le, Ge: ge, Reg: -1,
+								Message: fmt.Sprintf("%s: feasible entry never set — the run would silently take the NewDRA default (no loads, state 0), but δ must be total", l.loc(q, sym, closing, le, ge)),
+								Cite:    "Def. 2.1"})
+						}
+						if feasible {
+							tr := d.Transition(q, sym, closing, le, ge)
+							if !l.validNext(tr.Next) {
+								l.c.add(Diagnostic{Kind: KindMalformed, Severity: Error,
+									State: q, Sym: sym, Closing: closing, HasMask: true, Le: le, Ge: ge, Reg: -1,
+									Message: fmt.Sprintf("%s: successor state %d out of range [0,%d)", l.loc(q, sym, closing, le, ge), tr.Next, d.States),
+									Cite:    "Def. 2.1"})
+							}
+							if tr.Load&^full != 0 {
+								l.c.add(Diagnostic{Kind: KindMalformed, Severity: Error,
+									State: q, Sym: sym, Closing: closing, HasMask: true, Le: le, Ge: ge, Reg: -1,
+									Message: fmt.Sprintf("%s: load set %s names registers outside Ξ = {0..%d}", l.loc(q, sym, closing, le, ge), regSetString(tr.Load), d.Regs-1),
+									Cite:    "Def. 2.1"})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// reachability flags states the abstract semantics can never enter,
+// distinguishing accepting ones, and machines with no reachable accepting
+// state at all. Unreachable states are grouped by SCC so a dead cluster
+// reads as one finding.
+func (l *linter) reachability() {
+	d := l.d
+	adj := l.flow.liveAdjacency(l.validNext)
+	comp, comps := dfa.SCCsOf(adj)
+	reportedComp := make([]bool, len(comps))
+	for q := 0; q < d.States; q++ {
+		if l.flow.reached[q] {
+			continue
+		}
+		if d.Accept[q] {
+			l.c.add(Diagnostic{Kind: KindUnreachableAccept, Severity: Warning,
+				State: q, Sym: -1, Reg: -1,
+				Message: fmt.Sprintf("accepting state %d is unreachable from start state %d: it can never witness acceptance", q, d.Start),
+				Cite:    "Def. 2.1"})
+			continue
+		}
+		if reportedComp[comp[q]] {
+			continue
+		}
+		reportedComp[comp[q]] = true
+		members := comps[comp[q]]
+		if len(members) > 1 {
+			l.c.add(Diagnostic{Kind: KindUnreachableState, Severity: Warning,
+				State: q, Sym: -1, Reg: -1,
+				Message: fmt.Sprintf("states %v form an unreachable component: no run from start state %d enters them", members, d.Start),
+				Cite:    "Def. 2.1"})
+		} else {
+			l.c.add(Diagnostic{Kind: KindUnreachableState, Severity: Warning,
+				State: q, Sym: -1, Reg: -1,
+				Message: fmt.Sprintf("state %d is unreachable from start state %d", q, d.Start),
+				Cite:    "Def. 2.1"})
+		}
+	}
+
+	// Co-reachability of acceptance, over the reversed live graph.
+	var accepts []int
+	for q := 0; q < d.States; q++ {
+		if l.flow.reached[q] && d.Accept[q] {
+			accepts = append(accepts, q)
+		}
+	}
+	if len(accepts) == 0 {
+		l.c.add(Diagnostic{Kind: KindVacuousAcceptance, Severity: Warning,
+			State: -1, Sym: -1, Reg: -1,
+			Message: "no accepting state is reachable: the automaton rejects every tree",
+			Cite:    "Def. 2.1"})
+	} else if coAccept := dfa.ReachableFrom(dfa.Reverse(adj), accepts...); !coAccept[d.Start] {
+		// Unreachable with a reachable accept state cannot happen (the
+		// accept state is reachable from start), so this is defensive.
+		l.c.add(Diagnostic{Kind: KindVacuousAcceptance, Severity: Warning,
+			State: -1, Sym: -1, Reg: -1,
+			Message: "the start state cannot reach any accepting state",
+			Cite:    "Def. 2.1"})
+	}
+}
+
+// deadTransitions reports explicitly set feasible entries whose mask pair
+// is impossible at their state per the dataflow. Entries that branch to a
+// state no live sibling reaches are the suspicious ones; uniform
+// completions (the SetForAllTests idiom) are only counted.
+func (l *linter) deadTransitions() {
+	d := l.d
+	redundant := 0
+	for q := 0; q < d.States; q++ {
+		if !l.flow.reached[q] {
+			continue // already flagged as unreachable
+		}
+		for sym := 0; sym < d.Alphabet.Size(); sym++ {
+			for _, closing := range []bool{false, true} {
+				liveNext := map[int]bool{}
+				type deadEntry struct {
+					le, ge core.RegSet
+					next   int
+				}
+				var dead []deadEntry
+				core.EachFeasibleMask(d.Regs, func(le, ge core.RegSet) {
+					tr := d.Transition(q, sym, closing, le, ge)
+					if l.flow.maskLive(q, sym, closing, le, ge) {
+						liveNext[tr.Next] = true
+					} else if d.WasSet(q, sym, closing, le, ge) {
+						dead = append(dead, deadEntry{le, ge, tr.Next})
+					}
+				})
+				for _, e := range dead {
+					if liveNext[e.next] {
+						redundant++
+						continue
+					}
+					l.c.add(Diagnostic{Kind: KindDeadTransition, Severity: Info,
+						State: q, Sym: sym, Closing: closing, HasMask: true, Le: e.le, Ge: e.ge, Reg: -1,
+						Message: fmt.Sprintf("%s: this mask pair can never occur here (register/depth order analysis), so the branch to state %d never fires", l.loc(q, sym, closing, e.le, e.ge), e.next),
+						Cite:    "Def. 2.1"})
+				}
+			}
+		}
+	}
+	if redundant > 0 {
+		l.c.add(Diagnostic{Kind: KindDeadTransition, Severity: Info,
+			State: -1, Sym: -1, Reg: -1,
+			Message: fmt.Sprintf("%d entries sit on impossible mask pairs but agree with a live sibling — harmless SetForAllTests-style completions", redundant),
+			Cite:    "Def. 2.1"})
+	}
+}
+
+// restriction reports every transition violating the Section 2.2
+// restriction: registers above the current depth (X≥ \ X≤) must be
+// reloaded. Proposition 2.3's stack elimination assumes this.
+func (l *linter) restriction() {
+	d := l.d
+	for q := 0; q < d.States; q++ {
+		for sym := 0; sym < d.Alphabet.Size(); sym++ {
+			for _, closing := range []bool{false, true} {
+				core.EachFeasibleMask(d.Regs, func(le, ge core.RegSet) {
+					tr := d.Transition(q, sym, closing, le, ge)
+					if kept := ge &^ le &^ tr.Load; kept != 0 {
+						l.c.add(Diagnostic{Kind: KindUnrestricted, Severity: Error,
+							State: q, Sym: sym, Closing: closing, HasMask: true, Le: le, Ge: ge, Reg: -1,
+							Message: fmt.Sprintf("%s: registers %s hold values above the current depth but are not reloaded (load=%s)", l.loc(q, sym, closing, le, ge), regSetString(kept), regSetString(tr.Load)),
+							Cite:    "§2.2"})
+					}
+				})
+			}
+		}
+	}
+}
+
+// registers checks per-register hygiene over the live part of the machine:
+// every register should be loaded on some live edge and should influence
+// behaviour on some pair of live masks. The "influence" test ignores the
+// register's own bit in the load sets, so the §2.2 completion idiom (a
+// register reloading itself) does not count as a use.
+func (l *linter) registers() {
+	d := l.d
+	if d.Regs == 0 {
+		return
+	}
+	loaded := make([]bool, d.Regs)
+	tested := make([]bool, d.Regs)
+	type key struct {
+		le, ge core.RegSet
+	}
+	for q := 0; q < d.States; q++ {
+		if !l.flow.reached[q] {
+			continue
+		}
+		for sym := 0; sym < d.Alphabet.Size(); sym++ {
+			for _, closing := range []bool{false, true} {
+				var live []key
+				core.EachFeasibleMask(d.Regs, func(le, ge core.RegSet) {
+					if l.flow.maskLive(q, sym, closing, le, ge) {
+						live = append(live, key{le, ge})
+					}
+				})
+				for _, m := range live {
+					tr := d.Transition(q, sym, closing, m.le, m.ge)
+					for i := 0; i < d.Regs; i++ {
+						if tr.Load.Has(i) {
+							loaded[i] = true
+						}
+					}
+				}
+				for i := 0; i < d.Regs; i++ {
+					if tested[i] {
+						continue
+					}
+					bit := core.RegSet(1) << uint(i)
+					first := map[key]core.Transition{}
+					for _, m := range live {
+						tr := d.Transition(q, sym, closing, m.le, m.ge)
+						k := key{m.le &^ bit, m.ge &^ bit}
+						if prev, ok := first[k]; ok {
+							if prev.Next != tr.Next || prev.Load&^bit != tr.Load&^bit {
+								tested[i] = true
+								break
+							}
+						} else {
+							first[k] = tr
+						}
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < d.Regs; i++ {
+		switch {
+		case !loaded[i] && !tested[i]:
+			l.c.add(Diagnostic{Kind: KindRegisterUnused, Severity: Warning,
+				State: -1, Sym: -1, Reg: i,
+				Message: fmt.Sprintf("register %d is never loaded and never influences any live transition: dropping it shrinks the table 4× (NewDRA allocates states·2·|Γ|·2^(2·regs) entries)", i),
+				Cite:    "Def. 2.1"})
+		case !loaded[i]:
+			l.c.add(Diagnostic{Kind: KindRegisterNeverLoaded, Severity: Warning,
+				State: -1, Sym: -1, Reg: i,
+				Message: fmt.Sprintf("register %d is tested but never loaded: it forever holds the initial value 0, so the test only distinguishes depth 0", i),
+				Cite:    "Def. 2.1"})
+		case !tested[i]:
+			l.c.add(Diagnostic{Kind: KindRegisterNeverTested, Severity: Warning,
+				State: -1, Sym: -1, Reg: i,
+				Message: fmt.Sprintf("register %d is loaded but its value never influences any live transition beyond reloading itself", i),
+				Cite:    "§2.2"})
+		}
+	}
+}
+
+// blowup warns about tables approaching the allocation cap.
+func (l *linter) blowup() {
+	d := l.d
+	entries, _ := core.TableEntries(d.States, d.Alphabet.Size(), d.Regs)
+	if entries >= l.c.cfg.tableWarn() {
+		l.c.add(Diagnostic{Kind: KindTableBlowup, Severity: Warning,
+			State: -1, Sym: -1, Reg: -1,
+			Message: fmt.Sprintf("transition table has %d entries (%d states × 2·%d tags × 4^%d masks), within a factor %d of the %d-entry allocation cap",
+				entries, d.States, d.Alphabet.Size(), d.Regs, core.MaxTableEntries/entries, core.MaxTableEntries),
+			Cite: "Def. 2.1"})
+	}
+}

@@ -1,0 +1,242 @@
+package dralint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/core"
+)
+
+// Parse reads a DRA from the plain-text .dra format so cmd/dralint can
+// analyze machines built outside this repository. The format is line
+// oriented; '#' starts a comment and blank lines are ignored:
+//
+//	alphabet a b c        # symbols of Γ, in id order
+//	states 3              # number of states (required before trans lines)
+//	start 0               # start state (default 0)
+//	regs 2                # number of registers (default 0)
+//	accept 2              # accepting states, any number per line
+//	restricted            # declare the §2.2 restriction (checked by lint)
+//	trans 0 a 0,1 1 1 2   # from, tag, X≤, X≥, load, next
+//	trans 1 /a - 0 - 2    # '/sym' is the closing tag; '-' is the empty set
+//	forall 0 b - 1        # δ(0, b, X≤, X≥) = (∅, 1) for every feasible mask
+//	forallr 2 /b - 2      # like forall but reloading X≥\X≤ (§2.2 completion)
+//
+// Register sets are comma-separated register indices or '-'. The header
+// directives (alphabet, states, start, regs, accept, restricted) must all
+// precede the first transition line. Parse validates dimensions eagerly —
+// including the core.MaxTableEntries cap, returning an error instead of
+// letting core.NewDRA panic — but leaves semantic judgement to Lint.
+func Parse(r io.Reader) (*core.DRA, Expect, error) {
+	p := parser{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if err := p.line(line, sc.Text()); err != nil {
+			return nil, Expect{}, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, Expect{}, fmt.Errorf("dralint: reading input: %w", err)
+	}
+	if p.d == nil {
+		// Even an empty input reports against line 1, not "line 0".
+		if err := p.build(max(line, 1)); err != nil {
+			return nil, Expect{}, err
+		}
+	}
+	return p.d, p.expect, nil
+}
+
+// Expect carries the declarations of a parsed .dra file that are promises
+// to be checked rather than part of the machine itself.
+type Expect struct {
+	// Restricted is set by the 'restricted' directive: the author claims
+	// the machine satisfies the §2.2 restriction, so it should be linted
+	// with Config.RequireRestricted.
+	Restricted bool
+}
+
+type parser struct {
+	alph    *alphabet.Alphabet
+	states  int
+	start   int
+	regs    int
+	accepts []int
+	expect  Expect
+	d       *core.DRA // built lazily at the first transition line
+}
+
+func errAt(line int, msg string, args ...any) error {
+	return fmt.Errorf("dralint: line %d: %s", line, fmt.Sprintf(msg, args...))
+}
+
+func (p *parser) line(n int, raw string) error {
+	if i := strings.IndexByte(raw, '#'); i >= 0 {
+		raw = raw[:i]
+	}
+	fields := strings.Fields(raw)
+	if len(fields) == 0 {
+		return nil
+	}
+	dir, args := fields[0], fields[1:]
+	switch dir {
+	case "alphabet", "states", "start", "regs", "accept", "restricted":
+		if p.d != nil {
+			return errAt(n, "%s directive after the first transition", dir)
+		}
+	}
+	switch dir {
+	case "alphabet":
+		if p.alph != nil {
+			return errAt(n, "duplicate alphabet directive")
+		}
+		if len(args) == 0 {
+			return errAt(n, "alphabet needs at least one symbol")
+		}
+		p.alph = alphabet.New(args...)
+		if p.alph.Size() != len(args) {
+			return errAt(n, "alphabet lists a symbol twice")
+		}
+		return nil
+	case "states", "start", "regs":
+		if len(args) != 1 {
+			return errAt(n, "%s takes exactly one number", dir)
+		}
+		v, err := strconv.Atoi(args[0])
+		if err != nil || v < 0 {
+			return errAt(n, "%s: bad count %q", dir, args[0])
+		}
+		switch dir {
+		case "states":
+			p.states = v
+		case "start":
+			p.start = v
+		case "regs":
+			if v > 16 {
+				return errAt(n, "regs %d above the table representation's 16", v)
+			}
+			p.regs = v
+		}
+		return nil
+	case "accept":
+		for _, a := range args {
+			v, err := strconv.Atoi(a)
+			if err != nil || v < 0 {
+				return errAt(n, "accept: bad state %q", a)
+			}
+			p.accepts = append(p.accepts, v)
+		}
+		return nil
+	case "restricted":
+		if len(args) != 0 {
+			return errAt(n, "restricted takes no arguments")
+		}
+		p.expect.Restricted = true
+		return nil
+	case "trans", "forall", "forallr":
+		if p.d == nil {
+			if err := p.build(n); err != nil {
+				return err
+			}
+		}
+		return p.transition(n, dir, args)
+	}
+	return errAt(n, "unknown directive %q", dir)
+}
+
+// build finalizes the header and allocates the automaton.
+func (p *parser) build(n int) error {
+	if p.alph == nil {
+		return errAt(n, "missing alphabet directive")
+	}
+	if p.states <= 0 {
+		return errAt(n, "missing or zero states directive")
+	}
+	if p.start >= p.states {
+		return errAt(n, "start state %d out of range [0,%d)", p.start, p.states)
+	}
+	if entries, ok := core.TableEntries(p.states, p.alph.Size(), p.regs); !ok {
+		return errAt(n, "table needs %d entries, above the %d cap", entries, core.MaxTableEntries)
+	}
+	p.d = core.NewDRA(p.alph, p.states, p.start, p.regs)
+	for _, a := range p.accepts {
+		if a >= p.states {
+			return errAt(n, "accept state %d out of range [0,%d)", a, p.states)
+		}
+		p.d.Accept[a] = true
+	}
+	return nil
+}
+
+func (p *parser) transition(n int, dir string, args []string) error {
+	want, shape := 6, "from tag X≤ X≥ load next"
+	if dir != "trans" {
+		want, shape = 4, "from tag load next"
+	}
+	if len(args) != want {
+		return errAt(n, "%s takes %d fields (%s)", dir, want, shape)
+	}
+	from, err := strconv.Atoi(args[0])
+	if err != nil || from < 0 || from >= p.states {
+		return errAt(n, "from state %q out of range [0,%d)", args[0], p.states)
+	}
+	symName, closing := args[1], false
+	if strings.HasPrefix(symName, "/") {
+		symName, closing = symName[1:], true
+	}
+	sym, ok := p.alph.ID(symName)
+	if !ok {
+		return errAt(n, "symbol %q not in the alphabet", symName)
+	}
+	rest := args[2:]
+	var le, ge core.RegSet
+	if dir == "trans" {
+		if le, err = p.regSet(n, rest[0]); err != nil {
+			return err
+		}
+		if ge, err = p.regSet(n, rest[1]); err != nil {
+			return err
+		}
+		rest = rest[2:]
+	}
+	load, err := p.regSet(n, rest[0])
+	if err != nil {
+		return err
+	}
+	next, err := strconv.Atoi(rest[1])
+	if err != nil || next < 0 || next >= p.states {
+		return errAt(n, "next state %q out of range [0,%d)", rest[1], p.states)
+	}
+	switch dir {
+	case "trans":
+		p.d.SetTransition(from, sym, closing, le, ge, load, next)
+	case "forall":
+		p.d.SetForAllTests(from, sym, closing, load, next)
+	case "forallr":
+		p.d.SetForAllTestsRestricted(from, sym, closing, load, next)
+	}
+	return nil
+}
+
+// regSet parses a comma-separated register list; '-' is the empty set.
+func (p *parser) regSet(n int, s string) (core.RegSet, error) {
+	if s == "-" {
+		return 0, nil
+	}
+	var out core.RegSet
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 0 || v >= p.regs {
+			return 0, errAt(n, "register %q out of range [0,%d)", part, p.regs)
+		}
+		out = out.With(v)
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package dralint_test
+
+import (
+	"strings"
+	"testing"
+
+	"stackless/internal/core"
+	"stackless/internal/dralint"
+	"stackless/internal/encoding"
+	"stackless/internal/tree"
+)
+
+// example26Text is Example 2.6 (some a-node with a b-descendant) in the
+// .dra format, mirroring core.Example26: register 0 stores the depth of
+// the current minimal <a>, and the machine restarts when the depth drops
+// strictly below it.
+const example26Text = `
+# Example 2.6 as a restricted DRA
+alphabet a b c
+states 3
+start 0
+regs 1
+accept 2
+restricted
+
+# state 0: wait for an opening <a>; reload everywhere to stay restricted.
+forall 0 a 0 1
+forall 0 b 0 0
+forall 0 c 0 0
+forall 0 /a 0 0
+forall 0 /b 0 0
+forall 0 /c 0 0
+
+# state 1: search the stored a-subtree for b. At closing tags, a register
+# strictly above the new depth means the subtree is done: restart.
+forallr 1 b - 2
+forallr 1 a - 1
+forallr 1 c - 1
+trans 1 /a - 0 0 0      # register > depth: left the subtree
+trans 1 /a 0 0 - 1      # register == depth: still at the a-node
+trans 1 /a 0 - - 1      # register < depth: strictly inside
+trans 1 /b - 0 0 0
+trans 1 /b 0 0 - 1
+trans 1 /b 0 - - 1
+trans 1 /c - 0 0 0
+trans 1 /c 0 0 - 1
+trans 1 /c 0 - - 1
+
+# state 2: accepting sink.
+forall 2 a 0 2
+forall 2 b 0 2
+forall 2 c 0 2
+forall 2 /a 0 2
+forall 2 /b 0 2
+forall 2 /c 0 2
+`
+
+func TestParseExample26Equivalent(t *testing.T) {
+	d, expect, err := dralint.Parse(strings.NewReader(example26Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !expect.Restricted {
+		t.Error("restricted directive not reported")
+	}
+	diags := dralint.LintWith(d, dralint.Config{RequireRestricted: true})
+	if !dralint.Clean(diags) {
+		for _, di := range diags {
+			t.Errorf("parsed Example 2.6: %s", di)
+		}
+	}
+	ref := core.Example26()
+	for _, s := range []string{"a(b)", "b(a)", "a(a(b))", "b", "a", "c(a(c),a(c(b)))", "a(b(a),a)", "b(b(a(a(b))))", "c(a,b)"} {
+		events := encoding.Markup(tree.MustParse(s))
+		got := core.RunEvents(d.Evaluator(), events)
+		want := core.RunEvents(ref.Evaluator(), events)
+		if got != want {
+			t.Errorf("parsed vs built Example 2.6 on %s: %v vs %v", s, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, c := range []struct {
+		name, in, want string
+	}{
+		{"empty", "", "missing alphabet"},
+		{"no states", "alphabet a\ntrans 0 a - - - 0", "zero states"},
+		{"dup alphabet", "alphabet a\nalphabet b\nstates 1", "duplicate alphabet"},
+		{"dup symbol", "alphabet a a\nstates 1", "twice"},
+		{"bad directive", "alphabet a\nstates 1\nfrobnicate", `unknown directive "frobnicate"`},
+		{"late header", "alphabet a\nstates 1\nforall 0 a - 0\nregs 1", "after the first transition"},
+		{"start range", "alphabet a\nstates 2\nstart 2\nforall 0 a - 0", "start state 2 out of range"},
+		{"accept range", "alphabet a\nstates 1\naccept 3\nforall 0 a - 0", "accept state 3 out of range"},
+		{"foreign symbol", "alphabet a\nstates 1\nforall 0 b - 0", `symbol "b" not in the alphabet`},
+		{"from range", "alphabet a\nstates 1\nforall 7 a - 0", "from state"},
+		{"next range", "alphabet a\nstates 1\nforall 0 a - 7", "next state"},
+		{"register range", "alphabet a\nstates 1\nregs 1\ntrans 0 a 5 - - 0", `register "5" out of range`},
+		{"field count", "alphabet a\nstates 1\ntrans 0 a - -", "takes 6 fields"},
+		{"regs cap", "alphabet a\nstates 1\nregs 17", "above the table representation"},
+		{"table cap", "alphabet a\nstates 1000000\nregs 16", "above the"},
+	} {
+		_, _, err := dralint.Parse(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseHeaderOnly(t *testing.T) {
+	d, _, err := dralint.Parse(strings.NewReader("alphabet a\nstates 1\naccept 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A header-only machine is valid but totally unset; the linter says so.
+	if dralint.Clean(dralint.Lint(d)) {
+		t.Error("machine with no transitions linted clean")
+	}
+}
+
+// FuzzParse: arbitrary text never panics the parser, and machines that
+// parse successfully never panic the linter.
+func FuzzParse(f *testing.F) {
+	f.Add(example26Text)
+	f.Add("alphabet a b\nstates 2\nregs 1\naccept 1\ntrans 0 a 0 - 0 1\n")
+	f.Add("alphabet x\nstates 1\nforallr 0 /x - 0\n")
+	f.Add("states 1\n# no alphabet\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		d, _, err := dralint.Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		dralint.LintWith(d, dralint.Config{RequireRestricted: true})
+	})
+}

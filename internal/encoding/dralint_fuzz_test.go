@@ -1,0 +1,54 @@
+// The linter fuzz target lives here with the other repo-wide fuzz entry
+// points. It must be an external test package: encoding cannot import
+// dralint from inside (dralint → core → encoding).
+package encoding_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/core"
+	"stackless/internal/dralint"
+)
+
+// FuzzDRALint: dralint.Lint never panics, however mangled the machine.
+// The fuzzer grows a random total DRA, then corrupts its exported fields
+// and a few table entries with the remaining input bytes — producing
+// exactly the kind of half-built machine the linter exists to judge.
+func FuzzDRALint(f *testing.F) {
+	f.Add(int64(1), 3, 1, []byte(nil))
+	f.Add(int64(2), 1, 0, []byte{0xff, 0x00})
+	f.Add(int64(3), 5, 2, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, seed int64, states, regs int, mutations []byte) {
+		if states < 1 || states > 8 || regs < 0 || regs > 2 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		d := core.RandomDRA(rng, alphabet.Letters("ab"), states, regs)
+		for i := 0; i+1 < len(mutations); i += 2 {
+			op, arg := mutations[i], int(mutations[i+1])
+			switch op % 6 {
+			case 0:
+				d.Start = arg - 128 // out-of-range starts included
+			case 1:
+				d.States = arg - 128
+			case 2:
+				d.Regs = arg % 20 // may disagree with the table
+			case 3:
+				if len(d.Accept) > 0 {
+					d.Accept[arg%len(d.Accept)] = !d.Accept[arg%len(d.Accept)]
+				}
+			case 4:
+				d.Accept = d.Accept[:arg%(len(d.Accept)+1)]
+			case 5:
+				if arg%4 == 0 {
+					d.Alphabet = nil
+				}
+			}
+		}
+		// Must not panic, with or without the restriction check.
+		dralint.LintWith(d, dralint.Config{RequireRestricted: true, MaxPerKind: 3})
+		dralint.Lint(d)
+	})
+}

@@ -168,6 +168,14 @@ func readStep(rest, sep string) (name, remaining string, err error) {
 	if name == "" {
 		return "", "", fmt.Errorf("stackless: empty step name")
 	}
+	// Predicates, functions and filters are outside the downward fragment;
+	// treating «a[1]» as a node label would silently change the query. A
+	// label that genuinely contains such characters can be quoted: «/'a['».
+	if !(len(name) >= 2 && name[0] == '\'' && name[len(name)-1] == '\'') {
+		if i := strings.IndexAny(name, "[]()@=?"); i >= 0 {
+			return "", "", fmt.Errorf("stackless: step %q contains %q — predicates are not part of the downward fragment (quote the name to use it as a literal label)", name, name[i])
+		}
+	}
 	return name, rest[end:], nil
 }
 

@@ -30,7 +30,7 @@ func TestXPathTranslation(t *testing.T) {
 			t.Errorf("XPathToRegex(%s) = %s, want %s", xp, got, want)
 		}
 	}
-	for _, bad := range []string{"", "a/b", "/", "/a//", "$..a"} {
+	for _, bad := range []string{"", "a/b", "/", "/a//", "$..a", "/a[1]/b", "//a[@id='x']"} {
 		if _, err := XPathToRegex(bad); err == nil {
 			t.Errorf("XPathToRegex(%q): expected error", bad)
 		}
@@ -54,7 +54,7 @@ func TestJSONPathTranslation(t *testing.T) {
 			t.Errorf("JSONPathToRegex(%s) = %s, want %s", jp, got, want)
 		}
 	}
-	for _, bad := range []string{"", ".a", "$.", "$"} {
+	for _, bad := range []string{"", ".a", "$.", "$", "$.a[0]", "$..book[?(@.price)]"} {
 		if _, err := JSONPathToRegex(bad); err == nil {
 			t.Errorf("JSONPathToRegex(%q): expected error", bad)
 		}
