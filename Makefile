@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci test race vet fmt build fuzz clean
+.PHONY: ci test race vet fmt build fuzz bench clean
 
 ci: ## full tier-1 gate: fmt + vet + build + test + race
 	./ci.sh
@@ -28,6 +28,13 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzXMLScanner -fuzztime $(FUZZTIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzTermScanner -fuzztime $(FUZZTIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzJSONSource -fuzztime $(FUZZTIME) ./internal/encoding/
+	$(GO) test -run '^$$' -fuzz FuzzParallelSplit -fuzztime $(FUZZTIME) ./internal/encoding/
+
+# Regenerate the committed chunk-parallel benchmark snapshot. The numbers
+# are machine-dependent; commit them together with the cpu context line.
+BENCHTIME ?= 100x
+bench:
+	$(GO) test -run '^$$' -bench SelectParallel -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_parallel.json
 
 clean:
 	rm -f dralint classify streamq

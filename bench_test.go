@@ -19,6 +19,7 @@ import (
 	"stackless/internal/encoding"
 	"stackless/internal/gen"
 	"stackless/internal/paperfigs"
+	"stackless/internal/parallel"
 	"stackless/internal/rex"
 	"stackless/internal/stackeval"
 	"stackless/internal/tree"
@@ -521,6 +522,101 @@ func BenchmarkMultiQueryCatalog(b *testing.B) {
 			b.SetBytes(int64(len(fixtures.catalogXML)))
 			for i := 0; i < b.N; i++ {
 				if _, err := mq.SelectXML(bytes.NewReader(fixtures.catalogXML), Options{}, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Chunk-parallel evaluation (DESIGN.md §8) ---
+//
+// The speedup claim needs real cores: on GOMAXPROCS=1 the parallel runs
+// only measure the orchestration overhead (see EXPERIMENTS.md). The match
+// sets are byte-identical either way — asserted here on every iteration,
+// and exhaustively by workers_test.go and internal/parallel.
+
+func benchSelectWorkers(b *testing.B, q *Query, events []encoding.Event, workers int) {
+	b.Helper()
+	ev, _, err := q.queryEvaluator(MarkupEncoding, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var want int
+	if _, err := core.Select(ev, encoding.NewSliceSource(events), func(core.Match) { want++ }); err != nil {
+		b.Fatal(err)
+	}
+	cm, ok := ev.(core.Chunkable)
+	if !ok {
+		b.Fatal("strategy is not chunkable")
+	}
+	pool := parallel.Shared()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := 0
+		if workers <= 1 {
+			if _, err := core.Select(ev, encoding.NewSliceSource(events), func(core.Match) { got++ }); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			parallel.Select(pool, cm, events, workers, func(core.Match) { got++ })
+		}
+		if got != want {
+			b.Fatalf("workers=%d: %d matches, want %d", workers, got, want)
+		}
+	}
+	b.StopTimer()
+	nsPerEvent := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(len(events))
+	b.ReportMetric(nsPerEvent, "ns/event")
+}
+
+// BenchmarkSelectParallelRegisterless sweeps worker counts for the tag-DFA
+// strategy (vectorized all-states segment kernel) on the large-tree corpus.
+func BenchmarkSelectParallelRegisterless(b *testing.B) {
+	loadFixtures()
+	q := MustCompileRegex(paperfigs.Fig3aRegex, abc)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchSelectWorkers(b, q, fixtures.abcDoc, w)
+		})
+	}
+}
+
+// BenchmarkSelectParallelStackless sweeps worker counts for the stackless
+// strategy (per-run record stacks in the segment kernel).
+func BenchmarkSelectParallelStackless(b *testing.B) {
+	loadFixtures()
+	q := MustCompileRegex(paperfigs.Fig3cRegex, abc)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchSelectWorkers(b, q, fixtures.abcDoc, w)
+		})
+	}
+}
+
+// BenchmarkSelectParallelDeep runs the worker sweep on the depth-4096
+// corpus: deep documents stress the cut policies (few CutNewMin boundaries
+// near the spikes) and the join's depth-delta accounting.
+func BenchmarkSelectParallelDeep(b *testing.B) {
+	loadFixtures()
+	q := MustCompileRegex(paperfigs.Fig3cRegex, abc)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchSelectWorkers(b, q, fixtures.deepDocs[4096], w)
+		})
+	}
+}
+
+// BenchmarkSelectParallelXML measures the end-to-end path (scan + chunk +
+// join) through the public API on the catalog document.
+func BenchmarkSelectParallelXML(b *testing.B) {
+	loadFixtures()
+	q := MustCompileXPathB(b, "//category//name")
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.SetBytes(int64(len(fixtures.catalogXML)))
+			for i := 0; i < b.N; i++ {
+				if _, err := q.SelectXML(bytes.NewReader(fixtures.catalogXML), Options{Workers: w}, nil); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,95 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// snapshot, so benchmark sweeps can be committed and diffed (see
+// BENCH_parallel.json and `make bench`).
+//
+// Usage:
+//
+//	go test -bench 'SelectParallel' -benchtime 100x . | benchjson > BENCH_parallel.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: the run count plus every reported metric
+// (ns/op, ns/event, MB/s, B/op, allocs/op, ...) keyed by unit.
+type Result struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the whole run: the goos/goarch/cpu/pkg context lines plus
+// all benchmark results in input order.
+type Snapshot struct {
+	Context map[string]string `json:"context"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	snap := Snapshot{Context: map[string]string{}, Results: []Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if k, v, ok := strings.Cut(line, ":"); ok && !strings.HasPrefix(line, "Benchmark") {
+			switch k {
+			case "goos", "goarch", "cpu", "pkg":
+				snap.Context[k] = strings.TrimSpace(v)
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, runs, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping malformed line: %s\n", line)
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping malformed line: %s\n", line)
+			continue
+		}
+		r := Result{Name: trimProcSuffix(fields[0]), Runs: runs, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		snap.Results = append(snap.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	out := json.NewEncoder(os.Stdout)
+	out.SetIndent("", "  ")
+	if err := out.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS that the bench runner
+// appends when GOMAXPROCS > 1, so snapshots from different machines keep
+// comparable names.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

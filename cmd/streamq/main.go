@@ -33,6 +33,7 @@ func main() {
 		noStack  = flag.Bool("nostack", false, "fail instead of falling back to the stack")
 		classify = flag.Bool("classify", false, "print the classification report and exit")
 		quiet    = flag.Bool("quiet", false, "print only the final statistics")
+		workers  = flag.Int("workers", 1, "evaluate chunk-parallel with this many workers (buffers the stream; >1 requires a chunkable strategy, otherwise runs sequentially)")
 	)
 	flag.Parse()
 
@@ -60,7 +61,7 @@ func main() {
 		in = f
 	}
 
-	opt := stackless.Options{ForceStack: *stack, ForbidStack: *noStack}
+	opt := stackless.Options{ForceStack: *stack, ForbidStack: *noStack, Workers: *workers}
 	report := func(m stackless.Match) {
 		if !*quiet {
 			fmt.Printf("match pos=%d depth=%d label=%s\n", m.Pos, m.Depth, m.Label)
@@ -78,7 +79,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("strategy=%s events=%d matches=%d\n", stats.Strategy, stats.Events, stats.Matches)
+	fmt.Printf("strategy=%s events=%d matches=%d workers=%d\n", stats.Strategy, stats.Events, stats.Matches, stats.Workers)
 }
 
 func compile(regex, xpath, jsonpath string, labels []string) (*stackless.Query, error) {

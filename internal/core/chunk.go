@@ -1,0 +1,878 @@
+package core
+
+import (
+	"sort"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/encoding"
+)
+
+// Chunk-parallel evaluation support (consumed by internal/parallel).
+//
+// Theorem 3.1's point is that a stackless machine's whole configuration is
+// a bounded control state plus registers that store depths and are only
+// ever compared with the current depth. A chunk of the tag-event stream can
+// therefore be simulated from *every* control state at once, with depths
+// tracked relative to the chunk entry, and the per-state summaries composed
+// left to right afterwards to recover the exact sequential run. The one
+// obstacle is a register loaded *before* the chunk: its absolute value is
+// unknown while the chunk is simulated, so comparisons against it cannot be
+// resolved locally. Each machine class pins down exactly where such
+// comparisons can fire (its CutPolicy); the events at those positions —
+// always a small fringe of the chunk in non-adversarial documents — are
+// replayed sequentially at join time on the real configuration, and
+// everything between them is summarized in parallel.
+//
+// The stack-based fallback evaluator (internal/stackeval) deliberately does
+// NOT implement Chunkable: its configuration is the Θ(depth) stack itself,
+// so a chunk summary would have to be a function over unboundedly many
+// entry configurations — this composability is precisely what Theorem 3.1
+// buys and what a pushdown run lacks. See DESIGN.md §8.
+
+// CutPolicy says where a chunk must be cut into segments so that every
+// register/depth comparison inside a segment is locally resolvable.
+type CutPolicy int
+
+const (
+	// CutNone: registerless machines. The whole chunk is one segment.
+	CutNone CutPolicy = iota
+	// CutNewMin: the Lemma 3.8 record discipline. Registers hold strictly
+	// increasing depths at most the entry depth, and the only unresolvable
+	// comparisons are at closing tags that take the depth to a new minimum
+	// below the chunk entry (at most entry-depth many per chunk).
+	CutNewMin
+	// CutBelowEntry: restricted DRAs (Section 2.2). Registers are always at
+	// most the current depth, so comparisons at any event landing at or
+	// below the segment-entry depth may involve an entry register; all
+	// events strictly above it are locally resolvable.
+	CutBelowEntry
+	// CutAll: unrestricted DRAs. Registers may exceed the current depth, so
+	// no comparison is locally resolvable; every event is replayed at join
+	// time and chunking degrades to the sequential run (Example 2.2 stores
+	// an absolute depth across arbitrary climbs — its language is not even
+	// regular, and no composable bounded summary exists).
+	CutAll
+)
+
+// SegmentExit is the outcome of simulating one segment from one control
+// state: the exit control state (-1 when the run poisoned itself) and an
+// implementation-specific register payload with depths relative to the
+// segment entry.
+type SegmentExit struct {
+	State int
+	Regs  any
+}
+
+// Chunkable is implemented by evaluators whose configuration is a bounded
+// control state plus depth-comparable registers, enabling chunk-parallel
+// simulation. The map side (BeginSegment / Step / EndSegment) runs on a
+// Fork with depths relative to the segment entry; the join side
+// (JoinState / ApplySegment / Step) runs on a single machine holding the
+// true absolute configuration.
+type Chunkable interface {
+	Evaluator
+	// ChunkStates is the number of control states to enumerate.
+	ChunkStates() int
+	// Cut reports where chunks must be cut for this machine.
+	Cut() CutPolicy
+	// Fork returns an independent machine sharing the compiled tables; the
+	// fork is safe to use concurrently with the parent and other forks.
+	Fork() Chunkable
+	// BeginSegment places the machine in control state q at relative depth
+	// 0 with a neutral register file.
+	BeginSegment(q int)
+	// EndSegment reports the configuration reached since BeginSegment.
+	EndSegment() SegmentExit
+	// JoinState is the current control state, -1 when poisoned.
+	JoinState() int
+	// ApplySegment advances the absolute configuration by a summarized
+	// segment: exit control state, registers shifted by the current depth,
+	// and the segment's net depth change.
+	ApplySegment(x SegmentExit, delta int)
+}
+
+// ChunkCand is a potential match inside a segment: the event index within
+// the segment, the number of Open events before it in the segment, and its
+// depth relative to the segment entry. Which entry states actually select
+// it is the corresponding mask in a CandSet.
+type ChunkCand struct {
+	Idx, Opens, Depth int32
+}
+
+// CandSet collects match candidates for one segment, with one bitmask of
+// entry control states per candidate (stride Words, flat in Masks).
+type CandSet struct {
+	Words int
+	Cands []ChunkCand
+	Masks []uint64
+}
+
+// NewCandSet returns an empty candidate set for machines with the given
+// number of control states.
+func NewCandSet(states int) *CandSet {
+	return &CandSet{Words: (states + 63) / 64}
+}
+
+// Add appends a candidate with an all-zero mask and returns the mask slice
+// for the caller to fill.
+func (c *CandSet) Add(idx, opens, depth int32) []uint64 {
+	c.Cands = append(c.Cands, ChunkCand{Idx: idx, Opens: opens, Depth: depth})
+	n := len(c.Masks)
+	for i := 0; i < c.Words; i++ {
+		c.Masks = append(c.Masks, 0)
+	}
+	return c.Masks[n : n+c.Words]
+}
+
+// Mask returns candidate i's mask slice.
+func (c *CandSet) Mask(i int) []uint64 {
+	return c.Masks[i*c.Words : (i+1)*c.Words]
+}
+
+// Has reports whether candidate i's mask contains entry state q.
+func (c *CandSet) Has(i, q int) bool {
+	return c.Masks[i*c.Words+q/64]&(1<<uint(q%64)) != 0
+}
+
+// sortByIdx restores document order after multi-pass collection.
+func (c *CandSet) sortByIdx() {
+	sort.Sort(candSorter{c})
+}
+
+type candSorter struct{ c *CandSet }
+
+func (s candSorter) Len() int           { return len(s.c.Cands) }
+func (s candSorter) Less(i, j int) bool { return s.c.Cands[i].Idx < s.c.Cands[j].Idx }
+func (s candSorter) Swap(i, j int) {
+	c := s.c
+	c.Cands[i], c.Cands[j] = c.Cands[j], c.Cands[i]
+	for w := 0; w < c.Words; w++ {
+		c.Masks[i*c.Words+w], c.Masks[j*c.Words+w] = c.Masks[j*c.Words+w], c.Masks[i*c.Words+w]
+	}
+}
+
+// SegmentKernel is implemented by machines with a vectorized one-pass
+// all-states segment simulation — the hot path of internal/parallel. The
+// generic fallback (SimulateSegmentGeneric) runs one pass per control state
+// through the Chunkable interface instead.
+type SegmentKernel interface {
+	// SimulateSegment runs the segment from every control state at once,
+	// appending match candidates to cands when it is non-nil.
+	SimulateSegment(events []encoding.Event, cands *CandSet) []SegmentExit
+}
+
+// SimulateSegmentGeneric is the interface-driven fallback: one pass per
+// control state. Correct for any Chunkable; used when the machine has no
+// vectorized kernel (EL/AL wrappers, table DRAs).
+func SimulateSegmentGeneric(m Chunkable, seg []encoding.Event, cands *CandSet) []SegmentExit {
+	n := m.ChunkStates()
+	exits := make([]SegmentExit, n)
+	var slots map[int32]int
+	if cands != nil {
+		slots = make(map[int32]int)
+	}
+	for q := 0; q < n; q++ {
+		m.BeginSegment(q)
+		var opens, depth int32
+		for idx, e := range seg {
+			m.Step(e)
+			if e.Kind != encoding.Open {
+				depth--
+				continue
+			}
+			depth++
+			if cands != nil && m.Accepting() {
+				slot, ok := slots[int32(idx)]
+				if !ok {
+					slot = len(cands.Cands)
+					cands.Add(int32(idx), opens, depth)
+					slots[int32(idx)] = slot
+				}
+				cands.Mask(slot)[q/64] |= 1 << uint(q%64)
+			}
+			opens++
+		}
+		exits[q] = m.EndSegment()
+	}
+	if cands != nil {
+		cands.sortByIdx()
+	}
+	return exits
+}
+
+// --- TagDFA (registerless: Lemmas 3.5/3.11 output form) ---
+
+// ChunkStates implements Chunkable.
+func (ev *tagEvaluator) ChunkStates() int { return ev.t.NumStates() }
+
+// Cut implements Chunkable: no registers, no cuts.
+func (ev *tagEvaluator) Cut() CutPolicy { return CutNone }
+
+// Fork implements Chunkable.
+func (ev *tagEvaluator) Fork() Chunkable {
+	return &tagEvaluator{t: ev.t, res: alphabet.NewResolver(ev.t.Alphabet), state: ev.t.Start}
+}
+
+// BeginSegment implements Chunkable.
+func (ev *tagEvaluator) BeginSegment(q int) {
+	ev.state = q
+	ev.poisoned = false
+}
+
+// EndSegment implements Chunkable.
+func (ev *tagEvaluator) EndSegment() SegmentExit {
+	if ev.poisoned {
+		return SegmentExit{State: -1}
+	}
+	return SegmentExit{State: ev.state}
+}
+
+// JoinState implements Chunkable.
+func (ev *tagEvaluator) JoinState() int {
+	if ev.poisoned {
+		return -1
+	}
+	return ev.state
+}
+
+// ApplySegment implements Chunkable.
+func (ev *tagEvaluator) ApplySegment(x SegmentExit, delta int) {
+	if ev.poisoned {
+		return
+	}
+	if x.State < 0 {
+		ev.poisoned = true
+		return
+	}
+	ev.state = x.State
+}
+
+// SimulateSegment implements SegmentKernel: one pass moving all states in
+// lockstep. An unknown label poisons every run identically, exactly as the
+// sequential evaluator would from any state.
+func (ev *tagEvaluator) SimulateSegment(events []encoding.Event, cands *CandSet) []SegmentExit {
+	t := ev.t
+	n := t.NumStates()
+	cur := make([]int32, n)
+	for i := range cur {
+		cur[i] = int32(i)
+	}
+	var opens, depth int32
+	poisoned := false
+	for idx := 0; idx < len(events); idx++ {
+		e := events[idx]
+		if e.Kind == encoding.Close {
+			depth--
+			if t.CloseAny != nil {
+				row := t.CloseAny
+				for i := range cur {
+					cur[i] = int32(row[cur[i]])
+				}
+				continue
+			}
+			sym, ok := ev.res.ID(e.Label)
+			if !ok {
+				poisoned = true
+				break
+			}
+			rows := t.CloseT
+			for i := range cur {
+				cur[i] = int32(rows[cur[i]][sym])
+			}
+			continue
+		}
+		sym, ok := ev.res.ID(e.Label)
+		if !ok {
+			poisoned = true
+			break
+		}
+		o := opens
+		opens++
+		depth++
+		rows := t.OpenT
+		for i := range cur {
+			cur[i] = int32(rows[cur[i]][sym])
+		}
+		if cands != nil {
+			var mask []uint64
+			for i := range cur {
+				if t.Accept[cur[i]] {
+					if mask == nil {
+						mask = cands.Add(int32(idx), o, depth)
+					}
+					mask[i/64] |= 1 << uint(i%64)
+				}
+			}
+		}
+	}
+	exits := make([]SegmentExit, n)
+	for i := range exits {
+		if poisoned {
+			exits[i] = SegmentExit{State: -1}
+		} else {
+			exits[i] = SegmentExit{State: int(cur[i])}
+		}
+	}
+	return exits
+}
+
+// --- StacklessEvaluator (Lemma 3.8 / Theorem B.2 machines) ---
+
+// ChunkStates implements Chunkable.
+func (ev *StacklessEvaluator) ChunkStates() int { return ev.an.D.NumStates() }
+
+// Cut implements Chunkable: the record discipline (strictly increasing
+// depths, popped exactly when the depth drops below the top) means only
+// new-minimum closing tags can consult an entry register.
+func (ev *StacklessEvaluator) Cut() CutPolicy { return CutNewMin }
+
+// Fork implements Chunkable. The compiled back tables and the analysis are
+// immutable after construction; only the resolver cache and the runtime
+// configuration are per-fork.
+func (ev *StacklessEvaluator) Fork() Chunkable {
+	f := &StacklessEvaluator{
+		an:      ev.an,
+		blind:   ev.blind,
+		back:    ev.back,
+		backAny: ev.backAny,
+		res:     alphabet.NewResolver(ev.an.D.Alphabet),
+	}
+	f.Reset()
+	return f
+}
+
+// BeginSegment implements Chunkable.
+func (ev *StacklessEvaluator) BeginSegment(q int) {
+	ev.state = q
+	ev.depth = 0
+	ev.records = ev.records[:0]
+	ev.poisoned = false
+}
+
+// EndSegment implements Chunkable. Surviving records carry depths relative
+// to the segment entry (all strictly positive, by the push discipline).
+func (ev *StacklessEvaluator) EndSegment() SegmentExit {
+	if ev.poisoned {
+		return SegmentExit{State: -1}
+	}
+	var recs []record
+	if len(ev.records) > 0 {
+		recs = make([]record, len(ev.records))
+		copy(recs, ev.records)
+	}
+	return SegmentExit{State: ev.state, Regs: recs}
+}
+
+// JoinState implements Chunkable.
+func (ev *StacklessEvaluator) JoinState() int {
+	if ev.poisoned {
+		return -1
+	}
+	return ev.state
+}
+
+// ApplySegment implements Chunkable: surviving records are rebased onto the
+// current absolute depth, preserving the strictly-increasing invariant.
+func (ev *StacklessEvaluator) ApplySegment(x SegmentExit, delta int) {
+	if ev.poisoned {
+		return
+	}
+	if x.State < 0 {
+		ev.poisoned = true
+		return
+	}
+	if recs, ok := x.Regs.([]record); ok {
+		for _, r := range recs {
+			ev.records = append(ev.records, record{depth: ev.depth + r.depth, state: r.state})
+		}
+	}
+	ev.state = x.State
+	ev.depth += delta
+}
+
+// SimulateSegment implements SegmentKernel: all control states advance in
+// lockstep, each with its own record stack (pushes depend on the tracked
+// state). Within a segment the depth never drops below the entry, so every
+// pop involves a record pushed inside the segment and relative depths
+// resolve every comparison.
+func (ev *StacklessEvaluator) SimulateSegment(events []encoding.Event, cands *CandSet) []SegmentExit {
+	A := ev.an.D
+	comp := ev.an.Comp
+	n := A.NumStates()
+	st := make([]int32, n)
+	dead := make([]bool, n)
+	recs := make([][]record, n)
+	for i := range st {
+		st[i] = int32(i)
+	}
+	var opens, depth int32
+	live := n
+	for idx := 0; idx < len(events) && live > 0; idx++ {
+		e := events[idx]
+		if e.Kind == encoding.Open {
+			sym, ok := ev.res.ID(e.Label)
+			if !ok {
+				live = 0
+				break
+			}
+			o := opens
+			opens++
+			depth++
+			var mask []uint64
+			for i := range st {
+				if dead[i] {
+					continue
+				}
+				s := int(st[i])
+				next := A.Delta[s][sym]
+				if comp[next] != comp[s] {
+					recs[i] = append(recs[i], record{depth: int(depth), state: s})
+				}
+				st[i] = int32(next)
+				if cands != nil && A.Accept[next] {
+					if mask == nil {
+						mask = cands.Add(int32(idx), o, depth)
+					}
+					mask[i/64] |= 1 << uint(i%64)
+				}
+			}
+			continue
+		}
+		depth--
+		sym, known := -1, true
+		if !ev.blind {
+			// Resolved lazily: a run that pops at this close never consults
+			// the label, so an unknown label only kills non-popping runs
+			// (mirroring the sequential Step's order of checks).
+			sym, known = ev.res.ID(e.Label)
+		}
+		for i := range st {
+			if dead[i] {
+				continue
+			}
+			if nr := len(recs[i]); nr > 0 && int(depth) < recs[i][nr-1].depth {
+				st[i] = int32(recs[i][nr-1].state)
+				recs[i] = recs[i][:nr-1]
+				continue
+			}
+			var cand int
+			if ev.blind {
+				cand = ev.backAny[st[i]]
+			} else if known {
+				cand = ev.back[sym][st[i]]
+			} else {
+				cand = -1
+			}
+			if cand < 0 {
+				dead[i] = true
+				live--
+				continue
+			}
+			st[i] = int32(cand)
+		}
+	}
+	exits := make([]SegmentExit, n)
+	for i := range exits {
+		if live == 0 || dead[i] {
+			exits[i] = SegmentExit{State: -1}
+			continue
+		}
+		var rc []record
+		if len(recs[i]) > 0 {
+			rc = make([]record, len(recs[i]))
+			copy(rc, recs[i])
+		}
+		exits[i] = SegmentExit{State: int(st[i]), Regs: rc}
+	}
+	return exits
+}
+
+// --- Table DRAs (Definition 2.1) ---
+
+// draSegRegs is the register payload of a DRA segment exit: which registers
+// still hold their (unknown) entry values, and the relative values of the
+// registers loaded inside the segment.
+type draSegRegs struct {
+	stale RegSet
+	vals  []int
+}
+
+// ChunkStates implements Chunkable.
+func (ev *draEvaluator) ChunkStates() int { return ev.d.States }
+
+// Cut implements Chunkable. Restricted DRAs (Section 2.2) keep every
+// register at most the current depth, so only events landing at or below
+// the segment-entry depth can consult an entry register; unrestricted DRAs
+// may compare any event against a register above the current depth, so
+// every event must be replayed at join time (CutAll).
+func (ev *draEvaluator) Cut() CutPolicy {
+	if !ev.cutKnown {
+		if ev.d.IsRestricted() {
+			ev.cut = CutBelowEntry
+		} else {
+			ev.cut = CutAll
+		}
+		ev.cutKnown = true
+	}
+	return ev.cut
+}
+
+// Fork implements Chunkable. The transition table and alphabet are
+// immutable after construction.
+func (ev *draEvaluator) Fork() Chunkable {
+	f := &draEvaluator{d: ev.d, cfg: ev.d.InitialConfig(), cut: ev.cut, cutKnown: ev.cutKnown}
+	return f
+}
+
+// BeginSegment implements Chunkable: state q at relative depth 0, with
+// every register stale (holding its unknown entry value).
+func (ev *draEvaluator) BeginSegment(q int) {
+	ev.cfg.State = q
+	ev.cfg.Depth = 0
+	for i := range ev.cfg.Regs {
+		ev.cfg.Regs[i] = 0
+	}
+	ev.stale = FullRegSet(ev.d.Regs)
+	ev.seg = true
+	ev.poisoned = false
+}
+
+// EndSegment implements Chunkable.
+func (ev *draEvaluator) EndSegment() SegmentExit {
+	ev.seg = false
+	if ev.poisoned {
+		return SegmentExit{State: -1}
+	}
+	vals := make([]int, len(ev.cfg.Regs))
+	copy(vals, ev.cfg.Regs)
+	return SegmentExit{State: ev.cfg.State, Regs: draSegRegs{stale: ev.stale, vals: vals}}
+}
+
+// JoinState implements Chunkable.
+func (ev *draEvaluator) JoinState() int {
+	if ev.poisoned {
+		return -1
+	}
+	return ev.cfg.State
+}
+
+// ApplySegment implements Chunkable: registers loaded inside the segment
+// are rebased onto the absolute entry depth; stale registers keep their
+// current absolute values.
+func (ev *draEvaluator) ApplySegment(x SegmentExit, delta int) {
+	if ev.poisoned {
+		return
+	}
+	if x.State < 0 {
+		ev.poisoned = true
+		return
+	}
+	if r, ok := x.Regs.(draSegRegs); ok {
+		for i := range ev.cfg.Regs {
+			if !r.stale.Has(i) {
+				ev.cfg.Regs[i] = ev.cfg.Depth + r.vals[i]
+			}
+		}
+	}
+	ev.cfg.State = x.State
+	ev.cfg.Depth += delta
+}
+
+// stepSeg is Step under segment simulation. Under CutBelowEntry every
+// in-segment event has post-depth at least one above the segment entry,
+// while a stale register of a restricted DRA holds a value at most the
+// entry depth — so stale registers always test as strictly below the
+// current depth (X≤ yes, X≥ no), and comparisons resolve without knowing
+// the entry register values.
+func (ev *draEvaluator) stepSeg(e encoding.Event) {
+	d := ev.d
+	sym, ok := d.Alphabet.ID(e.Label)
+	if !ok {
+		ev.poisoned = true
+		return
+	}
+	closing := e.Kind == encoding.Close
+	if closing {
+		ev.cfg.Depth--
+	} else {
+		ev.cfg.Depth++
+	}
+	var le, ge RegSet
+	for i := 0; i < d.Regs; i++ {
+		if ev.stale.Has(i) {
+			le = le.With(i)
+			continue
+		}
+		if ev.cfg.Regs[i] <= ev.cfg.Depth {
+			le = le.With(i)
+		}
+		if ev.cfg.Regs[i] >= ev.cfg.Depth {
+			ge = ge.With(i)
+		}
+	}
+	tr := d.Transition(ev.cfg.State, sym, closing, le, ge)
+	ev.cfg.State = tr.Next
+	for i := 0; i < d.Regs; i++ {
+		if tr.Load.Has(i) {
+			ev.cfg.Regs[i] = ev.cfg.Depth
+			ev.stale &^= 1 << uint(i)
+		}
+	}
+}
+
+// --- EL wrapper (Theorem 3.1 proof construction) ---
+
+// chunkableEL is elWrapper over a Chunkable inner machine. Control states:
+// 0..n-1 (not matched, previous open not selected, inner state), n..2n-1
+// (not matched, previous open selected), 2n (matched — absorbing, inner
+// frozen). A poisoned inner with matched unset collapses to -1: selection
+// needs a live accepting inner, so a dead inner can never match later.
+type chunkableEL struct {
+	inner            Chunkable
+	prevOpenSelected bool
+	matched          bool
+}
+
+func (w *chunkableEL) Reset() {
+	w.inner.Reset()
+	w.prevOpenSelected = false
+	w.matched = false
+}
+
+func (w *chunkableEL) Step(e encoding.Event) {
+	if w.matched {
+		return
+	}
+	if e.Kind == encoding.Close && w.prevOpenSelected {
+		w.matched = true
+		return
+	}
+	w.inner.Step(e)
+	w.prevOpenSelected = e.Kind == encoding.Open && w.inner.Accepting()
+}
+
+func (w *chunkableEL) Accepting() bool { return w.matched }
+
+// ChunkStates implements Chunkable.
+func (w *chunkableEL) ChunkStates() int { return 2*w.inner.ChunkStates() + 1 }
+
+// Cut implements Chunkable: the wrapper adds no registers; its bits are
+// functions of the locally simulated inner run.
+func (w *chunkableEL) Cut() CutPolicy { return w.inner.Cut() }
+
+// Fork implements Chunkable.
+func (w *chunkableEL) Fork() Chunkable { return &chunkableEL{inner: w.inner.Fork()} }
+
+// BeginSegment implements Chunkable.
+func (w *chunkableEL) BeginSegment(q int) {
+	n := w.inner.ChunkStates()
+	if q == 2*n {
+		w.matched = true
+		w.prevOpenSelected = false
+		w.inner.BeginSegment(0)
+		return
+	}
+	w.matched = false
+	w.prevOpenSelected = q >= n
+	w.inner.BeginSegment(q % n)
+}
+
+// EndSegment implements Chunkable.
+func (w *chunkableEL) EndSegment() SegmentExit {
+	n := w.inner.ChunkStates()
+	if w.matched {
+		return SegmentExit{State: 2 * n}
+	}
+	x := w.inner.EndSegment()
+	if x.State < 0 {
+		return SegmentExit{State: -1}
+	}
+	if w.prevOpenSelected {
+		x.State += n
+	}
+	return x
+}
+
+// JoinState implements Chunkable.
+func (w *chunkableEL) JoinState() int {
+	n := w.inner.ChunkStates()
+	if w.matched {
+		return 2 * n
+	}
+	j := w.inner.JoinState()
+	if j < 0 {
+		return -1
+	}
+	if w.prevOpenSelected {
+		j += n
+	}
+	return j
+}
+
+// ApplySegment implements Chunkable.
+func (w *chunkableEL) ApplySegment(x SegmentExit, delta int) {
+	if w.matched {
+		return
+	}
+	n := w.inner.ChunkStates()
+	if x.State == 2*n {
+		w.matched = true
+		return
+	}
+	if x.State < 0 {
+		w.inner.ApplySegment(SegmentExit{State: -1}, delta)
+		return
+	}
+	w.prevOpenSelected = x.State >= n
+	w.inner.ApplySegment(SegmentExit{State: x.State % n, Regs: x.Regs}, delta)
+}
+
+// --- AL wrapper (Theorem 3.2(3) proof construction) ---
+
+// chunkableAL is alWrapper over a Chunkable inner machine. Unlike EL, a
+// dead inner must be an explicit control state: the inner can poison on the
+// final closing tag with the previous open accepted, leaving the wrapper
+// ACCEPTING — so collapsing inner-death to -1 would diverge from the
+// sequential run. Control states: q = i*4 + (started | prevOpenRejected<<1)
+// with inner index i in 0..n (i = n meaning the inner is dead), plus the
+// absorbing failed state 4(n+1). JoinState never returns -1, so the engine
+// never cuts an AL run short.
+type chunkableAL struct {
+	inner            Chunkable
+	prevOpenRejected bool
+	failed           bool
+	started          bool
+	deadInner        bool
+}
+
+func (w *chunkableAL) Reset() {
+	w.inner.Reset()
+	w.prevOpenRejected = false
+	w.failed = false
+	w.started = false
+	w.deadInner = false
+}
+
+func (w *chunkableAL) Step(e encoding.Event) {
+	if w.failed {
+		return
+	}
+	w.started = true
+	if e.Kind == encoding.Close && w.prevOpenRejected {
+		w.failed = true
+		return
+	}
+	if w.deadInner {
+		// Shadow of alWrapper with a poisoned inner: never accepting.
+		w.prevOpenRejected = e.Kind == encoding.Open
+		return
+	}
+	w.inner.Step(e)
+	if w.inner.JoinState() < 0 {
+		w.deadInner = true
+	}
+	w.prevOpenRejected = e.Kind == encoding.Open && !w.inner.Accepting()
+}
+
+func (w *chunkableAL) Accepting() bool { return w.started && !w.failed }
+
+// ChunkStates implements Chunkable.
+func (w *chunkableAL) ChunkStates() int { return 4*(w.inner.ChunkStates()+1) + 1 }
+
+// Cut implements Chunkable.
+func (w *chunkableAL) Cut() CutPolicy { return w.inner.Cut() }
+
+// Fork implements Chunkable.
+func (w *chunkableAL) Fork() Chunkable { return &chunkableAL{inner: w.inner.Fork()} }
+
+// BeginSegment implements Chunkable.
+func (w *chunkableAL) BeginSegment(q int) {
+	n := w.inner.ChunkStates()
+	if q == 4*(n+1) {
+		w.failed = true
+		w.started = true
+		w.prevOpenRejected = false
+		w.deadInner = false
+		w.inner.BeginSegment(0)
+		return
+	}
+	bits := q % 4
+	w.started = bits&1 != 0
+	w.prevOpenRejected = bits&2 != 0
+	w.failed = false
+	i := q / 4
+	if i == n {
+		w.deadInner = true
+		w.inner.BeginSegment(0)
+		return
+	}
+	w.deadInner = false
+	w.inner.BeginSegment(i)
+}
+
+// EndSegment implements Chunkable.
+func (w *chunkableAL) EndSegment() SegmentExit {
+	n := w.inner.ChunkStates()
+	if w.failed {
+		return SegmentExit{State: 4 * (n + 1)}
+	}
+	bits := 0
+	if w.started {
+		bits |= 1
+	}
+	if w.prevOpenRejected {
+		bits |= 2
+	}
+	if w.deadInner {
+		return SegmentExit{State: n*4 + bits}
+	}
+	x := w.inner.EndSegment()
+	if x.State < 0 {
+		return SegmentExit{State: n*4 + bits}
+	}
+	return SegmentExit{State: x.State*4 + bits, Regs: x.Regs}
+}
+
+// JoinState implements Chunkable.
+func (w *chunkableAL) JoinState() int {
+	n := w.inner.ChunkStates()
+	if w.failed {
+		return 4 * (n + 1)
+	}
+	bits := 0
+	if w.started {
+		bits |= 1
+	}
+	if w.prevOpenRejected {
+		bits |= 2
+	}
+	if w.deadInner {
+		return n*4 + bits
+	}
+	j := w.inner.JoinState()
+	if j < 0 {
+		return n*4 + bits
+	}
+	return j*4 + bits
+}
+
+// ApplySegment implements Chunkable.
+func (w *chunkableAL) ApplySegment(x SegmentExit, delta int) {
+	if w.failed {
+		return
+	}
+	n := w.inner.ChunkStates()
+	if x.State == 4*(n+1) {
+		w.failed = true
+		return
+	}
+	bits := x.State % 4
+	w.started = bits&1 != 0
+	w.prevOpenRejected = bits&2 != 0
+	i := x.State / 4
+	if i == n {
+		w.deadInner = true
+		return
+	}
+	w.inner.ApplySegment(SegmentExit{State: i, Regs: x.Regs}, delta)
+}

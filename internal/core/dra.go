@@ -242,6 +242,14 @@ type draEvaluator struct {
 	d        *DRA
 	cfg      Config
 	poisoned bool
+
+	// Chunk-parallel state (see chunk.go): whether the evaluator is inside
+	// a segment simulation, which registers still hold unknown entry values,
+	// and the cached cut policy.
+	seg      bool
+	stale    RegSet
+	cut      CutPolicy
+	cutKnown bool
 }
 
 // Evaluator returns a fresh streaming evaluator for the automaton. Under
@@ -254,10 +262,16 @@ func (d *DRA) Evaluator() Evaluator {
 func (ev *draEvaluator) Reset() {
 	ev.cfg = ev.d.InitialConfig()
 	ev.poisoned = false
+	ev.seg = false
+	ev.stale = 0
 }
 
 func (ev *draEvaluator) Step(e encoding.Event) {
 	if ev.poisoned {
+		return
+	}
+	if ev.seg {
+		ev.stepSeg(e)
 		return
 	}
 	cfg, err := ev.d.StepConfig(ev.cfg, e)

@@ -120,7 +120,14 @@ type elWrapper struct {
 }
 
 // ELFromQL wraps a QL evaluator into an EL recognizer (Theorem 3.1 proof).
-func ELFromQL(inner Evaluator) Evaluator { return &elWrapper{inner: inner} }
+// When the inner machine supports chunk-parallel evaluation, so does the
+// wrapper (see chunk.go).
+func ELFromQL(inner Evaluator) Evaluator {
+	if c, ok := inner.(Chunkable); ok {
+		return &chunkableEL{inner: c}
+	}
+	return &elWrapper{inner: inner}
+}
 
 func (w *elWrapper) Reset() {
 	w.inner.Reset()
@@ -152,7 +159,14 @@ type alWrapper struct {
 }
 
 // ALFromQL wraps a QL evaluator into an AL recognizer (Theorem 3.2 proof).
-func ALFromQL(inner Evaluator) Evaluator { return &alWrapper{inner: inner} }
+// When the inner machine supports chunk-parallel evaluation, so does the
+// wrapper (see chunk.go).
+func ALFromQL(inner Evaluator) Evaluator {
+	if c, ok := inner.(Chunkable); ok {
+		return &chunkableAL{inner: c}
+	}
+	return &alWrapper{inner: inner}
+}
 
 func (w *alWrapper) Reset() {
 	w.inner.Reset()

@@ -74,6 +74,26 @@ func (s *SliceSource) Next() (Event, error) {
 	return e, nil
 }
 
+// ReadAll drains a Source into an event slice. On error it returns the
+// events read so far together with the error (io.EOF is not an error).
+func ReadAll(src Source) ([]Event, error) {
+	if s, ok := src.(*SliceSource); ok && s.pos == 0 {
+		s.pos = len(s.events)
+		return s.events, nil
+	}
+	var out []Event
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
 // Markup returns the markup encoding ⟨T⟩ as an event slice: every closing
 // tag carries its label.
 func Markup(t *tree.Node) []Event {

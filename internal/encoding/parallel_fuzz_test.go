@@ -1,0 +1,110 @@
+package encoding_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"stackless/internal/classify"
+	"stackless/internal/core"
+	"stackless/internal/encoding"
+	"stackless/internal/paperfigs"
+	"stackless/internal/parallel"
+	"stackless/internal/rex"
+	"stackless/internal/stackeval"
+)
+
+// FuzzParallelSplit fuzzes both the document bytes (brace notation, term
+// encoding) and the chunk split points: for every machine class the
+// chunk-parallel run must reproduce the sequential match set exactly, and
+// nothing may panic — a wrong join silently corrupts results, so the
+// differential is the whole point. Documents that do not parse as a tree
+// still exercise the scanners; documents outside a machine's alphabet
+// exercise the poison paths.
+func FuzzParallelSplit(f *testing.F) {
+	// Example 2.2: all a-labelled nodes at the same depth (and a violation).
+	f.Add([]byte("b{a{}a{}}"), []byte{2, 5})
+	f.Add([]byte("b{a{}b{a{}}}"), []byte{1, 2, 3})
+	// Example 2.5: the root's children spell a word of L.
+	f.Add([]byte("a{b{}a{}b{}}"), []byte{4})
+	// Example 2.9 / Fig. 2 shape: nested a-chains with b-leaves.
+	f.Add([]byte("a{a{b{}b{a{}}}b{}}"), []byte{0, 7, 9})
+	f.Add([]byte("c{a{c{b{}}}}"), []byte{3, 3, 250})
+	f.Add([]byte("a{}"), []byte{})
+	f.Add([]byte("x{y{}}"), []byte{1}) // outside every alphabet: poison paths
+
+	anC := classify.Analyze(rex.MustCompile(paperfigs.Fig3cRegex, paperfigs.GammaABC()))
+	stackless3c, err := core.BlindStacklessQL(anC)
+	if err != nil {
+		f.Fatal(err)
+	}
+	anA := classify.Analyze(rex.MustCompile(paperfigs.Fig3aRegex, paperfigs.GammaABC()))
+	tagA, err := core.BlindRegisterlessQL(anA)
+	if err != nil {
+		f.Fatal(err)
+	}
+	registerless3a := tagA.Evaluator().(core.Chunkable)
+	lAB := rex.MustCompile("(b|ab*a)*", paperfigs.GammaAB())
+	dras := []core.Chunkable{
+		core.Example22().Evaluator().(core.Chunkable),
+		core.Example25(lAB).Evaluator().(core.Chunkable),
+		core.Example26().Evaluator().(core.Chunkable),
+		core.Example27Minimal().Evaluator().(core.Chunkable),
+	}
+	pool := parallel.NewPool(3)
+
+	f.Fuzz(func(t *testing.T, doc, cutBytes []byte) {
+		term, err := encoding.ReadAll(encoding.NewTermScanner(bytes.NewReader(doc)))
+		if err != nil {
+			return
+		}
+		tree, err := encoding.Decode(encoding.NewSliceSource(term))
+		if err != nil {
+			return
+		}
+		markup := encoding.Markup(tree)
+		inAlphabet := true
+		for _, e := range term {
+			if e.Kind == encoding.Open && !paperfigs.GammaABC().Contains(e.Label) {
+				inAlphabet = false
+				break
+			}
+		}
+
+		check := func(name string, m core.Chunkable, events []encoding.Event, oracle core.Evaluator) {
+			cuts := make([]int, 0, len(cutBytes))
+			for _, b := range cutBytes {
+				cuts = append(cuts, int(b)%(len(events)+1))
+			}
+			var want []core.Match
+			if _, err := core.Select(m, encoding.NewSliceSource(events), func(mt core.Match) { want = append(want, mt) }); err != nil {
+				t.Fatalf("%s: sequential: %v", name, err)
+			}
+			// The machines poison absorbingly on out-of-alphabet labels
+			// (such trees are outside every class under study), while the
+			// stack oracle recovers per branch — the oracle comparison is
+			// only meaningful inside the alphabet. The parallel-vs-
+			// sequential differential below holds unconditionally.
+			if oracle != nil && inAlphabet {
+				var ref []core.Match
+				if _, err := core.Select(oracle, encoding.NewSliceSource(events), func(mt core.Match) { ref = append(ref, mt) }); err != nil {
+					t.Fatalf("%s: oracle: %v", name, err)
+				}
+				if !reflect.DeepEqual(want, ref) {
+					t.Fatalf("%s: sequential %v diverges from stack oracle %v", name, want, ref)
+				}
+			}
+			var got []core.Match
+			parallel.SelectAt(pool, m, events, cuts, func(mt core.Match) { got = append(got, mt) })
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: cuts %v: parallel %v, sequential %v", name, cuts, got, want)
+			}
+		}
+
+		check("blind stackless .*a.*b", stackless3c, term, stackeval.QL(anC.D))
+		check("blind registerless a.*b", registerless3a, term, stackeval.QL(anA.D))
+		for i, m := range dras {
+			check("table DRA "+string(rune('0'+i)), m, markup, nil)
+		}
+	})
+}

@@ -1,0 +1,256 @@
+package parallel
+
+import (
+	"sort"
+	"sync"
+
+	"stackless/internal/core"
+	"stackless/internal/encoding"
+)
+
+// piece is a maximal slice of a chunk: either a summarized segment (seg),
+// simulated concurrently from every control state, or a single boundary
+// event (hi == lo+1) replayed on the real configuration at join time.
+// Which events are boundaries is the machine's CutPolicy.
+type piece struct {
+	lo, hi int
+	seg    bool
+	opens  int // Open events in [lo,hi) (segments)
+	delta  int // net depth change over [lo,hi) (segments)
+	exits  []core.SegmentExit
+	cands  *core.CandSet
+}
+
+// SplitPoints returns the interior cut positions for an even split of n
+// events into the given number of chunks (deduplicated, strictly inside
+// (0, n)).
+func SplitPoints(n, chunks int) []int {
+	var cuts []int
+	for i := 1; i < chunks; i++ {
+		c := i * n / chunks
+		if c <= 0 || c >= n || (len(cuts) > 0 && cuts[len(cuts)-1] == c) {
+			continue
+		}
+		cuts = append(cuts, c)
+	}
+	return cuts
+}
+
+// sanitizeCuts sorts, bounds and deduplicates explicit cut positions —
+// fuzzers hand in arbitrary ints.
+func sanitizeCuts(cuts []int, n int) []int {
+	out := make([]int, 0, len(cuts))
+	for _, c := range cuts {
+		if c > 0 && c < n {
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	w := 0
+	for i, c := range out {
+		if i > 0 && out[w-1] == c {
+			continue
+		}
+		out[w] = c
+		w++
+	}
+	return out[:w]
+}
+
+// cutPieces scans one chunk and splits it into pieces per the policy. The
+// depth is tracked relative to the chunk entry.
+func cutPieces(events []encoding.Event, lo, hi int, policy core.CutPolicy) []piece {
+	var pieces []piece
+	segLo := lo
+	flush := func(end int) {
+		if end > segLo {
+			pieces = append(pieces, piece{lo: segLo, hi: end, seg: true})
+		}
+	}
+	depth := 0
+	threshold := 0 // running min (CutNewMin) or segment entry (CutBelowEntry)
+	for i := lo; i < hi; i++ {
+		if events[i].Kind == encoding.Open {
+			depth++
+			continue
+		}
+		depth--
+		boundary := false
+		switch policy {
+		case core.CutNewMin:
+			boundary = depth < threshold
+		case core.CutBelowEntry:
+			boundary = depth <= threshold
+		}
+		if boundary {
+			flush(i)
+			pieces = append(pieces, piece{lo: i, hi: i + 1})
+			segLo = i + 1
+			threshold = depth
+		}
+	}
+	flush(hi)
+	return pieces
+}
+
+// summarize simulates every segment piece of a chunk on a forked machine,
+// filling exits, opens/delta and (when wantMatches) the candidate sets.
+func summarize(m core.Chunkable, events []encoding.Event, pieces []piece, wantMatches bool) {
+	kernel, hasKernel := m.(core.SegmentKernel)
+	for pi := range pieces {
+		pc := &pieces[pi]
+		if !pc.seg {
+			continue
+		}
+		seg := events[pc.lo:pc.hi]
+		for _, e := range seg {
+			if e.Kind == encoding.Open {
+				pc.opens++
+				pc.delta++
+			} else {
+				pc.delta--
+			}
+		}
+		var cands *core.CandSet
+		if wantMatches {
+			cands = core.NewCandSet(m.ChunkStates())
+		}
+		if hasKernel {
+			pc.exits = kernel.SimulateSegment(seg, cands)
+		} else {
+			pc.exits = core.SimulateSegmentGeneric(m, seg, cands)
+		}
+		pc.cands = cands
+	}
+}
+
+// runSequential is the fallback when chunking cannot help: one pass on the
+// caller goroutine, identical to core.Select over a slice source.
+func runSequential(m core.Chunkable, events []encoding.Event, fn func(core.Match)) {
+	m.Reset()
+	pos, depth := -1, 0
+	for _, e := range events {
+		if e.Kind == encoding.Open {
+			pos++
+			depth++
+		} else {
+			depth--
+		}
+		m.Step(e)
+		if fn != nil && e.Kind == encoding.Open && m.Accepting() {
+			fn(core.Match{Pos: pos, Depth: depth, Label: e.Label})
+		}
+	}
+}
+
+// run chunks events at the given interior cuts, summarizes the chunks on
+// the pool, and joins left to right, leaving m in its final configuration
+// and reporting matches to fn (when non-nil) in document order. The output
+// is byte-identical to the sequential run regardless of cuts, pool size or
+// scheduling.
+func run(p *Pool, m core.Chunkable, events []encoding.Event, cuts []int, fn func(core.Match)) {
+	policy := m.Cut()
+	cuts = sanitizeCuts(cuts, len(events))
+	if policy == core.CutAll || len(cuts) == 0 {
+		// CutAll: every event would be a boundary, so the join would replay
+		// the whole stream anyway; skip the summaries.
+		runSequential(m, events, fn)
+		return
+	}
+	bounds := make([]int, 0, len(cuts)+2)
+	bounds = append(bounds, 0)
+	bounds = append(bounds, cuts...)
+	bounds = append(bounds, len(events))
+
+	chunkPieces := make([][]piece, len(bounds)-1)
+	var wg sync.WaitGroup
+	wantMatches := fn != nil
+	for ci := 0; ci < len(bounds)-1; ci++ {
+		ci := ci
+		lo, hi := bounds[ci], bounds[ci+1]
+		fork := m.Fork()
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			pieces := cutPieces(events, lo, hi, policy)
+			summarize(fork, events, pieces, wantMatches)
+			chunkPieces[ci] = pieces
+		})
+	}
+	wg.Wait()
+
+	m.Reset()
+	pos, depth := -1, 0
+	for _, pieces := range chunkPieces {
+		for pi := range pieces {
+			pc := &pieces[pi]
+			q := m.JoinState()
+			if q < 0 {
+				// Poison is absorbing and never accepting: no machine that
+				// reports -1 can select or accept later. (The AL wrapper,
+				// whose dead-inner runs may still accept, never reports -1.)
+				return
+			}
+			if !pc.seg {
+				e := events[pc.lo]
+				if e.Kind == encoding.Open {
+					pos++
+					depth++
+				} else {
+					depth--
+				}
+				m.Step(e)
+				if fn != nil && e.Kind == encoding.Open && m.Accepting() {
+					fn(core.Match{Pos: pos, Depth: depth, Label: e.Label})
+				}
+				continue
+			}
+			if fn != nil {
+				for i, c := range pc.cands.Cands {
+					if pc.cands.Has(i, q) {
+						fn(core.Match{
+							Pos:   pos + 1 + int(c.Opens),
+							Depth: depth + int(c.Depth),
+							Label: events[pc.lo+int(c.Idx)].Label,
+						})
+					}
+				}
+			}
+			m.ApplySegment(pc.exits[q], pc.delta)
+			pos += pc.opens
+			depth += pc.delta
+		}
+	}
+}
+
+// Select evaluates a node-selecting machine over the events in the given
+// number of chunks, reporting matches in document order. The match set is
+// identical to core.Select's.
+func Select(p *Pool, m core.Chunkable, events []encoding.Event, chunks int, fn func(core.Match)) {
+	run(p, m, events, SplitPoints(len(events), chunks), fn)
+}
+
+// SelectAt is Select with explicit interior cut positions — the
+// adversarial-boundary entry point for tests and fuzzing.
+func SelectAt(p *Pool, m core.Chunkable, events []encoding.Event, cuts []int, fn func(core.Match)) {
+	run(p, m, events, cuts, fn)
+}
+
+// SelectPositions runs Select and collects the selected preorder positions.
+func SelectPositions(p *Pool, m core.Chunkable, events []encoding.Event, chunks int) []int {
+	var out []int
+	Select(p, m, events, chunks, func(mt core.Match) { out = append(out, mt.Pos) })
+	return out
+}
+
+// Recognize evaluates a tree-language machine over the events in the given
+// number of chunks and returns the final acceptance.
+func Recognize(p *Pool, m core.Chunkable, events []encoding.Event, chunks int) bool {
+	return RecognizeAt(p, m, events, SplitPoints(len(events), chunks))
+}
+
+// RecognizeAt is Recognize with explicit interior cut positions.
+func RecognizeAt(p *Pool, m core.Chunkable, events []encoding.Event, cuts []int) bool {
+	run(p, m, events, cuts, nil)
+	return m.Accepting()
+}

@@ -1,0 +1,76 @@
+// Package parallel evaluates stackless machines over chunked event streams
+// on a worker pool. The stream is split into chunks, each chunk is
+// simulated concurrently from every control state of the machine
+// (internal/core's Chunkable contract), and the per-chunk summaries are
+// composed left to right to reproduce the exact sequential run and match
+// set — Theorem 3.1's bounded-configuration property is what makes the
+// summaries finite. See DESIGN.md §8.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed set of worker goroutines draining a task queue. Tasks
+// must be leaves of the computation: a task never blocks waiting for
+// another task, so a full queue cannot deadlock (orchestration — splitting,
+// joining, merging — always stays on caller goroutines).
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts a pool with the given number of workers (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{tasks: make(chan func(), 4*workers)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a task, blocking while the queue is full. Safe for
+// concurrent use. Submitting to a closed pool panics (as does closing a
+// channel mid-send); Close only after all submitters are done.
+func (p *Pool) Submit(f func()) { p.tasks <- f }
+
+// Close stops accepting tasks and waits for in-flight ones to finish.
+// Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+// Shared returns the process-wide pool, sized to GOMAXPROCS and started on
+// first use. It is never closed.
+func Shared() *Pool {
+	sharedOnce.Do(func() {
+		sharedPool = NewPool(runtime.GOMAXPROCS(0))
+	})
+	return sharedPool
+}

@@ -1,0 +1,132 @@
+package parallel_test
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"stackless"
+	"stackless/internal/classify"
+	"stackless/internal/core"
+	"stackless/internal/encoding"
+	"stackless/internal/gen"
+	"stackless/internal/paperfigs"
+	"stackless/internal/parallel"
+	"stackless/internal/rex"
+)
+
+// Race coverage: many goroutines drive chunk-parallel evaluations through
+// the one shared pool at once — concurrent MultiQuery calls, concurrent
+// single-query calls, and raw engine calls over forks of one machine.
+// go test -race ./internal/... (ci.sh tier 1) runs these with the race
+// detector; the assertions also re-check determinism under contention.
+
+func TestRaceConcurrentMultiQuery(t *testing.T) {
+	labels := []string{"a", "b", "c"}
+	q1 := stackless.MustCompileRegex("a.*b", labels)
+	q2 := stackless.MustCompileRegex(".*a.*b", labels)
+	q3 := stackless.MustCompileRegex(".*ab", labels) // stack-only inside the fan-out
+	mq, err := stackless.NewMultiQuery(q1, q2, q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(31))
+	docs := make([]string, 8)
+	for i := range docs {
+		docs[i] = encoding.XMLString(gen.RandomTree(rng, labels, 50+rng.Intn(200)))
+	}
+	wants := make([][]stackless.MultiMatch, len(docs))
+	for i, doc := range docs {
+		if _, err := mq.SelectXML(strings.NewReader(doc), stackless.Options{}, func(m stackless.MultiMatch) {
+			wants[i] = append(wants[i], m)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, tc := range []struct {
+		name               string
+		callers, perCaller int
+	}{
+		{"few callers many calls", 4, 12},
+		{"many callers", 16, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			errs := make(chan string, tc.callers)
+			for c := 0; c < tc.callers; c++ {
+				c := c
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for k := 0; k < tc.perCaller; k++ {
+						di := (c + k) % len(docs)
+						var got []stackless.MultiMatch
+						_, err := mq.SelectXML(strings.NewReader(docs[di]), stackless.Options{Workers: 4},
+							func(m stackless.MultiMatch) { got = append(got, m) })
+						if err != nil {
+							errs <- err.Error()
+							return
+						}
+						if len(got) != len(wants[di]) {
+							errs <- "match count diverged under contention"
+							return
+						}
+						for j := range got {
+							if got[j] != wants[di][j] {
+								errs <- "match order diverged under contention"
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				t.Fatal(e)
+			}
+		})
+	}
+}
+
+func TestRaceSharedPoolForks(t *testing.T) {
+	an := classify.Analyze(rex.MustCompile(paperfigs.Fig3cRegex, paperfigs.GammaABC()))
+	ev, err := core.StacklessQL(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(37))
+	events := encoding.Markup(gen.RandomTree(rng, []string{"a", "b", "c"}, 400))
+	want := parallel.SelectPositions(parallel.Shared(), ev, events, 4)
+
+	var wg sync.WaitGroup
+	bad := make(chan string, 16)
+	for c := 0; c < 16; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := ev.Fork() // each goroutine joins on its own machine
+			for k := 0; k < 5; k++ {
+				got := parallel.SelectPositions(parallel.Shared(), m, events, 3+k)
+				if len(got) != len(want) {
+					bad <- "positions diverged under contention"
+					return
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						bad <- "positions diverged under contention"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(bad)
+	for e := range bad {
+		t.Fatal(e)
+	}
+}

@@ -3,9 +3,11 @@ package stackless
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"stackless/internal/core"
 	"stackless/internal/encoding"
+	"stackless/internal/parallel"
 )
 
 // Multi-query evaluation: run several path queries over one document in a
@@ -42,6 +44,8 @@ type MultiStats struct {
 	Events int
 	// Matches per query.
 	Matches []int
+	// Workers used for chunk-parallel evaluation (1 = sequential pass).
+	Workers int
 }
 
 // SelectXML streams the document once and reports each query's matches.
@@ -73,6 +77,10 @@ func (m *MultiQuery) selectSource(src encoding.Source, enc Encoding, opt Options
 		}
 		evs[i].Reset()
 	}
+	if opt.Workers > 1 {
+		return m.selectParallel(src, opt, evs, stats, fn)
+	}
+	stats.Workers = 1
 	pos := -1
 	depth := 0
 	for {
@@ -98,6 +106,58 @@ func (m *MultiQuery) selectSource(src encoding.Source, enc Encoding, opt Options
 					fn(MultiMatch{Query: i, Match: Match{Pos: pos, Depth: depth, Label: e.Label}})
 				}
 			}
+		}
+	}
+}
+
+// selectParallel fans the queries — and, for chunkable machines, their
+// chunks — across the shared worker pool, then merges the per-query match
+// streams back into the exact emission order of the sequential pass
+// (position, then query index).
+func (m *MultiQuery) selectParallel(src encoding.Source, opt Options, evs []core.Evaluator, stats MultiStats, fn func(MultiMatch)) (MultiStats, error) {
+	events, err := encoding.ReadAll(src)
+	stats.Events = len(events)
+	if err != nil {
+		return stats, err
+	}
+	stats.Workers = opt.Workers
+	perQuery := make([][]Match, len(evs))
+	var wg sync.WaitGroup
+	for i, ev := range evs {
+		i, ev := i, ev
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			collect := func(cm core.Match) {
+				perQuery[i] = append(perQuery[i], Match{Pos: cm.Pos, Depth: cm.Depth, Label: cm.Label})
+			}
+			if cm, ok := ev.(core.Chunkable); ok {
+				parallel.Select(parallel.Shared(), cm, events, opt.Workers, collect)
+				return
+			}
+			_, _ = core.Select(ev, encoding.NewSliceSource(events), collect)
+		}()
+	}
+	wg.Wait()
+	next := make([]int, len(perQuery))
+	for {
+		best := -1
+		for qi := range perQuery {
+			if next[qi] >= len(perQuery[qi]) {
+				continue
+			}
+			if best < 0 || perQuery[qi][next[qi]].Pos < perQuery[best][next[best]].Pos {
+				best = qi
+			}
+		}
+		if best < 0 {
+			return stats, nil
+		}
+		mt := perQuery[best][next[best]]
+		next[best]++
+		stats.Matches[best]++
+		if fn != nil {
+			fn(MultiMatch{Query: best, Match: mt})
 		}
 	}
 }

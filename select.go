@@ -5,6 +5,7 @@ import (
 
 	"stackless/internal/core"
 	"stackless/internal/encoding"
+	"stackless/internal/parallel"
 	"stackless/internal/stackeval"
 )
 
@@ -27,6 +28,10 @@ type Stats struct {
 	Events int
 	// Matches reported.
 	Matches int
+	// Workers that evaluated chunks concurrently: 1 for a sequential run
+	// (including when the strategy cannot be chunked), Options.Workers for
+	// a chunk-parallel one.
+	Workers int
 }
 
 // Options tune evaluation. The zero value is the default: pick the
@@ -42,6 +47,15 @@ type Options struct {
 	// well-formed input; by default the engine still rejects streams whose
 	// tags do not balance (gross transport errors), at one counter's cost.
 	TrustInput bool
+	// Workers > 1 evaluates the stream chunk-parallel on the shared worker
+	// pool: the events are buffered, split into Workers chunks, simulated
+	// concurrently from every machine state and joined (see
+	// internal/parallel and DESIGN.md §8). The match set is identical to
+	// the sequential run. Falls back to sequential evaluation when the
+	// chosen strategy cannot be chunked (the pushdown fallback and the
+	// synopsis EL machine); note that chunking trades the model's O(1)
+	// memory for throughput by buffering the event stream.
+	Workers int
 }
 
 func (o Options) guard(src encoding.Source) encoding.Source {
@@ -88,13 +102,24 @@ func (q *Query) selectSource(src encoding.Source, enc Encoding, opt Options, fn 
 	if err != nil {
 		return Stats{Strategy: st}, err
 	}
-	stats := Stats{Strategy: st}
-	events, err := core.Select(ev, src, func(m core.Match) {
+	stats := Stats{Strategy: st, Workers: 1}
+	report := func(m core.Match) {
 		stats.Matches++
 		if fn != nil {
 			fn(Match{Pos: m.Pos, Depth: m.Depth, Label: m.Label})
 		}
-	})
+	}
+	if cm, ok := ev.(core.Chunkable); ok && opt.Workers > 1 {
+		events, err := encoding.ReadAll(src)
+		stats.Events = len(events)
+		if err != nil {
+			return stats, err
+		}
+		stats.Workers = opt.Workers
+		parallel.Select(parallel.Shared(), cm, events, opt.Workers, report)
+		return stats, nil
+	}
+	events, err := core.Select(ev, src, report)
 	stats.Events = events
 	return stats, err
 }
@@ -138,8 +163,18 @@ func (q *Query) recognize(src encoding.Source, enc Encoding, opt Options,
 	if err != nil {
 		return false, Stats{Strategy: st}, err
 	}
+	stats := Stats{Strategy: st, Workers: 1}
+	if cm, chunkable := ev.(core.Chunkable); chunkable && opt.Workers > 1 {
+		events, err := encoding.ReadAll(src)
+		stats.Events = len(events)
+		if err != nil {
+			return false, stats, err
+		}
+		stats.Workers = opt.Workers
+		return parallel.Recognize(parallel.Shared(), cm, events, opt.Workers), stats, nil
+	}
 	ok, err := core.Recognize(ev, src)
-	return ok, Stats{Strategy: st}, err
+	return ok, stats, err
 }
 
 func (q *Query) stackQuery() core.Evaluator { return stackeval.QL(q.an.D) }

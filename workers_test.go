@@ -1,0 +1,145 @@
+package stackless
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"stackless/internal/encoding"
+	"stackless/internal/gen"
+)
+
+// Options.Workers must never change observable results: matches, their
+// order, and the Recognize verdicts are byte-identical to the sequential
+// run for every strategy (chunk-parallel where the strategy supports it,
+// silent sequential fallback where it does not).
+
+func collectMatches(t *testing.T, q *Query, doc string, opt Options) ([]Match, Stats) {
+	t.Helper()
+	var out []Match
+	stats, err := q.SelectXML(strings.NewReader(doc), opt, func(m Match) { out = append(out, m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, stats
+}
+
+func TestOptionsWorkersMatchesSequential(t *testing.T) {
+	queries := map[string]*Query{
+		"registerless": MustCompileRegex("a.*b", abc),
+		"stackless":    MustCompileRegex(".*a.*b", abc),
+		"stack":        MustCompileRegex(".*ab", abc), // not chunkable: falls back
+	}
+	rng := rand.New(rand.NewSource(17))
+	for name, q := range queries {
+		for i := 0; i < 40; i++ {
+			doc := encoding.XMLString(gen.RandomTree(rng, abc, 1+rng.Intn(60)))
+			want, seqStats := collectMatches(t, q, doc, Options{})
+			if seqStats.Workers != 1 {
+				t.Fatalf("%s: sequential run reports %d workers", name, seqStats.Workers)
+			}
+			for _, w := range []int{2, 3, 8} {
+				got, stats := collectMatches(t, q, doc, Options{Workers: w})
+				if len(got) != len(want) {
+					t.Fatalf("%s doc %d workers %d: %d matches, want %d", name, i, w, len(got), len(want))
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("%s doc %d workers %d: match %d = %+v, want %+v", name, i, w, j, got[j], want[j])
+					}
+				}
+				if stats.Matches != len(want) || stats.Events != seqStats.Events {
+					t.Fatalf("%s doc %d workers %d: stats %+v vs sequential %+v", name, i, w, stats, seqStats)
+				}
+				if name == "stack" && stats.Workers != 1 {
+					t.Fatalf("stack strategy claims %d workers", stats.Workers)
+				}
+				if name != "stack" && stats.Workers != w {
+					t.Fatalf("%s: parallel run reports %d workers, want %d", name, stats.Workers, w)
+				}
+			}
+		}
+	}
+}
+
+func TestOptionsWorkersRecognize(t *testing.T) {
+	q := MustCompileRegex(".*a.*b", abc)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 40; i++ {
+		doc := encoding.XMLString(gen.RandomTree(rng, abc, 1+rng.Intn(40)))
+		for _, rec := range []func(Options) (bool, Stats, error){
+			func(o Options) (bool, Stats, error) { return q.RecognizeEL(strings.NewReader(doc), o) },
+			func(o Options) (bool, Stats, error) { return q.RecognizeAL(strings.NewReader(doc), o) },
+		} {
+			want, _, err := rec(Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{2, 8} {
+				got, _, err := rec(Options{Workers: w})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("doc %d workers %d: %v, want %v", i, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiQueryWorkersMatchesSequential(t *testing.T) {
+	q1 := MustCompileRegex("a.*b", abc)
+	q2 := MustCompileRegex(".*a.*b", abc)
+	q3 := MustCompileRegex(".*ab", abc) // stack-only: sequential inside the fan-out
+	mq, err := NewMultiQuery(q1, q2, q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 30; i++ {
+		doc := encoding.XMLString(gen.RandomTree(rng, abc, 1+rng.Intn(60)))
+		var want []MultiMatch
+		seqStats, err := mq.SelectXML(strings.NewReader(doc), Options{}, func(m MultiMatch) { want = append(want, m) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 4, 8} {
+			var got []MultiMatch
+			stats, err := mq.SelectXML(strings.NewReader(doc), Options{Workers: w}, func(m MultiMatch) { got = append(got, m) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("doc %d workers %d: %d matches, want %d", i, w, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("doc %d workers %d: match %d = %+v, want %+v (emission order must be preserved)", i, w, j, got[j], want[j])
+				}
+			}
+			if stats.Events != seqStats.Events || stats.Workers != w {
+				t.Fatalf("doc %d workers %d: stats %+v vs sequential %+v", i, w, stats, seqStats)
+			}
+			for qi := range stats.Matches {
+				if stats.Matches[qi] != seqStats.Matches[qi] {
+					t.Fatalf("doc %d workers %d: per-query matches %v vs %v", i, w, stats.Matches, seqStats.Matches)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkersMalformedInputStillRejected(t *testing.T) {
+	q := MustCompileRegex("a.*b", abc)
+	for _, doc := range []string{"<a><b></b>", "<a></a><b></b>"} {
+		_, seqErr := q.SelectXML(strings.NewReader(doc), Options{}, nil)
+		_, parErr := q.SelectXML(strings.NewReader(doc), Options{Workers: 4}, nil)
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("doc %q: sequential err %v, parallel err %v", doc, seqErr, parErr)
+		}
+		if seqErr == nil {
+			t.Fatalf("doc %q: malformed input accepted", doc)
+		}
+	}
+}
