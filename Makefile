@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci test race vet fmt build fuzz bench clean
+.PHONY: ci test race vet fmt build fuzz fuzz-smoke bench clean
 
 ci: ## full tier-1 gate: fmt + vet + build + test + race
 	./ci.sh
@@ -29,6 +29,15 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTermScanner -fuzztime $(FUZZTIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzJSONSource -fuzztime $(FUZZTIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzParallelSplit -fuzztime $(FUZZTIME) ./internal/encoding/
+
+# CI-sized smoke pass (see ci.sh): the chunk-parallel differential fuzzer
+# plus the three event-source fuzzers, 10s each.
+SMOKETIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParallelSplit -fuzztime $(SMOKETIME) ./internal/encoding/
+	$(GO) test -run '^$$' -fuzz FuzzXMLScanner -fuzztime $(SMOKETIME) ./internal/encoding/
+	$(GO) test -run '^$$' -fuzz FuzzTermScanner -fuzztime $(SMOKETIME) ./internal/encoding/
+	$(GO) test -run '^$$' -fuzz FuzzJSONSource -fuzztime $(SMOKETIME) ./internal/encoding/
 
 # Regenerate the committed chunk-parallel benchmark snapshot. The numbers
 # are machine-dependent; commit them together with the cpu context line.

@@ -624,6 +624,54 @@ func BenchmarkSelectParallelXML(b *testing.B) {
 	}
 }
 
+// BenchmarkObsOverhead pins the cost of the observability layer on the
+// stackless kernel: collector=off is the production default (every hook a
+// nil check, zero allocations — see TestObsDisabledZeroAllocs), collector=on
+// is the fully instrumented run. The off numbers must track the plain
+// BenchmarkSelectParallelStackless within noise.
+func BenchmarkObsOverhead(b *testing.B) {
+	loadFixtures()
+	q := MustCompileRegex(paperfigs.Fig3cRegex, abc)
+	events := fixtures.abcDoc
+	ev, _, err := q.queryEvaluator(MarkupEncoding, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cm, ok := ev.(core.Chunkable)
+	if !ok {
+		b.Fatal("strategy is not chunkable")
+	}
+	pool := parallel.Shared()
+	for _, mode := range []struct {
+		name string
+		c    *Collector
+	}{
+		{"off", nil},
+		{"on", NewCollector()},
+	} {
+		b.Run("seq/collector="+mode.name, func(b *testing.B) {
+			src := encoding.NewSliceSource(events)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src.Rewind()
+				if _, err := core.SelectObs(ev, mode.c, src, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(events)), "ns/event")
+		})
+		b.Run("parallel4/collector="+mode.name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				parallel.SelectObs(pool, cm, events, 4, mode.c, nil)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(events)), "ns/event")
+		})
+	}
+}
+
 // --- Post-selection extension: the stack-based subtree-witness query. ---
 
 func BenchmarkPostSelection(b *testing.B) {

@@ -17,10 +17,22 @@ go vet ./...
 echo '== go build =='
 go build ./...
 
-echo '== go test =='
-go test ./...
+echo '== go test (with coverage) =='
+# One pass runs the whole suite and produces the coverage profile for the
+# gate below. -coverpkg counts cross-package coverage of the two gated
+# engine packages, which most of the suite exercises.
+go test -coverprofile=cover.out -coverpkg=./internal/core,./internal/parallel ./...
+
+echo '== coverage gate (>=80% on the engine packages) =='
+go run ./cmd/covercheck -min 80 -packages stackless/internal/core,stackless/internal/parallel cover.out
 
 echo '== go test -race (internal) =='
 go test -race ./internal/...
+
+echo '== go test -race (observability contract) =='
+go test -race -run 'Obs' .
+
+echo '== fuzz smoke =='
+make fuzz-smoke
 
 echo 'tier-1 gate: OK'

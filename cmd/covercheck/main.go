@@ -1,0 +1,195 @@
+// Command covercheck reads a Go cover profile, aggregates per-package
+// statement coverage, and enforces a minimum on selected packages — the
+// tier-1 coverage gate of ci.sh.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out -coverpkg=./internal/core,./internal/parallel ./...
+//	covercheck -min 80 -packages stackless/internal/core,stackless/internal/parallel cover.out
+//
+// The profile may contain the same block several times (one per test binary
+// when the profile spans ./...); a statement counts as covered when any run
+// hit it, matching `go tool cover -func` semantics.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("covercheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	minPct := fs.Float64("min", 80, "minimum statement coverage (percent) per gated package")
+	pkgList := fs.String("packages", "", "comma-separated import paths to gate (default: every package in the profile)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "covercheck: exactly one cover profile argument required")
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "covercheck:", err)
+		return 2
+	}
+	defer f.Close()
+	cov, err := parseProfile(f)
+	if err != nil {
+		fmt.Fprintln(stderr, "covercheck:", err)
+		return 2
+	}
+	var gate []string
+	if *pkgList != "" {
+		gate = strings.Split(*pkgList, ",")
+	}
+	failures := report(cov, gate, *minPct, stdout)
+	if failures > 0 {
+		fmt.Fprintf(stdout, "FAIL: %d package(s) below %.0f%% statement coverage\n", failures, *minPct)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ok: coverage floor %.0f%% met\n", *minPct)
+	return 0
+}
+
+// block identifies one source region of a profile line.
+type block struct {
+	file       string
+	start, end string
+}
+
+// pkgCoverage is the aggregated statement counts of one package.
+type pkgCoverage struct {
+	statements int
+	covered    int
+}
+
+// Percent returns the package's statement coverage; an empty package (no
+// statements in the profile) counts as 0.
+func (p pkgCoverage) Percent() float64 {
+	if p.statements == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.statements)
+}
+
+// parseProfile reads a cover profile into per-package statement coverage,
+// deduplicating repeated blocks (covered if any occurrence has count > 0).
+func parseProfile(r io.Reader) (map[string]pkgCoverage, error) {
+	type blockInfo struct {
+		statements int
+		hit        bool
+	}
+	blocks := map[block]blockInfo{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		// file.go:start.col,end.col numStatements count
+		fileRegion, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("line %d: malformed profile line: %s", lineNo, line)
+		}
+		file, region, ok := cutLast(fileRegion, ":")
+		if !ok {
+			return nil, fmt.Errorf("line %d: malformed region: %s", lineNo, line)
+		}
+		start, end, ok := strings.Cut(region, ",")
+		if !ok {
+			return nil, fmt.Errorf("line %d: malformed region: %s", lineNo, line)
+		}
+		stmtStr, countStr, ok := strings.Cut(rest, " ")
+		if !ok {
+			return nil, fmt.Errorf("line %d: malformed counts: %s", lineNo, line)
+		}
+		statements, err := strconv.Atoi(stmtStr)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad statement count: %s", lineNo, line)
+		}
+		count, err := strconv.Atoi(countStr)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad hit count: %s", lineNo, line)
+		}
+		b := block{file: file, start: start, end: end}
+		info := blocks[b]
+		info.statements = statements
+		info.hit = info.hit || count > 0
+		blocks[b] = info
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	cov := map[string]pkgCoverage{}
+	for b, info := range blocks {
+		pkg := path.Dir(b.file)
+		c := cov[pkg]
+		c.statements += info.statements
+		if info.hit {
+			c.covered += info.statements
+		}
+		cov[pkg] = c
+	}
+	return cov, nil
+}
+
+// cutLast is strings.Cut on the last occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+// report prints per-package coverage (all packages, sorted) and returns the
+// number of gated packages below the floor. A gated package absent from the
+// profile counts as a failure — a silently dropped package must not pass.
+func report(cov map[string]pkgCoverage, gate []string, minPct float64, out io.Writer) int {
+	pkgs := make([]string, 0, len(cov))
+	for pkg := range cov {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	gated := map[string]bool{}
+	for _, g := range gate {
+		gated[strings.TrimSpace(g)] = true
+	}
+	failures := 0
+	for _, pkg := range pkgs {
+		pct := cov[pkg].Percent()
+		mark := " "
+		if len(gate) == 0 || gated[pkg] {
+			if pct < minPct {
+				failures++
+				mark = "!"
+			} else {
+				mark = "*"
+			}
+		}
+		fmt.Fprintf(out, "%s %-50s %6.1f%% (%d/%d statements)\n", mark, pkg, pct, cov[pkg].covered, cov[pkg].statements)
+	}
+	for _, g := range gate {
+		if _, ok := cov[strings.TrimSpace(g)]; !ok {
+			failures++
+			fmt.Fprintf(out, "! %-50s missing from profile\n", strings.TrimSpace(g))
+		}
+	}
+	return failures
+}

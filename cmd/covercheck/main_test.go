@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cannedProfile = `mode: atomic
+stackless/internal/core/dra.go:10.2,12.3 3 7
+stackless/internal/core/dra.go:14.2,14.9 1 0
+stackless/internal/core/chunk.go:5.2,9.3 6 1
+stackless/internal/parallel/pool.go:20.2,22.3 2 0
+stackless/internal/parallel/pool.go:30.2,31.3 4 9
+stackless/internal/obs/obs.go:8.2,8.9 5 3
+`
+
+func TestParseProfile(t *testing.T) {
+	cov, err := parseProfile(strings.NewReader(cannedProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := cov["stackless/internal/core"]
+	if core.statements != 10 || core.covered != 9 {
+		t.Errorf("core = %+v, want 9/10", core)
+	}
+	if got := core.Percent(); math.Abs(got-90) > 1e-9 {
+		t.Errorf("core percent = %v, want 90", got)
+	}
+	par := cov["stackless/internal/parallel"]
+	if par.statements != 6 || par.covered != 4 {
+		t.Errorf("parallel = %+v, want 4/6", par)
+	}
+}
+
+// TestParseProfileDeduplicates: ./... profiles repeat blocks, one copy per
+// test binary; a block hit by any run is covered.
+func TestParseProfileDeduplicates(t *testing.T) {
+	profile := `mode: atomic
+stackless/internal/core/dra.go:10.2,12.3 3 0
+stackless/internal/core/dra.go:10.2,12.3 3 5
+stackless/internal/core/dra.go:10.2,12.3 3 0
+`
+	cov, err := parseProfile(strings.NewReader(profile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := cov["stackless/internal/core"]
+	if core.statements != 3 || core.covered != 3 {
+		t.Errorf("core = %+v, want 3/3 (block hit in one of three runs)", core)
+	}
+}
+
+func TestParseProfileMalformed(t *testing.T) {
+	for _, profile := range []string{
+		"mode: set\nnot a profile line\n",
+		"mode: set\nfile.go:1.2,3.4 x 1\n",
+		"mode: set\nfile.go 1 1\n",
+	} {
+		if _, err := parseProfile(strings.NewReader(profile)); err == nil {
+			t.Errorf("profile %q parsed without error", profile)
+		}
+	}
+}
+
+func TestReportGating(t *testing.T) {
+	cov, err := parseProfile(strings.NewReader(cannedProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	// core is at 90%, parallel at 66.7%: gating both at 80 fails once.
+	got := report(cov, []string{"stackless/internal/core", "stackless/internal/parallel"}, 80, &out)
+	if got != 1 {
+		t.Fatalf("failures = %d, want 1:\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "! stackless/internal/parallel") {
+		t.Errorf("parallel not flagged:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "* stackless/internal/core") {
+		t.Errorf("core not marked as gated-and-passing:\n%s", out.String())
+	}
+	// Ungated packages are reported but never fail.
+	if strings.Contains(out.String(), "! stackless/internal/obs") {
+		t.Errorf("ungated package flagged:\n%s", out.String())
+	}
+}
+
+func TestReportMissingGatedPackageFails(t *testing.T) {
+	cov, err := parseProfile(strings.NewReader(cannedProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if got := report(cov, []string{"stackless/internal/nosuch"}, 10, &out); got != 1 {
+		t.Fatalf("missing gated package not failed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "missing from profile") {
+		t.Errorf("missing-package line absent:\n%s", out.String())
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	profile := filepath.Join(dir, "cover.out")
+	if err := os.WriteFile(profile, []byte(cannedProfile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, stderr bytes.Buffer
+	if code := run([]string{"-min", "60", "-packages", "stackless/internal/core,stackless/internal/parallel", profile},
+		&out, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s%s", code, out.String(), stderr.String())
+	}
+	if !strings.Contains(out.String(), "ok: coverage floor 60% met") {
+		t.Errorf("missing ok summary:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-min", "95", "-packages", "stackless/internal/core", profile}, &out, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1 (core is at 90%%)", code)
+	}
+	if code := run([]string{"-min", "80", filepath.Join(dir, "absent.out")}, &out, &stderr); code != 2 {
+		t.Fatalf("missing profile exited %d, want 2", code)
+	}
+	if code := run([]string{}, &out, &stderr); code != 2 {
+		t.Fatalf("no arguments exited %d, want 2", code)
+	}
+}

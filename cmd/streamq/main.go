@@ -7,8 +7,12 @@
 //	streamq -xpath '/a//b' -alphabet a,b,c file.xml
 //	streamq -regex 'a.*b' -alphabet a,b,c -stack file.xml
 //	streamq -jsonpath '$..title' -alphabet '$,store,book,item,title' -json data.json
+//	streamq -regex 'a.*b' -alphabet a,b,c -workers 4 -stats file.xml
 //
-// With no file argument the document is read from standard input.
+// With no file argument the document is read from standard input. -stats
+// prints the observability collector's JSON snapshot after the run; -pprof
+// PREFIX writes CPU and heap profiles to PREFIX.cpu.pprof and
+// PREFIX.heap.pprof.
 package main
 
 import (
@@ -16,26 +20,38 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"stackless"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("streamq", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		regex    = flag.String("regex", "", "path query as a regular expression over labels")
-		xpath    = flag.String("xpath", "", "path query in the downward XPath fragment")
-		jsonpath = flag.String("jsonpath", "", "path query in the downward JSONPath fragment")
-		alpha    = flag.String("alphabet", "", "comma-separated label alphabet Γ (labels in the query are added automatically)")
-		jsonIn   = flag.Bool("json", false, "input is JSON (term encoding)")
-		termIn   = flag.Bool("term", false, "input is brace notation a{b{}} (term encoding)")
-		stack    = flag.Bool("stack", false, "force the stack baseline")
-		noStack  = flag.Bool("nostack", false, "fail instead of falling back to the stack")
-		classify = flag.Bool("classify", false, "print the classification report and exit")
-		quiet    = flag.Bool("quiet", false, "print only the final statistics")
-		workers  = flag.Int("workers", 1, "evaluate chunk-parallel with this many workers (buffers the stream; >1 requires a chunkable strategy, otherwise runs sequentially)")
+		regex     = fs.String("regex", "", "path query as a regular expression over labels")
+		xpath     = fs.String("xpath", "", "path query in the downward XPath fragment")
+		jsonpath  = fs.String("jsonpath", "", "path query in the downward JSONPath fragment")
+		alpha     = fs.String("alphabet", "", "comma-separated label alphabet Γ (labels in the query are added automatically)")
+		jsonIn    = fs.Bool("json", false, "input is JSON (term encoding)")
+		termIn    = fs.Bool("term", false, "input is brace notation a{b{}} (term encoding)")
+		stack     = fs.Bool("stack", false, "force the stack baseline")
+		noStack   = fs.Bool("nostack", false, "fail instead of falling back to the stack")
+		classify  = fs.Bool("classify", false, "print the classification report and exit")
+		quiet     = fs.Bool("quiet", false, "print only the final statistics")
+		workers   = fs.Int("workers", 1, "evaluate chunk-parallel with this many workers (buffers the stream; >1 requires a chunkable strategy, otherwise runs sequentially)")
+		statsFlag = fs.Bool("stats", false, "print the metrics collector's JSON snapshot after the run")
+		pprofPfx  = fs.String("pprof", "", "write CPU and heap profiles to PREFIX.cpu.pprof and PREFIX.heap.pprof")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var labels []string
 	if *alpha != "" {
@@ -43,28 +59,59 @@ func main() {
 	}
 	q, err := compile(*regex, *xpath, *jsonpath, labels)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "streamq:", err)
+		return 2
 	}
 
 	if *classify {
-		fmt.Printf("query: %s over %v\n%s", q, q.Alphabet(), q.Report())
-		return
+		fmt.Fprintf(stdout, "query: %s over %v\n%s", q, q.Alphabet(), q.Report())
+		return 0
 	}
 
-	var in io.Reader = os.Stdin
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "streamq:", err)
+			return 1
 		}
 		defer f.Close()
 		in = f
 	}
 
+	if *pprofPfx != "" {
+		cpu, err := os.Create(*pprofPfx + ".cpu.pprof")
+		if err != nil {
+			fmt.Fprintln(stderr, "streamq:", err)
+			return 1
+		}
+		defer cpu.Close()
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			fmt.Fprintln(stderr, "streamq:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+		defer func() {
+			heap, err := os.Create(*pprofPfx + ".heap.pprof")
+			if err != nil {
+				fmt.Fprintln(stderr, "streamq:", err)
+				return
+			}
+			defer heap.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(heap); err != nil {
+				fmt.Fprintln(stderr, "streamq:", err)
+			}
+		}()
+	}
+
 	opt := stackless.Options{ForceStack: *stack, ForbidStack: *noStack, Workers: *workers}
+	if *statsFlag {
+		opt.Collector = stackless.NewCollector()
+	}
 	report := func(m stackless.Match) {
 		if !*quiet {
-			fmt.Printf("match pos=%d depth=%d label=%s\n", m.Pos, m.Depth, m.Label)
+			fmt.Fprintf(stdout, "match pos=%d depth=%d label=%s\n", m.Pos, m.Depth, m.Label)
 		}
 	}
 	var stats stackless.Stats
@@ -77,9 +124,24 @@ func main() {
 		stats, err = q.SelectXML(in, opt, report)
 	}
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "streamq:", err)
+		return 1
 	}
-	fmt.Printf("strategy=%s events=%d matches=%d workers=%d\n", stats.Strategy, stats.Events, stats.Matches, stats.Workers)
+	fmt.Fprintf(stdout, "strategy=%s events=%d matches=%d workers=%d chunks=%d", stats.Strategy, stats.Events, stats.Matches, stats.Workers, stats.Chunks)
+	if stats.CutPolicy != "" {
+		fmt.Fprintf(stdout, " cutpolicy=%s", stats.CutPolicy)
+	}
+	if stats.Fallback != "" {
+		fmt.Fprintf(stdout, " fallback=%s", stats.Fallback)
+	}
+	fmt.Fprintln(stdout)
+	if *statsFlag {
+		if err := opt.Collector.Snapshot().WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "streamq:", err)
+			return 1
+		}
+	}
+	return 0
 }
 
 func compile(regex, xpath, jsonpath string, labels []string) (*stackless.Query, error) {
@@ -91,10 +153,5 @@ func compile(regex, xpath, jsonpath string, labels []string) (*stackless.Query, 
 	case jsonpath != "":
 		return stackless.CompileJSONPath(jsonpath, labels)
 	}
-	return nil, fmt.Errorf("streamq: one of -regex, -xpath, -jsonpath is required")
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "streamq:", err)
-	os.Exit(1)
+	return nil, fmt.Errorf("one of -regex, -xpath, -jsonpath is required")
 }

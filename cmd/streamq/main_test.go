@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Golden CLI tests: exit codes, the stats line shape (including -workers
+// and the fallback annotations), and the -stats JSON snapshot.
+
+func runStreamq(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func wantGolden(t *testing.T, got, goldenFile string) {
+	t.Helper()
+	want, err := os.ReadFile(filepath.Join("testdata", goldenFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("output mismatch vs testdata/%s:\ngot:\n%s\nwant:\n%s", goldenFile, got, want)
+	}
+}
+
+func TestRunGolden(t *testing.T) {
+	doc := filepath.Join("testdata", "doc.xml")
+	for _, tc := range []struct {
+		name   string
+		args   []string
+		golden string
+	}{
+		{"sequential", []string{"-regex", "a.*b", "-alphabet", "a,b,c", doc}, "select.golden"},
+		{"workers", []string{"-regex", "a.*b", "-alphabet", "a,b,c", "-workers", "4", doc}, "select_workers.golden"},
+		{"stack", []string{"-regex", "a.*b", "-alphabet", "a,b,c", "-stack", "-quiet", doc}, "select_stack.golden"},
+		{"fallback", []string{"-regex", ".*ab", "-alphabet", "a,b,c", "-workers", "4", "-quiet", doc}, "select_fallback.golden"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, stderr := runStreamq(t, "", tc.args...)
+			if code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, stderr)
+			}
+			wantGolden(t, out, tc.golden)
+		})
+	}
+}
+
+func TestRunStdin(t *testing.T) {
+	code, out, stderr := runStreamq(t, "<a><b></b></a>", "-regex", "a.*b", "-alphabet", "a,b,c")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "match pos=1 depth=2 label=b\n") ||
+		!strings.Contains(out, "strategy=registerless events=4 matches=1 workers=1 chunks=1\n") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	doc := filepath.Join("testdata", "doc.xml")
+	for _, tc := range []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"no query", []string{doc}, 2},
+		{"bad flag", []string{"-no-such-flag"}, 2},
+		{"missing file", []string{"-regex", "a", "-alphabet", "a", "no-such-file.xml"}, 1},
+		{"nostack rejects", []string{"-regex", ".*ab", "-alphabet", "a,b,c", "-nostack", doc}, 1},
+		{"ok", []string{"-regex", "a.*b", "-alphabet", "a,b,c", "-quiet", doc}, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, _ := runStreamq(t, "", tc.args...)
+			if code != tc.code {
+				t.Fatalf("exit %d, want %d", code, tc.code)
+			}
+		})
+	}
+}
+
+func TestRunMalformedInput(t *testing.T) {
+	code, _, stderr := runStreamq(t, "<a><b></b>", "-regex", "a.*b", "-alphabet", "a,b,c")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+}
+
+// TestRunStatsShape checks -stats: the stats line is followed by one JSON
+// object with the snapshot's counter/phase/histogram sections, and the
+// counters agree with the stats line.
+func TestRunStatsShape(t *testing.T) {
+	doc := filepath.Join("testdata", "doc.xml")
+	for _, args := range [][]string{
+		{"-regex", "a.*b", "-alphabet", "a,b,c", "-quiet", "-stats", doc},
+		{"-regex", "a.*b", "-alphabet", "a,b,c", "-quiet", "-stats", "-workers", "4", doc},
+	} {
+		code, out, stderr := runStreamq(t, "", args...)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, stderr)
+		}
+		jsonStart := strings.Index(out, "{")
+		if jsonStart < 0 {
+			t.Fatalf("no JSON snapshot in output:\n%s", out)
+		}
+		var snap struct {
+			Counters   map[string]int64           `json:"counters"`
+			Phases     map[string]json.RawMessage `json:"phases"`
+			Histograms map[string]json.RawMessage `json:"histograms"`
+		}
+		if err := json.Unmarshal([]byte(out[jsonStart:]), &snap); err != nil {
+			t.Fatalf("snapshot is not valid JSON: %v\n%s", err, out[jsonStart:])
+		}
+		if snap.Counters["events"] != 10 || snap.Counters["matches"] != 2 {
+			t.Errorf("snapshot counters events=%d matches=%d, want 10/2", snap.Counters["events"], snap.Counters["matches"])
+		}
+		for _, key := range []string{"split", "simulate", "join", "merge"} {
+			if _, ok := snap.Phases[key]; !ok {
+				t.Errorf("snapshot missing phase %q", key)
+			}
+		}
+		for _, key := range []string{"depth", "registers", "stack_depth", "queue_depth"} {
+			if _, ok := snap.Histograms[key]; !ok {
+				t.Errorf("snapshot missing histogram %q", key)
+			}
+		}
+	}
+}
+
+func TestRunPprofWritesProfiles(t *testing.T) {
+	doc := filepath.Join("testdata", "doc.xml")
+	prefix := filepath.Join(t.TempDir(), "prof")
+	code, _, stderr := runStreamq(t, "", "-regex", "a.*b", "-alphabet", "a,b,c", "-quiet", "-pprof", prefix, doc)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, suffix := range []string{".cpu.pprof", ".heap.pprof"} {
+		fi, err := os.Stat(prefix + suffix)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", suffix, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", suffix)
+		}
+	}
+}
+
+func TestRunClassify(t *testing.T) {
+	code, out, stderr := runStreamq(t, "", "-regex", "a.*b", "-alphabet", "a,b,c", "-classify")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.HasPrefix(out, "query: ") {
+		t.Errorf("unexpected classify output:\n%s", out)
+	}
+}

@@ -15,6 +15,9 @@
 //	validate -dtd grammar.dtd doc1.xml doc2.xml
 //	validate -dtd grammar.dtd -classify
 //	cat doc.xml | validate -dtd grammar.dtd
+//
+// The exit status is 0 when every document validates, 1 when any document
+// is invalid or fails to stream, and 2 on usage or DTD errors.
 package main
 
 import (
@@ -29,33 +32,45 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dtdPath  = flag.String("dtd", "", "path to the DTD grammar file (required)")
-		classify = flag.Bool("classify", false, "print the weak-validation classification and exit")
-		stack    = flag.Bool("stack", false, "force the stack baseline validator")
+		dtdPath  = fs.String("dtd", "", "path to the DTD grammar file (required)")
+		classify = fs.Bool("classify", false, "print the weak-validation classification and exit")
+		stack    = fs.Bool("stack", false, "force the stack baseline validator")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *dtdPath == "" {
-		fatal(fmt.Errorf("-dtd is required"))
+		fmt.Fprintln(stderr, "validate: -dtd is required")
+		return 2
 	}
 	src, err := os.ReadFile(*dtdPath)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "validate:", err)
+		return 2
 	}
 	d, err := dtd.ParsePathDTD(string(src))
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "validate:", err)
+		return 2
 	}
 
 	rep, err := d.Analyze()
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "validate:", err)
+		return 2
 	}
 	if *classify {
-		fmt.Printf("DTD root=%s\n%s", d.Root, d.Format())
-		fmt.Printf("weak validation: registerless=%v stackless=%v (term: %v/%v)\n",
+		fmt.Fprintf(stdout, "DTD root=%s\n%s", d.Root, d.Format())
+		fmt.Fprintf(stdout, "weak validation: registerless=%v stackless=%v (term: %v/%v)\n",
 			rep.Registerless(), rep.Stackless(), rep.TermRegisterless(), rep.TermStackless())
-		return
+		return 0
 	}
 
 	var validator core.Evaluator
@@ -69,29 +84,35 @@ func main() {
 		validator = d.AsGeneral().NewStackValidator()
 	}
 
-	run := func(name string, r io.Reader) {
-		ok, err := core.Recognize(validator, encoding.NewXMLScanner(r))
+	allValid := true
+	check := func(name string, r io.Reader) {
+		// The balance guard rejects truncated or gross-transport-damaged
+		// streams, matching the public API's default.
+		ok, err := core.Recognize(validator, encoding.CheckBalance(encoding.NewXMLScanner(r)))
 		if err != nil {
-			fmt.Printf("%s: error: %v\n", name, err)
+			allValid = false
+			fmt.Fprintf(stdout, "%s: error: %v\n", name, err)
 			return
 		}
-		fmt.Printf("%s: valid=%v (%s)\n", name, ok, kind)
+		if !ok {
+			allValid = false
+		}
+		fmt.Fprintf(stdout, "%s: valid=%v (%s)\n", name, ok, kind)
 	}
-	if flag.NArg() == 0 {
-		run("stdin", os.Stdin)
-		return
+	if fs.NArg() == 0 {
+		check("stdin", stdin)
 	}
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		f, err := os.Open(path)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "validate:", err)
+			return 2
 		}
-		run(path, f)
+		check(path, f)
 		f.Close()
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "validate:", err)
-	os.Exit(1)
+	if !allValid {
+		return 1
+	}
+	return 0
 }

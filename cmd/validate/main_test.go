@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Golden CLI tests: validation verdict lines, the classification report,
+// and the exit-code contract (0 all valid, 1 any invalid, 2 usage errors).
+
+func runValidate(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func wantGolden(t *testing.T, got, goldenFile string) {
+	t.Helper()
+	want, err := os.ReadFile(filepath.Join("testdata", goldenFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("output mismatch vs testdata/%s:\ngot:\n%s\nwant:\n%s", goldenFile, got, want)
+	}
+}
+
+func TestValidateGolden(t *testing.T) {
+	code, out, stderr := runValidate(t, "", "-dtd", "testdata/catalog.dtd",
+		"testdata/valid.xml", "testdata/invalid.xml")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (one document invalid); stderr: %s", code, stderr)
+	}
+	wantGolden(t, out, "validate.golden")
+}
+
+func TestValidateAllValid(t *testing.T) {
+	code, out, stderr := runValidate(t, "", "-dtd", "testdata/catalog.dtd", "testdata/valid.xml")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "valid=true (stackless)") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestValidateClassifyGolden(t *testing.T) {
+	code, out, stderr := runValidate(t, "", "-dtd", "testdata/catalog.dtd", "-classify")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	wantGolden(t, out, "classify.golden")
+}
+
+func TestValidateStdin(t *testing.T) {
+	code, out, _ := runValidate(t, "<doc><item></item></doc>", "-dtd", "testdata/catalog.dtd")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if !strings.HasPrefix(out, "stdin: valid=true") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestValidateForcedStack(t *testing.T) {
+	code, out, _ := runValidate(t, "", "-dtd", "testdata/catalog.dtd", "-stack", "testdata/valid.xml")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if !strings.Contains(out, "(stack)") {
+		t.Errorf("forced stack not reported:\n%s", out)
+	}
+}
+
+func TestValidateMalformedDocument(t *testing.T) {
+	for _, doc := range []string{"<doc><item>", "<doc><<bad"} {
+		code, out, _ := runValidate(t, doc, "-dtd", "testdata/catalog.dtd")
+		if code != 1 {
+			t.Fatalf("doc %q: exit %d, want 1", doc, code)
+		}
+		if !strings.Contains(out, "stdin: error:") {
+			t.Errorf("doc %q: streaming error not reported:\n%s", doc, out)
+		}
+	}
+}
+
+func TestValidateExitCodes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"no dtd flag", []string{"testdata/valid.xml"}, 2},
+		{"missing dtd file", []string{"-dtd", "no-such.dtd"}, 2},
+		{"bad flag", []string{"-no-such-flag"}, 2},
+		{"missing document", []string{"-dtd", "testdata/catalog.dtd", "no-such.xml"}, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, _ := runValidate(t, "", tc.args...)
+			if code != tc.code {
+				t.Fatalf("exit %d, want %d", code, tc.code)
+			}
+		})
+	}
+}

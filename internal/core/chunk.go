@@ -5,6 +5,7 @@ import (
 
 	"stackless/internal/alphabet"
 	"stackless/internal/encoding"
+	"stackless/internal/obs"
 )
 
 // Chunk-parallel evaluation support (consumed by internal/parallel).
@@ -53,6 +54,22 @@ const (
 	// regular, and no composable bounded summary exists).
 	CutAll
 )
+
+// String names the policy as it appears in stats and obs snapshots (kept in
+// sync with internal/obs key names).
+func (p CutPolicy) String() string {
+	switch p {
+	case CutNone:
+		return "none"
+	case CutNewMin:
+		return "newmin"
+	case CutBelowEntry:
+		return "belowentry"
+	case CutAll:
+		return "all"
+	}
+	return "unknown"
+}
 
 // SegmentExit is the outcome of simulating one segment from one control
 // state: the exit control state (-1 when the run poisoned itself) and an
@@ -328,7 +345,8 @@ func (ev *StacklessEvaluator) Cut() CutPolicy { return CutNewMin }
 
 // Fork implements Chunkable. The compiled back tables and the analysis are
 // immutable after construction; only the resolver cache and the runtime
-// configuration are per-fork.
+// configuration are per-fork. The collector is shared: its fields are
+// atomics, so concurrent forks report into it safely.
 func (ev *StacklessEvaluator) Fork() Chunkable {
 	f := &StacklessEvaluator{
 		an:      ev.an,
@@ -336,6 +354,7 @@ func (ev *StacklessEvaluator) Fork() Chunkable {
 		back:    ev.back,
 		backAny: ev.backAny,
 		res:     alphabet.NewResolver(ev.an.D.Alphabet),
+		obs:     ev.obs,
 	}
 	f.Reset()
 	return f
@@ -405,6 +424,11 @@ func (ev *StacklessEvaluator) SimulateSegment(events []encoding.Event, cands *Ca
 	for i := range st {
 		st[i] = int32(i)
 	}
+	// Machine-level metrics are accumulated in plain locals (an
+	// unconditional register increment beats a per-state branch) and
+	// flushed once at segment end, so a collector — attached or not —
+	// costs the inner loop nothing.
+	var loads, compares int64
 	var opens, depth int32
 	live := n
 	for idx := 0; idx < len(events) && live > 0; idx++ {
@@ -427,6 +451,7 @@ func (ev *StacklessEvaluator) SimulateSegment(events []encoding.Event, cands *Ca
 				next := A.Delta[s][sym]
 				if comp[next] != comp[s] {
 					recs[i] = append(recs[i], record{depth: int(depth), state: s})
+					loads++
 				}
 				st[i] = int32(next)
 				if cands != nil && A.Accept[next] {
@@ -450,10 +475,13 @@ func (ev *StacklessEvaluator) SimulateSegment(events []encoding.Event, cands *Ca
 			if dead[i] {
 				continue
 			}
-			if nr := len(recs[i]); nr > 0 && int(depth) < recs[i][nr-1].depth {
-				st[i] = int32(recs[i][nr-1].state)
-				recs[i] = recs[i][:nr-1]
-				continue
+			if nr := len(recs[i]); nr > 0 {
+				compares++
+				if int(depth) < recs[i][nr-1].depth {
+					st[i] = int32(recs[i][nr-1].state)
+					recs[i] = recs[i][:nr-1]
+					continue
+				}
 			}
 			var cand int
 			if ev.blind {
@@ -470,6 +498,10 @@ func (ev *StacklessEvaluator) SimulateSegment(events []encoding.Event, cands *Ca
 			}
 			st[i] = int32(cand)
 		}
+	}
+	if ev.obs != nil {
+		ev.obs.RegisterLoads.Add(loads)
+		ev.obs.RegisterCompares.Add(compares)
 	}
 	exits := make([]SegmentExit, n)
 	for i := range exits {
@@ -518,9 +550,9 @@ func (ev *draEvaluator) Cut() CutPolicy {
 }
 
 // Fork implements Chunkable. The transition table and alphabet are
-// immutable after construction.
+// immutable after construction; the collector is shared (atomics).
 func (ev *draEvaluator) Fork() Chunkable {
-	f := &draEvaluator{d: ev.d, cfg: ev.d.InitialConfig(), cut: ev.cut, cutKnown: ev.cutKnown}
+	f := &draEvaluator{d: ev.d, cfg: ev.d.InitialConfig(), cut: ev.cut, cutKnown: ev.cutKnown, obs: ev.obs}
 	return f
 }
 
@@ -537,9 +569,11 @@ func (ev *draEvaluator) BeginSegment(q int) {
 	ev.poisoned = false
 }
 
-// EndSegment implements Chunkable.
+// EndSegment implements Chunkable. Flushes the comparisons and loads the
+// segment batched in the machine fields.
 func (ev *draEvaluator) EndSegment() SegmentExit {
 	ev.seg = false
+	ev.flushObs()
 	if ev.poisoned {
 		return SegmentExit{State: -1}
 	}
@@ -610,12 +644,16 @@ func (ev *draEvaluator) stepSeg(e encoding.Event) {
 			ge = ge.With(i)
 		}
 	}
+	// Stale registers resolve without a comparison (forced masks). Counted
+	// in the plain machine fields, flushed by EndSegment.
+	ev.compares += int64(2 * (d.Regs - ev.stale.count()))
 	tr := d.Transition(ev.cfg.State, sym, closing, le, ge)
 	ev.cfg.State = tr.Next
 	for i := 0; i < d.Regs; i++ {
 		if tr.Load.Has(i) {
 			ev.cfg.Regs[i] = ev.cfg.Depth
 			ev.stale &^= 1 << uint(i)
+			ev.loads++
 		}
 	}
 }
@@ -652,6 +690,11 @@ func (w *chunkableEL) Step(e encoding.Event) {
 }
 
 func (w *chunkableEL) Accepting() bool { return w.matched }
+
+// SetObs implements Instrumented by forwarding to the inner machine.
+func (w *chunkableEL) SetObs(c *obs.Collector) { Instrument(w.inner, c) }
+
+func (w *chunkableEL) flushObs() { flushEvObs(w.inner) }
 
 // ChunkStates implements Chunkable.
 func (w *chunkableEL) ChunkStates() int { return 2*w.inner.ChunkStates() + 1 }
@@ -775,6 +818,11 @@ func (w *chunkableAL) Step(e encoding.Event) {
 }
 
 func (w *chunkableAL) Accepting() bool { return w.started && !w.failed }
+
+// SetObs implements Instrumented by forwarding to the inner machine.
+func (w *chunkableAL) SetObs(c *obs.Collector) { Instrument(w.inner, c) }
+
+func (w *chunkableAL) flushObs() { flushEvObs(w.inner) }
 
 // ChunkStates implements Chunkable.
 func (w *chunkableAL) ChunkStates() int { return 4*(w.inner.ChunkStates()+1) + 1 }

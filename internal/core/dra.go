@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"stackless/internal/alphabet"
 	"stackless/internal/encoding"
+	"stackless/internal/obs"
 )
 
 // RegSet is a bitset of registers (Ξ in Definition 2.1); register i is the
@@ -16,6 +18,9 @@ func (s RegSet) Has(i int) bool { return s&(1<<i) != 0 }
 
 // With returns the set extended with register i.
 func (s RegSet) With(i int) RegSet { return s | 1<<i }
+
+// count returns the number of registers in the set.
+func (s RegSet) count() int { return bits.OnesCount16(uint16(s)) }
 
 // Transition is the output of the transition function δ: the registers to
 // load with the current depth, and the successor state.
@@ -243,6 +248,14 @@ type draEvaluator struct {
 	cfg      Config
 	poisoned bool
 
+	// obs, when non-nil, receives register loads and comparison counts.
+	// Both Step and stepSeg batch them in the plain fields below (no
+	// atomics per event); flushObs drains them at run end (sequential) or
+	// segment end (chunk-parallel).
+	obs      *obs.Collector
+	compares int64
+	loads    int64
+
 	// Chunk-parallel state (see chunk.go): whether the evaluator is inside
 	// a segment simulation, which registers still hold unknown entry values,
 	// and the cached cut policy.
@@ -250,6 +263,18 @@ type draEvaluator struct {
 	stale    RegSet
 	cut      CutPolicy
 	cutKnown bool
+}
+
+// SetObs implements Instrumented.
+func (ev *draEvaluator) SetObs(c *obs.Collector) { ev.obs = c }
+
+// flushObs reports the batched comparison and load counts; see obsFlusher.
+func (ev *draEvaluator) flushObs() {
+	if ev.obs != nil {
+		ev.obs.RegisterCompares.Add(ev.compares)
+		ev.obs.RegisterLoads.Add(ev.loads)
+	}
+	ev.compares, ev.loads = 0, 0
 }
 
 // Evaluator returns a fresh streaming evaluator for the automaton. Under
@@ -264,6 +289,7 @@ func (ev *draEvaluator) Reset() {
 	ev.poisoned = false
 	ev.seg = false
 	ev.stale = 0
+	ev.compares, ev.loads = 0, 0
 }
 
 func (ev *draEvaluator) Step(e encoding.Event) {
@@ -279,6 +305,11 @@ func (ev *draEvaluator) Step(e encoding.Event) {
 		ev.poisoned = true
 		return
 	}
+	// Definition 2.1 evaluates both masks over every register. Loads are
+	// not distinguishable from the outside here (StepConfig writes the
+	// register file in place); stepSeg counts them where the transition's
+	// load set is visible.
+	ev.compares += int64(2 * ev.d.Regs)
 	ev.cfg = cfg
 }
 

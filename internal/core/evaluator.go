@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"stackless/internal/encoding"
+	"stackless/internal/obs"
 )
 
 // Evaluator is a deterministic streaming machine over tag events. All the
@@ -46,10 +47,104 @@ type Match struct {
 	Path []string
 }
 
+// Instrumented is implemented by evaluators that can report machine-level
+// metrics (register loads and comparisons, record counts, stack depths)
+// into an obs.Collector. A nil collector detaches and restores the
+// zero-overhead path.
+type Instrumented interface {
+	SetObs(*obs.Collector)
+}
+
+// Instrument attaches c to ev when the machine supports it; wrappers
+// (EL/AL) forward to their inner machine. It is a no-op for machines with
+// nothing to report (plain tag DFAs).
+func Instrument(ev Evaluator, c *obs.Collector) {
+	if i, ok := ev.(Instrumented); ok {
+		i.SetObs(c)
+	}
+}
+
+// obsFlusher is implemented by machines that batch metrics in plain
+// machine-local fields (no atomics in Step) and report them once per run.
+type obsFlusher interface{ flushObs() }
+
+// flushEvObs drains batched machine metrics at the end of a run; wrappers
+// forward to their inner machine.
+func flushEvObs(ev Evaluator) {
+	if f, ok := ev.(obsFlusher); ok {
+		f.flushObs()
+	}
+}
+
+// flushRun reports a finished run's totals. Marked noinline so the cold
+// exit paths of SelectObs/RecognizeObs stay one call each and the hot loop
+// bodies stay small.
+//
+//go:noinline
+func flushRun(c *obs.Collector, ev Evaluator, events, matches int64) {
+	if c == nil {
+		return
+	}
+	c.Events.Add(events)
+	c.Matches.Add(matches)
+	flushEvObs(ev)
+}
+
 // Select streams src through ev and calls fn for every pre-selected node,
 // in document order. It returns the number of events processed. Errors from
 // the source (other than io.EOF) are returned as-is.
 func Select(ev Evaluator, src encoding.Source, fn func(Match)) (int, error) {
+	return SelectObs(ev, nil, src, fn)
+}
+
+// SelectObs is Select reporting into a collector: events, matches and the
+// per-open depth histogram. A nil collector runs the plain kernel — the
+// loop is kept in a separate function with no collector state at all, so
+// disabling observability costs nothing, not even dead loop variables (the
+// tier-1 overhead contract; see internal/obs and TestObsDisabledZeroAllocs).
+func SelectObs(ev Evaluator, c *obs.Collector, src encoding.Source, fn func(Match)) (int, error) {
+	if c == nil {
+		return selectPlain(ev, src, fn)
+	}
+	ev.Reset()
+	events := 0
+	matches := 0
+	pos := -1
+	depth := 0
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			flushRun(c, ev, int64(events), int64(matches))
+			return events, nil
+		}
+		if err != nil {
+			flushRun(c, ev, int64(events), int64(matches))
+			return events, err
+		}
+		events++
+		if e.Kind == encoding.Open {
+			pos++
+			depth++
+			c.Depth.Observe(depth)
+		} else {
+			depth--
+		}
+		ev.Step(e)
+		if e.Kind == encoding.Open && ev.Accepting() {
+			matches++
+			if fn != nil {
+				fn(Match{Pos: pos, Depth: depth, Label: e.Label})
+			}
+		}
+	}
+}
+
+// selectPlain is the uninstrumented Select kernel. Collector-free by
+// construction: the two extra loop variables of the instrumented twin
+// (collector pointer, match counter) stay live across the three interface
+// calls per event and cost the loop measurable spills, so the plain path
+// carries neither.
+func selectPlain(ev Evaluator, src encoding.Source, fn func(Match)) (int, error) {
 	ev.Reset()
 	events := 0
 	pos := -1
@@ -71,7 +166,9 @@ func Select(ev Evaluator, src encoding.Source, fn func(Match)) (int, error) {
 		}
 		ev.Step(e)
 		if e.Kind == encoding.Open && ev.Accepting() {
-			fn(Match{Pos: pos, Depth: depth, Label: e.Label})
+			if fn != nil {
+				fn(Match{Pos: pos, Depth: depth, Label: e.Label})
+			}
 		}
 	}
 }
@@ -86,6 +183,42 @@ func SelectPositions(ev Evaluator, src encoding.Source) ([]int, error) {
 
 // Recognize streams src through ev and returns the final acceptance value.
 func Recognize(ev Evaluator, src encoding.Source) (bool, error) {
+	return RecognizeObs(ev, nil, src)
+}
+
+// RecognizeObs is Recognize reporting events and the depth histogram into a
+// collector. A nil collector runs the plain kernel (see SelectObs).
+func RecognizeObs(ev Evaluator, c *obs.Collector, src encoding.Source) (bool, error) {
+	if c == nil {
+		return recognizePlain(ev, src)
+	}
+	ev.Reset()
+	events := 0
+	depth := 0
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			flushRun(c, ev, int64(events), 0)
+			return ev.Accepting(), nil
+		}
+		if err != nil {
+			flushRun(c, ev, int64(events), 0)
+			return false, err
+		}
+		events++
+		if e.Kind == encoding.Open {
+			depth++
+			c.Depth.Observe(depth)
+		} else {
+			depth--
+		}
+		ev.Step(e)
+	}
+}
+
+// recognizePlain is the uninstrumented Recognize kernel; see selectPlain
+// for why it exists.
+func recognizePlain(ev Evaluator, src encoding.Source) (bool, error) {
 	ev.Reset()
 	for {
 		e, err := src.Next()
@@ -149,6 +282,11 @@ func (w *elWrapper) Step(e encoding.Event) {
 
 func (w *elWrapper) Accepting() bool { return w.matched }
 
+// SetObs implements Instrumented by forwarding to the inner machine.
+func (w *elWrapper) SetObs(c *obs.Collector) { Instrument(w.inner, c) }
+
+func (w *elWrapper) flushObs() { flushEvObs(w.inner) }
+
 // alWrapper is the dual construction from the proof of Theorem 3.2(3):
 // move to an all-rejecting sink when a leaf is read in a rejecting state.
 type alWrapper struct {
@@ -189,3 +327,8 @@ func (w *alWrapper) Step(e encoding.Event) {
 }
 
 func (w *alWrapper) Accepting() bool { return w.started && !w.failed }
+
+// SetObs implements Instrumented by forwarding to the inner machine.
+func (w *alWrapper) SetObs(c *obs.Collector) { Instrument(w.inner, c) }
+
+func (w *alWrapper) flushObs() { flushEvObs(w.inner) }

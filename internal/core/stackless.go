@@ -6,6 +6,7 @@ import (
 	"stackless/internal/alphabet"
 	"stackless/internal/classify"
 	"stackless/internal/encoding"
+	"stackless/internal/obs"
 )
 
 // Lemma 3.8: a depth-register automaton realizing QL when L is
@@ -64,6 +65,29 @@ type StacklessEvaluator struct {
 	depth    int
 	records  []record // register file: one per abandoned SCC on the chain
 	poisoned bool
+
+	// Machine-level metrics. Loads and comparisons are counted with plain
+	// field increments (no atomics, no branches in Step) and flushed to the
+	// collector once per run by flushObs; the register-count histogram is
+	// sampled behind a nil check inside the already-cold SCC-change branch.
+	// Keeping obs after the runtime fields preserves their offsets, which
+	// the uninstrumented Step is sensitive to.
+	loads    int64
+	compares int64
+	obs      *obs.Collector
+}
+
+// SetObs implements Instrumented.
+func (ev *StacklessEvaluator) SetObs(c *obs.Collector) { ev.obs = c }
+
+// flushObs reports the machine-local counters into the attached collector
+// and zeroes them. Called by SelectObs/RecognizeObs when the stream ends.
+func (ev *StacklessEvaluator) flushObs() {
+	if ev.obs != nil {
+		ev.obs.RegisterLoads.Add(ev.loads)
+		ev.obs.RegisterCompares.Add(ev.compares)
+	}
+	ev.loads, ev.compares = 0, 0
 }
 
 // record is one register of the machine: the depth at which the simulated
@@ -135,6 +159,7 @@ func (ev *StacklessEvaluator) Reset() {
 	ev.depth = 0
 	ev.records = ev.records[:0]
 	ev.poisoned = false
+	ev.loads, ev.compares = 0, 0
 }
 
 // Step implements Evaluator.
@@ -154,18 +179,26 @@ func (ev *StacklessEvaluator) Step(e encoding.Event) {
 		if ev.an.Comp[next] != ev.an.Comp[ev.state] {
 			// Leaving the current component: remember it in a register.
 			ev.records = append(ev.records, record{depth: ev.depth, state: ev.state})
+			ev.loads++
+			if ev.obs != nil {
+				ev.obs.Registers.Observe(len(ev.records))
+			}
 		}
 		ev.state = next
 		return
 	}
 	// Closing tag.
 	ev.depth--
-	if n := len(ev.records); n > 0 && ev.depth < ev.records[n-1].depth {
-		// Climbed above the node where the last SCC change happened:
-		// revert to the recorded candidate of the abandoned component.
-		ev.state = ev.records[n-1].state
-		ev.records = ev.records[:n-1]
-		return
+	if n := len(ev.records); n > 0 {
+		// One register/depth comparison against the top record.
+		ev.compares++
+		if ev.depth < ev.records[n-1].depth {
+			// Climbed above the node where the last SCC change happened:
+			// revert to the recorded candidate of the abandoned component.
+			ev.state = ev.records[n-1].state
+			ev.records = ev.records[:n-1]
+			return
+		}
 	}
 	// Backtrack inside the current component.
 	var cand int

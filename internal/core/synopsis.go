@@ -103,6 +103,11 @@ type SynopsisMachine struct {
 	cur         int // state id or synTop/synBot
 	lastWasOpen bool
 	poisoned    bool
+
+	// startCur caches the interned initial state so Reset stays
+	// allocation-free (the zero-overhead contract of DESIGN.md §9).
+	startCur   int
+	startKnown bool
 }
 
 // RegisterlessEL compiles the Lemma 3.11 synopsis automaton recognizing EL.
@@ -169,13 +174,17 @@ func unfilled(n int) []int {
 
 // Reset implements Evaluator.
 func (m *SynopsisMachine) Reset() {
-	r0 := m.an.D.Start
-	if m.an.Rejective[r0] {
-		m.cur = m.intern(synopsis{triples: []synTriple{{r0, r0, r0}}})
-	} else {
-		// Every continuation from r0 accepts: every tree is in EL.
-		m.cur = synTop
+	if !m.startKnown {
+		r0 := m.an.D.Start
+		if m.an.Rejective[r0] {
+			m.startCur = m.intern(synopsis{triples: []synTriple{{r0, r0, r0}}})
+		} else {
+			// Every continuation from r0 accepts: every tree is in EL.
+			m.startCur = synTop
+		}
+		m.startKnown = true
 	}
+	m.cur = m.startCur
 	m.lastWasOpen = false
 	m.poisoned = false
 }

@@ -64,6 +64,10 @@ type SliceSource struct {
 // NewSliceSource returns a Source over the given events.
 func NewSliceSource(events []Event) *SliceSource { return &SliceSource{events: events} }
 
+// Rewind resets the source to the first event, so one SliceSource can be
+// replayed across runs (benchmarks and allocation tests).
+func (s *SliceSource) Rewind() { s.pos = 0 }
+
 // Next implements Source.
 func (s *SliceSource) Next() (Event, error) {
 	if s.pos >= len(s.events) {

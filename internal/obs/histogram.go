@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the number of log₂ buckets per histogram. Bucket 0 holds
+// the value 0 and bucket i holds values in [2^(i-1), 2^i). The last bucket
+// absorbs everything at or above 2^(HistBuckets-2), so the memory bound is
+// independent of the observed values.
+const HistBuckets = 24
+
+// Histogram is a bounded histogram over non-negative integers with
+// power-of-two buckets. All operations are atomic and allocation-free; the
+// zero value is ready to use.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	return i
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i (math.MaxInt64
+// semantics for the overflow bucket, reported as -1).
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= HistBuckets-1 {
+		return -1
+	}
+	return 1<<uint(i) - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int) {
+	n := int64(v)
+	h.buckets[bucketOf(n)].Add(1)
+	h.count.Add(1)
+	if n > 0 {
+		h.sum.Add(n)
+	}
+	for {
+		cur := h.max.Load()
+		if n <= cur || h.max.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values (negatives clamped to 0).
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int64 {
+	if i < 0 || i >= HistBuckets {
+		return 0
+	}
+	return h.buckets[i].Load()
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Store(7)
+	g.Store(3)
+	if got := g.Load(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v      int
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 22, HistBuckets - 1}, {1 << 40, HistBuckets - 1},
+	}
+	for _, tc := range cases {
+		var h Histogram
+		h.Observe(tc.v)
+		for i := 0; i < HistBuckets; i++ {
+			want := int64(0)
+			if i == tc.bucket {
+				want = 1
+			}
+			if got := h.Bucket(i); got != want {
+				t.Errorf("Observe(%d): bucket %d = %d, want %d", tc.v, i, got, want)
+			}
+		}
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []int{1, 2, 3, 100, 0, -4} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 106 { // negatives clamp to 0
+		t.Errorf("sum = %d, want 106", h.Sum())
+	}
+	if h.Max() != 100 {
+		t.Errorf("max = %d, want 100", h.Max())
+	}
+	if h.Bucket(-1) != 0 || h.Bucket(HistBuckets) != 0 {
+		t.Error("out-of-range buckets must read 0")
+	}
+}
+
+func TestBucketUpper(t *testing.T) {
+	if BucketUpper(0) != 0 || BucketUpper(-1) != 0 {
+		t.Error("bucket 0 holds only the value 0")
+	}
+	if BucketUpper(1) != 1 || BucketUpper(2) != 3 || BucketUpper(3) != 7 {
+		t.Error("finite bucket bounds must be 2^i-1")
+	}
+	if BucketUpper(HistBuckets-1) != -1 || BucketUpper(HistBuckets+5) != -1 {
+		t.Error("overflow bucket must report -1")
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	want := map[Phase]string{
+		PhaseSplit: "split", PhaseSimulate: "simulate",
+		PhaseJoin: "join", PhaseMerge: "merge", NumPhases: "unknown",
+	}
+	for p, name := range want {
+		if p.String() != name {
+			t.Errorf("Phase(%d).String() = %q, want %q", p, p.String(), name)
+		}
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	var c Collector
+	c.Events.Add(10)
+	c.Matches.Add(2)
+	c.RunsByPolicy[1].Inc()
+	c.Depth.Observe(3)
+	c.Phases[PhaseJoin].Observe(5 * time.Millisecond)
+	c.PoolWorkers.Store(4)
+	c.WorkerBusyNs.Add(100)
+	c.FanoutWallNs.Add(50)
+
+	s := c.Snapshot()
+	if s.Counters["events"] != 10 || s.Counters["matches"] != 2 {
+		t.Fatalf("counters wrong: %+v", s.Counters)
+	}
+	if s.Counters["runs_cut_newmin"] != 1 {
+		t.Fatalf("per-policy counter missing: %+v", s.Counters)
+	}
+	for _, key := range []string{
+		"events", "matches", "stack_fallbacks", "seq_fallbacks",
+		"parallel_runs", "chunks", "segments", "segment_events",
+		"boundary_events", "cuts_rejected", "register_loads",
+		"register_compares", "pool_submits", "pool_workers",
+		"worker_busy_ns", "fanout_wall_ns",
+	} {
+		if _, ok := s.Counters[key]; !ok {
+			t.Errorf("snapshot missing counter %q", key)
+		}
+	}
+	if s.Phases["join"].Count != 1 || s.Phases["join"].Ns < int64(time.Millisecond) {
+		t.Errorf("join phase not captured: %+v", s.Phases["join"])
+	}
+	d := s.Histograms["depth"]
+	if d.Count != 1 || d.Max != 3 || len(d.Buckets) != 1 || d.Buckets[0].Le != 3 {
+		t.Errorf("depth histogram wrong: %+v", d)
+	}
+	// busy=100 over wall=50 on 4 workers: 2 busy on average, 50% utilized.
+	if s.Derived["busy_workers_avg"] != 2 || s.Derived["worker_utilization"] != 0.5 {
+		t.Errorf("derived wrong: %+v", s.Derived)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	var c Collector
+	c.Events.Add(3)
+	var buf bytes.Buffer
+	if err := c.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if round.Counters["events"] != 3 {
+		t.Fatalf("round-tripped events = %d", round.Counters["events"])
+	}
+	// String() is the expvar.Var contract: compact valid JSON.
+	var fromString Snapshot
+	if err := json.Unmarshal([]byte(c.String()), &fromString); err != nil {
+		t.Fatalf("String() is not valid JSON: %v", err)
+	}
+}
+
+func TestEmptySnapshotOmitsDerived(t *testing.T) {
+	var c Collector
+	if d := c.Snapshot().Derived; d != nil {
+		t.Fatalf("empty collector must omit derived ratios, got %v", d)
+	}
+}
+
+// TestHotPathAllocs pins the per-observation cost of the enabled paths:
+// counters, histograms and timers never allocate, so turning the collector
+// on cannot change the engine's allocation profile.
+func TestHotPathAllocs(t *testing.T) {
+	var c Collector
+	if n := testing.AllocsPerRun(200, func() {
+		c.Events.Inc()
+		c.Depth.Observe(17)
+		c.Phases[PhaseSimulate].Observe(time.Microsecond)
+	}); n != 0 {
+		t.Fatalf("enabled hooks allocate %.1f/op, want 0", n)
+	}
+}
+
+func TestConcurrentCollect(t *testing.T) {
+	var c Collector
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Events.Inc()
+				c.Depth.Observe(i % 64)
+				c.Registers.Observe(i % 5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Events.Load() != 8000 || c.Depth.Count() != 8000 {
+		t.Fatalf("lost updates: events=%d depth=%d", c.Events.Load(), c.Depth.Count())
+	}
+	if c.Depth.Max() != 63 {
+		t.Fatalf("max = %d, want 63", c.Depth.Max())
+	}
+}

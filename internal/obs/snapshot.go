@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Snapshot is a point-in-time JSON view of a Collector, in the expvar
+// style: stable lower_snake keys, plain numbers, no pointers back into the
+// live collector. Readers race benignly with writers — each field is an
+// independent atomic load, so totals drawn mid-run may be mutually off by a
+// few events, never torn.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Phases     map[string]PhaseSnapshot     `json:"phases"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Derived holds ratios computed from the raw numbers (worker
+	// utilization and the like); absent entries mean "not measurable yet".
+	Derived map[string]float64 `json:"derived,omitempty"`
+}
+
+// PhaseSnapshot is one phase timer: total nanoseconds and interval count.
+type PhaseSnapshot struct {
+	Ns    int64 `json:"ns"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is one histogram: summary stats plus the non-empty
+// buckets in increasing order. Le is the bucket's inclusive upper bound
+// (-1 for the overflow bucket).
+type HistogramSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Max     int64        `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// HistBucket is one non-empty histogram bucket.
+type HistBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+func snapHist(h *Histogram) HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Max: h.Max()}
+	for i := 0; i < HistBuckets; i++ {
+		if n := h.Bucket(i); n > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Le: BucketUpper(i), Count: n})
+		}
+	}
+	return s
+}
+
+// policyNames index core.CutPolicy; kept in sync with internal/core by
+// TestRunsByPolicyNames.
+var policyNames = [4]string{"cut_none", "cut_newmin", "cut_belowentry", "cut_all"}
+
+// Snapshot captures the collector's current values.
+func (c *Collector) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Phases:     map[string]PhaseSnapshot{},
+		Histograms: map[string]HistogramSnapshot{},
+		Derived:    map[string]float64{},
+	}
+	s.Counters["events"] = c.Events.Load()
+	s.Counters["matches"] = c.Matches.Load()
+	s.Counters["stack_fallbacks"] = c.StackFallbacks.Load()
+	s.Counters["seq_fallbacks"] = c.SeqFallbacks.Load()
+	s.Counters["parallel_runs"] = c.ParallelRuns.Load()
+	s.Counters["chunks"] = c.Chunks.Load()
+	s.Counters["segments"] = c.Segments.Load()
+	s.Counters["segment_events"] = c.SegmentEvents.Load()
+	s.Counters["boundary_events"] = c.BoundaryEvents.Load()
+	s.Counters["cuts_rejected"] = c.CutsRejected.Load()
+	for i, name := range policyNames {
+		s.Counters["runs_"+name] = c.RunsByPolicy[i].Load()
+	}
+	s.Counters["register_loads"] = c.RegisterLoads.Load()
+	s.Counters["register_compares"] = c.RegisterCompares.Load()
+	s.Counters["pool_submits"] = c.PoolSubmits.Load()
+	s.Counters["pool_workers"] = c.PoolWorkers.Load()
+	s.Counters["worker_busy_ns"] = c.WorkerBusyNs.Load()
+	s.Counters["fanout_wall_ns"] = c.FanoutWallNs.Load()
+
+	for p := Phase(0); p < NumPhases; p++ {
+		s.Phases[p.String()] = PhaseSnapshot{
+			Ns:    c.Phases[p].Ns.Load(),
+			Count: c.Phases[p].Count.Load(),
+		}
+	}
+
+	s.Histograms["depth"] = snapHist(&c.Depth)
+	s.Histograms["registers"] = snapHist(&c.Registers)
+	s.Histograms["stack_depth"] = snapHist(&c.StackDepth)
+	s.Histograms["queue_depth"] = snapHist(&c.QueueDepth)
+
+	busy, wall, workers := c.WorkerBusyNs.Load(), c.FanoutWallNs.Load(), c.PoolWorkers.Load()
+	if wall > 0 {
+		s.Derived["busy_workers_avg"] = float64(busy) / float64(wall)
+		if workers > 0 {
+			s.Derived["worker_utilization"] = float64(busy) / (float64(wall) * float64(workers))
+		}
+	}
+	if len(s.Derived) == 0 {
+		s.Derived = nil
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// String renders the collector as JSON, which makes a *Collector directly
+// publishable as an expvar.Var:
+//
+//	expvar.Publish("streamq", collector)
+//
+// without this package importing expvar (whose import side effect drags an
+// HTTP handler into every binary linking the engine).
+func (c *Collector) String() string {
+	b, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}

@@ -1,0 +1,167 @@
+package parallel_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"stackless/internal/classify"
+	"stackless/internal/core"
+	"stackless/internal/encoding"
+	"stackless/internal/obs"
+	"stackless/internal/paperfigs"
+	"stackless/internal/parallel"
+	"stackless/internal/rex"
+)
+
+// The observability contract of the parallel engine: a collector attached to
+// a fanned-out run must account for every event exactly once (segment events
+// plus boundary replays), agree with the sequential run on events and
+// matches, and never change the match set. These tests run under -race in
+// tier-1 CI, so they double as a data-race check on the collector hooks.
+
+func obsMachines(t *testing.T) map[string]core.Chunkable {
+	t.Helper()
+	machines := map[string]core.Chunkable{}
+	tag, err := core.RegisterlessQL(classify.Analyze(rex.MustCompile(paperfigs.Fig3aRegex, paperfigs.GammaABC())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines["registerless"] = tag.Evaluator().(core.Chunkable)
+	sl, err := core.StacklessQL(classify.Analyze(rex.MustCompile(paperfigs.Fig3cRegex, paperfigs.GammaABC())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines["stackless"] = sl
+	return machines
+}
+
+func TestObsCounterComposition(t *testing.T) {
+	p := parallel.NewPool(4)
+	defer p.Close()
+	for name, m := range obsMachines(t) {
+		for di, events := range corpus("abc") {
+			want := seqMatches(m, events)
+			for _, w := range workerCounts {
+				c := &obs.Collector{}
+				var got []core.Match
+				parallel.SelectObs(p, m, events, w, c, func(mt core.Match) { got = append(got, mt) })
+				if !matchesEqual(got, want) {
+					t.Fatalf("%s doc %d workers %d: collector changed the match set", name, di, w)
+				}
+				if c.Events.Load() != int64(len(events)) {
+					t.Fatalf("%s doc %d workers %d: Events = %d, want %d", name, di, w, c.Events.Load(), len(events))
+				}
+				if c.Matches.Load() != int64(len(want)) {
+					t.Fatalf("%s doc %d workers %d: Matches = %d, want %d", name, di, w, c.Matches.Load(), len(want))
+				}
+				policy := m.Cut()
+				if c.RunsByPolicy[policy].Load() != 1 {
+					t.Fatalf("%s doc %d workers %d: RunsByPolicy[%v] = %d", name, di, w, policy, c.RunsByPolicy[policy].Load())
+				}
+				if c.ParallelRuns.Load() == 0 {
+					// Degraded to sequential (too few events to cut): the
+					// chunking counters must stay untouched.
+					if c.SeqFallbacks.Load() != 1 || c.Chunks.Load() != 0 || c.Segments.Load() != 0 {
+						t.Fatalf("%s doc %d workers %d: inconsistent fallback counters %s", name, di, w, c)
+					}
+					continue
+				}
+				// Fanned out: every event is covered by exactly one piece.
+				if got := c.SegmentEvents.Load() + c.BoundaryEvents.Load(); got != int64(len(events)) {
+					t.Fatalf("%s doc %d workers %d: SegmentEvents+BoundaryEvents = %d, want %d",
+						name, di, w, got, len(events))
+				}
+				cuts := parallel.SplitPoints(len(events), w)
+				if c.Chunks.Load() != int64(len(cuts))+1 {
+					t.Fatalf("%s doc %d workers %d: Chunks = %d, want %d", name, di, w, c.Chunks.Load(), len(cuts)+1)
+				}
+				if c.PoolSubmits.Load() != c.Chunks.Load() {
+					t.Fatalf("%s doc %d workers %d: PoolSubmits = %d, Chunks = %d",
+						name, di, w, c.PoolSubmits.Load(), c.Chunks.Load())
+				}
+				if c.Segments.Load() < c.Chunks.Load()-c.BoundaryEvents.Load() {
+					t.Fatalf("%s doc %d workers %d: %d segments cannot cover %d chunks (%d boundaries)",
+						name, di, w, c.Segments.Load(), c.Chunks.Load(), c.BoundaryEvents.Load())
+				}
+			}
+		}
+	}
+}
+
+func TestObsSeqParallelParity(t *testing.T) {
+	for name, m := range obsMachines(t) {
+		for di, events := range corpus("abc") {
+			seq := &obs.Collector{}
+			if _, err := core.SelectObs(m, seq, encoding.NewSliceSource(events), nil); err != nil {
+				t.Fatal(err)
+			}
+			par := &obs.Collector{}
+			parallel.SelectObs(parallel.Shared(), m, events, 4, par, nil)
+			if seq.Events.Load() != par.Events.Load() {
+				t.Fatalf("%s doc %d: Events seq %d != parallel %d", name, di, seq.Events.Load(), par.Events.Load())
+			}
+			if seq.Matches.Load() != par.Matches.Load() {
+				t.Fatalf("%s doc %d: Matches seq %d != parallel %d", name, di, seq.Matches.Load(), par.Matches.Load())
+			}
+		}
+	}
+}
+
+func TestObsCutsRejected(t *testing.T) {
+	m := obsMachines(t)["registerless"]
+	events := corpus("abc")[len(corpus("abc"))-1]
+	want := seqMatches(m, events)
+	c := &obs.Collector{}
+	cuts := []int{-3, 0, len(events) / 2, len(events) / 2, len(events), len(events) + 7}
+	var got []core.Match
+	parallel.SelectAtObs(parallel.Shared(), m, events, cuts, c, func(mt core.Match) { got = append(got, mt) })
+	if !matchesEqual(got, want) {
+		t.Fatalf("rejected cuts changed the match set")
+	}
+	// Only len(events)/2 survives sanitizing (once): 5 of 6 are rejected.
+	if c.CutsRejected.Load() != 5 {
+		t.Fatalf("CutsRejected = %d, want 5", c.CutsRejected.Load())
+	}
+	if c.Chunks.Load() != 2 {
+		t.Fatalf("Chunks = %d, want 2", c.Chunks.Load())
+	}
+}
+
+// TestObsSharedCollectorConcurrentRuns drives one collector from many
+// concurrent fan-outs — the MultiQuery usage pattern — and checks the totals
+// still compose. Under -race this is the main data-race check on the hooks.
+func TestObsSharedCollectorConcurrentRuns(t *testing.T) {
+	m := obsMachines(t)
+	events := corpus("abc")[len(corpus("abc"))-2]
+	wantSL := len(seqMatches(m["stackless"], events))
+	wantRL := len(seqMatches(m["registerless"], events))
+	c := &obs.Collector{}
+	const runs = 8
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		fork1 := m["stackless"].Fork()
+		fork2 := m["registerless"].Fork()
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			parallel.SelectObs(parallel.Shared(), fork1, events, 3, c, nil)
+		}()
+		go func() {
+			defer wg.Done()
+			parallel.SelectObs(parallel.Shared(), fork2, events, 3, c, nil)
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Events.Load(), int64(2*runs*len(events)); got != want {
+		t.Fatalf("Events = %d, want %d", got, want)
+	}
+	if got, want := c.Matches.Load(), int64(runs*(wantSL+wantRL)); got != want {
+		t.Fatalf("Matches = %d, want %d", got, want)
+	}
+	snap := c.Snapshot()
+	if snap.Counters["events"] != int64(2*runs*len(events)) {
+		t.Fatalf("snapshot events = %d", snap.Counters["events"])
+	}
+	_ = fmt.Sprintf("%s", c) // String() must be safe concurrently after runs
+}

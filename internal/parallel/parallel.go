@@ -3,9 +3,11 @@ package parallel
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"stackless/internal/core"
 	"stackless/internal/encoding"
+	"stackless/internal/obs"
 )
 
 // piece is a maximal slice of a chunk: either a summarized segment (seg),
@@ -148,12 +150,34 @@ func runSequential(m core.Chunkable, events []encoding.Event, fn func(core.Match
 // and reporting matches to fn (when non-nil) in document order. The output
 // is byte-identical to the sequential run regardless of cuts, pool size or
 // scheduling.
-func run(p *Pool, m core.Chunkable, events []encoding.Event, cuts []int, fn func(core.Match)) {
+//
+// A non-nil collector receives the chunking metrics: events and matches,
+// chunks/segments/boundary counts (SegmentEvents + BoundaryEvents always
+// equals len(events) for a fanned-out run), per-policy run counts, split/
+// simulate/join phase timings and the pool gauges. A nil collector is a
+// handful of predictable branches and zero allocations.
+func run(p *Pool, m core.Chunkable, events []encoding.Event, cuts []int, c *obs.Collector, fn func(core.Match)) {
 	policy := m.Cut()
+	requested := len(cuts)
 	cuts = sanitizeCuts(cuts, len(events))
+	if c != nil {
+		c.Events.Add(int64(len(events)))
+		c.RunsByPolicy[policy].Inc()
+		c.CutsRejected.Add(int64(requested - len(cuts)))
+		if fn != nil {
+			inner := fn
+			fn = func(mt core.Match) {
+				c.Matches.Inc()
+				inner(mt)
+			}
+		}
+	}
 	if policy == core.CutAll || len(cuts) == 0 {
 		// CutAll: every event would be a boundary, so the join would replay
 		// the whole stream anyway; skip the summaries.
+		if c != nil {
+			c.SeqFallbacks.Inc()
+		}
 		runSequential(m, events, fn)
 		return
 	}
@@ -165,19 +189,63 @@ func run(p *Pool, m core.Chunkable, events []encoding.Event, cuts []int, fn func
 	chunkPieces := make([][]piece, len(bounds)-1)
 	var wg sync.WaitGroup
 	wantMatches := fn != nil
+	var fanout time.Time
+	if c != nil {
+		c.ParallelRuns.Inc()
+		c.Chunks.Add(int64(len(bounds) - 1))
+		c.PoolWorkers.Store(int64(p.Workers()))
+		fanout = time.Now()
+	}
 	for ci := 0; ci < len(bounds)-1; ci++ {
 		ci := ci
 		lo, hi := bounds[ci], bounds[ci+1]
 		fork := m.Fork()
+		if c != nil {
+			c.PoolSubmits.Inc()
+			c.QueueDepth.Observe(p.QueueLen())
+		}
 		wg.Add(1)
 		p.Submit(func() {
 			defer wg.Done()
+			if c == nil {
+				pieces := cutPieces(events, lo, hi, policy)
+				summarize(fork, events, pieces, wantMatches)
+				chunkPieces[ci] = pieces
+				return
+			}
+			t0 := time.Now()
 			pieces := cutPieces(events, lo, hi, policy)
+			t1 := time.Now()
 			summarize(fork, events, pieces, wantMatches)
+			t2 := time.Now()
+			c.Phases[obs.PhaseSplit].Observe(t1.Sub(t0))
+			c.Phases[obs.PhaseSimulate].Observe(t2.Sub(t1))
+			c.WorkerBusyNs.Add(t2.Sub(t0).Nanoseconds())
+			var segs, segEvents, boundaries int64
+			for pi := range pieces {
+				if pieces[pi].seg {
+					segs++
+					segEvents += int64(pieces[pi].hi - pieces[pi].lo)
+				} else {
+					boundaries++
+				}
+			}
+			c.Segments.Add(segs)
+			c.SegmentEvents.Add(segEvents)
+			c.BoundaryEvents.Add(boundaries)
 			chunkPieces[ci] = pieces
 		})
 	}
 	wg.Wait()
+	var joinStart time.Time
+	if c != nil {
+		now := time.Now()
+		c.FanoutWallNs.Add(now.Sub(fanout).Nanoseconds())
+		joinStart = now
+		defer func() {
+			c.Phases[obs.PhaseJoin].Observe(time.Since(joinStart))
+		}()
+	}
 
 	m.Reset()
 	pos, depth := -1, 0
@@ -206,12 +274,12 @@ func run(p *Pool, m core.Chunkable, events []encoding.Event, cuts []int, fn func
 				continue
 			}
 			if fn != nil {
-				for i, c := range pc.cands.Cands {
+				for i, cand := range pc.cands.Cands {
 					if pc.cands.Has(i, q) {
 						fn(core.Match{
-							Pos:   pos + 1 + int(c.Opens),
-							Depth: depth + int(c.Depth),
-							Label: events[pc.lo+int(c.Idx)].Label,
+							Pos:   pos + 1 + int(cand.Opens),
+							Depth: depth + int(cand.Depth),
+							Label: events[pc.lo+int(cand.Idx)].Label,
 						})
 					}
 				}
@@ -227,13 +295,36 @@ func run(p *Pool, m core.Chunkable, events []encoding.Event, cuts []int, fn func
 // number of chunks, reporting matches in document order. The match set is
 // identical to core.Select's.
 func Select(p *Pool, m core.Chunkable, events []encoding.Event, chunks int, fn func(core.Match)) {
-	run(p, m, events, SplitPoints(len(events), chunks), fn)
+	run(p, m, events, SplitPoints(len(events), chunks), nil, fn)
+}
+
+// SelectObs is Select reporting chunking metrics into a collector (nil:
+// zero overhead; see internal/obs).
+func SelectObs(p *Pool, m core.Chunkable, events []encoding.Event, chunks int, c *obs.Collector, fn func(core.Match)) {
+	run(p, m, events, SplitPoints(len(events), chunks), c, countingFn(c, fn))
+}
+
+// countingFn keeps Matches counted even for callers that discard matches —
+// core.SelectObs counts matches with a nil callback, and the parallel
+// engine only collects match candidates when a callback is present, so an
+// instrumented nil callback is promoted to a no-op one.
+func countingFn(c *obs.Collector, fn func(core.Match)) func(core.Match) {
+	if c != nil && fn == nil {
+		return func(core.Match) {}
+	}
+	return fn
 }
 
 // SelectAt is Select with explicit interior cut positions — the
 // adversarial-boundary entry point for tests and fuzzing.
 func SelectAt(p *Pool, m core.Chunkable, events []encoding.Event, cuts []int, fn func(core.Match)) {
-	run(p, m, events, cuts, fn)
+	run(p, m, events, cuts, nil, fn)
+}
+
+// SelectAtObs is SelectAt reporting chunking metrics into a collector —
+// out-of-range cuts count into CutsRejected.
+func SelectAtObs(p *Pool, m core.Chunkable, events []encoding.Event, cuts []int, c *obs.Collector, fn func(core.Match)) {
+	run(p, m, events, cuts, c, countingFn(c, fn))
 }
 
 // SelectPositions runs Select and collects the selected preorder positions.
@@ -249,8 +340,14 @@ func Recognize(p *Pool, m core.Chunkable, events []encoding.Event, chunks int) b
 	return RecognizeAt(p, m, events, SplitPoints(len(events), chunks))
 }
 
+// RecognizeObs is Recognize reporting chunking metrics into a collector.
+func RecognizeObs(p *Pool, m core.Chunkable, events []encoding.Event, chunks int, c *obs.Collector) bool {
+	run(p, m, events, SplitPoints(len(events), chunks), c, nil)
+	return m.Accepting()
+}
+
 // RecognizeAt is Recognize with explicit interior cut positions.
 func RecognizeAt(p *Pool, m core.Chunkable, events []encoding.Event, cuts []int) bool {
-	run(p, m, events, cuts, nil)
+	run(p, m, events, cuts, nil, nil)
 	return m.Accepting()
 }

@@ -17,8 +17,9 @@ import (
 // another task, so a full queue cannot deadlock (orchestration — splitting,
 // joining, merging — always stays on caller goroutines).
 type Pool struct {
-	tasks chan func()
-	wg    sync.WaitGroup
+	tasks   chan func()
+	wg      sync.WaitGroup
+	workers int
 
 	mu     sync.Mutex
 	closed bool
@@ -29,7 +30,7 @@ func NewPool(workers int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Pool{tasks: make(chan func(), 4*workers)}
+	p := &Pool{tasks: make(chan func(), 4*workers), workers: workers}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
@@ -46,6 +47,13 @@ func NewPool(workers int) *Pool {
 // concurrent use. Submitting to a closed pool panics (as does closing a
 // channel mid-send); Close only after all submitters are done.
 func (p *Pool) Submit(f func()) { p.tasks <- f }
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// QueueLen returns the number of tasks currently waiting in the queue — a
+// racy instantaneous gauge, suitable only for observability sampling.
+func (p *Pool) QueueLen() int { return len(p.tasks) }
 
 // Close stops accepting tasks and waits for in-flight ones to finish.
 // Idempotent.

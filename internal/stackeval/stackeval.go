@@ -14,6 +14,7 @@ import (
 	"stackless/internal/core"
 	"stackless/internal/dfa"
 	"stackless/internal/encoding"
+	"stackless/internal/obs"
 )
 
 // QL returns a stack-based evaluator pre-selecting the nodes of QL.
@@ -33,9 +34,16 @@ type Evaluator struct {
 	alive []bool
 	state int
 	ok    bool
+	// obs, when non-nil, receives the stack-depth histogram — the Θ(depth)
+	// working state that the stackless machines avoid. Nil costs one
+	// branch per push.
+	obs *obs.Collector
 }
 
 var _ core.Evaluator = (*Evaluator)(nil)
+
+// SetObs implements core.Instrumented.
+func (ev *Evaluator) SetObs(c *obs.Collector) { ev.obs = c }
 
 // Reset implements core.Evaluator.
 func (ev *Evaluator) Reset() {
@@ -50,6 +58,9 @@ func (ev *Evaluator) Step(e encoding.Event) {
 	if e.Kind == encoding.Open {
 		ev.stack = append(ev.stack, int32(ev.state))
 		ev.alive = append(ev.alive, ev.ok)
+		if ev.obs != nil {
+			ev.obs.StackDepth.Observe(len(ev.stack))
+		}
 		if ev.ok {
 			if sym, ok := ev.res.ID(e.Label); ok {
 				ev.state = ev.d.Delta[ev.state][sym]

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"stackless/internal/core"
 	"stackless/internal/encoding"
+	"stackless/internal/obs"
 	"stackless/internal/parallel"
 )
 
@@ -60,6 +62,7 @@ func (m *MultiQuery) SelectJSON(r io.Reader, opt Options, fn func(MultiMatch)) (
 
 func (m *MultiQuery) selectSource(src encoding.Source, enc Encoding, opt Options, fn func(MultiMatch)) (MultiStats, error) {
 	src = opt.guard(src)
+	c := opt.Collector
 	stats := MultiStats{
 		Strategies: make([]Strategy, len(m.queries)),
 		Matches:    make([]int, len(m.queries)),
@@ -75,6 +78,12 @@ func (m *MultiQuery) selectSource(src encoding.Source, enc Encoding, opt Options
 		if err != nil {
 			return stats, fmt.Errorf("query %d (%s): %w", i, q, err)
 		}
+		if c != nil {
+			core.Instrument(evs[i], c)
+			if stats.Strategies[i] == Stack {
+				c.StackFallbacks.Inc()
+			}
+		}
 		evs[i].Reset()
 	}
 	if opt.Workers > 1 {
@@ -83,6 +92,14 @@ func (m *MultiQuery) selectSource(src encoding.Source, enc Encoding, opt Options
 	stats.Workers = 1
 	pos := -1
 	depth := 0
+	// Every machine steps on every event, so the collector counts events
+	// per machine (matching the parallel fan-out, where each query is its
+	// own pass over the buffered events).
+	if c != nil {
+		defer func() {
+			c.Events.Add(int64(stats.Events) * int64(len(evs)))
+		}()
+	}
 	for {
 		e, err := src.Next()
 		if err == io.EOF {
@@ -95,6 +112,9 @@ func (m *MultiQuery) selectSource(src encoding.Source, enc Encoding, opt Options
 		if e.Kind == encoding.Open {
 			pos++
 			depth++
+			if c != nil {
+				c.Depth.Observe(depth)
+			}
 		} else {
 			depth--
 		}
@@ -102,6 +122,9 @@ func (m *MultiQuery) selectSource(src encoding.Source, enc Encoding, opt Options
 			ev.Step(e)
 			if e.Kind == encoding.Open && ev.Accepting() {
 				stats.Matches[i]++
+				if c != nil {
+					c.Matches.Inc()
+				}
 				if fn != nil {
 					fn(MultiMatch{Query: i, Match: Match{Pos: pos, Depth: depth, Label: e.Label}})
 				}
@@ -115,9 +138,13 @@ func (m *MultiQuery) selectSource(src encoding.Source, enc Encoding, opt Options
 // streams back into the exact emission order of the sequential pass
 // (position, then query index).
 func (m *MultiQuery) selectParallel(src encoding.Source, opt Options, evs []core.Evaluator, stats MultiStats, fn func(MultiMatch)) (MultiStats, error) {
+	c := opt.Collector
 	events, err := encoding.ReadAll(src)
 	stats.Events = len(events)
 	if err != nil {
+		if c != nil {
+			c.Events.Add(int64(len(events)) * int64(len(evs)))
+		}
 		return stats, err
 	}
 	stats.Workers = opt.Workers
@@ -132,13 +159,23 @@ func (m *MultiQuery) selectParallel(src encoding.Source, opt Options, evs []core
 				perQuery[i] = append(perQuery[i], Match{Pos: cm.Pos, Depth: cm.Depth, Label: cm.Label})
 			}
 			if cm, ok := ev.(core.Chunkable); ok {
-				parallel.Select(parallel.Shared(), cm, events, opt.Workers, collect)
+				parallel.SelectObs(parallel.Shared(), cm, events, opt.Workers, c, collect)
 				return
 			}
-			_, _ = core.Select(ev, encoding.NewSliceSource(events), collect)
+			if c != nil {
+				c.SeqFallbacks.Inc()
+			}
+			_, _ = core.SelectObs(ev, c, encoding.NewSliceSource(events), collect)
 		}()
 	}
 	wg.Wait()
+	var mergeStart time.Time
+	if c != nil {
+		mergeStart = time.Now()
+		defer func() {
+			c.Phases[obs.PhaseMerge].Observe(time.Since(mergeStart))
+		}()
+	}
 	next := make([]int, len(perQuery))
 	for {
 		best := -1

@@ -5,9 +5,27 @@ import (
 
 	"stackless/internal/core"
 	"stackless/internal/encoding"
+	"stackless/internal/obs"
 	"stackless/internal/parallel"
 	"stackless/internal/stackeval"
 )
+
+// Collector aggregates observability metrics across evaluations: atomic
+// counters (events, matches, fallbacks, chunk cuts), bounded depth /
+// register / stack-depth / queue-depth histograms and per-phase timings.
+// The alias lets callers use it without importing the internal package;
+// obtain one with NewCollector, attach it via Options.Collector, and read
+// it with Snapshot (JSON-ready) or String (expvar.Var-compatible). One
+// collector may be shared by concurrent evaluations. Attaching a collector
+// adds a few percent of overhead; a nil Collector is completely free (a
+// nil-check per hook, zero allocations — see DESIGN.md §9).
+type Collector = obs.Collector
+
+// ObsSnapshot is the JSON-ready point-in-time view of a Collector.
+type ObsSnapshot = obs.Snapshot
+
+// NewCollector returns an empty metrics collector.
+func NewCollector() *Collector { return &obs.Collector{} }
 
 // Match is one selected node, reported at its opening tag (pre-selection,
 // Section 2.3) so callers can stream the node's subtree without buffering.
@@ -32,6 +50,18 @@ type Stats struct {
 	// (including when the strategy cannot be chunked), Options.Workers for
 	// a chunk-parallel one.
 	Workers int
+	// Chunks the stream was split into: 1 for any sequential pass,
+	// including parallel requests that degraded (see Fallback).
+	Chunks int
+	// CutPolicy of the chosen machine ("none", "newmin", "belowentry",
+	// "all") when chunk-parallel evaluation was requested; empty otherwise.
+	CutPolicy string
+	// Fallback says why a Workers>1 request still ran sequentially:
+	// "strategy" (the machine is not chunkable — pushdown or synopsis EL),
+	// "cutall" (unrestricted DRA: every event is a boundary), or "short"
+	// (too few events to cut). Empty when the run fanned out or was never
+	// asked to.
+	Fallback string
 }
 
 // Options tune evaluation. The zero value is the default: pick the
@@ -56,6 +86,11 @@ type Options struct {
 	// synopsis EL machine); note that chunking trades the model's O(1)
 	// memory for throughput by buffering the event stream.
 	Workers int
+	// Collector, when non-nil, receives detailed metrics for the run —
+	// counters, histograms and phase timings beyond what Stats reports
+	// (see NewCollector and DESIGN.md §9). Nil disables collection at
+	// zero cost.
+	Collector *Collector
 }
 
 func (o Options) guard(src encoding.Source) encoding.Source {
@@ -91,6 +126,7 @@ func (q *Query) SelectTerm(r io.Reader, opt Options, fn func(Match)) (Stats, err
 
 func (q *Query) selectSource(src encoding.Source, enc Encoding, opt Options, fn func(Match)) (Stats, error) {
 	src = opt.guard(src)
+	c := opt.Collector
 	var ev core.Evaluator
 	var st Strategy
 	var err error
@@ -102,7 +138,13 @@ func (q *Query) selectSource(src encoding.Source, enc Encoding, opt Options, fn 
 	if err != nil {
 		return Stats{Strategy: st}, err
 	}
-	stats := Stats{Strategy: st, Workers: 1}
+	if c != nil {
+		core.Instrument(ev, c)
+		if st == Stack {
+			c.StackFallbacks.Inc()
+		}
+	}
+	stats := Stats{Strategy: st, Workers: 1, Chunks: 1}
 	report := func(m core.Match) {
 		stats.Matches++
 		if fn != nil {
@@ -113,13 +155,33 @@ func (q *Query) selectSource(src encoding.Source, enc Encoding, opt Options, fn 
 		events, err := encoding.ReadAll(src)
 		stats.Events = len(events)
 		if err != nil {
+			if c != nil {
+				c.Events.Add(int64(len(events)))
+			}
 			return stats, err
 		}
 		stats.Workers = opt.Workers
-		parallel.Select(parallel.Shared(), cm, events, opt.Workers, report)
+		policy := cm.Cut()
+		stats.CutPolicy = policy.String()
+		cuts := parallel.SplitPoints(len(events), opt.Workers)
+		switch {
+		case policy == core.CutAll:
+			stats.Fallback = "cutall"
+		case len(cuts) == 0:
+			stats.Fallback = "short"
+		default:
+			stats.Chunks = len(cuts) + 1
+		}
+		parallel.SelectObs(parallel.Shared(), cm, events, opt.Workers, c, report)
 		return stats, nil
 	}
-	events, err := core.Select(ev, src, report)
+	if opt.Workers > 1 {
+		stats.Fallback = "strategy"
+		if c != nil {
+			c.SeqFallbacks.Inc()
+		}
+	}
+	events, err := core.SelectObs(ev, c, src, report)
 	stats.Events = events
 	return stats, err
 }
@@ -152,6 +214,7 @@ func (q *Query) recognize(src encoding.Source, enc Encoding, opt Options,
 	pickFn func(Encoding, bool) (core.Evaluator, Strategy, error),
 	stackFn func() core.Evaluator) (bool, Stats, error) {
 	src = opt.guard(src)
+	c := opt.Collector
 	var ev core.Evaluator
 	var st Strategy
 	var err error
@@ -163,17 +226,43 @@ func (q *Query) recognize(src encoding.Source, enc Encoding, opt Options,
 	if err != nil {
 		return false, Stats{Strategy: st}, err
 	}
-	stats := Stats{Strategy: st, Workers: 1}
+	if c != nil {
+		core.Instrument(ev, c)
+		if st == Stack {
+			c.StackFallbacks.Inc()
+		}
+	}
+	stats := Stats{Strategy: st, Workers: 1, Chunks: 1}
 	if cm, chunkable := ev.(core.Chunkable); chunkable && opt.Workers > 1 {
 		events, err := encoding.ReadAll(src)
 		stats.Events = len(events)
 		if err != nil {
+			if c != nil {
+				c.Events.Add(int64(len(events)))
+			}
 			return false, stats, err
 		}
 		stats.Workers = opt.Workers
-		return parallel.Recognize(parallel.Shared(), cm, events, opt.Workers), stats, nil
+		policy := cm.Cut()
+		stats.CutPolicy = policy.String()
+		cuts := parallel.SplitPoints(len(events), opt.Workers)
+		switch {
+		case policy == core.CutAll:
+			stats.Fallback = "cutall"
+		case len(cuts) == 0:
+			stats.Fallback = "short"
+		default:
+			stats.Chunks = len(cuts) + 1
+		}
+		return parallel.RecognizeObs(parallel.Shared(), cm, events, opt.Workers, c), stats, nil
 	}
-	ok, err := core.Recognize(ev, src)
+	if opt.Workers > 1 {
+		stats.Fallback = "strategy"
+		if c != nil {
+			c.SeqFallbacks.Inc()
+		}
+	}
+	ok, err := core.RecognizeObs(ev, c, src)
 	return ok, stats, err
 }
 
