@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci test race vet fmt build fuzz fuzz-smoke bench clean
+.PHONY: ci test race vet fmt build lint fuzz fuzz-smoke bench clean
 
 ci: ## full tier-1 gate: fmt + vet + build + test + race
 	./ci.sh
@@ -16,6 +16,14 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Both static analyzers: dralint over the paper's automata tables, treelint
+# over the Go source. treelint is built once and driven by go vet so test
+# files are analyzed too (and results land in the build cache).
+lint:
+	$(GO) run ./cmd/dralint
+	$(GO) build -o bin/treelint ./cmd/treelint
+	$(GO) vet -vettool=$(CURDIR)/bin/treelint ./...
 
 fmt:
 	gofmt -l .
@@ -47,3 +55,4 @@ bench:
 
 clean:
 	rm -f dralint classify streamq
+	rm -rf bin

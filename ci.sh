@@ -14,17 +14,24 @@ fi
 echo '== go vet =='
 go vet ./...
 
+echo '== lint (dralint + treelint) =='
+# dralint checks the depth-register automata tables; treelint checks the
+# Go-level contracts (plain kernels, enum totality, pool discipline, atomic
+# fields, Close errors). treelint runs under go vet so the _test.go
+# variants of every package are analyzed too.
+make lint
+
 echo '== go build =='
 go build ./...
 
 echo '== go test (with coverage) =='
 # One pass runs the whole suite and produces the coverage profile for the
-# gate below. -coverpkg counts cross-package coverage of the two gated
-# engine packages, which most of the suite exercises.
-go test -coverprofile=cover.out -coverpkg=./internal/core,./internal/parallel ./...
+# gate below. -coverpkg counts cross-package coverage of the gated
+# packages, which most of the suite exercises.
+go test -coverprofile=cover.out -coverpkg=./internal/core,./internal/parallel,./internal/obs,./internal/analysis ./...
 
-echo '== coverage gate (>=80% on the engine packages) =='
-go run ./cmd/covercheck -min 80 -packages stackless/internal/core,stackless/internal/parallel cover.out
+echo '== coverage gate (>=80% on the gated packages) =='
+go run ./cmd/covercheck -min 80 -packages stackless/internal/core,stackless/internal/parallel,stackless/internal/obs,stackless/internal/analysis cover.out
 
 echo '== go test -race (internal) =='
 go test -race ./internal/...

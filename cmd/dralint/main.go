@@ -77,7 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 			d, expect, err := dralint.Parse(f)
-			f.Close()
+			_ = f.Close() // read-side close; a late error cannot invalidate the parse
 			if err != nil {
 				fmt.Fprintln(stderr, err)
 				return 2

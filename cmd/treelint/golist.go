@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"stackless/internal/analysis"
+)
+
+// listedPackage is the subset of `go list -json` output the standalone
+// loader consumes.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// unit is one package to analyze: its sources plus the export data of
+// every dependency, which the gc importer reads instead of re-typechecking
+// the world.
+type unit struct {
+	importPath string
+	dir        string
+	files      []string
+	exports    map[string]string // dependency import path -> export file
+}
+
+// loadPackages resolves patterns with the go tool. `go list -export -deps`
+// compiles (or fetches from the build cache) export data for every
+// dependency, so each matched package can be type-checked from its own
+// sources alone.
+func loadPackages(patterns []string) ([]*unit, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=Dir,ImportPath,GoFiles,Export,DepOnly,Standard,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, strings.TrimSpace(errBuf.String()))
+	}
+	exports := map[string]string{}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, errors.New(p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, p)
+	}
+	var units []*unit
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		var files []string
+		for _, name := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, name))
+		}
+		units = append(units, &unit{
+			importPath: p.ImportPath,
+			dir:        p.Dir,
+			files:      files,
+			exports:    exports,
+		})
+	}
+	if len(units) == 0 {
+		return nil, fmt.Errorf("no packages matched %s", strings.Join(patterns, " "))
+	}
+	return units, nil
+}
+
+// analyze parses and type-checks the unit, then runs the suite over it.
+func (u *unit) analyze(suite []*analysis.Analyzer) ([]finding, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range u.files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := u.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	pkg, info, err := typecheck(fset, u.importPath, files, lookup)
+	if err != nil {
+		return nil, err
+	}
+	return runSuite(suite, fset, files, pkg, info)
+}
+
+// typecheck runs the type checker over parsed files, resolving imports
+// through compiler export data served by lookup.
+func typecheck(fset *token.FileSet, path string, files []*ast.File, lookup func(string) (io.ReadCloser, error)) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// runSuite applies every analyzer to one type-checked package and resolves
+// diagnostic positions. File paths are reported relative to the current
+// directory when that makes them shorter.
+func runSuite(suite []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]finding, error) {
+	cwd, _ := os.Getwd()
+	var findings []finding
+	for _, a := range suite {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			posn := fset.Position(d.Pos)
+			file := posn.Filename
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = rel
+				}
+			}
+			findings = append(findings, finding{
+				File:     file,
+				Line:     posn.Line,
+				Col:      posn.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		if err := pass.Analyzer.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	return findings, nil
+}

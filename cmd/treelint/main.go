@@ -1,0 +1,165 @@
+// Command treelint runs the internal/analysis suite — the Go-level
+// counterpart of cmd/dralint (which checks automata tables, not Go
+// source). It machine-checks the engine's hot-path, exhaustiveness and
+// concurrency contracts: plain kernels stay uninstrumented, enum switches
+// stay total, pool workers stay disciplined, atomic fields stay atomic,
+// Close errors stay handled. See DESIGN.md §10.
+//
+// Two modes share one binary:
+//
+//	treelint [-json] [packages]    # standalone: loads packages via the
+//	                               # go tool and analyzes them; defaults
+//	                               # to ./...
+//	go vet -vettool=$(pwd)/treelint ./...   # vet protocol: cmd/go drives
+//	                               # the loading and invokes treelint
+//	                               # once per package with a .cfg file
+//
+// Per-analyzer boolean flags (-plainkernel, -enumswitch, -poolcheck,
+// -atomicfield, -closecheck) select a subset; with none set, the whole
+// suite runs.
+//
+// Standalone exit status: 0 when every package is clean, 1 when there are
+// findings, 2 on usage or load errors. Under the vet protocol the tool
+// follows go vet's convention instead (non-zero on findings, diagnostics
+// on stderr; -json output on stdout with exit 0).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"stackless/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// finding is one diagnostic with a resolved position, the JSON shape of
+// the -json output.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("treelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	flagsMode := fs.Bool("flags", false, "print the flag schema as JSON (go vet protocol)")
+	versionFlag := fs.String("V", "", "print version and exit (go vet protocol, use -V=full)")
+	enabled := map[string]*bool{}
+	for _, a := range analysis.All() {
+		enabled[a.Name] = fs.Bool(a.Name, false, "run only "+a.Name+" (and other explicitly selected analyzers): "+a.Doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *versionFlag != "" {
+		return printVersion(stdout, *versionFlag, stderr)
+	}
+	if *flagsMode {
+		printFlagSchema(stdout)
+		return 0
+	}
+
+	suite := analysis.All()
+	var selected []*analysis.Analyzer
+	for _, a := range suite {
+		if *enabled[a.Name] {
+			selected = append(selected, a)
+		}
+	}
+	if len(selected) == 0 {
+		selected = suite
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVetUnit(rest[0], selected, *jsonOut, stdout, stderr)
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	return runStandalone(rest, selected, *jsonOut, stdout, stderr)
+}
+
+func runStandalone(patterns []string, suite []*analysis.Analyzer, jsonOut bool, stdout, stderr io.Writer) int {
+	units, err := loadPackages(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "treelint:", err)
+		return 2
+	}
+	var findings []finding
+	for _, u := range units {
+		fs, err := u.analyze(suite)
+		if err != nil {
+			fmt.Fprintf(stderr, "treelint: %s: %v\n", u.importPath, err)
+			return 2
+		}
+		findings = append(findings, fs...)
+	}
+	sortFindings(findings)
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "treelint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+	}
+	if len(findings) > 0 {
+		if !jsonOut {
+			fmt.Fprintf(stdout, "treelint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}
+
+func sortFindings(findings []finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// printFlagSchema emits the flag description cmd/go reads from
+// `vettool -flags` to learn which options it may pass through.
+func printFlagSchema(stdout io.Writer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{{Name: "json", Bool: true, Usage: "emit findings as JSON"}}
+	for _, a := range analysis.All() {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, _ := json.Marshal(flags)
+	fmt.Fprintln(stdout, string(data))
+}

@@ -1,0 +1,193 @@
+package main
+
+// Driver-level tests: exit codes, plain and JSON output, the -V/-flags
+// handshake, and an end-to-end `go vet -vettool` run — all against the
+// fixture module in testdata/fixturemod, whose findings are pinned by
+// golden.txt.
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// binPath is the treelint binary built once for the whole test run.
+var binPath string
+
+func TestMain(m *testing.M) {
+	tmp, err := os.MkdirTemp("", "treelint-test")
+	if err != nil {
+		panic(err)
+	}
+	binPath = filepath.Join(tmp, "treelint")
+	if out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput(); err != nil {
+		panic("building treelint: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	_ = os.RemoveAll(tmp)
+	os.Exit(code)
+}
+
+// runBin executes the built binary and returns stdout, stderr and the exit
+// code.
+func runBin(t *testing.T, dir string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(binPath, args...)
+	cmd.Dir = dir
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running treelint %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	stdout, stderr, code := runBin(t, ".", "stackless/internal/rex")
+	if code != 0 || stdout != "" {
+		t.Fatalf("clean package: exit %d, stdout %q, stderr %q", code, stdout, stderr)
+	}
+}
+
+func TestFindingsExitOneAndMatchGolden(t *testing.T) {
+	stdout, _, code := runBin(t, filepath.Join("testdata", "fixturemod"), "./...")
+	if code != 1 {
+		t.Fatalf("fixture module: exit %d, want 1\n%s", code, stdout)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "fixturemod", "golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(golden) {
+		t.Errorf("output diverged from golden.txt:\ngot:\n%swant:\n%s", stdout, golden)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	stdout, _, code := runBin(t, filepath.Join("testdata", "fixturemod"), "-json", "./...")
+	if code != 1 {
+		t.Fatalf("fixture module -json: exit %d, want 1", code)
+	}
+	var got []finding
+	if err := json.Unmarshal([]byte(stdout), &got); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, stdout)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2: %+v", len(got), got)
+	}
+	if got[0].Analyzer != "enumswitch" || got[0].File != "fixture.go" || got[0].Line != 19 {
+		t.Errorf("first finding: %+v", got[0])
+	}
+	if got[1].Analyzer != "closecheck" || got[1].Line != 28 {
+		t.Errorf("second finding: %+v", got[1])
+	}
+}
+
+func TestAnalyzerSelectionFlag(t *testing.T) {
+	// With only closecheck enabled the enumswitch finding must vanish.
+	stdout, _, code := runBin(t, filepath.Join("testdata", "fixturemod"), "-closecheck", "./...")
+	if code != 1 {
+		t.Fatalf("-closecheck: exit %d, want 1", code)
+	}
+	if strings.Contains(stdout, "enumswitch") || !strings.Contains(stdout, "Close error is dropped") {
+		t.Errorf("-closecheck output:\n%s", stdout)
+	}
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	if _, _, code := runBin(t, ".", "-no-such-flag"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if _, stderr, code := runBin(t, ".", "./does-not-exist"); code != 2 || stderr == "" {
+		t.Errorf("bad pattern: exit %d (stderr %q), want 2 with a message", code, stderr)
+	}
+}
+
+func TestVersionHandshake(t *testing.T) {
+	// cmd/go parses this line to compute the build cache key; replicate its
+	// checks (cmd/go/internal/work/buildid.go toolID).
+	stdout, _, code := runBin(t, ".", "-V=full")
+	if code != 0 {
+		t.Fatalf("-V=full: exit %d", code)
+	}
+	f := strings.Fields(stdout)
+	if len(f) < 3 || f[1] != "version" {
+		t.Fatalf("-V=full output %q: want %q as second field", stdout, "version")
+	}
+	if f[2] == "devel" && !strings.HasPrefix(f[len(f)-1], "buildID=") {
+		t.Fatalf("-V=full output %q: devel line must end in buildID=...", stdout)
+	}
+	if _, _, code := runBin(t, ".", "-V=short"); code != 2 {
+		t.Errorf("-V=short: exit %d, want 2", code)
+	}
+}
+
+func TestFlagSchema(t *testing.T) {
+	stdout, _, code := runBin(t, ".", "-flags")
+	if code != 0 {
+		t.Fatalf("-flags: exit %d", code)
+	}
+	var schema []struct {
+		Name string
+		Bool bool
+	}
+	if err := json.Unmarshal([]byte(stdout), &schema); err != nil {
+		t.Fatalf("decoding -flags output: %v\n%s", err, stdout)
+	}
+	want := map[string]bool{"json": false, "plainkernel": false, "enumswitch": false,
+		"poolcheck": false, "atomicfield": false, "closecheck": false}
+	for _, fl := range schema {
+		if _, ok := want[fl.Name]; ok {
+			want[fl.Name] = true
+		}
+		if !fl.Bool {
+			t.Errorf("flag %s must be boolean for go vet passthrough", fl.Name)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("flag %s missing from -flags schema", name)
+		}
+	}
+}
+
+func TestGoVetVettoolProtocol(t *testing.T) {
+	// End to end through cmd/go: the handshake, per-package cfg invocation
+	// and exit status all have to line up.
+	vet := func(dir string, patterns ...string) (string, int) {
+		cmd := exec.Command("go", append([]string{"vet", "-vettool=" + binPath}, patterns...)...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		code := 0
+		if err != nil {
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("go vet: %v\n%s", err, out)
+			}
+			code = ee.ExitCode()
+		}
+		return string(out), code
+	}
+	if out, code := vet(".", "stackless/internal/rex"); code != 0 {
+		t.Fatalf("go vet -vettool on clean package: exit %d\n%s", code, out)
+	}
+	out, code := vet(filepath.Join("testdata", "fixturemod"), "./...")
+	if code == 0 {
+		t.Fatalf("go vet -vettool on fixture module: exit 0, want failure\n%s", out)
+	}
+	for _, msg := range []string{"switch over Mode is missing cases Slow", "Close error is dropped"} {
+		if !strings.Contains(out, msg) {
+			t.Errorf("go vet output missing %q:\n%s", msg, out)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package fixture is a tiny standalone module with two known treelint
+// findings, pinned by the cmd/treelint driver tests (exit codes, plain and
+// JSON output, and the `go vet -vettool` protocol).
+package fixture
+
+import "os"
+
+// Mode is a two-member enum, so the switch below is detectably partial.
+type Mode int
+
+// The modes.
+const (
+	Fast Mode = iota
+	Slow
+)
+
+// Describe is missing the Slow case.
+func Describe(m Mode) string {
+	switch m {
+	case Fast:
+		return "fast"
+	}
+	return "?"
+}
+
+// Drop loses the Close error.
+func Drop(f *os.File) {
+	f.Close()
+}

@@ -1,0 +1,181 @@
+package main
+
+// The `go vet -vettool` protocol, mirroring the behaviour of
+// golang.org/x/tools/go/analysis/unitchecker (reimplemented here on the
+// standard library; see the internal/analysis package comment).
+//
+// cmd/go probes the tool with -V=full (for the build cache key) and
+// -flags (for the passthrough flag schema), then invokes it once per
+// package with a single *.cfg argument describing the compilation unit:
+// source files, the import map, and the export data file of every
+// dependency, all prepared by cmd/go itself.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+
+	"stackless/internal/analysis"
+)
+
+// vetConfig describes a vet invocation for a single compilation unit, as
+// written by cmd/go to a *.cfg file.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one compilation unit described by a cfg file.
+func runVetUnit(cfgPath string, suite []*analysis.Analyzer, jsonOut bool, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "treelint:", err)
+		return 2
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(stderr, "treelint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// The suite is fact-free, so the serialized fact set is always empty —
+	// but cmd/go expects the file to exist, both for leaf invocations and
+	// for the VetxOnly dependency pre-passes.
+	writeVetx := func() bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(stderr, "treelint:", err)
+			return false
+		}
+		return true
+	}
+	if cfg.VetxOnly {
+		if !writeVetx() {
+			return 2
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(stderr, "treelint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	pkg, info, err := typecheck(fset, cfg.ImportPath, files, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// cmd/go is running vet as part of `go test`: the compiler will
+			// report the error itself, better than we can.
+			if !writeVetx() {
+				return 2
+			}
+			return 0
+		}
+		fmt.Fprintln(stderr, "treelint:", err)
+		return 2
+	}
+
+	findings, err := runSuite(suite, fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintln(stderr, "treelint:", err)
+		return 2
+	}
+	sortFindings(findings)
+	if !writeVetx() {
+		return 2
+	}
+
+	if jsonOut {
+		// go vet's JSON framing: {pkgid: {analyzer: [{posn, message}]}}.
+		type jsonDiagnostic struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		byAnalyzer := map[string][]jsonDiagnostic{}
+		for _, f := range findings {
+			byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], jsonDiagnostic{
+				Posn:    fmt.Sprintf("%s:%d:%d", f.File, f.Line, f.Col),
+				Message: f.Message,
+			})
+		}
+		out := map[string]map[string][]jsonDiagnostic{cfg.ID: byAnalyzer}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "treelint:", err)
+			return 2
+		}
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(stderr, "%s:%d:%d: %s\n", f.File, f.Line, f.Col, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2 // the exit code cmd/go interprets as "diagnostics reported"
+	}
+	return 0
+}
+
+// printVersion implements -V=full: cmd/go hashes this line into the build
+// cache key, so it must change whenever the tool binary changes. The
+// format (including the literal "comments-go-here") is the one cmd/go's
+// version scanner accepts, inherited from unitchecker.
+func printVersion(stdout io.Writer, mode string, stderr io.Writer) int {
+	if mode != "full" {
+		fmt.Fprintf(stderr, "treelint: unsupported flag value -V=%s\n", mode)
+		return 2
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(stderr, "treelint:", err)
+		return 2
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(stderr, "treelint:", err)
+		return 2
+	}
+	defer func() { _ = f.Close() }()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(stderr, "treelint:", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+	return 0
+}

@@ -109,7 +109,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return 2
 		}
 		check(path, f)
-		f.Close()
+		_ = f.Close() // read-side close; check has already consumed the stream
 	}
 	if !allValid {
 		return 1

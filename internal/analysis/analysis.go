@@ -1,0 +1,191 @@
+// Package analysis is treelint: a suite of static analyzers that
+// machine-check the engine's Go-level contracts — the zero-overhead
+// observability contract of the plain kernels (internal/obs), the totality
+// of switches over the engine's enums, the worker-pool discipline of
+// internal/parallel, the alignment and exclusivity rules for atomically
+// accessed struct fields, and the handling of Close errors.
+//
+// The package mirrors the analyzer-per-invariant structure of
+// golang.org/x/tools/go/analysis, but is self-contained: the container
+// that grows this repository has no module proxy, so the Analyzer/Pass
+// surface is reimplemented here on the standard library alone. Each
+// analyzer is a pure function from a type-checked package to diagnostics;
+// loading (both the standalone go-list loader and the `go vet -vettool`
+// unit-checker protocol) lives in cmd/treelint.
+//
+// Contracts are opted in and out with comment directives:
+//
+//	//treelint:plain    on a function: this is an uninstrumented hot
+//	                    kernel; plainkernel enforces the zero-overhead
+//	                    contract on its body. Functions whose name ends in
+//	                    "Plain" must carry the directive, so the annotation
+//	                    cannot silently vanish from a kernel.
+//	//treelint:partial  before a switch: the switch is deliberately
+//	                    non-exhaustive; enumswitch skips it.
+//
+// See DESIGN.md §10 for the invariant each analyzer enforces and where it
+// comes from.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static analysis pass: a named invariant and
+// the function that checks one package against it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run checks one package. Diagnostics are delivered via pass.Report;
+	// the error return is for operational failures only (a nil error with
+	// zero diagnostics means the package is clean).
+	Run func(pass *Pass) error
+}
+
+// A Pass is one analyzer applied to one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver fills it in.
+	Report func(Diagnostic)
+
+	directives map[*ast.File]fileDirectives
+}
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a message.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// fileDirectives maps source lines to the treelint directives written on
+// them. A directive governs the declaration or statement that starts on
+// the same line or the line immediately below it (the usual comment-above
+// placement).
+type fileDirectives map[int][]string
+
+// directivePrefix starts every treelint comment directive.
+const directivePrefix = "//treelint:"
+
+// fileDirectiveLines scans a file's comments for treelint directives.
+func fileDirectiveLines(fset *token.FileSet, f *ast.File) fileDirectives {
+	d := fileDirectives{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			name := strings.TrimPrefix(c.Text, directivePrefix)
+			if i := strings.IndexAny(name, " \t"); i >= 0 {
+				name = name[:i]
+			}
+			line := fset.Position(c.Pos()).Line
+			d[line] = append(d[line], name)
+		}
+	}
+	return d
+}
+
+// directives returns the directive index for f, building it on first use.
+func (p *Pass) fileDirectives(f *ast.File) fileDirectives {
+	if p.directives == nil {
+		p.directives = map[*ast.File]fileDirectives{}
+	}
+	d, ok := p.directives[f]
+	if !ok {
+		d = fileDirectiveLines(p.Fset, f)
+		p.directives[f] = d
+	}
+	return d
+}
+
+// HasDirective reports whether the node starting at pos (inside file f) is
+// governed by the named treelint directive: written on the node's first
+// line or on the line directly above it.
+func (p *Pass) HasDirective(f *ast.File, pos token.Pos, name string) bool {
+	d := p.fileDirectives(f)
+	line := p.Fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		for _, n := range d[l] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncHasDirective reports whether a function declaration carries the
+// named directive in its doc comment group (or directly above it).
+func (p *Pass) FuncHasDirective(f *ast.File, fn *ast.FuncDecl, name string) bool {
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if c.Text == directivePrefix+name {
+				return true
+			}
+			if rest, ok := strings.CutPrefix(c.Text, directivePrefix+name); ok &&
+				(rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+				return true
+			}
+		}
+	}
+	return p.HasDirective(f, fn.Pos(), name)
+}
+
+// pkgPathIsObs reports whether an import path names the observability
+// package: the engine's own stackless/internal/obs, or any path whose last
+// segment is "obs" (which is what the analyzer test fixtures use).
+func pkgPathIsObs(path string) bool {
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}
+
+// isModuleLocal reports whether a package path belongs to code this suite
+// should hold to the engine's contracts (rather than vendored or standard
+// library code). With no module context beyond the import path, "not a
+// standard-library-looking path" is approximated by "contains a dot in the
+// first segment or is the stackless module or has no slash at all" — the
+// fixtures use single-segment paths, the engine uses stackless/...
+func isModuleLocal(path string) bool {
+	if path == "" {
+		return false
+	}
+	if path == "stackless" || strings.HasPrefix(path, "stackless/") {
+		return true
+	}
+	// Single-segment paths ("enums", "a") are GOPATH-style fixture
+	// packages; multi-segment paths without a module prefix are assumed
+	// standard library.
+	return !strings.Contains(path, "/")
+}
+
+// walk traverses the AST in depth-first order, calling fn for every node.
+// A false return prunes the subtree.
+func walk(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, fn)
+}
+
+// enclosingFile finds the *ast.File of the pass that contains pos.
+func (p *Pass) enclosingFile(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package analysis
+
+// A self-contained analogue of golang.org/x/tools/go/analysis/analysistest:
+// fixture packages live under testdata/src/<pkg> (GOPATH-style import
+// paths), expectations are `// want "regexp"` comments on the line the
+// diagnostic must land on, and every diagnostic must be wanted and every
+// want matched. Standard-library imports in fixtures are type-checked from
+// source (no export data or network needed).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixtureLoader type-checks testdata/src packages, resolving fixture-local
+// imports from the same tree and everything else from standard-library
+// source.
+type fixtureLoader struct {
+	fset *token.FileSet
+	root string // testdata/src
+	std  types.Importer
+	pkgs map[string]*fixturePkg
+}
+
+type fixturePkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+func newFixtureLoader(t *testing.T) *fixtureLoader {
+	t.Helper()
+	fset := token.NewFileSet()
+	return &fixtureLoader{
+		fset: fset,
+		root: filepath.Join("testdata", "src"),
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*fixturePkg{},
+	}
+}
+
+// Import implements types.Importer over the fixture tree with a
+// standard-library fallback.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, path); dirExists(dir) {
+		p := l.load(path)
+		return p.pkg, p.err
+	}
+	return l.std.Import(path)
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+func (l *fixtureLoader) load(path string) *fixturePkg {
+	if p, ok := l.pkgs[path]; ok {
+		return p
+	}
+	p := &fixturePkg{}
+	l.pkgs[path] = p
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		p.err = err
+		return p
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			p.err = err
+			return p
+		}
+		p.files = append(p.files, f)
+	}
+	if len(p.files) == 0 {
+		p.err = fmt.Errorf("no Go files in %s", dir)
+		return p
+	}
+	p.info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	p.pkg, p.err = conf.Check(path, l.fset, p.files, p.info)
+	return p
+}
+
+// wantRe matches one expectation comment; several quoted patterns may
+// share a line.
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+var wantPatRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// runAnalyzer applies a to the fixture package and compares diagnostics
+// against the package's want comments.
+func runAnalyzer(t *testing.T, a *Analyzer, pkgpath string) {
+	t.Helper()
+	l := newFixtureLoader(t)
+	p := l.load(pkgpath)
+	if p.err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, p.err)
+	}
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      l.fset,
+		Files:     p.files,
+		Pkg:       p.pkg,
+		TypesInfo: p.info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, pkgpath, err)
+	}
+
+	var wants []*expectation
+	for _, f := range p.files {
+		filename := l.fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := l.fset.Position(c.Pos()).Line
+				pats := wantPatRe.FindAllStringSubmatch(m[1], -1)
+				if len(pats) == 0 {
+					t.Errorf("%s:%d: malformed want comment %q", filename, line, c.Text)
+					continue
+				}
+				for _, pm := range pats {
+					re, err := regexp.Compile(pm[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern: %v", filename, line, err)
+					}
+					wants = append(wants, &expectation{file: filename, line: line, pattern: re})
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := l.fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField checks the two contracts on struct fields that the package
+// accesses through sync/atomic's function API (atomic.AddInt64(&s.n, 1)
+// and friends):
+//
+//   - a field passed to a 64-bit atomic must be 64-bit aligned on 32-bit
+//     targets. The Go runtime only guarantees alignment for the first
+//     word of an allocation, so the analyzer computes the field's offset
+//     under GOARCH=386 sizes and requires offset%8 == 0;
+//   - a field that is accessed atomically anywhere in the package must be
+//     accessed atomically everywhere in the package: one plain load or
+//     store racing with the atomics voids every guarantee the atomics
+//     were bought for.
+//
+// Fields of the wrapper types (atomic.Int64 and friends, as used by
+// internal/obs) satisfy both contracts by construction and are invisible
+// to this analyzer.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "struct fields used with sync/atomic must be 64-bit aligned (32-bit targets) " +
+		"and never mixed with plain loads/stores in the same package",
+	Run: runAtomicField,
+}
+
+// atomic64Funcs are the sync/atomic functions requiring 64-bit alignment
+// of their operand.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+// atomicCallField returns the struct field object f when call is
+// atomicpkg.Fn(&x.f, ...), along with whether Fn is a 64-bit operation.
+func atomicCallField(pass *Pass, call *ast.CallExpr) (*types.Var, *ast.SelectorExpr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil, nil, false
+	}
+	if len(call.Args) == 0 {
+		return nil, nil, false
+	}
+	unary, ok := call.Args[0].(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND {
+		return nil, nil, false
+	}
+	fieldSel, ok := unary.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, false
+	}
+	v, ok := pass.TypesInfo.Uses[fieldSel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil, nil, false
+	}
+	return v, fieldSel, atomic64Funcs[fn.Name()]
+}
+
+// sizes32 models the strictest supported target: 4-byte words, so 64-bit
+// fields are only aligned when their offset is a multiple of 8 by layout,
+// not by luck.
+var sizes32 = types.SizesFor("gc", "386")
+
+// fieldOffset32 computes the byte offset of field within the struct type
+// that declares it, under 32-bit sizes. The second result is false when
+// the declaring struct cannot be found (e.g. an embedded anonymous
+// struct type from another package).
+func fieldOffset32(pass *Pass, field *types.Var) (int64, bool) {
+	// Find the struct type literally containing the field, by scanning the
+	// package's type declarations and struct literals in expression types.
+	var found *types.Struct
+	scope := pass.Pkg.Scope()
+	var visit func(t types.Type)
+	seen := map[types.Type]bool{}
+	visit = func(t types.Type) {
+		if t == nil || seen[t] {
+			return
+		}
+		seen[t] = true
+		switch t := t.(type) {
+		case *types.Named:
+			visit(t.Underlying())
+		case *types.Pointer:
+			visit(t.Elem())
+		case *types.Slice:
+			visit(t.Elem())
+		case *types.Array:
+			visit(t.Elem())
+		case *types.Map:
+			visit(t.Elem())
+		case *types.Struct:
+			for i := 0; i < t.NumFields(); i++ {
+				if t.Field(i) == field {
+					found = t
+				}
+				visit(t.Field(i).Type())
+			}
+		}
+	}
+	for _, name := range scope.Names() {
+		if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+			visit(tn.Type())
+		}
+	}
+	if found == nil {
+		return 0, false
+	}
+	fields := make([]*types.Var, found.NumFields())
+	idx := -1
+	for i := 0; i < found.NumFields(); i++ {
+		fields[i] = found.Field(i)
+		if fields[i] == field {
+			idx = i
+		}
+	}
+	offsets := sizes32.Offsetsof(fields)
+	return offsets[idx], idx >= 0
+}
+
+func runAtomicField(pass *Pass) error {
+	// First pass: collect atomically accessed fields and the selector
+	// expressions that are legitimate atomic operands; check alignment.
+	atomicFields := map[*types.Var]token.Pos{} // field -> first atomic site
+	atomicOperands := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		walk(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			field, fieldSel, is64 := atomicCallField(pass, call)
+			if field == nil {
+				return true
+			}
+			atomicOperands[fieldSel] = true
+			if _, seen := atomicFields[field]; !seen {
+				atomicFields[field] = call.Pos()
+			}
+			if is64 {
+				if off, ok := fieldOffset32(pass, field); ok && off%8 != 0 {
+					pass.Reportf(fieldSel.Pos(),
+						"field %s is used with 64-bit sync/atomic but sits at offset %d on 32-bit targets; move it to the front of the struct or use atomic.Int64",
+						field.Name(), off)
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Second pass: every other selector of those fields is a plain access.
+	for _, f := range pass.Files {
+		walk(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicOperands[sel] {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+			if !ok || !v.IsField() {
+				return true
+			}
+			if _, isAtomic := atomicFields[v]; isAtomic {
+				pass.Reportf(sel.Pos(),
+					"plain access to field %s, which is accessed with sync/atomic elsewhere in this package; use the atomic API everywhere",
+					v.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

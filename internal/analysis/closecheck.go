@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CloseCheck requires the error from Close to be checked or explicitly
+// discarded. A scanner or evaluator whose Close reports a late error (a
+// truncated stream, a flush failure) silently swallowed at a call site is
+// a data-loss bug waiting for a workload that triggers it.
+//
+// Flagged: a bare expression statement x.Close() where Close's only
+// result is an error. Not flagged: `if err := x.Close(); ...`, the
+// explicit discard `_ = x.Close()`, and `defer x.Close()` — a deferred
+// Close is a visible, deliberate discard (converting those to closures
+// that re-check the error is a policy decision, not a contract).
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "the error result of Close must be checked or explicitly discarded (_ = x.Close())",
+	Run:  runCloseCheck,
+}
+
+// closeReturnsOnlyError reports whether call invokes a function or method
+// named Close whose result list is exactly (error).
+func closeReturnsOnlyError(pass *Pass, call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return false
+	}
+	if name != "Close" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func runCloseCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		walk(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok || !closeReturnsOnlyError(pass, call) {
+				return true
+			}
+			pass.Reportf(stmt.Pos(),
+				"Close error is dropped; check it or discard it explicitly (_ = x.Close())")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EnumSwitch checks that every switch over one of the engine's enum types
+// names every member of the enum explicitly. A `default` clause does not
+// count: the silent-default fall-through is exactly the bug class this
+// analyzer exists for — a new CutPolicy or event kind added later must
+// fail the lint gate at every switch that has not decided what to do with
+// it, instead of inheriting whatever the default happened to do.
+// Deliberately partial switches opt out with //treelint:partial.
+//
+// An enum type is a defined (non-alias) integer or string type declared in
+// module-local code with at least two package-level constants of that
+// exact type. Constants whose name starts with "Num" (obs.NumPhases) or
+// "num" are sentinels counting the enum and are not required in switches.
+var EnumSwitch = &Analyzer{
+	Name: "enumswitch",
+	Doc: "switches over engine enums (event kinds, CutPolicy, diagnostic kinds, ...) " +
+		"must name every member or carry //treelint:partial",
+	Run: runEnumSwitch,
+}
+
+// enumMembers returns the distinct constant values of an enum type
+// declared in the type's own package, with one representative name per
+// value, or nil when the type does not look like an enum.
+func enumMembers(named *types.Named) map[string]string {
+	pkg := named.Obj().Pkg()
+	if pkg == nil || !isModuleLocal(pkg.Path()) {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return nil
+	}
+	members := map[string]string{} // ExactString(value) -> first declared name
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Type() != named {
+			continue
+		}
+		if strings.HasPrefix(name, "Num") || strings.HasPrefix(name, "num") {
+			continue // counting sentinel, not a member
+		}
+		key := c.Val().ExactString()
+		if _, seen := members[key]; !seen {
+			members[key] = name
+		}
+	}
+	if len(members) < 2 {
+		return nil
+	}
+	return members
+}
+
+func runEnumSwitch(pass *Pass) error {
+	for _, f := range pass.Files {
+		walk(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok {
+				return true
+			}
+			members := enumMembers(named)
+			if members == nil {
+				return true
+			}
+			if pass.HasDirective(f, sw.Pos(), "partial") {
+				return true
+			}
+			missing := make(map[string]string, len(members))
+			for k, v := range members {
+				missing[k] = v
+			}
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					cv, ok := pass.TypesInfo.Types[e]
+					if !ok || cv.Value == nil {
+						// A non-constant case: the switch is doing dynamic
+						// comparison, not enum dispatch; leave it alone.
+						return true
+					}
+					delete(missing, exactKey(cv.Value))
+				}
+			}
+			if len(missing) == 0 {
+				return true
+			}
+			names := make([]string, 0, len(missing))
+			for _, name := range missing {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			what := "no default"
+			if hasDefault {
+				what = "a silent default"
+			}
+			pass.Reportf(sw.Pos(),
+				"switch over %s is missing cases %s (with %s); add them or mark the switch //treelint:partial",
+				named.Obj().Name(), strings.Join(names, ", "), what)
+			return true
+		})
+	}
+	return nil
+}
+
+// exactKey normalizes a constant value to the representation used by
+// enumMembers.
+func exactKey(v constant.Value) string { return v.ExactString() }

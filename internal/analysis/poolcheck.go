@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PoolCheck enforces the worker-pool discipline of internal/parallel on
+// every goroutine and pool task the module launches:
+//
+//   - sync.WaitGroup.Add must run on the launching goroutine, before the
+//     work starts — Add inside the spawned body races with the matching
+//     Wait (the canonical WaitGroup misuse);
+//   - a channel send in a worker body must sit in a select with at least
+//     one receive (a done/ctx guard), so a worker can always be cancelled
+//     instead of blocking forever on an abandoned channel — tasks handed
+//     to parallel.Pool.Submit must be leaves (see Pool's contract). This
+//     rule applies to non-test files only: tests routinely collect errors
+//     on channels buffered to the worker count and joined with Wait, where
+//     the send provably cannot block and a guard is noise;
+//   - a goroutine or pool task must not capture its loop's iteration
+//     variable directly; copy it (ci := ci) or pass it as an argument.
+//     Go 1.22 made the capture per-iteration, but the engine keeps the
+//     explicit-copy discipline: the copy is what makes the capture set of
+//     a task reviewable at the launch site.
+//
+// "Worker body" means a function literal launched by a go statement or
+// passed to a method named Submit on a *parallel.Pool.
+var PoolCheck = &Analyzer{
+	Name: "poolcheck",
+	Doc: "WaitGroup.Add on the launching side only; worker channel sends need a " +
+		"done/ctx select; no direct loop-variable capture in worker bodies",
+	Run: runPoolCheck,
+}
+
+// isWaitGroupAdd reports whether call is (*sync.WaitGroup).Add.
+func isWaitGroupAdd(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// isPoolSubmit reports whether call is a Submit method call on a type
+// named Pool from a module-local package (internal/parallel, or a fixture
+// pool).
+func isPoolSubmit(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Submit" {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Pool" &&
+		named.Obj().Pkg() != nil && isModuleLocal(named.Obj().Pkg().Path())
+}
+
+// loopVars collects the objects of iteration variables of every for/range
+// statement enclosing pos within fn (the variables declared by the loop
+// clause itself, not body-local copies).
+type loopScope struct {
+	body *ast.BlockStmt
+	vars []types.Object
+}
+
+func collectLoopScopes(pass *Pass, root ast.Node) []loopScope {
+	var scopes []loopScope
+	walk(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			var vars []types.Object
+			if init, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							vars = append(vars, obj)
+						}
+					}
+				}
+			}
+			if len(vars) > 0 {
+				scopes = append(scopes, loopScope{body: n.Body, vars: vars})
+			}
+		case *ast.RangeStmt:
+			var vars []types.Object
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						vars = append(vars, obj)
+					}
+				}
+			}
+			if len(vars) > 0 {
+				scopes = append(scopes, loopScope{body: n.Body, vars: vars})
+			}
+		}
+		return true
+	})
+	return scopes
+}
+
+func runPoolCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		scopes := collectLoopScopes(pass, f)
+		testFile := strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+		checkWorker := func(lit *ast.FuncLit, how string) {
+			// Rule 1: no WaitGroup.Add inside the spawned body.
+			// Rule 2: sends on captured channels need a guarding select.
+			walk(lit.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if isWaitGroupAdd(pass, n) {
+						pass.Reportf(n.Pos(),
+							"WaitGroup.Add inside a %s body races with Wait; call Add before launching", how)
+					}
+				case *ast.SelectStmt:
+					// Sends inside a select with a receive are guarded;
+					// prune so sendsIn below only sees naked sends.
+					if selectHasReceive(n) {
+						return false
+					}
+				case *ast.SendStmt:
+					if !testFile {
+						pass.Reportf(n.Pos(),
+							"channel send in a %s body without a done/ctx select; a worker must stay cancellable", how)
+					}
+				}
+				return true
+			})
+			// Rule 3: direct loop-variable capture.
+			for _, sc := range scopes {
+				if !(sc.body.Pos() <= lit.Pos() && lit.End() <= sc.body.End()) {
+					continue
+				}
+				walk(lit.Body, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					use := pass.TypesInfo.Uses[id]
+					for _, v := range sc.vars {
+						if use == v {
+							pass.Reportf(id.Pos(),
+								"%s body captures loop variable %s directly; copy it (%s := %s) or pass it as an argument",
+								how, v.Name(), v.Name(), v.Name())
+						}
+					}
+					return true
+				})
+			}
+		}
+		walk(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkWorker(lit, "goroutine")
+				}
+			case *ast.CallExpr:
+				if isPoolSubmit(pass, n) && len(n.Args) == 1 {
+					if lit, ok := n.Args[0].(*ast.FuncLit); ok {
+						checkWorker(lit, "pool task")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// selectHasReceive reports whether any comm clause of the select is a
+// receive (the done/ctx guard shape).
+func selectHasReceive(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		comm := cl.(*ast.CommClause).Comm
+		switch comm := comm.(type) {
+		case *ast.ExprStmt:
+			if _, ok := comm.X.(*ast.UnaryExpr); ok {
+				return true // <-ch
+			}
+		case *ast.AssignStmt:
+			return true // v := <-ch
+		}
+	}
+	return false
+}

@@ -1,0 +1,23 @@
+package analysis
+
+// All returns the treelint suite in a stable order: one analyzer per
+// engine contract (see the package comment and DESIGN.md §10).
+func All() []*Analyzer {
+	return []*Analyzer{
+		PlainKernel,
+		EnumSwitch,
+		PoolCheck,
+		AtomicField,
+		CloseCheck,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

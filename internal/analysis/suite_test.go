@@ -1,0 +1,31 @@
+package analysis
+
+import "testing"
+
+func TestPlainKernel(t *testing.T) { runAnalyzer(t, PlainKernel, "plainkernel") }
+func TestEnumSwitch(t *testing.T)  { runAnalyzer(t, EnumSwitch, "enumswitch") }
+func TestPoolCheck(t *testing.T)   { runAnalyzer(t, PoolCheck, "poolcheck") }
+func TestAtomicField(t *testing.T) { runAnalyzer(t, AtomicField, "atomicfield") }
+func TestCloseCheck(t *testing.T)  { runAnalyzer(t, CloseCheck, "closecheck") }
+
+func TestAllStable(t *testing.T) {
+	want := []string{"plainkernel", "enumswitch", "poolcheck", "atomicfield", "closecheck"}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("%s: incomplete analyzer metadata", a.Name)
+		}
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) does not round-trip", a.Name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+}

@@ -1,0 +1,67 @@
+// Package atomicfield exercises the atomicfield analyzer: 64-bit atomic
+// operands must be 64-bit aligned on 32-bit targets, and atomically
+// accessed fields must never also be accessed plainly in the package.
+package atomicfield
+
+import "sync/atomic"
+
+// misaligned puts an int64 at offset 4 under GOARCH=386.
+type misaligned struct {
+	flag int32
+	n    int64
+}
+
+func addMisaligned(m *misaligned) {
+	atomic.AddInt64(&m.n, 1) // want "offset 4 on 32-bit targets"
+}
+
+// aligned keeps the 64-bit word first.
+type aligned struct {
+	n    int64
+	flag int32
+}
+
+func addAligned(a *aligned) {
+	atomic.AddInt64(&a.n, 1)
+}
+
+func loadAligned(a *aligned) int64 {
+	return atomic.LoadInt64(&a.n)
+}
+
+func mixAligned(a *aligned) int64 {
+	return a.n // want "plain access to field n"
+}
+
+// mixed32 shows that the exclusivity rule is independent of width.
+type mixed32 struct {
+	k int32
+}
+
+func bump(m *mixed32) {
+	atomic.AddInt32(&m.k, 1)
+}
+
+func read(m *mixed32) int32 {
+	return m.k // want "plain access to field k"
+}
+
+// wrapped uses the atomic wrapper types: aligned by construction and
+// method-accessed, so invisible to this analyzer.
+type wrapped struct {
+	flag int32
+	n    atomic.Int64
+}
+
+func bumpWrapped(w *wrapped) {
+	w.n.Add(1)
+}
+
+// plainOnly is never touched atomically; plain access is fine.
+type plainOnly struct {
+	n int64
+}
+
+func incPlain(p *plainOnly) {
+	p.n++
+}

@@ -1,0 +1,43 @@
+// Package closecheck exercises the closecheck analyzer: Close errors are
+// checked or explicitly discarded.
+package closecheck
+
+// Scanner has the Close() error shape the analyzer tracks.
+type Scanner struct{}
+
+// Close reports a late stream error.
+func (s *Scanner) Close() error { return nil }
+
+// Quiet has a Close with no error to drop.
+type Quiet struct{}
+
+// Close never fails.
+func (q *Quiet) Close() {}
+
+func dropped(s *Scanner) {
+	s.Close() // want "Close error is dropped"
+}
+
+func checked(s *Scanner) error {
+	if err := s.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func discarded(s *Scanner) {
+	_ = s.Close()
+}
+
+func deferred(s *Scanner) {
+	defer s.Close()
+}
+
+func quiet(q *Quiet) {
+	q.Close()
+}
+
+func funcValue() {
+	Close := func() error { return nil }
+	Close() // want "Close error is dropped"
+}

@@ -1,0 +1,12 @@
+// Package enums provides a cross-package enum for the enumswitch fixture.
+package enums
+
+// Color is an exported enum.
+type Color int
+
+// Members.
+const (
+	Red Color = iota
+	Green
+	Blue
+)

@@ -1,0 +1,106 @@
+// Package enumswitch exercises the enumswitch analyzer: switches over
+// enum types must name every member or opt out with //treelint:partial.
+package enumswitch
+
+import "enums"
+
+// Policy mirrors core.CutPolicy.
+type Policy int
+
+// Members; NumPolicies is a counting sentinel and not required in
+// switches.
+const (
+	None Policy = iota
+	NewMin
+	BelowEntry
+	All
+	NumPolicies
+)
+
+// Flavor is a string-valued enum (like dralint's diagnostic kinds).
+type Flavor string
+
+// Members.
+const (
+	Sweet Flavor = "sweet"
+	Sour  Flavor = "sour"
+)
+
+func full(p Policy) string {
+	switch p {
+	case None, NewMin:
+		return "fast"
+	case BelowEntry:
+		return "restricted"
+	case All:
+		return "sequential"
+	}
+	return "unknown"
+}
+
+func silentDefault(p Policy) string {
+	switch p { // want "missing cases All, BelowEntry, NewMin .with a silent default."
+	case None:
+		return "none"
+	default:
+		return "other"
+	}
+}
+
+func noDefault(p Policy) {
+	switch p { // want "missing cases All, BelowEntry"
+	case None, NewMin:
+	}
+}
+
+func optedOut(p Policy) bool {
+	//treelint:partial
+	switch p {
+	case All:
+		return true
+	}
+	return false
+}
+
+func stringEnum(f Flavor) int {
+	switch f { // want "missing cases Sour"
+	case Sweet:
+		return 1
+	}
+	return 0
+}
+
+func crossPackage(c enums.Color) int {
+	switch c { // want "missing cases Blue"
+	case enums.Red, enums.Green:
+		return 1
+	}
+	return 0
+}
+
+// plainInt is not an enum type: no defined type, no members.
+func plainInt(x int) int {
+	switch x {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// dynamic cases make a switch a comparison chain, not enum dispatch.
+func dynamic(p, q Policy) int {
+	switch p {
+	case q:
+		return 1
+	}
+	return 0
+}
+
+// typeSwitches are out of scope.
+func typeSwitch(v any) int {
+	switch v.(type) {
+	case Policy:
+		return 1
+	}
+	return 0
+}

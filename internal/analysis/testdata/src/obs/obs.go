@@ -1,0 +1,15 @@
+// Package obs is a stand-in for the engine's observability package: the
+// plainkernel analyzer recognizes any package whose import path ends in
+// "obs".
+package obs
+
+// Counter is a stand-in metric.
+type Counter struct{ n int64 }
+
+// Inc increments the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Collector is a stand-in for the engine's obs.Collector.
+type Collector struct {
+	Events Counter
+}

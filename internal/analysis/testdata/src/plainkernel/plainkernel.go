@@ -1,0 +1,95 @@
+// Package plainkernel exercises the plainkernel analyzer: annotated
+// kernels must stay free of obs references, clock calls, in-loop defers
+// and state-capturing closures; *Plain functions must be annotated.
+package plainkernel
+
+import (
+	"math/rand"
+	"time"
+
+	"obs"
+)
+
+type src interface{ Next() (int, bool) }
+
+// selectPlain is a clean kernel: no obs, no clock, no closures.
+//
+//treelint:plain
+func selectPlain(s src) int {
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// recognizePlain is missing its annotation.
+func recognizePlain(s src) bool { // want "not marked"
+	_, ok := s.Next()
+	return ok
+}
+
+//treelint:plain
+func obsParam(c *obs.Collector) {
+	_ = c // want "references obs-typed c"
+}
+
+//treelint:plain
+func obsLocal() {
+	var x obs.Collector // want "references obs.Collector"
+	_ = x               // want "references obs-typed x"
+}
+
+//treelint:plain
+func clocked() int64 {
+	t0 := time.Now() // want "calls time.Now"
+	return int64(time.Duration(t0.Unix()))
+}
+
+//treelint:plain
+func randomized() int {
+	return rand.Int() // want "uses math/rand.Int"
+}
+
+//treelint:plain
+func deferred(s src) {
+	for {
+		if _, ok := s.Next(); !ok {
+			return
+		}
+		defer func() {}() // want "defers inside a loop body"
+	}
+}
+
+// deferOutsideLoop is allowed: one defer per call, not per event.
+//
+//treelint:plain
+func deferOutsideLoop(s src) {
+	defer func() {}()
+	for {
+		if _, ok := s.Next(); !ok {
+			return
+		}
+	}
+}
+
+type machine struct{ n int }
+
+// stepPlain captures its receiver in a closure.
+//
+//treelint:plain
+func (m *machine) stepPlain() {
+	f := func() { m.n++ } // want "captures the receiver m"
+	f()
+}
+
+// runPlain shows a clean closure: parameters of the closure itself are
+// not captures.
+//
+//treelint:plain
+func (m *machine) runPlain(s src) {
+	f := func(k int) int { return k + 1 }
+	_ = f(1)
+}

@@ -1,0 +1,37 @@
+package poolcheck
+
+import "sync"
+
+// The send-guard rule is off in _test.go files: error channels buffered to
+// the worker count and joined with Wait cannot block, so a done/ctx select
+// would be noise. The other poolcheck rules still apply here.
+func collectErrs() {
+	var wg sync.WaitGroup
+	errs := make(chan string, 4)
+	for c := 0; c < 4; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c > 2 {
+				errs <- "boom" // exempt: unguarded send in a test file
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+}
+
+func addStillChecked(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want "WaitGroup.Add inside a goroutine body"
+	}()
+}
+
+func captureStillChecked(xs []int) {
+	for i := range xs {
+		go func() {
+			_ = i // want "goroutine body captures loop variable i directly"
+		}()
+	}
+}

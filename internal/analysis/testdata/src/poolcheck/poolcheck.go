@@ -1,0 +1,90 @@
+// Package poolcheck exercises the poolcheck analyzer: WaitGroup.Add on
+// the launching side, cancellable worker sends, explicit loop-variable
+// copies.
+package poolcheck
+
+import "sync"
+
+// Pool mimics parallel.Pool: module-local type named Pool with Submit.
+type Pool struct{}
+
+// Submit runs f (stand-in for the real queue).
+func (p *Pool) Submit(f func()) { f() }
+
+func addInsideGoroutine(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want "WaitGroup.Add inside a goroutine body"
+		defer wg.Done()
+	}()
+}
+
+func addBeforeLaunch(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func addInsideTask(p *Pool, wg *sync.WaitGroup) {
+	p.Submit(func() {
+		wg.Add(1) // want "WaitGroup.Add inside a pool task body"
+	})
+}
+
+func nakedSend(ch chan int) {
+	go func() {
+		ch <- 1 // want "channel send in a goroutine body without a done/ctx select"
+	}()
+}
+
+func guardedSend(ch chan int, done chan struct{}) {
+	go func() {
+		select {
+		case ch <- 1:
+		case <-done:
+		}
+	}()
+}
+
+func taskSend(p *Pool, ch chan int) {
+	p.Submit(func() {
+		ch <- 2 // want "channel send in a pool task body"
+	})
+}
+
+func sendOutsideWorker(ch chan int) {
+	ch <- 3 // the discipline applies to worker bodies only
+}
+
+func loopCapture(xs []int) {
+	for i := range xs {
+		go func() {
+			_ = i // want "goroutine body captures loop variable i directly"
+		}()
+	}
+}
+
+func loopCopy(xs []int) {
+	for i := range xs {
+		i := i
+		go func() {
+			_ = i
+		}()
+	}
+}
+
+func loopArgument(xs []int) {
+	for i := range xs {
+		go func(i int) {
+			_ = i
+		}(i)
+	}
+}
+
+func threeClauseCapture(n int, p *Pool) {
+	for i := 0; i < n; i++ {
+		p.Submit(func() {
+			_ = i // want "pool task body captures loop variable i directly"
+		})
+	}
+}

@@ -181,6 +181,8 @@ type SegmentKernel interface {
 // SimulateSegmentGeneric is the interface-driven fallback: one pass per
 // control state. Correct for any Chunkable; used when the machine has no
 // vectorized kernel (EL/AL wrappers, table DRAs).
+//
+//treelint:plain
 func SimulateSegmentGeneric(m Chunkable, seg []encoding.Event, cands *CandSet) []SegmentExit {
 	n := m.ChunkStates()
 	exits := make([]SegmentExit, n)
@@ -267,6 +269,8 @@ func (ev *tagEvaluator) ApplySegment(x SegmentExit, delta int) {
 // SimulateSegment implements SegmentKernel: one pass moving all states in
 // lockstep. An unknown label poisons every run identically, exactly as the
 // sequential evaluator would from any state.
+//
+//treelint:plain
 func (ev *tagEvaluator) SimulateSegment(events []encoding.Event, cands *CandSet) []SegmentExit {
 	t := ev.t
 	n := t.NumStates()

@@ -144,6 +144,8 @@ func SelectObs(ev Evaluator, c *obs.Collector, src encoding.Source, fn func(Matc
 // (collector pointer, match counter) stay live across the three interface
 // calls per event and cost the loop measurable spills, so the plain path
 // carries neither.
+//
+//treelint:plain
 func selectPlain(ev Evaluator, src encoding.Source, fn func(Match)) (int, error) {
 	ev.Reset()
 	events := 0
@@ -218,6 +220,8 @@ func RecognizeObs(ev Evaluator, c *obs.Collector, src encoding.Source) (bool, er
 
 // recognizePlain is the uninstrumented Recognize kernel; see selectPlain
 // for why it exists.
+//
+//treelint:plain
 func recognizePlain(ev Evaluator, src encoding.Source) (bool, error) {
 	ev.Reset()
 	for {

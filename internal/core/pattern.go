@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"stackless/internal/encoding"
 	"stackless/internal/tree"
 )
@@ -42,6 +44,18 @@ const (
 	pmRunning
 	pmSucceeded
 )
+
+func (p pmPhase) String() string {
+	switch p {
+	case pmSearching:
+		return "searching"
+	case pmRunning:
+		return "running"
+	case pmSucceeded:
+		return "succeeded"
+	}
+	return fmt.Sprintf("pmPhase(%d)", uint8(p))
+}
 
 // NewPatternMatcher compiles a descendent pattern (any tree) into its
 // Proposition 2.8 evaluator. The number of depth registers used is at most

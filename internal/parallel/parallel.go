@@ -61,6 +61,8 @@ func sanitizeCuts(cuts []int, n int) []int {
 
 // cutPieces scans one chunk and splits it into pieces per the policy. The
 // depth is tracked relative to the chunk entry.
+//
+//treelint:plain
 func cutPieces(events []encoding.Event, lo, hi int, policy core.CutPolicy) []piece {
 	var pieces []piece
 	segLo := lo
@@ -83,6 +85,9 @@ func cutPieces(events []encoding.Event, lo, hi int, policy core.CutPolicy) []pie
 			boundary = depth < threshold
 		case core.CutBelowEntry:
 			boundary = depth <= threshold
+		case core.CutNone, core.CutAll:
+			// CutNone keeps the chunk whole; CutAll is resolved by the
+			// caller before scanning (every close is a piece boundary).
 		}
 		if boundary {
 			flush(i)
@@ -128,6 +133,8 @@ func summarize(m core.Chunkable, events []encoding.Event, pieces []piece, wantMa
 
 // runSequential is the fallback when chunking cannot help: one pass on the
 // caller goroutine, identical to core.Select over a slice source.
+//
+//treelint:plain
 func runSequential(m core.Chunkable, events []encoding.Event, fn func(core.Match)) {
 	m.Reset()
 	pos, depth := -1, 0

@@ -54,6 +54,7 @@ func TestRaceConcurrentMultiQuery(t *testing.T) {
 		{"many callers", 16, 3},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
+			tc := tc
 			var wg sync.WaitGroup
 			errs := make(chan string, tc.callers)
 			for c := 0; c < tc.callers; c++ {

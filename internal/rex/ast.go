@@ -163,6 +163,9 @@ func (n *Node) render(b *strings.Builder, prec int) {
 		})
 	case KStar, KPlus, KOpt:
 		n.Subs[0].render(b, 3)
+		// The outer case already narrowed Kind to the three postfix
+		// operators; default handles KOpt.
+		//treelint:partial
 		switch n.Kind {
 		case KStar:
 			b.WriteByte('*')

@@ -87,6 +87,9 @@ func Match(n *Node, w []string) bool {
 func simplifyConcat(subs []*Node) *Node {
 	var out []*Node
 	for _, s := range subs {
+		// Rewrite rules for the absorbing/identity/flat kinds only; every
+		// other kind passes through the default.
+		//treelint:partial
 		switch s.Kind {
 		case KEmpty:
 			return Empty()

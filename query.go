@@ -63,9 +63,10 @@ func (s Strategy) String() string {
 		return "registerless"
 	case Stackless:
 		return "stackless"
-	default:
+	case Stack:
 		return "stack"
 	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
 // Query is a compiled regular path query over a fixed label alphabet.
