@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci test race vet fmt build lint fuzz fuzz-smoke bench clean
+.PHONY: ci test race vet fmt build lint fuzz fuzz-smoke bench bench-coded clean
 
 ci: ## full tier-1 gate: fmt + vet + build + test + race
 	./ci.sh
@@ -37,12 +37,14 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTermScanner -fuzztime $(FUZZTIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzJSONSource -fuzztime $(FUZZTIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzParallelSplit -fuzztime $(FUZZTIME) ./internal/encoding/
+	$(GO) test -run '^$$' -fuzz FuzzCodedVsString -fuzztime $(FUZZTIME) ./internal/encoding/
 
-# CI-sized smoke pass (see ci.sh): the chunk-parallel differential fuzzer
-# plus the three event-source fuzzers, 10s each.
+# CI-sized smoke pass (see ci.sh): the chunk-parallel and coded-pipeline
+# differential fuzzers plus the three event-source fuzzers, 10s each.
 SMOKETIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParallelSplit -fuzztime $(SMOKETIME) ./internal/encoding/
+	$(GO) test -run '^$$' -fuzz FuzzCodedVsString -fuzztime $(SMOKETIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzXMLScanner -fuzztime $(SMOKETIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzTermScanner -fuzztime $(SMOKETIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzJSONSource -fuzztime $(SMOKETIME) ./internal/encoding/
@@ -52,6 +54,11 @@ fuzz-smoke:
 BENCHTIME ?= 100x
 bench:
 	$(GO) test -run '^$$' -bench SelectParallel -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_parallel.json
+
+# Regenerate the compiled-pipeline benchmark snapshot: every evaluator
+# family through the string and coded Select paths on the same documents.
+bench-coded:
+	$(GO) test -run '^$$' -bench SelectCoded -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_coded.json
 
 clean:
 	rm -f dralint classify streamq

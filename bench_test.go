@@ -672,6 +672,99 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 }
 
+// --- Compiled symbol-coded pipeline (DESIGN.md §11) ---
+//
+// Each benchmark runs one machine over the same buffered document through
+// the per-event string pipeline and the batched coded pipeline; the
+// ns/event ratio between the string/ and coded/ sub-benchmarks is the
+// headline number recorded in BENCH_coded.json and EXPERIMENTS.md.
+
+func benchSelectPipelines(b *testing.B, ev core.Evaluator, events []encoding.Event) {
+	b.Helper()
+	if !core.CodedCapable(ev) {
+		b.Fatal("machine does not support the compiled pipeline")
+	}
+	var want int
+	if _, err := core.Select(ev, encoding.NewSliceSource(events), func(core.Match) { want++ }); err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		sel  func(core.Evaluator, encoding.Source, func(core.Match)) (int, error)
+	}{
+		{"string", core.Select},
+		{"coded", core.SelectCoded},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			src := encoding.NewSliceSource(events)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src.Rewind()
+				got := 0
+				if _, err := mode.sel(ev, src, func(core.Match) { got++ }); err != nil {
+					b.Fatal(err)
+				}
+				if got != want {
+					b.Fatalf("%d matches, want %d", got, want)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(events)), "ns/event")
+		})
+	}
+}
+
+func codedBenchEvaluator(b *testing.B, regex string) core.Evaluator {
+	b.Helper()
+	q := MustCompileRegex(regex, abc)
+	ev, _, err := q.queryEvaluator(MarkupEncoding, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ev
+}
+
+// BenchmarkSelectCodedRegisterless: the compiled tag DFA (flat state×symbol
+// table, branchless batch stepping) against its per-event twin.
+func BenchmarkSelectCodedRegisterless(b *testing.B) {
+	loadFixtures()
+	benchSelectPipelines(b, codedBenchEvaluator(b, paperfigs.Fig3aRegex), fixtures.abcDoc)
+}
+
+// BenchmarkSelectCodedStackless: the compiled HAR evaluator (table-driven
+// transitions, record stack pushes only on SCC changes).
+func BenchmarkSelectCodedStackless(b *testing.B) {
+	loadFixtures()
+	benchSelectPipelines(b, codedBenchEvaluator(b, paperfigs.Fig3cRegex), fixtures.abcDoc)
+}
+
+// BenchmarkSelectCodedDeep: the stackless machine on the depth-4096 corpus —
+// deep documents stress the record-stack side of the compiled step.
+func BenchmarkSelectCodedDeep(b *testing.B) {
+	loadFixtures()
+	benchSelectPipelines(b, codedBenchEvaluator(b, paperfigs.Fig3cRegex), fixtures.deepDocs[4096])
+}
+
+// BenchmarkSelectCodedSynopsisEL: the synopsis machine's per-event coded
+// step (lazy state discovery admits no dense table; StepBatch hoists the
+// label resolution only).
+func BenchmarkSelectCodedSynopsisEL(b *testing.B) {
+	loadFixtures()
+	an := classify.Analyze(rex.MustCompile(paperfigs.Fig3aRegex, paperfigs.GammaABC()))
+	syn, err := core.RegisterlessEL(an)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSelectPipelines(b, syn, fixtures.abcDoc)
+}
+
+// BenchmarkSelectCodedDRA: the table DRA's batched step (branchless
+// depth/register comparison bits, direct table indexing).
+func BenchmarkSelectCodedDRA(b *testing.B) {
+	loadFixtures()
+	benchSelectPipelines(b, core.Example26().Evaluator(), fixtures.abcDoc)
+}
+
 // --- Post-selection extension: the stack-based subtree-witness query. ---
 
 func BenchmarkPostSelection(b *testing.B) {

@@ -128,6 +128,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "strategy=%s events=%d matches=%d workers=%d chunks=%d", stats.Strategy, stats.Events, stats.Matches, stats.Workers, stats.Chunks)
+	if stats.Pipeline != "" {
+		fmt.Fprintf(stdout, " pipeline=%s", stats.Pipeline)
+	}
 	if stats.CutPolicy != "" {
 		fmt.Fprintf(stdout, " cutpolicy=%s", stats.CutPolicy)
 	}

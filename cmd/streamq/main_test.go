@@ -5,12 +5,21 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
 
 // Golden CLI tests: exit codes, the stats line shape (including -workers
 // and the fallback annotations), and the -stats JSON snapshot.
+
+// withProcs raises GOMAXPROCS so the -workers flag is not clamped away on
+// single-core CI boxes (Options.Workers is capped at GOMAXPROCS).
+func withProcs(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
 
 func runStreamq(t *testing.T, stdin string, args ...string) (int, string, string) {
 	t.Helper()
@@ -31,6 +40,7 @@ func wantGolden(t *testing.T, got, goldenFile string) {
 }
 
 func TestRunGolden(t *testing.T) {
+	withProcs(t, 4)
 	doc := filepath.Join("testdata", "doc.xml")
 	for _, tc := range []struct {
 		name   string
@@ -58,7 +68,7 @@ func TestRunStdin(t *testing.T) {
 		t.Fatalf("exit %d, stderr: %s", code, stderr)
 	}
 	if !strings.Contains(out, "match pos=1 depth=2 label=b\n") ||
-		!strings.Contains(out, "strategy=registerless events=4 matches=1 workers=1 chunks=1\n") {
+		!strings.Contains(out, "strategy=registerless events=4 matches=1 workers=1 chunks=1 pipeline=coded\n") {
 		t.Errorf("unexpected output:\n%s", out)
 	}
 }

@@ -353,12 +353,17 @@ func (ev *StacklessEvaluator) Cut() CutPolicy { return CutNewMin }
 // atomics, so concurrent forks report into it safely.
 func (ev *StacklessEvaluator) Fork() Chunkable {
 	f := &StacklessEvaluator{
-		an:      ev.an,
-		blind:   ev.blind,
-		back:    ev.back,
-		backAny: ev.backAny,
-		res:     alphabet.NewResolver(ev.an.D.Alphabet),
-		obs:     ev.obs,
+		an:       ev.an,
+		blind:    ev.blind,
+		back:     ev.back,
+		backAny:  ev.backAny,
+		cDelta:   ev.cDelta,
+		cSel:     ev.cSel,
+		cBack:    ev.cBack,
+		cBackAny: ev.cBackAny,
+		cComp:    ev.cComp,
+		res:      alphabet.NewResolver(ev.an.D.Alphabet),
+		obs:      ev.obs,
 	}
 	f.Reset()
 	return f

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"io"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/encoding"
+	"stackless/internal/obs"
+)
+
+// Compiled symbol-coded pipeline (DESIGN.md §11). Machines that can lower
+// their transitions into flat state×symbol tables implement BatchEvaluator;
+// the coded drivers below batch the event stream through encoding.Batcher
+// and step whole batches per call, eliminating the per-event interface
+// dispatch and label hashing of the string pipeline. Machines that cannot
+// compile (the pushdown fallback, the EL/AL wrappers) fall back to the
+// generic Select/Recognize path — the coded entry points are drop-in
+// replacements with identical results either way.
+
+// BatchEvaluator is the compiled contract: an Evaluator that also steps
+// dense symbol-coded batches. StepBatch(b) must be equivalent to Step on
+// each event of b with the labels decoded under CodeAlphabet — including
+// the poison convention: the unknown sentinel Sym (= CodeAlphabet().Size())
+// behaves exactly like a label outside the alphabet.
+type BatchEvaluator interface {
+	Evaluator
+	// CodeAlphabet returns the alphabet whose Coder produces the codes
+	// StepBatch and SelectBatch consume.
+	CodeAlphabet() *alphabet.Alphabet
+	// StepBatch processes a coded batch.
+	StepBatch(batch []encoding.CodedEvent)
+	// SelectBatch is StepBatch that also appends to hits the batch-relative
+	// indices of Open events after which the machine pre-selects, returning
+	// the extended slice.
+	SelectBatch(batch []encoding.CodedEvent, hits []int32) []int32
+}
+
+// CodedSegmentKernel is SegmentKernel over coded events: the all-states
+// segment simulation of the chunk-parallel engine with the label resolution
+// hoisted out (internal/parallel codes the buffered stream once and hands
+// each fork coded segments).
+type CodedSegmentKernel interface {
+	// SimulateSegmentCoded is SimulateSegment over a coded segment.
+	SimulateSegmentCoded(seg []encoding.CodedEvent, cands *CandSet) []SegmentExit
+}
+
+// CodedCapable reports whether ev runs the compiled pipeline — used by the
+// public API to report which pipeline a run took.
+func CodedCapable(ev Evaluator) bool {
+	_, ok := ev.(BatchEvaluator)
+	return ok
+}
+
+// SelectCoded is Select through the compiled pipeline when ev supports it,
+// falling back to Select otherwise. Matches, order and errors are identical
+// to Select's.
+func SelectCoded(ev Evaluator, src encoding.Source, fn func(Match)) (int, error) {
+	return SelectCodedObs(ev, nil, src, fn)
+}
+
+// SelectCodedObs is SelectCoded reporting into a collector, with the same
+// split as SelectObs: a nil collector runs the plain kernel.
+func SelectCodedObs(ev Evaluator, c *obs.Collector, src encoding.Source, fn func(Match)) (int, error) {
+	be, ok := ev.(BatchEvaluator)
+	if !ok {
+		return SelectObs(ev, c, src, fn)
+	}
+	if c == nil {
+		return selectCodedPlain(be, src, fn)
+	}
+	return selectCodedObs(be, c, src, fn)
+}
+
+// selectCodedPlain is the uninstrumented coded Select kernel. Position and
+// depth at a hit both derive from the count of Open events before it
+// (depth after event j is depth₀ + 2·opens − (j+1)), so the driver never
+// replays the batch event by event: it counts opens branchlessly up to
+// each hit, skips the tail after the last one, and advances whole hitless
+// batches from the batcher's Open count alone. Match labels come from the
+// batcher's label window, not the code alphabet: machines that accept
+// regardless of the label (the synopsis ⊤ state) can select events whose
+// Sym is the lossy unknown sentinel.
+//
+//treelint:plain
+func selectCodedPlain(be BatchEvaluator, src encoding.Source, fn func(Match)) (int, error) {
+	be.Reset()
+	b := encoding.NewBatcher(src, alphabet.NewCoder(be.CodeAlphabet()), encoding.DefaultBatch)
+	events := 0
+	pos, depth := -1, 0
+	var hits []int32
+	for {
+		batch, opens, err := b.NextBatch()
+		if len(batch) > 0 {
+			events += len(batch)
+			if fn == nil {
+				be.StepBatch(batch)
+			} else {
+				hits = be.SelectBatch(batch, hits[:0])
+				o, prev := 0, 0
+				for _, h := range hits {
+					for j := prev; j < int(h); j++ {
+						o += 1 - int(batch[j].Kind)
+					}
+					o++ // the hit itself is an Open
+					prev = int(h) + 1
+					fn(Match{Pos: pos + o, Depth: depth + 2*o - prev, Label: b.BatchLabel(int(h))})
+				}
+			}
+			pos += opens
+			depth += 2*opens - len(batch)
+		}
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return events, err
+		}
+	}
+}
+
+// selectCodedObs is the instrumented twin: every batch is walked to feed
+// the per-open depth histogram, matching SelectObs's samples exactly.
+func selectCodedObs(be BatchEvaluator, c *obs.Collector, src encoding.Source, fn func(Match)) (int, error) {
+	be.Reset()
+	b := encoding.NewBatcher(src, alphabet.NewCoder(be.CodeAlphabet()), encoding.DefaultBatch)
+	events := 0
+	matches := 0
+	pos, depth := -1, 0
+	var hits []int32
+	for {
+		batch, _, err := b.NextBatch()
+		if len(batch) > 0 {
+			events += len(batch)
+			hits = be.SelectBatch(batch, hits[:0])
+			hi := 0
+			for i := range batch {
+				if batch[i].Kind != encoding.Open {
+					depth--
+					continue
+				}
+				pos++
+				depth++
+				c.Depth.Observe(depth)
+				if hi < len(hits) && hits[hi] == int32(i) {
+					hi++
+					matches++
+					if fn != nil {
+						fn(Match{Pos: pos, Depth: depth, Label: b.BatchLabel(i)})
+					}
+				}
+			}
+		}
+		if err == io.EOF {
+			flushRun(c, be, int64(events), int64(matches))
+			return events, nil
+		}
+		if err != nil {
+			flushRun(c, be, int64(events), int64(matches))
+			return events, err
+		}
+	}
+}
+
+// RecognizeCoded is Recognize through the compiled pipeline when ev
+// supports it, falling back to Recognize otherwise.
+func RecognizeCoded(ev Evaluator, src encoding.Source) (bool, error) {
+	return RecognizeCodedObs(ev, nil, src)
+}
+
+// RecognizeCodedObs is RecognizeCoded reporting into a collector (nil:
+// plain kernel, as in RecognizeObs).
+func RecognizeCodedObs(ev Evaluator, c *obs.Collector, src encoding.Source) (bool, error) {
+	be, ok := ev.(BatchEvaluator)
+	if !ok {
+		return RecognizeObs(ev, c, src)
+	}
+	if c == nil {
+		return recognizeCodedPlain(be, src)
+	}
+	return recognizeCodedObs(be, c, src)
+}
+
+// recognizeCodedPlain is the uninstrumented coded Recognize kernel.
+//
+//treelint:plain
+func recognizeCodedPlain(be BatchEvaluator, src encoding.Source) (bool, error) {
+	be.Reset()
+	b := encoding.NewBatcher(src, alphabet.NewCoder(be.CodeAlphabet()), encoding.DefaultBatch)
+	for {
+		batch, _, err := b.NextBatch()
+		be.StepBatch(batch)
+		if err == io.EOF {
+			return be.Accepting(), nil
+		}
+		if err != nil {
+			return false, err
+		}
+	}
+}
+
+// recognizeCodedObs is the instrumented twin: the batch is stepped as a
+// whole, then walked for the depth histogram.
+func recognizeCodedObs(be BatchEvaluator, c *obs.Collector, src encoding.Source) (bool, error) {
+	be.Reset()
+	b := encoding.NewBatcher(src, alphabet.NewCoder(be.CodeAlphabet()), encoding.DefaultBatch)
+	events := 0
+	depth := 0
+	for {
+		batch, _, err := b.NextBatch()
+		events += len(batch)
+		be.StepBatch(batch)
+		for i := range batch {
+			if batch[i].Kind == encoding.Open {
+				depth++
+				c.Depth.Observe(depth)
+			} else {
+				depth--
+			}
+		}
+		if err == io.EOF {
+			flushRun(c, be, int64(events), 0)
+			return be.Accepting(), nil
+		}
+		if err != nil {
+			flushRun(c, be, int64(events), 0)
+			return false, err
+		}
+	}
+}

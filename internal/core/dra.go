@@ -316,3 +316,103 @@ func (ev *draEvaluator) Step(e encoding.Event) {
 func (ev *draEvaluator) Accepting() bool {
 	return !ev.poisoned && ev.d.Accept[ev.cfg.State]
 }
+
+// CodeAlphabet implements BatchEvaluator.
+func (ev *draEvaluator) CodeAlphabet() *alphabet.Alphabet { return ev.d.Alphabet }
+
+// b2i is the branchless bool→int lowering (the compiler emits SETcc).
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// StepBatch implements BatchEvaluator: StepConfig inlined over the batch —
+// the depth update, the register compares (lowered to branchless mask
+// builds) and the table lookup all on the dense Sym, no per-event map
+// access. Only valid outside segment simulation (the coded drivers Reset
+// first, which clears segment mode). Compares are counted exactly as Step
+// does — 2·Regs per non-poisoned event — and loads stay uncounted on the
+// sequential path, also as Step does.
+func (ev *draEvaluator) StepBatch(batch []encoding.CodedEvent) {
+	if ev.poisoned {
+		return
+	}
+	d := ev.d
+	k := d.Alphabet.Size()
+	nr := d.Regs
+	r := uint(nr)
+	table := d.table
+	cinc := int64(2 * nr)
+	state, depth := ev.cfg.State, ev.cfg.Depth
+	regs := ev.cfg.Regs
+	compares := ev.compares
+	for _, e := range batch {
+		if int(e.Sym) >= k {
+			ev.poisoned = true
+			break
+		}
+		depth += 1 - 2*int(e.Kind)
+		var le, ge RegSet
+		for i := 0; i < nr; i++ {
+			le |= RegSet(b2i(regs[i] <= depth)) << uint(i)
+			ge |= RegSet(b2i(regs[i] >= depth)) << uint(i)
+		}
+		tag := 2*int(e.Sym) + int(e.Kind)
+		tr := table[(state*2*k+tag)<<(2*r)|int(le)<<r|int(ge)]
+		state = tr.Next
+		for i := 0; i < nr; i++ {
+			if tr.Load.Has(i) {
+				regs[i] = depth
+			}
+		}
+		compares += cinc
+	}
+	ev.cfg.State, ev.cfg.Depth = state, depth
+	ev.compares = compares
+}
+
+// SelectBatch implements BatchEvaluator.
+func (ev *draEvaluator) SelectBatch(batch []encoding.CodedEvent, hits []int32) []int32 {
+	if ev.poisoned {
+		return hits
+	}
+	d := ev.d
+	k := d.Alphabet.Size()
+	nr := d.Regs
+	r := uint(nr)
+	table := d.table
+	cinc := int64(2 * nr)
+	acc := d.Accept
+	state, depth := ev.cfg.State, ev.cfg.Depth
+	regs := ev.cfg.Regs
+	compares := ev.compares
+	for bi, e := range batch {
+		if int(e.Sym) >= k {
+			ev.poisoned = true
+			break
+		}
+		depth += 1 - 2*int(e.Kind)
+		var le, ge RegSet
+		for i := 0; i < nr; i++ {
+			le |= RegSet(b2i(regs[i] <= depth)) << uint(i)
+			ge |= RegSet(b2i(regs[i] >= depth)) << uint(i)
+		}
+		tag := 2*int(e.Sym) + int(e.Kind)
+		tr := table[(state*2*k+tag)<<(2*r)|int(le)<<r|int(ge)]
+		state = tr.Next
+		for i := 0; i < nr; i++ {
+			if tr.Load.Has(i) {
+				regs[i] = depth
+			}
+		}
+		compares += cinc
+		if e.Kind == encoding.Open && acc[state] {
+			hits = append(hits, int32(bi))
+		}
+	}
+	ev.cfg.State, ev.cfg.Depth = state, depth
+	ev.compares = compares
+	return hits
+}

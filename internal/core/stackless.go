@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"stackless/internal/alphabet"
 	"stackless/internal/classify"
@@ -58,6 +59,27 @@ type StacklessEvaluator struct {
 	// equivalent to p for some letter a; -1 if none.
 	backAny []int
 
+	// Compiled tables for the coded pipeline (DESIGN.md §11), built once at
+	// construction and shared across forks. cDelta is the transition table
+	// flattened to n rows of k+1 columns (column k, the unknown sentinel,
+	// holds -1: poison). cBack flattens back the same way — (k+1)×n with an
+	// all -1 unknown row, which doubles as the no-predecessor poison, exactly
+	// the two cases the string path folds together. cComp mirrors an.Comp.
+	// cSel fuses everything the per-event batch loop needs into one n×2(k+1)
+	// table indexed by state and column sym<<1|kind, exactly the tag DFA's
+	// layout: open columns hold the delta target with selPushBit (the move
+	// leaves the source SCC: push a record) and selAccBit (the target
+	// accepts) fused in; close columns hold the in-component backtrack
+	// candidate (backAny for blind machines — every close column, unknown
+	// included, since they never consult the label). Poison entries are -1,
+	// covering unknown opens, unknown closes on markup machines, and
+	// missing backtrack predecessors in one sign test.
+	cDelta   []int32
+	cSel     []int32
+	cBack    []int32 // markup machines; nil when blind
+	cBackAny []int32 // term machines; nil otherwise
+	cComp    []int32
+
 	res *alphabet.Resolver
 
 	// Runtime configuration.
@@ -96,6 +118,20 @@ type record struct {
 	depth int
 	state int
 }
+
+// cSel entry layout: the target state in the low bits plus the two fused
+// facts of the move. Poison entries are -1 (sign bit), so `< 0` still
+// detects them before any mask.
+const (
+	selAccBit    = 1 << 29
+	selPushBit   = 1 << 30
+	selStateMask = selAccBit - 1
+)
+
+// noRecordDepth is the cached top-of-records depth when the register file
+// is empty: smaller than any reachable depth, so the pop comparison falls
+// through without a length check.
+const noRecordDepth = math.MinInt
 
 func newStackless(an *classify.Analysis, blind bool) *StacklessEvaluator {
 	A := an.D
@@ -141,8 +177,70 @@ func newStackless(an *classify.Analysis, blind bool) *StacklessEvaluator {
 			}
 		}
 	}
+	ev.compile()
 	ev.Reset()
 	return ev
+}
+
+// compile lowers the delta, component and back tables into the flat int32
+// form the batched kernels index (see the cDelta/cBack field comments).
+func (ev *StacklessEvaluator) compile() {
+	A := ev.an.D
+	n := A.NumStates()
+	k := A.Alphabet.Size()
+	ev.cDelta = make([]int32, n*(k+1))
+	ev.cComp = make([]int32, n)
+	for p := 0; p < n; p++ {
+		row := ev.cDelta[p*(k+1) : p*(k+1)+k+1]
+		for a := 0; a < k; a++ {
+			row[a] = int32(A.Delta[p][a])
+		}
+		row[k] = -1
+		ev.cComp[p] = int32(ev.an.Comp[p])
+	}
+	if ev.blind {
+		ev.cBackAny = make([]int32, n)
+		for p := 0; p < n; p++ {
+			ev.cBackAny[p] = int32(ev.backAny[p])
+		}
+	} else {
+		ev.cBack = make([]int32, (k+1)*n)
+		for a := 0; a < k; a++ {
+			for p := 0; p < n; p++ {
+				ev.cBack[a*n+p] = int32(ev.back[a][p])
+			}
+		}
+		for p := 0; p < n; p++ {
+			ev.cBack[k*n+p] = -1
+		}
+	}
+	w := 2 * (k + 1)
+	ev.cSel = make([]int32, n*w)
+	for p := 0; p < n; p++ {
+		sel := ev.cSel[p*w : (p+1)*w]
+		for a := 0; a < k; a++ {
+			next := A.Delta[p][a]
+			s := int32(next)
+			if ev.an.Comp[next] != ev.an.Comp[p] {
+				s |= selPushBit
+			}
+			if A.Accept[next] {
+				s |= selAccBit
+			}
+			sel[a<<1] = s
+			if ev.blind {
+				sel[a<<1|1] = int32(ev.backAny[p])
+			} else {
+				sel[a<<1|1] = int32(ev.back[a][p])
+			}
+		}
+		sel[k<<1] = -1
+		if ev.blind {
+			sel[k<<1|1] = int32(ev.backAny[p])
+		} else {
+			sel[k<<1|1] = -1
+		}
+	}
 }
 
 // Registers returns the number of registers currently in use (for the
@@ -225,4 +323,219 @@ func (ev *StacklessEvaluator) Step(e encoding.Event) {
 // immediately after Open events (pre-selection); see Evaluator.
 func (ev *StacklessEvaluator) Accepting() bool {
 	return !ev.poisoned && ev.an.D.Accept[ev.state]
+}
+
+// CodeAlphabet implements BatchEvaluator.
+func (ev *StacklessEvaluator) CodeAlphabet() *alphabet.Alphabet { return ev.an.D.Alphabet }
+
+// StepBatch implements BatchEvaluator. The loop is the fused-table form of
+// Step: depth moves first, the pop test runs unconditionally (record depths
+// are strictly increasing, so `depth < top` is unreachable right after an
+// open), and one cSel load then settles poison, push and target at once —
+// no branch on the event kind or on blindness. Effects per event match
+// Step's: a close pops its record before the label is consulted, so an
+// unknown label at a popping close does not poison. The only divergence is
+// the internal depth field after a poisoning *open* (incremented here,
+// frozen in Step), which nothing can observe once the machine is parked.
+// Loads and compares are batched in locals and stored back once per batch.
+func (ev *StacklessEvaluator) StepBatch(batch []encoding.CodedEvent) {
+	if ev.poisoned {
+		return
+	}
+	sel := ev.cSel
+	o := ev.obs
+	n := len(ev.cComp)
+	w := len(sel) / n // 2*(k+1)
+	state, depth := ev.state, ev.depth
+	recs := ev.records
+	topDepth := noRecordDepth
+	if len(recs) > 0 {
+		topDepth = recs[len(recs)-1].depth
+	}
+	loads, compares := ev.loads, ev.compares
+	for _, e := range batch {
+		kind := int(e.Kind)
+		depth += 1 - 2*kind
+		if depth < topDepth {
+			nr := len(recs) - 1
+			state = recs[nr].state
+			recs = recs[:nr]
+			topDepth = noRecordDepth
+			if nr > 0 {
+				topDepth = recs[nr-1].depth
+			}
+			compares++
+			continue
+		}
+		compares += int64(kind & b2i(len(recs) != 0))
+		t := sel[state*w+(int(e.Sym)<<1|kind)]
+		if t < 0 {
+			ev.poisoned = true
+			break
+		}
+		if t&selPushBit != 0 {
+			recs = append(recs, record{depth: depth, state: state})
+			topDepth = depth
+			loads++
+			if o != nil {
+				o.Registers.Observe(len(recs))
+			}
+		}
+		state = int(t & selStateMask)
+	}
+	ev.state, ev.depth, ev.records = state, depth, recs
+	ev.loads, ev.compares = loads, compares
+}
+
+// SelectBatch implements BatchEvaluator: StepBatch plus the pre-selection
+// acceptance check after each Open — free here, since the accept fact rides
+// on the same cSel entry (close columns never carry it).
+func (ev *StacklessEvaluator) SelectBatch(batch []encoding.CodedEvent, hits []int32) []int32 {
+	if ev.poisoned {
+		return hits
+	}
+	sel := ev.cSel
+	o := ev.obs
+	n := len(ev.cComp)
+	w := len(sel) / n
+	state, depth := ev.state, ev.depth
+	recs := ev.records
+	topDepth := noRecordDepth
+	if len(recs) > 0 {
+		topDepth = recs[len(recs)-1].depth
+	}
+	loads, compares := ev.loads, ev.compares
+	for i, e := range batch {
+		kind := int(e.Kind)
+		depth += 1 - 2*kind
+		if depth < topDepth {
+			nr := len(recs) - 1
+			state = recs[nr].state
+			recs = recs[:nr]
+			topDepth = noRecordDepth
+			if nr > 0 {
+				topDepth = recs[nr-1].depth
+			}
+			compares++
+			continue
+		}
+		compares += int64(kind & b2i(len(recs) != 0))
+		t := sel[state*w+(int(e.Sym)<<1|kind)]
+		if t < 0 {
+			ev.poisoned = true
+			break
+		}
+		if t&selPushBit != 0 {
+			recs = append(recs, record{depth: depth, state: state})
+			topDepth = depth
+			loads++
+			if o != nil {
+				o.Registers.Observe(len(recs))
+			}
+		}
+		state = int(t & selStateMask)
+		if t&selAccBit != 0 {
+			hits = append(hits, int32(i))
+		}
+	}
+	ev.state, ev.depth, ev.records = state, depth, recs
+	ev.loads, ev.compares = loads, compares
+	return hits
+}
+
+// SimulateSegmentCoded implements CodedSegmentKernel: SimulateSegment with
+// the label resolution hoisted out. The unknown row of cBack reproduces the
+// string kernel's lazy close resolution — popping runs survive an unknown
+// label, non-popping runs die — and an unknown open kills every run at once.
+func (ev *StacklessEvaluator) SimulateSegmentCoded(seg []encoding.CodedEvent, cands *CandSet) []SegmentExit {
+	n := len(ev.cComp)
+	kw := len(ev.cDelta) / n
+	acc := ev.an.D.Accept
+	st := make([]int32, n)
+	dead := make([]bool, n)
+	recs := make([][]record, n)
+	for i := range st {
+		st[i] = int32(i)
+	}
+	var loads, compares int64
+	var opens, depth int32
+	live := n
+	for idx := 0; idx < len(seg) && live > 0; idx++ {
+		e := seg[idx]
+		if e.Kind == encoding.Open {
+			if int(e.Sym) >= kw-1 {
+				live = 0
+				break
+			}
+			sym := int(e.Sym)
+			o := opens
+			opens++
+			depth++
+			var mask []uint64
+			for i := range st {
+				if dead[i] {
+					continue
+				}
+				s := int(st[i])
+				next := ev.cDelta[s*kw+sym]
+				if ev.cComp[next] != ev.cComp[s] {
+					recs[i] = append(recs[i], record{depth: int(depth), state: s})
+					loads++
+				}
+				st[i] = next
+				if cands != nil && acc[next] {
+					if mask == nil {
+						mask = cands.Add(int32(idx), o, depth)
+					}
+					mask[i/64] |= 1 << uint(i%64)
+				}
+			}
+			continue
+		}
+		depth--
+		sym := int(e.Sym)
+		for i := range st {
+			if dead[i] {
+				continue
+			}
+			if nr := len(recs[i]); nr > 0 {
+				compares++
+				if int(depth) < recs[i][nr-1].depth {
+					st[i] = int32(recs[i][nr-1].state)
+					recs[i] = recs[i][:nr-1]
+					continue
+				}
+			}
+			var cand int32
+			if ev.blind {
+				cand = ev.cBackAny[st[i]]
+			} else {
+				cand = ev.cBack[sym*n+int(st[i])]
+			}
+			if cand < 0 {
+				dead[i] = true
+				live--
+				continue
+			}
+			st[i] = cand
+		}
+	}
+	if ev.obs != nil {
+		ev.obs.RegisterLoads.Add(loads)
+		ev.obs.RegisterCompares.Add(compares)
+	}
+	exits := make([]SegmentExit, n)
+	for i := range exits {
+		if live == 0 || dead[i] {
+			exits[i] = SegmentExit{State: -1}
+			continue
+		}
+		var rc []record
+		if len(recs[i]) > 0 {
+			rc = make([]record, len(recs[i]))
+			copy(rc, recs[i])
+		}
+		exits[i] = SegmentExit{State: int(st[i]), Regs: rc}
+	}
+	return exits
 }

@@ -242,6 +242,169 @@ func (m *SynopsisMachine) Accepting() bool {
 	return !m.poisoned && m.cur == synTop
 }
 
+// CodeAlphabet implements BatchEvaluator.
+func (m *SynopsisMachine) CodeAlphabet() *alphabet.Alphabet { return m.an.D.Alphabet }
+
+// stepCoded is Step over a coded event: the memo rows are indexed by the
+// Sym directly, with the unknown sentinel (Sym ≥ alphabet size) poisoning
+// exactly where the string path's resolver miss does — in particular the B′
+// leaf check on closing tags still runs *before* the label is consulted,
+// and blind machines never consult it at all.
+func (m *SynopsisMachine) stepCoded(e encoding.CodedEvent) {
+	if m.poisoned || m.cur == synTop || m.cur == synBot {
+		m.lastWasOpen = e.Kind == encoding.Open
+		return
+	}
+	k := alphabet.Sym(m.an.D.Alphabet.Size())
+	if e.Kind == encoding.Open {
+		if e.Sym >= k {
+			m.poisoned = true
+			return
+		}
+		if m.openMemo[m.cur][e.Sym] == -3 {
+			m.openMemo[m.cur][e.Sym] = m.openStep(m.states[m.cur], int(e.Sym))
+		}
+		m.cur = m.openMemo[m.cur][e.Sym]
+		m.lastWasOpen = true
+		return
+	}
+	st := m.states[m.cur].last()
+	if m.lastWasOpen && st.p == st.q && m.an.D.Accept[st.p] {
+		m.cur = synTop
+		m.lastWasOpen = false
+		return
+	}
+	m.lastWasOpen = false
+	sym := 0
+	if !m.blind {
+		if e.Sym >= k {
+			m.poisoned = true
+			return
+		}
+		sym = int(e.Sym)
+	}
+	if m.closeMemo[m.cur][sym] == -3 {
+		m.closeMemo[m.cur][sym] = m.closeStep(m.states[m.cur], sym)
+	}
+	m.cur = m.closeMemo[m.cur][sym]
+}
+
+// StepBatch implements BatchEvaluator. The loop is stepCoded unrolled with
+// the machine fields in locals; memo misses (which may intern new states and
+// grow the backing slices) re-sync the hoisted slices before continuing.
+func (m *SynopsisMachine) StepBatch(batch []encoding.CodedEvent) {
+	k := alphabet.Sym(m.an.D.Alphabet.Size())
+	accD := m.an.D.Accept
+	blind := m.blind
+	states, openMemo, closeMemo := m.states, m.openMemo, m.closeMemo
+	cur, lwo, poisoned := m.cur, m.lastWasOpen, m.poisoned
+	for _, e := range batch {
+		if poisoned || cur == synTop || cur == synBot {
+			lwo = e.Kind == encoding.Open
+			continue
+		}
+		if e.Kind == encoding.Open {
+			if e.Sym >= k {
+				poisoned = true
+				continue
+			}
+			t := openMemo[cur][e.Sym]
+			if t == -3 {
+				t = m.openStep(states[cur], int(e.Sym))
+				openMemo[cur][e.Sym] = t
+				states, openMemo, closeMemo = m.states, m.openMemo, m.closeMemo
+			}
+			cur = t
+			lwo = true
+			continue
+		}
+		st := states[cur].last()
+		if lwo && st.p == st.q && accD[st.p] {
+			cur = synTop
+			lwo = false
+			continue
+		}
+		lwo = false
+		sym := 0
+		if !blind {
+			if e.Sym >= k {
+				poisoned = true
+				continue
+			}
+			sym = int(e.Sym)
+		}
+		t := closeMemo[cur][sym]
+		if t == -3 {
+			t = m.closeStep(states[cur], sym)
+			closeMemo[cur][sym] = t
+			states, openMemo, closeMemo = m.states, m.openMemo, m.closeMemo
+		}
+		cur = t
+	}
+	m.cur, m.lastWasOpen, m.poisoned = cur, lwo, poisoned
+}
+
+// SelectBatch implements BatchEvaluator: the StepBatch loop with the ⊤
+// check after each Open (a machine already in ⊤ keeps selecting every Open).
+func (m *SynopsisMachine) SelectBatch(batch []encoding.CodedEvent, hits []int32) []int32 {
+	k := alphabet.Sym(m.an.D.Alphabet.Size())
+	accD := m.an.D.Accept
+	blind := m.blind
+	states, openMemo, closeMemo := m.states, m.openMemo, m.closeMemo
+	cur, lwo, poisoned := m.cur, m.lastWasOpen, m.poisoned
+	for i, e := range batch {
+		if poisoned || cur == synTop || cur == synBot {
+			lwo = e.Kind == encoding.Open
+			if lwo && cur == synTop && !poisoned {
+				hits = append(hits, int32(i))
+			}
+			continue
+		}
+		if e.Kind == encoding.Open {
+			if e.Sym >= k {
+				poisoned = true
+				continue
+			}
+			t := openMemo[cur][e.Sym]
+			if t == -3 {
+				t = m.openStep(states[cur], int(e.Sym))
+				openMemo[cur][e.Sym] = t
+				states, openMemo, closeMemo = m.states, m.openMemo, m.closeMemo
+			}
+			cur = t
+			lwo = true
+			if cur == synTop {
+				hits = append(hits, int32(i))
+			}
+			continue
+		}
+		st := states[cur].last()
+		if lwo && st.p == st.q && accD[st.p] {
+			cur = synTop
+			lwo = false
+			continue
+		}
+		lwo = false
+		sym := 0
+		if !blind {
+			if e.Sym >= k {
+				poisoned = true
+				continue
+			}
+			sym = int(e.Sym)
+		}
+		t := closeMemo[cur][sym]
+		if t == -3 {
+			t = m.closeStep(states[cur], sym)
+			closeMemo[cur][sym] = t
+			states, openMemo, closeMemo = m.states, m.openMemo, m.closeMemo
+		}
+		cur = t
+	}
+	m.cur, m.lastWasOpen, m.poisoned = cur, lwo, poisoned
+	return hits
+}
+
 // openStep implements the opening-tag transitions of Lemma 3.11.
 func (m *SynopsisMachine) openStep(s synopsis, a int) int {
 	an := m.an
@@ -375,6 +538,26 @@ func (n *negated) Reset()                { n.inner.Reset() }
 func (n *negated) Step(e encoding.Event) { n.inner.Step(e) }
 func (n *negated) Accepting() bool {
 	return !n.inner.Poisoned() && !n.inner.Accepting()
+}
+
+// CodeAlphabet implements BatchEvaluator (the complement machine keeps L's
+// alphabet, so codes agree).
+func (n *negated) CodeAlphabet() *alphabet.Alphabet { return n.inner.CodeAlphabet() }
+
+// StepBatch implements BatchEvaluator.
+func (n *negated) StepBatch(batch []encoding.CodedEvent) { n.inner.StepBatch(batch) }
+
+// SelectBatch implements BatchEvaluator. Acceptance is the negation of the
+// inner machine's, so the inner hit list is useless here; step one event at
+// a time and test the wrapped predicate.
+func (n *negated) SelectBatch(batch []encoding.CodedEvent, hits []int32) []int32 {
+	for i, e := range batch {
+		n.inner.stepCoded(e)
+		if e.Kind == encoding.Open && n.Accepting() {
+			hits = append(hits, int32(i))
+		}
+	}
+	return hits
 }
 
 // RegisterlessAL compiles a finite-automaton recognizer of AL via the

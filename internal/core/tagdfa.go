@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"stackless/internal/alphabet"
 	"stackless/internal/encoding"
 )
@@ -21,6 +23,55 @@ type TagDFA struct {
 	// CloseAny[q] is the successor on the universal closing tag ◁ (term
 	// encoding); nil for markup-encoding automata.
 	CloseAny []int
+
+	// Compiled form (DESIGN.md §11), built lazily on first batched use and
+	// cached — the automaton must not be mutated after its first evaluator
+	// runs a coded batch. ctab is a flat (n+1)×2(k+1) table: row q, column
+	// (sym<<1 | kind) with sym in [0,k] (k = the unknown sentinel) and kind
+	// Open=0/Close=1. Row n is the dead state — absorbing, never accepting —
+	// which the unknown columns row into (term-encoding close columns instead
+	// row into CloseAny for every sym: ◁ ignores the label). Stepping is one
+	// table load per event, branch-free.
+	compileOnce sync.Once
+	ctab        []int32
+	cacc        []bool
+}
+
+// compiled returns the flat table, its acceptance vector (length n+1,
+// dead = false), the row stride 2(k+1) and the dead state id n.
+func (t *TagDFA) compiled() (tab []int32, acc []bool, stride, dead int32) {
+	t.compileOnce.Do(func() {
+		n := t.NumStates()
+		k := t.Alphabet.Size()
+		w := int32(2 * (k + 1))
+		ctab := make([]int32, (int32(n)+1)*w)
+		cacc := make([]bool, n+1)
+		d := int32(n)
+		for q := 0; q <= n; q++ {
+			row := ctab[int32(q)*w : int32(q)*w+w]
+			for c := range row {
+				row[c] = d
+			}
+			if q == n {
+				continue
+			}
+			cacc[q] = t.Accept[q]
+			for s := 0; s < k; s++ {
+				row[s<<1] = int32(t.OpenT[q][s])
+			}
+			if t.CloseAny != nil {
+				for s := 0; s <= k; s++ {
+					row[s<<1|1] = int32(t.CloseAny[q])
+				}
+			} else {
+				for s := 0; s < k; s++ {
+					row[s<<1|1] = int32(t.CloseT[q][s])
+				}
+			}
+		}
+		t.ctab, t.cacc = ctab, cacc
+	})
+	return t.ctab, t.cacc, int32(2 * (t.Alphabet.Size() + 1)), int32(t.NumStates())
 }
 
 // NumStates returns the number of states.
@@ -98,4 +149,98 @@ func (ev *tagEvaluator) Step(e encoding.Event) {
 
 func (ev *tagEvaluator) Accepting() bool {
 	return !ev.poisoned && ev.t.Accept[ev.state]
+}
+
+// CodeAlphabet implements BatchEvaluator.
+func (ev *tagEvaluator) CodeAlphabet() *alphabet.Alphabet { return ev.t.Alphabet }
+
+// StepBatch implements BatchEvaluator: one table load per event, no
+// branches. Poison is the dead row of the compiled table, entered through
+// the unknown columns and mapped back to the poisoned flag afterwards (the
+// frozen pre-poison state is unobservable either way: Accepting and the
+// chunk methods check the flag first).
+func (ev *tagEvaluator) StepBatch(batch []encoding.CodedEvent) {
+	tab, _, stride, dead := ev.t.compiled()
+	st := int32(ev.state)
+	if ev.poisoned {
+		st = dead
+	}
+	for _, e := range batch {
+		st = tab[st*stride+(int32(e.Sym)<<1|int32(e.Kind))]
+	}
+	if st == dead {
+		ev.poisoned = true
+	} else {
+		ev.state = int(st)
+	}
+}
+
+// SelectBatch implements BatchEvaluator.
+func (ev *tagEvaluator) SelectBatch(batch []encoding.CodedEvent, hits []int32) []int32 {
+	tab, acc, stride, dead := ev.t.compiled()
+	st := int32(ev.state)
+	if ev.poisoned {
+		st = dead
+	}
+	for i, e := range batch {
+		st = tab[st*stride+(int32(e.Sym)<<1|int32(e.Kind))]
+		if e.Kind == encoding.Open && acc[st] {
+			hits = append(hits, int32(i))
+		}
+	}
+	if st == dead {
+		ev.poisoned = true
+	} else {
+		ev.state = int(st)
+	}
+	return hits
+}
+
+// SimulateSegmentCoded implements CodedSegmentKernel: the lockstep all-states
+// pass of SimulateSegment over a coded segment. Unknown labels drive every
+// run into the dead row (never accepting), which the exit mapping reports as
+// the poisoned exit -1 — identical to the string kernel's early break.
+//
+//treelint:plain
+func (ev *tagEvaluator) SimulateSegmentCoded(seg []encoding.CodedEvent, cands *CandSet) []SegmentExit {
+	tab, acc, stride, dead := ev.t.compiled()
+	n := ev.t.NumStates()
+	cur := make([]int32, n)
+	for i := range cur {
+		cur[i] = int32(i)
+	}
+	var opens, depth int32
+	for idx := 0; idx < len(seg); idx++ {
+		e := seg[idx]
+		col := int32(e.Sym)<<1 | int32(e.Kind)
+		if e.Kind == encoding.Close {
+			depth--
+			for i := range cur {
+				cur[i] = tab[cur[i]*stride+col]
+			}
+			continue
+		}
+		o := opens
+		opens++
+		depth++
+		var mask []uint64
+		for i := range cur {
+			cur[i] = tab[cur[i]*stride+col]
+			if cands != nil && acc[cur[i]] {
+				if mask == nil {
+					mask = cands.Add(int32(idx), o, depth)
+				}
+				mask[i/64] |= 1 << uint(i%64)
+			}
+		}
+	}
+	exits := make([]SegmentExit, n)
+	for i := range exits {
+		if cur[i] == dead {
+			exits[i] = SegmentExit{State: -1}
+		} else {
+			exits[i] = SegmentExit{State: int(cur[i])}
+		}
+	}
+	return exits
 }

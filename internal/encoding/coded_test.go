@@ -1,0 +1,155 @@
+package encoding
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"stackless/internal/alphabet"
+)
+
+func codedEq(a, b CodedEvent) bool { return a == b }
+
+func TestCodeEvents(t *testing.T) {
+	coder := alphabet.NewCoder(alphabet.Letters("ab"))
+	events := []Event{
+		{Kind: Open, Label: "a"},
+		{Kind: Open, Label: "zz"},
+		{Kind: Close, Label: "zz"},
+		{Kind: Close, Label: "a"},
+		{Kind: Open, Label: "b"},
+		{Kind: Close}, // term-style close: empty label is outside any alphabet
+	}
+	got := CodeEvents(coder, events, nil)
+	want := []CodedEvent{
+		{Sym: 0, Kind: Open},
+		{Sym: 2, Kind: Open},
+		{Sym: 2, Kind: Close},
+		{Sym: 0, Kind: Close},
+		{Sym: 1, Kind: Open},
+		{Sym: 2, Kind: Close},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !codedEq(got[i], want[i]) {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Appending into an existing buffer preserves the prefix.
+	buf := CodeEvents(coder, events[:2], nil)
+	buf = CodeEvents(coder, events[2:], buf)
+	for i := range want {
+		if !codedEq(buf[i], want[i]) {
+			t.Fatalf("append mode, event %d: got %+v, want %+v", i, buf[i], want[i])
+		}
+	}
+}
+
+// funnelSource hides a SliceSource behind the generic interface so the
+// Batcher takes its per-event path.
+type funnelSource struct{ inner *SliceSource }
+
+func (f *funnelSource) Next() (Event, error) { return f.inner.Next() }
+
+func batcherDoc(n int) []Event {
+	var events []Event
+	labels := []string{"a", "b", "zz"}
+	for i := 0; i < n; i++ {
+		l := labels[i%len(labels)]
+		events = append(events, Event{Kind: Open, Label: l}, Event{Kind: Close, Label: l})
+	}
+	return events
+}
+
+func TestBatcherSliceAndGenericAgree(t *testing.T) {
+	events := batcherDoc(1000) // 2000 events: several size-64 batches
+	coder := alphabet.NewCoder(alphabet.Letters("ab"))
+	for _, tc := range []struct {
+		name string
+		src  Source
+	}{
+		{"slice", NewSliceSource(events)},
+		{"generic", &funnelSource{inner: NewSliceSource(events)}},
+	} {
+		b := NewBatcher(tc.src, coder, 64)
+		var coded []CodedEvent
+		var labels []string
+		totalOpens := 0
+		for {
+			batch, opens, err := b.NextBatch()
+			for i := range batch {
+				coded = append(coded, batch[i])
+				labels = append(labels, b.BatchLabel(i))
+			}
+			totalOpens += opens
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			if len(batch) == 0 {
+				t.Fatalf("%s: empty batch without error", tc.name)
+			}
+			if len(batch) > 64 {
+				t.Fatalf("%s: batch of %d exceeds requested size", tc.name, len(batch))
+			}
+		}
+		if len(coded) != len(events) {
+			t.Fatalf("%s: %d coded events, want %d", tc.name, len(coded), len(events))
+		}
+		if totalOpens != 1000 {
+			t.Fatalf("%s: %d opens, want 1000", tc.name, totalOpens)
+		}
+		for i, e := range events {
+			wantSym := coder.Code(e.Label)
+			if coded[i].Sym != wantSym || coded[i].Kind != e.Kind {
+				t.Fatalf("%s: event %d: got %+v, want {%d %v}", tc.name, i, coded[i], wantSym, e.Kind)
+			}
+			if labels[i] != e.Label {
+				t.Fatalf("%s: event %d: BatchLabel %q, want %q", tc.name, i, labels[i], e.Label)
+			}
+		}
+		// The error is sticky.
+		if _, _, err := b.NextBatch(); err != io.EOF {
+			t.Fatalf("%s: repeated NextBatch error = %v, want io.EOF", tc.name, err)
+		}
+	}
+}
+
+func TestBatcherDefaultSize(t *testing.T) {
+	b := NewBatcher(NewSliceSource(batcherDoc(3*DefaultBatch)), alphabet.NewCoder(alphabet.Letters("ab")), 0)
+	batch, _, err := b.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != DefaultBatch {
+		t.Fatalf("batch size %d, want DefaultBatch %d", len(batch), DefaultBatch)
+	}
+}
+
+// TestBatcherPartialBatchWithError: a source error must be delivered with
+// the final partial batch, and repeated afterwards.
+func TestBatcherPartialBatchWithError(t *testing.T) {
+	src := CheckBalance(NewSliceSource([]Event{
+		{Kind: Open, Label: "a"},
+		{Kind: Close, Label: "a"},
+		{Kind: Close, Label: "a"}, // unbalanced: error from the source
+	}))
+	b := NewBatcher(src, alphabet.NewCoder(alphabet.Letters("a")), 8)
+	batch, opens, err := b.NextBatch()
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+	if len(batch) != 2 || opens != 1 {
+		t.Fatalf("partial batch len %d opens %d, want 2 and 1", len(batch), opens)
+	}
+	if b.BatchLabel(0) != "a" || b.BatchLabel(1) != "a" {
+		t.Fatal("labels of the partial batch must be retained")
+	}
+	if _, _, err2 := b.NextBatch(); !errors.Is(err2, ErrMalformed) {
+		t.Fatalf("repeated err = %v, want sticky ErrMalformed", err2)
+	}
+}

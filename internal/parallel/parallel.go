@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"stackless/internal/alphabet"
 	"stackless/internal/core"
 	"stackless/internal/encoding"
 	"stackless/internal/obs"
@@ -102,7 +103,12 @@ func cutPieces(events []encoding.Event, lo, hi int, policy core.CutPolicy) []pie
 
 // summarize simulates every segment piece of a chunk on a forked machine,
 // filling exits, opens/delta and (when wantMatches) the candidate sets.
-func summarize(m core.Chunkable, events []encoding.Event, pieces []piece, wantMatches bool) {
+// When the stream has been coded (coded non-nil, index-aligned with events)
+// and the machine has a coded kernel, segments run through it — the hot
+// path of the compiled pipeline under parallel evaluation.
+func summarize(m core.Chunkable, events []encoding.Event, coded []encoding.CodedEvent, pieces []piece, wantMatches bool) {
+	ckernel, hasCoded := m.(core.CodedSegmentKernel)
+	hasCoded = hasCoded && coded != nil
 	kernel, hasKernel := m.(core.SegmentKernel)
 	for pi := range pieces {
 		pc := &pieces[pi]
@@ -122,13 +128,40 @@ func summarize(m core.Chunkable, events []encoding.Event, pieces []piece, wantMa
 		if wantMatches {
 			cands = core.NewCandSet(m.ChunkStates())
 		}
-		if hasKernel {
+		switch {
+		case hasCoded:
+			pc.exits = ckernel.SimulateSegmentCoded(coded[pc.lo:pc.hi], cands)
+		case hasKernel:
 			pc.exits = kernel.SimulateSegment(seg, cands)
-		} else {
+		default:
 			pc.exits = core.SimulateSegmentGeneric(m, seg, cands)
 		}
 		pc.cands = cands
 	}
+}
+
+// codeStream lowers the whole buffered stream once when the machine runs
+// the compiled pipeline end to end (batch stepping and a coded segment
+// kernel); nil otherwise. One coder, so hashing is per distinct label.
+func codeStream(m core.Chunkable, events []encoding.Event) []encoding.CodedEvent {
+	be, ok := m.(core.BatchEvaluator)
+	if !ok {
+		return nil
+	}
+	if _, ok := m.(core.CodedSegmentKernel); !ok {
+		return nil
+	}
+	return encoding.CodeEvents(alphabet.NewCoder(be.CodeAlphabet()), events, make([]encoding.CodedEvent, 0, len(events)))
+}
+
+// Coded reports whether the machine takes the compiled pipeline here: used
+// by the public API's Stats.Pipeline.
+func Coded(m core.Chunkable) bool {
+	if _, ok := m.(core.BatchEvaluator); !ok {
+		return false
+	}
+	_, ok := m.(core.CodedSegmentKernel)
+	return ok
 }
 
 // runSequential is the fallback when chunking cannot help: one pass on the
@@ -148,6 +181,40 @@ func runSequential(m core.Chunkable, events []encoding.Event, fn func(core.Match
 		m.Step(e)
 		if fn != nil && e.Kind == encoding.Open && m.Accepting() {
 			fn(core.Match{Pos: pos, Depth: depth, Label: e.Label})
+		}
+	}
+}
+
+// runSequentialCoded is runSequential through the compiled pipeline: the
+// already-coded stream is batch-stepped as a whole, and the events are
+// walked (for positions, depths and labels) only when there are hits to
+// report.
+//
+//treelint:plain
+func runSequentialCoded(be core.BatchEvaluator, events []encoding.Event, coded []encoding.CodedEvent, fn func(core.Match)) {
+	be.Reset()
+	if fn == nil {
+		be.StepBatch(coded)
+		return
+	}
+	hits := be.SelectBatch(coded, nil)
+	if len(hits) == 0 {
+		return
+	}
+	pos, depth, hi := -1, 0, 0
+	for i, e := range events {
+		if e.Kind != encoding.Open {
+			depth--
+			continue
+		}
+		pos++
+		depth++
+		if hits[hi] == int32(i) {
+			fn(core.Match{Pos: pos, Depth: depth, Label: e.Label})
+			hi++
+			if hi == len(hits) {
+				return
+			}
 		}
 	}
 }
@@ -179,11 +246,16 @@ func run(p *Pool, m core.Chunkable, events []encoding.Event, cuts []int, c *obs.
 			}
 		}
 	}
+	coded := codeStream(m, events)
 	if policy == core.CutAll || len(cuts) == 0 {
 		// CutAll: every event would be a boundary, so the join would replay
 		// the whole stream anyway; skip the summaries.
 		if c != nil {
 			c.SeqFallbacks.Inc()
+		}
+		if coded != nil {
+			runSequentialCoded(m.(core.BatchEvaluator), events, coded, fn)
+			return
 		}
 		runSequential(m, events, fn)
 		return
@@ -216,14 +288,14 @@ func run(p *Pool, m core.Chunkable, events []encoding.Event, cuts []int, c *obs.
 			defer wg.Done()
 			if c == nil {
 				pieces := cutPieces(events, lo, hi, policy)
-				summarize(fork, events, pieces, wantMatches)
+				summarize(fork, events, coded, pieces, wantMatches)
 				chunkPieces[ci] = pieces
 				return
 			}
 			t0 := time.Now()
 			pieces := cutPieces(events, lo, hi, policy)
 			t1 := time.Now()
-			summarize(fork, events, pieces, wantMatches)
+			summarize(fork, events, coded, pieces, wantMatches)
 			t2 := time.Now()
 			c.Phases[obs.PhaseSplit].Observe(t1.Sub(t0))
 			c.Phases[obs.PhaseSimulate].Observe(t2.Sub(t1))

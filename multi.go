@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"stackless/internal/alphabet"
 	"stackless/internal/core"
 	"stackless/internal/encoding"
 	"stackless/internal/obs"
@@ -46,8 +47,15 @@ type MultiStats struct {
 	Events int
 	// Matches per query.
 	Matches []int
-	// Workers used for chunk-parallel evaluation (1 = sequential pass).
+	// Workers used for chunk-parallel evaluation (1 = sequential pass);
+	// Options.Workers clamped to GOMAXPROCS, as in Stats.
 	Workers int
+	// Pipeline actually used: "coded" when every query's machine ran the
+	// compiled symbol-coded pipeline, "string" when at least one query took
+	// the per-event path. The sequential coded fast path steps each machine
+	// in whole batches and requires all machines to compile and no
+	// Collector (instrumented runs keep the per-event pass).
+	Pipeline string
 }
 
 // SelectXML streams the document once and reports each query's matches.
@@ -62,6 +70,7 @@ func (m *MultiQuery) SelectJSON(r io.Reader, opt Options, fn func(MultiMatch)) (
 
 func (m *MultiQuery) selectSource(src encoding.Source, enc Encoding, opt Options, fn func(MultiMatch)) (MultiStats, error) {
 	src = opt.guard(src)
+	opt.Workers = effectiveWorkers(opt.Workers)
 	c := opt.Collector
 	stats := MultiStats{
 		Strategies: make([]Strategy, len(m.queries)),
@@ -90,6 +99,11 @@ func (m *MultiQuery) selectSource(src encoding.Source, enc Encoding, opt Options
 		return m.selectParallel(src, opt, evs, stats, fn)
 	}
 	stats.Workers = 1
+	if c == nil && allCoded(evs) {
+		stats.Pipeline = "coded"
+		return m.selectBatched(src, evs, stats, fn)
+	}
+	stats.Pipeline = "string"
 	pos := -1
 	depth := 0
 	// Every machine steps on every event, so the collector counts events
@@ -133,6 +147,92 @@ func (m *MultiQuery) selectSource(src encoding.Source, enc Encoding, opt Options
 	}
 }
 
+// allCoded reports whether every machine supports the compiled pipeline.
+func allCoded(evs []core.Evaluator) bool {
+	for _, ev := range evs {
+		if !core.CodedCapable(ev) {
+			return false
+		}
+	}
+	return true
+}
+
+// selectBatched is the compiled fast path of the sequential multi-query
+// pass: the document is read in batches, each machine codes the batch
+// under its own alphabet (one reusable buffer per machine) and steps it
+// whole; matches are replayed from the per-machine hit lists in the exact
+// (position, query) order of the per-event pass.
+//
+//treelint:plain
+func (m *MultiQuery) selectBatched(src encoding.Source, evs []core.Evaluator, stats MultiStats, fn func(MultiMatch)) (MultiStats, error) {
+	n := len(evs)
+	bes := make([]core.BatchEvaluator, n)
+	coders := make([]*alphabet.Coder, n)
+	coded := make([][]encoding.CodedEvent, n)
+	hits := make([][]int32, n)
+	next := make([]int, n)
+	for i, ev := range evs {
+		bes[i] = ev.(core.BatchEvaluator)
+		coders[i] = alphabet.NewCoder(bes[i].CodeAlphabet())
+	}
+	batch := make([]encoding.Event, 0, encoding.DefaultBatch)
+	pos, depth := -1, 0
+	for {
+		batch = batch[:0]
+		opens := 0
+		var srcErr error
+		for len(batch) < encoding.DefaultBatch {
+			e, err := src.Next()
+			if err != nil {
+				srcErr = err
+				break
+			}
+			if e.Kind == encoding.Open {
+				opens++
+			}
+			batch = append(batch, e)
+		}
+		if len(batch) > 0 {
+			stats.Events += len(batch)
+			anyHits := false
+			for i := range bes {
+				coded[i] = encoding.CodeEvents(coders[i], batch, coded[i][:0])
+				hits[i] = bes[i].SelectBatch(coded[i], hits[i][:0])
+				next[i] = 0
+				anyHits = anyHits || len(hits[i]) > 0
+			}
+			if !anyHits {
+				pos += opens
+				depth += 2*opens - len(batch)
+			} else {
+				for j := range batch {
+					if batch[j].Kind != encoding.Open {
+						depth--
+						continue
+					}
+					pos++
+					depth++
+					for i := range bes {
+						if next[i] < len(hits[i]) && hits[i][next[i]] == int32(j) {
+							next[i]++
+							stats.Matches[i]++
+							if fn != nil {
+								fn(MultiMatch{Query: i, Match: Match{Pos: pos, Depth: depth, Label: batch[j].Label}})
+							}
+						}
+					}
+				}
+			}
+		}
+		if srcErr == io.EOF {
+			return stats, nil
+		}
+		if srcErr != nil {
+			return stats, srcErr
+		}
+	}
+}
+
 // selectParallel fans the queries — and, for chunkable machines, their
 // chunks — across the shared worker pool, then merges the per-query match
 // streams back into the exact emission order of the sequential pass
@@ -148,6 +248,16 @@ func (m *MultiQuery) selectParallel(src encoding.Source, opt Options, evs []core
 		return stats, err
 	}
 	stats.Workers = opt.Workers
+	stats.Pipeline = "coded"
+	for _, ev := range evs {
+		if cm, ok := ev.(core.Chunkable); ok {
+			if !parallel.Coded(cm) {
+				stats.Pipeline = "string"
+			}
+		} else if !core.CodedCapable(ev) {
+			stats.Pipeline = "string"
+		}
+	}
 	perQuery := make([][]Match, len(evs))
 	var wg sync.WaitGroup
 	for i, ev := range evs {
@@ -165,7 +275,7 @@ func (m *MultiQuery) selectParallel(src encoding.Source, opt Options, evs []core
 			if c != nil {
 				c.SeqFallbacks.Inc()
 			}
-			_, _ = core.SelectObs(ev, c, encoding.NewSliceSource(events), collect)
+			_, _ = core.SelectCodedObs(ev, c, encoding.NewSliceSource(events), collect)
 		}()
 	}
 	wg.Wait()

@@ -74,6 +74,7 @@ func TestObsDisabledZeroAllocs(t *testing.T) {
 // chunk-parallel through the public API and checks the collector totals are
 // identical — events, matches, and the chunking composition invariant.
 func TestObsCollectorPublicParity(t *testing.T) {
+	withProcs(t, 4)
 	rng := rand.New(rand.NewSource(43))
 	for name, q := range map[string]*Query{
 		"registerless": MustCompileRegex("a.*b", abc),
@@ -120,6 +121,7 @@ func TestObsCollectorPublicParity(t *testing.T) {
 // policy name, the fallback reason for non-chunkable strategies, and the
 // stack-depth histogram of the pushdown baseline.
 func TestObsStatsCutPolicy(t *testing.T) {
+	withProcs(t, 4)
 	doc := "<a><a><b></b></a><b></b></a>"
 
 	q := MustCompileRegex(".*a.*b", abc) // HAR: stackless machine, cuts at new minima
@@ -156,6 +158,7 @@ func TestObsStatsCutPolicy(t *testing.T) {
 // every machine steps on every event, so Events counts events × queries in
 // both modes — and that the parallel path times its merge phase.
 func TestObsMultiQueryCollector(t *testing.T) {
+	withProcs(t, 4)
 	q1 := MustCompileRegex("a.*b", abc)
 	q2 := MustCompileRegex(".*a.*b", abc)
 	q3 := MustCompileRegex(".*ab", abc) // stack-only: sequential inside the fan-out

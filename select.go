@@ -2,6 +2,7 @@ package stackless
 
 import (
 	"io"
+	"runtime"
 
 	"stackless/internal/core"
 	"stackless/internal/encoding"
@@ -47,9 +48,14 @@ type Stats struct {
 	// Matches reported.
 	Matches int
 	// Workers that evaluated chunks concurrently: 1 for a sequential run
-	// (including when the strategy cannot be chunked), Options.Workers for
-	// a chunk-parallel one.
+	// (including when the strategy cannot be chunked), the effective worker
+	// count — Options.Workers clamped to GOMAXPROCS — for a chunk-parallel
+	// one.
 	Workers int
+	// Pipeline actually used: "coded" when the chosen machine compiled to
+	// the symbol-coded batch pipeline (dense transition tables, see
+	// DESIGN.md §11), "string" for the per-event label-resolving path.
+	Pipeline string
 	// Chunks the stream was split into: 1 for any sequential pass,
 	// including parallel requests that degraded (see Fallback).
 	Chunks int
@@ -78,13 +84,15 @@ type Options struct {
 	// tags do not balance (gross transport errors), at one counter's cost.
 	TrustInput bool
 	// Workers > 1 evaluates the stream chunk-parallel on the shared worker
-	// pool: the events are buffered, split into Workers chunks, simulated
+	// pool: the events are buffered, split into chunks, simulated
 	// concurrently from every machine state and joined (see
 	// internal/parallel and DESIGN.md §8). The match set is identical to
-	// the sequential run. Falls back to sequential evaluation when the
-	// chosen strategy cannot be chunked (the pushdown fallback and the
-	// synopsis EL machine); note that chunking trades the model's O(1)
-	// memory for throughput by buffering the event stream.
+	// the sequential run. The count is clamped to GOMAXPROCS — requesting
+	// more workers than cores only adds join overhead (EXPERIMENTS.md);
+	// Stats.Workers reports the clamped value. Falls back to sequential
+	// evaluation when the chosen strategy cannot be chunked (the pushdown
+	// fallback and the synopsis EL machine); note that chunking trades the
+	// model's O(1) memory for throughput by buffering the event stream.
 	Workers int
 	// Collector, when non-nil, receives detailed metrics for the run —
 	// counters, histograms and phase timings beyond what Stats reports
@@ -98,6 +106,16 @@ func (o Options) guard(src encoding.Source) encoding.Source {
 		return src
 	}
 	return encoding.CheckBalance(src)
+}
+
+// effectiveWorkers clamps a requested worker count to GOMAXPROCS: beyond
+// the core count extra chunks only add boundary-replay and join work (the
+// workers=2-on-1-core regression in EXPERIMENTS.md).
+func effectiveWorkers(n int) int {
+	if p := runtime.GOMAXPROCS(0); n > p {
+		return p
+	}
+	return n
 }
 
 // SelectXML streams an XML document and calls fn for each node selected by
@@ -126,6 +144,7 @@ func (q *Query) SelectTerm(r io.Reader, opt Options, fn func(Match)) (Stats, err
 
 func (q *Query) selectSource(src encoding.Source, enc Encoding, opt Options, fn func(Match)) (Stats, error) {
 	src = opt.guard(src)
+	opt.Workers = effectiveWorkers(opt.Workers)
 	c := opt.Collector
 	var ev core.Evaluator
 	var st Strategy
@@ -152,6 +171,11 @@ func (q *Query) selectSource(src encoding.Source, enc Encoding, opt Options, fn 
 		}
 	}
 	if cm, ok := ev.(core.Chunkable); ok && opt.Workers > 1 {
+		if parallel.Coded(cm) {
+			stats.Pipeline = "coded"
+		} else {
+			stats.Pipeline = "string"
+		}
 		events, err := encoding.ReadAll(src)
 		stats.Events = len(events)
 		if err != nil {
@@ -181,7 +205,12 @@ func (q *Query) selectSource(src encoding.Source, enc Encoding, opt Options, fn 
 			c.SeqFallbacks.Inc()
 		}
 	}
-	events, err := core.SelectObs(ev, c, src, report)
+	if core.CodedCapable(ev) {
+		stats.Pipeline = "coded"
+	} else {
+		stats.Pipeline = "string"
+	}
+	events, err := core.SelectCodedObs(ev, c, src, report)
 	stats.Events = events
 	return stats, err
 }
@@ -214,6 +243,7 @@ func (q *Query) recognize(src encoding.Source, enc Encoding, opt Options,
 	pickFn func(Encoding, bool) (core.Evaluator, Strategy, error),
 	stackFn func() core.Evaluator) (bool, Stats, error) {
 	src = opt.guard(src)
+	opt.Workers = effectiveWorkers(opt.Workers)
 	c := opt.Collector
 	var ev core.Evaluator
 	var st Strategy
@@ -234,6 +264,11 @@ func (q *Query) recognize(src encoding.Source, enc Encoding, opt Options,
 	}
 	stats := Stats{Strategy: st, Workers: 1, Chunks: 1}
 	if cm, chunkable := ev.(core.Chunkable); chunkable && opt.Workers > 1 {
+		if parallel.Coded(cm) {
+			stats.Pipeline = "coded"
+		} else {
+			stats.Pipeline = "string"
+		}
 		events, err := encoding.ReadAll(src)
 		stats.Events = len(events)
 		if err != nil {
@@ -262,7 +297,12 @@ func (q *Query) recognize(src encoding.Source, enc Encoding, opt Options,
 			c.SeqFallbacks.Inc()
 		}
 	}
-	ok, err := core.RecognizeObs(ev, c, src)
+	if core.CodedCapable(ev) {
+		stats.Pipeline = "coded"
+	} else {
+		stats.Pipeline = "string"
+	}
+	ok, err := core.RecognizeCodedObs(ev, c, src)
 	return ok, stats, err
 }
 

@@ -2,6 +2,7 @@ package stackless
 
 import (
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -14,6 +15,15 @@ import (
 // run for every strategy (chunk-parallel where the strategy supports it,
 // silent sequential fallback where it does not).
 
+// withProcs raises GOMAXPROCS for the duration of a test: worker counts
+// are clamped to GOMAXPROCS, so tests asserting a real fan-out must run
+// with enough (virtual) cores regardless of the host's.
+func withProcs(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
 func collectMatches(t *testing.T, q *Query, doc string, opt Options) ([]Match, Stats) {
 	t.Helper()
 	var out []Match
@@ -25,6 +35,7 @@ func collectMatches(t *testing.T, q *Query, doc string, opt Options) ([]Match, S
 }
 
 func TestOptionsWorkersMatchesSequential(t *testing.T) {
+	withProcs(t, 8)
 	queries := map[string]*Query{
 		"registerless": MustCompileRegex("a.*b", abc),
 		"stackless":    MustCompileRegex(".*a.*b", abc),
@@ -63,6 +74,7 @@ func TestOptionsWorkersMatchesSequential(t *testing.T) {
 }
 
 func TestOptionsWorkersRecognize(t *testing.T) {
+	withProcs(t, 8)
 	q := MustCompileRegex(".*a.*b", abc)
 	rng := rand.New(rand.NewSource(23))
 	for i := 0; i < 40; i++ {
@@ -89,6 +101,7 @@ func TestOptionsWorkersRecognize(t *testing.T) {
 }
 
 func TestMultiQueryWorkersMatchesSequential(t *testing.T) {
+	withProcs(t, 8)
 	q1 := MustCompileRegex("a.*b", abc)
 	q2 := MustCompileRegex(".*a.*b", abc)
 	q3 := MustCompileRegex(".*ab", abc) // stack-only: sequential inside the fan-out
@@ -130,7 +143,59 @@ func TestMultiQueryWorkersMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestWorkersClampedToGOMAXPROCS: requesting more workers than cores runs
+// with the effective count (extra chunks past the core count only cost
+// join overhead — EXPERIMENTS.md), with matches unchanged and Stats
+// reporting the clamped value.
+func TestWorkersClampedToGOMAXPROCS(t *testing.T) {
+	q := MustCompileRegex(".*a.*b", abc)
+	rng := rand.New(rand.NewSource(31))
+	doc := encoding.XMLString(gen.RandomTree(rng, abc, 60))
+	withProcs(t, 8)
+	want, _ := collectMatches(t, q, doc, Options{})
+
+	withProcs(t, 1)
+	got, stats := collectMatches(t, q, doc, Options{Workers: 8})
+	if stats.Workers != 1 || stats.Fallback != "" || stats.Chunks != 1 {
+		t.Fatalf("1 core, 8 requested: stats %+v, want a sequential run with Workers=1", stats)
+	}
+	if stats.Pipeline != "coded" {
+		t.Fatalf("stackless sequential run reports pipeline %q, want coded", stats.Pipeline)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("clamped run: %d matches, want %d", len(got), len(want))
+	}
+
+	withProcs(t, 2)
+	got, stats = collectMatches(t, q, doc, Options{Workers: 8})
+	if stats.Workers != 2 {
+		t.Fatalf("2 cores, 8 requested: Stats.Workers = %d, want 2", stats.Workers)
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("clamped parallel run: match %d = %+v, want %+v", j, got[j], want[j])
+		}
+	}
+
+	mq, err := NewMultiQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withProcs(t, 1)
+	mstats, err := mq.SelectXML(strings.NewReader(doc), Options{Workers: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mstats.Workers != 1 {
+		t.Fatalf("multi on 1 core: Workers = %d, want 1", mstats.Workers)
+	}
+	if mstats.Pipeline != "coded" {
+		t.Fatalf("multi sequential pipeline = %q, want coded", mstats.Pipeline)
+	}
+}
+
 func TestWorkersMalformedInputStillRejected(t *testing.T) {
+	withProcs(t, 4)
 	q := MustCompileRegex("a.*b", abc)
 	for _, doc := range []string{"<a><b></b>", "<a></a><b></b>"} {
 		_, seqErr := q.SelectXML(strings.NewReader(doc), Options{}, nil)
