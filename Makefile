@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci test race vet fmt build lint fuzz fuzz-smoke bench bench-coded clean
+.PHONY: ci test race vet fmt build lint lint-tables bce fuzz fuzz-smoke bench bench-coded clean
 
 ci: ## full tier-1 gate: fmt + vet + build + test + race
 	./ci.sh
@@ -17,13 +17,26 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Both static analyzers: dralint over the paper's automata tables, treelint
-# over the Go source. treelint is built once and driven by go vet so test
-# files are analyzed too (and results land in the build cache).
-lint:
+# All static-analysis layers: dralint over the paper's automata tables,
+# treelint over the Go source, tablecheck over the compiled transition
+# tables, and the bounds-check-elimination gate over the plain kernels.
+# treelint is built once and driven by go vet so test files are analyzed
+# too (and results land in the build cache).
+lint: lint-tables bce
 	$(GO) run ./cmd/dralint
 	$(GO) build -o bin/treelint ./cmd/treelint
 	$(GO) vet -vettool=$(CURDIR)/bin/treelint ./...
+
+# Verify every compiled machine the repo constructs: table shape, closure,
+# flag hygiene, totality, and bounded equivalence against the uncompiled
+# machine (internal/tablecheck).
+lint-tables:
+	$(GO) run ./cmd/tablecheck
+
+# Fail if any //treelint:plain batch kernel in internal/core or
+# internal/encoding retains a compiler-inserted bounds check.
+bce:
+	$(GO) run ./cmd/bcegate
 
 fmt:
 	gofmt -l .
@@ -38,9 +51,12 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzJSONSource -fuzztime $(FUZZTIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzParallelSplit -fuzztime $(FUZZTIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzCodedVsString -fuzztime $(FUZZTIME) ./internal/encoding/
+	$(GO) test -run '^$$' -fuzz FuzzTablecheckRoundtrip -fuzztime $(FUZZTIME) ./internal/tablecheck/
 
 # CI-sized smoke pass (see ci.sh): the chunk-parallel and coded-pipeline
-# differential fuzzers plus the three event-source fuzzers, 10s each.
+# differential fuzzers, the three event-source fuzzers, and the tablecheck
+# roundtrip fuzzer (seeded with mined equivalence counterexamples), 10s
+# each.
 SMOKETIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParallelSplit -fuzztime $(SMOKETIME) ./internal/encoding/
@@ -48,6 +64,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzXMLScanner -fuzztime $(SMOKETIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzTermScanner -fuzztime $(SMOKETIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzJSONSource -fuzztime $(SMOKETIME) ./internal/encoding/
+	$(GO) test -run '^$$' -fuzz FuzzTablecheckRoundtrip -fuzztime $(SMOKETIME) ./internal/tablecheck/
 
 # Regenerate the committed chunk-parallel benchmark snapshot. The numbers
 # are machine-dependent; commit them together with the cpu context line.

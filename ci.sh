@@ -14,11 +14,14 @@ fi
 echo '== go vet =='
 go vet ./...
 
-echo '== lint (dralint + treelint) =='
+echo '== lint (dralint + treelint + tablecheck + bcegate) =='
 # dralint checks the depth-register automata tables; treelint checks the
 # Go-level contracts (plain kernels, enum totality, pool discipline, atomic
-# fields, Close errors). treelint runs under go vet so the _test.go
-# variants of every package are analyzed too.
+# fields, Close errors); tablecheck verifies every compiled transition
+# table (shape, closure, flags, totality, bounded equivalence); bcegate
+# fails if a //treelint:plain batch kernel retains a bounds check.
+# treelint runs under go vet so the _test.go variants of every package are
+# analyzed too.
 make lint
 
 echo '== go build =='
@@ -28,10 +31,10 @@ echo '== go test (with coverage) =='
 # One pass runs the whole suite and produces the coverage profile for the
 # gate below. -coverpkg counts cross-package coverage of the gated
 # packages, which most of the suite exercises.
-go test -coverprofile=cover.out -coverpkg=./internal/core,./internal/parallel,./internal/obs,./internal/analysis,./internal/encoding,./internal/alphabet ./...
+go test -coverprofile=cover.out -coverpkg=./internal/core,./internal/parallel,./internal/obs,./internal/analysis,./internal/encoding,./internal/alphabet,./internal/tablecheck ./...
 
 echo '== coverage gate (>=80% on the gated packages) =='
-go run ./cmd/covercheck -min 80 -packages stackless/internal/core,stackless/internal/parallel,stackless/internal/obs,stackless/internal/analysis,stackless/internal/encoding,stackless/internal/alphabet cover.out
+go run ./cmd/covercheck -min 80 -packages stackless/internal/core,stackless/internal/parallel,stackless/internal/obs,stackless/internal/analysis,stackless/internal/encoding,stackless/internal/alphabet,stackless/internal/tablecheck cover.out
 
 echo '== go test -race (internal) =='
 go test -race ./internal/...

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, err strings.Builder
+	code = run(args, &out, &err)
+	return code, out.String(), err.String()
+}
+
+// TestBadModFails proves the gate can fail: the fixture module's StepBatch
+// is written to defeat BCE and must be flagged, while its uint-guarded
+// SelectBatch and partial-exempt SimulateSegmentCoded must not be.
+func TestBadModFails(t *testing.T) {
+	code, out, stderr := runCmd(t, "-dir", "testdata/badmod", "-pkgs", ".", "-v")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s%s", code, out, stderr)
+	}
+	if !strings.Contains(out, "StepBatch retains a bounds check") {
+		t.Errorf("StepBatch violation not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "SelectBatch is bounds-check-free") {
+		t.Errorf("clean SelectBatch not confirmed:\n%s", out)
+	}
+	if strings.Contains(out, "SimulateSegmentCoded retains") {
+		t.Errorf("partial kernel was gated:\n%s", out)
+	}
+	if !strings.Contains(out, "1 violation(s)") {
+		t.Errorf("violation count missing:\n%s", out)
+	}
+}
+
+// TestEngineKernelsClean runs the real gate: every //treelint:plain batch
+// kernel in internal/core and internal/encoding must be bounds-check-free.
+func TestEngineKernelsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recompiles the kernel packages; skipped in -short")
+	}
+	code, out, stderr := runCmd(t, "-dir", "../..")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s%s", code, out, stderr)
+	}
+	if !strings.Contains(out, "plain kernel(s) bounds-check-free") {
+		t.Errorf("summary missing:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, stderr := runCmd(t, "-nope"); code != 2 || stderr == "" {
+		t.Errorf("bad flag: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, stderr := runCmd(t, "positional"); code != 2 || !strings.Contains(stderr, "no arguments") {
+		t.Errorf("positional arg: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, stderr := runCmd(t, "-dir", "testdata"); code != 2 || !strings.Contains(stderr, "module root") {
+		t.Errorf("non-module dir: exit %d, stderr %q", code, stderr)
+	}
+}

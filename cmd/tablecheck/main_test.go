@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"stackless/internal/tablecheck"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, err strings.Builder
+	code = run(args, &out, &err)
+	return code, out.String(), err.String()
+}
+
+// smallBounds keeps the per-machine equivalence search inside unit-test
+// time; cmd invocations without flags use the full DefaultLimits.
+var smallBounds = []string{"-depth", "2", "-width", "2", "-alpha", "2", "-maxnodes", "4000"}
+
+func TestCorpusClean(t *testing.T) {
+	args := smallBounds
+	if testing.Short() {
+		args = append([]string{"-static"}, args...)
+	}
+	code, out, stderr := runCmd(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d on corpus:\n%s%s", code, out, stderr)
+	}
+	for _, want := range []string{"tagdfa/markup: clean", "stackless/term: clean", "dra/example27: clean", "synopsis/al: clean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerboseReportsExplored(t *testing.T) {
+	code, out, _ := runCmd(t, append([]string{"-v"}, smallBounds...)...)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "joint states") {
+		t.Errorf("-v output lacks explored counts:\n%s", out)
+	}
+}
+
+// withCorruptCorpus swaps in a corpus holding one deliberately broken
+// machine for the duration of the test.
+func withCorruptCorpus(t *testing.T, corrupt func(m tablecheck.Machine) bool) {
+	t.Helper()
+	orig := corpus
+	t.Cleanup(func() { corpus = orig })
+	corpus = func() ([]tablecheck.Machine, error) {
+		ms, err := orig()
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range ms {
+			if corrupt(m) {
+				return []tablecheck.Machine{m}, nil
+			}
+		}
+		t.Fatal("no machine matched the corruption predicate")
+		return nil, nil
+	}
+}
+
+func TestCorruptTableExitsNonzero(t *testing.T) {
+	withCorruptCorpus(t, func(m tablecheck.Machine) bool {
+		d, ok := m.M.(interface {
+			CompiledTable() ([]int32, []bool, int32, int32)
+		})
+		if !ok {
+			return false
+		}
+		tab, _, _, dead := d.CompiledTable()
+		tab[0] = dead + 5
+		return true
+	})
+	code, out, _ := runCmd(t, smallBounds...)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "[closure]") {
+		t.Errorf("output lacks the closure diagnostic:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	withCorruptCorpus(t, func(m tablecheck.Machine) bool {
+		d, ok := m.M.(interface {
+			CompiledTable() ([]int32, []bool, int32, int32)
+		})
+		if !ok {
+			return false
+		}
+		tab, _, _, dead := d.CompiledTable()
+		tab[0] = dead + 5
+		return true
+	})
+	code, out, _ := runCmd(t, append([]string{"-json"}, smallBounds...)...)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	var ds []tablecheck.Diagnostic
+	if err := json.Unmarshal([]byte(out), &ds); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(ds) == 0 || ds[0].Kind != tablecheck.KindClosure {
+		t.Errorf("unexpected diagnostics: %v", ds)
+	}
+}
+
+func TestJSONCleanEmitsEmptyArray(t *testing.T) {
+	code, out, _ := runCmd(t, append([]string{"-json", "-static"}, smallBounds...)...)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	var ds []tablecheck.Diagnostic
+	if err := json.Unmarshal([]byte(out), &ds); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(ds) != 0 {
+		t.Errorf("clean corpus emitted diagnostics: %v", ds)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, stderr := runCmd(t, "-nope"); code != 2 || stderr == "" {
+		t.Errorf("bad flag: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, stderr := runCmd(t, "positional"); code != 2 || !strings.Contains(stderr, "no arguments") {
+		t.Errorf("positional arg: exit %d, stderr %q", code, stderr)
+	}
+}

@@ -24,12 +24,26 @@ import (
 //
 // The annotation itself is load-bearing, so it cannot silently vanish: a
 // function whose name ends in "Plain" (the kernel naming convention) must
-// carry the directive.
+// carry the directive, and every implementation of the coded batch kernels
+// (StepBatch, SelectBatch, SimulateSegmentCoded) must be annotated either
+// //treelint:plain or //treelint:partial with a reason — the
+// bounds-check-elimination gate (cmd/bcegate) derives its target set from
+// these annotations, so an unannotated kernel would silently escape it.
 var PlainKernel = &Analyzer{
 	Name: "plainkernel",
 	Doc: "functions marked //treelint:plain must not reference obs, call time.Now or " +
-		"math/rand, defer in loops, or capture state in closures; *Plain functions must be marked",
+		"math/rand, defer in loops, or capture state in closures; *Plain functions and " +
+		"batch kernels (StepBatch/SelectBatch/SimulateSegmentCoded) must be marked",
 	Run: runPlainKernel,
+}
+
+// batchKernels are the coded batch-kernel methods whose implementations
+// must be explicitly plain or partial; cmd/bcegate gates exactly the plain
+// ones.
+var batchKernels = map[string]bool{
+	"StepBatch":            true,
+	"SelectBatch":          true,
+	"SimulateSegmentCoded": true,
 }
 
 // clockFuncs are the time-package functions a plain kernel must not call;
@@ -58,12 +72,52 @@ func runPlainKernel(pass *Pass) error {
 						"%s follows the plain-kernel naming convention but is not marked //treelint:plain",
 						fn.Name.Name)
 				}
+				checkBatchKernel(pass, f, fn)
 				continue
 			}
 			checkPlainBody(pass, fn)
 		}
 	}
 	return nil
+}
+
+// checkBatchKernel enforces the annotation obligation on a batch kernel
+// that is not marked plain: it must carry //treelint:partial with a reason
+// explaining why the BCE gate cannot hold it to the plain contract.
+// Methods only — a free function sharing a kernel's name implements no
+// BatchEvaluator — and test files are exempt (test doubles are not gated).
+func checkBatchKernel(pass *Pass, f *ast.File, fn *ast.FuncDecl) {
+	if !batchKernels[fn.Name.Name] || fn.Recv == nil {
+		return
+	}
+	if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+		return
+	}
+	if !pass.FuncHasDirective(f, fn, "partial") {
+		pass.Reportf(fn.Name.Pos(),
+			"batch kernel %s must be marked //treelint:plain (gated by cmd/bcegate) or //treelint:partial <reason>",
+			fn.Name.Name)
+		return
+	}
+	if partialReason(fn) == "" {
+		pass.Reportf(fn.Name.Pos(),
+			"//treelint:partial on batch kernel %s needs a reason (why can the kernel not be bounds-check-free?)",
+			fn.Name.Name)
+	}
+}
+
+// partialReason extracts the text after //treelint:partial in fn's doc
+// comment group.
+func partialReason(fn *ast.FuncDecl) string {
+	if fn.Doc == nil {
+		return ""
+	}
+	for _, c := range fn.Doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, directivePrefix+"partial"); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
 }
 
 // receiverObj returns the declared receiver variable of fn, or nil.

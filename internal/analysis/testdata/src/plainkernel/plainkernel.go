@@ -93,3 +93,38 @@ func (m *machine) runPlain(s src) {
 	f := func(k int) int { return k + 1 }
 	_ = f(1)
 }
+
+// Batch kernels must be annotated plain or partial-with-reason so the BCE
+// gate's target set is machine-derived.
+
+func (m *machine) StepBatch(batch []int32) { // want "batch kernel StepBatch must be marked"
+	for range batch {
+		m.n++
+	}
+}
+
+//treelint:partial
+func (m *machine) SelectBatch(batch []int32, hits []int32) []int32 { // want "needs a reason"
+	return hits
+}
+
+// SimulateSegmentCoded is exempt with a stated reason.
+//
+//treelint:partial memo rows grow mid-batch
+func (m *machine) SimulateSegmentCoded(batch []int32) int {
+	return len(batch)
+}
+
+type other struct{ machine }
+
+// StepBatch marked plain is the happy path: the body contract applies.
+//
+//treelint:plain
+func (o *other) StepBatch(batch []int32) {
+	for range batch {
+		o.n++
+	}
+}
+
+// StepBatch as a free function implements no evaluator; not a kernel.
+func StepBatch() {}

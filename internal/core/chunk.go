@@ -131,14 +131,20 @@ func NewCandSet(states int) *CandSet {
 }
 
 // Add appends a candidate with an all-zero mask and returns the mask slice
-// for the caller to fill.
+// for the caller to fill. The final slice expression is guarded so the
+// bounds check vanishes: Add inlines into the plain batch kernels, and an
+// unchecked c.Masks[n:n+c.Words] would surface there as a compiler bounds
+// check cmd/bcegate rejects.
 func (c *CandSet) Add(idx, opens, depth int32) []uint64 {
 	c.Cands = append(c.Cands, ChunkCand{Idx: idx, Opens: opens, Depth: depth})
 	n := len(c.Masks)
 	for i := 0; i < c.Words; i++ {
 		c.Masks = append(c.Masks, 0)
 	}
-	return c.Masks[n : n+c.Words]
+	if m := c.Masks; uint(n) <= uint(len(m)) {
+		return m[n:]
+	}
+	return nil
 }
 
 // Mask returns candidate i's mask slice.

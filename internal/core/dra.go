@@ -281,6 +281,7 @@ func (ev *draEvaluator) flushObs() {
 // the markup encoding Close events must carry labels; the term encoding is
 // not supported by table DRAs (use the compiled blind evaluators instead).
 func (d *DRA) Evaluator() Evaluator {
+	compileHook(d)
 	return &draEvaluator{d: d, cfg: d.InitialConfig()}
 }
 
@@ -330,21 +331,24 @@ func b2i(b bool) int {
 
 // StepBatch implements BatchEvaluator: StepConfig inlined over the batch —
 // the depth update, the register compares (lowered to branchless mask
-// builds) and the table lookup all on the dense Sym, no per-event map
-// access. Only valid outside segment simulation (the coded drivers Reset
-// first, which clears segment mode). Compares are counted exactly as Step
-// does — 2·Regs per non-poisoned event — and loads stay uncounted on the
-// sequential path, also as Step does.
+// builds over a range loop) and the table lookup all on the dense Sym, no
+// per-event map access. Only valid outside segment simulation (the coded
+// drivers Reset first, which clears segment mode). Compares are counted
+// exactly as Step does — 2·Regs per non-poisoned event — and loads stay
+// uncounted on the sequential path, also as Step does. The uint guard on
+// the table index is the BCE shape cmd/bcegate enforces; it cannot fail on
+// a table tablecheck proved well formed, and poisons on a corrupted one.
+//
+//treelint:plain
 func (ev *draEvaluator) StepBatch(batch []encoding.CodedEvent) {
 	if ev.poisoned {
 		return
 	}
 	d := ev.d
 	k := d.Alphabet.Size()
-	nr := d.Regs
-	r := uint(nr)
+	r := uint(d.Regs)
 	table := d.table
-	cinc := int64(2 * nr)
+	cinc := int64(2 * d.Regs)
 	state, depth := ev.cfg.State, ev.cfg.Depth
 	regs := ev.cfg.Regs
 	compares := ev.compares
@@ -355,14 +359,19 @@ func (ev *draEvaluator) StepBatch(batch []encoding.CodedEvent) {
 		}
 		depth += 1 - 2*int(e.Kind)
 		var le, ge RegSet
-		for i := 0; i < nr; i++ {
-			le |= RegSet(b2i(regs[i] <= depth)) << uint(i)
-			ge |= RegSet(b2i(regs[i] >= depth)) << uint(i)
+		for i, rv := range regs {
+			le |= RegSet(b2i(rv <= depth)) << uint(i)
+			ge |= RegSet(b2i(rv >= depth)) << uint(i)
 		}
 		tag := 2*int(e.Sym) + int(e.Kind)
-		tr := table[(state*2*k+tag)<<(2*r)|int(le)<<r|int(ge)]
+		j := uint(state*2*k+tag)<<(2*r) | uint(le)<<r | uint(ge)
+		if j >= uint(len(table)) {
+			ev.poisoned = true
+			break
+		}
+		tr := table[j]
 		state = tr.Next
-		for i := 0; i < nr; i++ {
+		for i := range regs {
 			if tr.Load.Has(i) {
 				regs[i] = depth
 			}
@@ -373,17 +382,18 @@ func (ev *draEvaluator) StepBatch(batch []encoding.CodedEvent) {
 	ev.compares = compares
 }
 
-// SelectBatch implements BatchEvaluator.
+// SelectBatch implements BatchEvaluator. Index guards as in StepBatch.
+//
+//treelint:plain
 func (ev *draEvaluator) SelectBatch(batch []encoding.CodedEvent, hits []int32) []int32 {
 	if ev.poisoned {
 		return hits
 	}
 	d := ev.d
 	k := d.Alphabet.Size()
-	nr := d.Regs
-	r := uint(nr)
+	r := uint(d.Regs)
 	table := d.table
-	cinc := int64(2 * nr)
+	cinc := int64(2 * d.Regs)
 	acc := d.Accept
 	state, depth := ev.cfg.State, ev.cfg.Depth
 	regs := ev.cfg.Regs
@@ -395,21 +405,28 @@ func (ev *draEvaluator) SelectBatch(batch []encoding.CodedEvent, hits []int32) [
 		}
 		depth += 1 - 2*int(e.Kind)
 		var le, ge RegSet
-		for i := 0; i < nr; i++ {
-			le |= RegSet(b2i(regs[i] <= depth)) << uint(i)
-			ge |= RegSet(b2i(regs[i] >= depth)) << uint(i)
+		for i, rv := range regs {
+			le |= RegSet(b2i(rv <= depth)) << uint(i)
+			ge |= RegSet(b2i(rv >= depth)) << uint(i)
 		}
 		tag := 2*int(e.Sym) + int(e.Kind)
-		tr := table[(state*2*k+tag)<<(2*r)|int(le)<<r|int(ge)]
+		j := uint(state*2*k+tag)<<(2*r) | uint(le)<<r | uint(ge)
+		if j >= uint(len(table)) {
+			ev.poisoned = true
+			break
+		}
+		tr := table[j]
 		state = tr.Next
-		for i := 0; i < nr; i++ {
+		for i := range regs {
 			if tr.Load.Has(i) {
 				regs[i] = depth
 			}
 		}
 		compares += cinc
-		if e.Kind == encoding.Open && acc[state] {
-			hits = append(hits, int32(bi))
+		if e.Kind == encoding.Open {
+			if a := uint(state); a < uint(len(acc)) && acc[a] {
+				hits = append(hits, int32(bi))
+			}
 		}
 	}
 	ev.cfg.State, ev.cfg.Depth = state, depth

@@ -179,6 +179,7 @@ func newStackless(an *classify.Analysis, blind bool) *StacklessEvaluator {
 	}
 	ev.compile()
 	ev.Reset()
+	compileHook(ev)
 	return ev
 }
 
@@ -338,6 +339,12 @@ func (ev *StacklessEvaluator) CodeAlphabet() *alphabet.Alphabet { return ev.an.D
 // the internal depth field after a poisoning *open* (incremented here,
 // frozen in Step), which nothing can observe once the machine is parked.
 // Loads and compares are batched in locals and stored back once per batch.
+// Index guards follow the BCE shape of the plain kernels (uint conversion,
+// guarded fallback to poison); the pop guard `nr >= 0` is unreachable when
+// depth < topDepth (an empty record file pins topDepth at noRecordDepth)
+// but lets the compiler drop the bounds check on recs[nr].
+//
+//treelint:partial the register-histogram hook (obs.Registers.Observe) rides in the cold push branch
 func (ev *StacklessEvaluator) StepBatch(batch []encoding.CodedEvent) {
 	if ev.poisoned {
 		return
@@ -357,18 +364,22 @@ func (ev *StacklessEvaluator) StepBatch(batch []encoding.CodedEvent) {
 		kind := int(e.Kind)
 		depth += 1 - 2*kind
 		if depth < topDepth {
-			nr := len(recs) - 1
-			state = recs[nr].state
-			recs = recs[:nr]
-			topDepth = noRecordDepth
-			if nr > 0 {
-				topDepth = recs[nr-1].depth
+			if nr := len(recs) - 1; nr >= 0 {
+				state = recs[nr].state
+				recs = recs[:nr]
+				topDepth = noRecordDepth
+				if nr > 0 {
+					topDepth = recs[nr-1].depth
+				}
 			}
 			compares++
 			continue
 		}
 		compares += int64(kind & b2i(len(recs) != 0))
-		t := sel[state*w+(int(e.Sym)<<1|kind)]
+		t := int32(-1)
+		if j := uint(state)*uint(w) + uint(int(e.Sym)<<1|kind); j < uint(len(sel)) {
+			t = sel[j]
+		}
 		if t < 0 {
 			ev.poisoned = true
 			break
@@ -390,6 +401,8 @@ func (ev *StacklessEvaluator) StepBatch(batch []encoding.CodedEvent) {
 // SelectBatch implements BatchEvaluator: StepBatch plus the pre-selection
 // acceptance check after each Open — free here, since the accept fact rides
 // on the same cSel entry (close columns never carry it).
+//
+//treelint:partial the register-histogram hook (obs.Registers.Observe) rides in the cold push branch
 func (ev *StacklessEvaluator) SelectBatch(batch []encoding.CodedEvent, hits []int32) []int32 {
 	if ev.poisoned {
 		return hits
@@ -409,18 +422,22 @@ func (ev *StacklessEvaluator) SelectBatch(batch []encoding.CodedEvent, hits []in
 		kind := int(e.Kind)
 		depth += 1 - 2*kind
 		if depth < topDepth {
-			nr := len(recs) - 1
-			state = recs[nr].state
-			recs = recs[:nr]
-			topDepth = noRecordDepth
-			if nr > 0 {
-				topDepth = recs[nr-1].depth
+			if nr := len(recs) - 1; nr >= 0 {
+				state = recs[nr].state
+				recs = recs[:nr]
+				topDepth = noRecordDepth
+				if nr > 0 {
+					topDepth = recs[nr-1].depth
+				}
 			}
 			compares++
 			continue
 		}
 		compares += int64(kind & b2i(len(recs) != 0))
-		t := sel[state*w+(int(e.Sym)<<1|kind)]
+		t := int32(-1)
+		if j := uint(state)*uint(w) + uint(int(e.Sym)<<1|kind); j < uint(len(sel)) {
+			t = sel[j]
+		}
 		if t < 0 {
 			ev.poisoned = true
 			break
@@ -447,6 +464,8 @@ func (ev *StacklessEvaluator) SelectBatch(batch []encoding.CodedEvent, hits []in
 // the label resolution hoisted out. The unknown row of cBack reproduces the
 // string kernel's lazy close resolution — popping runs survive an unknown
 // label, non-popping runs die — and an unknown open kills every run at once.
+//
+//treelint:partial flushes the segment-batched load/compare counters into obs at segment end
 func (ev *StacklessEvaluator) SimulateSegmentCoded(seg []encoding.CodedEvent, cands *CandSet) []SegmentExit {
 	n := len(ev.cComp)
 	kw := len(ev.cDelta) / n

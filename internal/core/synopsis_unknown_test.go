@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/classify"
+	"stackless/internal/encoding"
+	"stackless/internal/paperfigs"
+)
+
+// The unknown-symbol column of the negated (AL) synopsis machines, tested
+// directly: an out-of-alphabet open poisons the wrapped complement machine
+// on both the string and the coded path, poison is absorbing, and blind
+// machines never consult the label of a closing tag — the unknown sentinel
+// on a Close must NOT poison them.
+
+func negatedAL(t *testing.T, blind bool) *negated {
+	t.Helper()
+	an := classify.Analyze(paperfigs.Fig3b())
+	var (
+		ev  Evaluator
+		err error
+	)
+	if blind {
+		ev, err = BlindRegisterlessAL(an)
+	} else {
+		ev, err = RegisterlessAL(an)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := ev.(*negated)
+	if !ok {
+		t.Fatalf("RegisterlessAL returned %T, want *negated", ev)
+	}
+	return n
+}
+
+// stepBoth drives the string path on ns and the coded path on nc with the
+// same event and asserts their observables agree.
+func stepBoth(t *testing.T, ns, nc *negated, coder *alphabet.Coder, e encoding.Event) {
+	t.Helper()
+	ns.Step(e)
+	nc.StepBatch([]encoding.CodedEvent{{Sym: coder.Code(e.Label), Kind: e.Kind}})
+	if ns.Accepting() != nc.Accepting() {
+		t.Fatalf("after %s: Accepting string=%v coded=%v", e, ns.Accepting(), nc.Accepting())
+	}
+	if sp, cp := ns.inner.Poisoned(), nc.inner.Poisoned(); sp != cp {
+		t.Fatalf("after %s: Poisoned string=%v coded=%v", e, sp, cp)
+	}
+}
+
+func TestNegatedUnknownOpenPoisons(t *testing.T) {
+	for _, blind := range []bool{false, true} {
+		name := "markup"
+		if blind {
+			name = "blind"
+		}
+		t.Run(name, func(t *testing.T) {
+			ns, nc := negatedAL(t, blind), negatedAL(t, blind)
+			coder := alphabet.NewCoder(nc.CodeAlphabet())
+			open := func(l string) encoding.Event { return encoding.Event{Kind: encoding.Open, Label: l} }
+			close := func(l string) encoding.Event { return encoding.Event{Kind: encoding.Close, Label: l} }
+			if blind {
+				close = func(string) encoding.Event { return encoding.Event{Kind: encoding.Close} }
+			}
+
+			stepBoth(t, ns, nc, coder, open("a"))
+			if ns.inner.Poisoned() {
+				t.Fatal("known open poisoned the machine")
+			}
+			stepBoth(t, ns, nc, coder, open("zzz"))
+			if !nc.inner.Poisoned() {
+				t.Fatal("unknown open did not poison the coded machine")
+			}
+			// Poison is absorbing: further well-formed events never
+			// resurrect the run, and the two paths stay in lockstep.
+			for _, e := range []encoding.Event{close("zzz"), open("b"), close("b"), close("a")} {
+				stepBoth(t, ns, nc, coder, e)
+				if !nc.inner.Poisoned() {
+					t.Fatalf("poison lifted after %s", e)
+				}
+			}
+			// A poisoned complement machine accepts nothing, so the
+			// negation accepts everything from here on; that is decided by
+			// Accepting, which both paths already agreed on above.
+
+			// Reset clears the poison on both paths.
+			ns.Reset()
+			nc.Reset()
+			if ns.inner.Poisoned() || nc.inner.Poisoned() {
+				t.Fatal("Reset did not clear the poison")
+			}
+		})
+	}
+}
+
+// TestNegatedBlindUnknownCloseDoesNotPoison pins the asymmetry: the blind
+// (term-encoding) machine never reads a closing label, so the coded
+// unknown sentinel on a Close — which is how unlabelled closes are coded —
+// must leave the machine live, while the markup machine must poison.
+func TestNegatedBlindUnknownCloseDoesNotPoison(t *testing.T) {
+	drive := func(blind bool) *negated {
+		n := negatedAL(t, blind)
+		coder := alphabet.NewCoder(n.CodeAlphabet())
+		n.StepBatch([]encoding.CodedEvent{
+			{Sym: coder.Code("a"), Kind: encoding.Open},
+			{Sym: coder.Code("b"), Kind: encoding.Open},
+			{Sym: coder.Code("zzz"), Kind: encoding.Close}, // unknown close
+		})
+		return n
+	}
+	if m := drive(true); m.inner.Poisoned() {
+		t.Error("blind machine poisoned by the unknown-close sentinel")
+	}
+	if m := drive(false); !m.inner.Poisoned() {
+		t.Error("markup machine not poisoned by an unknown closing label")
+	}
+}
+
+// TestNegatedUnknownAgainstStack cross-checks the negated machines'
+// unknown-label verdicts against fresh machines over documents whose trees
+// are otherwise well-formed: the verdict after a stream with an unknown
+// label must equal the verdict of the string path on the same stream.
+func TestNegatedUnknownAgainstStack(t *testing.T) {
+	docs := [][]encoding.Event{
+		{{Kind: encoding.Open, Label: "zzz"}, {Kind: encoding.Close, Label: "zzz"}},
+		{
+			{Kind: encoding.Open, Label: "a"},
+			{Kind: encoding.Open, Label: "zzz"},
+			{Kind: encoding.Close, Label: "zzz"},
+			{Kind: encoding.Close, Label: "a"},
+		},
+		{
+			{Kind: encoding.Open, Label: "a"},
+			{Kind: encoding.Close, Label: "a"},
+		},
+	}
+	for di, doc := range docs {
+		ns, nc := negatedAL(t, false), negatedAL(t, false)
+		coder := alphabet.NewCoder(nc.CodeAlphabet())
+		coded := encoding.CodeEvents(coder, doc, nil)
+		for _, e := range doc {
+			ns.Step(e)
+		}
+		nc.StepBatch(coded)
+		if ns.Accepting() != nc.Accepting() {
+			t.Errorf("doc %d: Accepting string=%v coded=%v", di, ns.Accepting(), nc.Accepting())
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"stackless/internal/alphabet"
 	"stackless/internal/encoding"
@@ -33,6 +34,7 @@ type TagDFA struct {
 	// row into CloseAny for every sym: ◁ ignores the label). Stepping is one
 	// table load per event, branch-free.
 	compileOnce sync.Once
+	hooked      atomic.Bool
 	ctab        []int32
 	cacc        []bool
 }
@@ -71,6 +73,13 @@ func (t *TagDFA) compiled() (tab []int32, acc []bool, stride, dead int32) {
 		}
 		t.ctab, t.cacc = ctab, cacc
 	})
+	// The verification hook runs outside the build closure and behind a CAS
+	// rather than a second Once: the hook itself reads the table through this
+	// method, and a reentrant Once.Do would deadlock where the failed swap
+	// just skips. When no hook is installed the cost is one global load.
+	if CompileHook != nil && t.hooked.CompareAndSwap(false, true) {
+		compileHook(t)
+	}
 	return t.ctab, t.cacc, int32(2 * (t.Alphabet.Size() + 1)), int32(t.NumStates())
 }
 
@@ -158,7 +167,12 @@ func (ev *tagEvaluator) CodeAlphabet() *alphabet.Alphabet { return ev.t.Alphabet
 // branches. Poison is the dead row of the compiled table, entered through
 // the unknown columns and mapped back to the poisoned flag afterwards (the
 // frozen pre-poison state is unobservable either way: Accepting and the
-// chunk methods check the flag first).
+// chunk methods check the flag first). The uint index guard is shaped for
+// bounds-check elimination (cmd/bcegate holds this loop to zero compiler
+// checks); on a table tablecheck proved well formed it never fails, and on
+// a corrupted one it degrades to the dead state instead of panicking.
+//
+//treelint:plain
 func (ev *tagEvaluator) StepBatch(batch []encoding.CodedEvent) {
 	tab, _, stride, dead := ev.t.compiled()
 	st := int32(ev.state)
@@ -166,7 +180,11 @@ func (ev *tagEvaluator) StepBatch(batch []encoding.CodedEvent) {
 		st = dead
 	}
 	for _, e := range batch {
-		st = tab[st*stride+(int32(e.Sym)<<1|int32(e.Kind))]
+		if i := uint(st)*uint(stride) + uint(int32(e.Sym)<<1|int32(e.Kind)); i < uint(len(tab)) {
+			st = tab[i]
+		} else {
+			st = dead
+		}
 	}
 	if st == dead {
 		ev.poisoned = true
@@ -175,7 +193,9 @@ func (ev *tagEvaluator) StepBatch(batch []encoding.CodedEvent) {
 	}
 }
 
-// SelectBatch implements BatchEvaluator.
+// SelectBatch implements BatchEvaluator. Index guards as in StepBatch.
+//
+//treelint:plain
 func (ev *tagEvaluator) SelectBatch(batch []encoding.CodedEvent, hits []int32) []int32 {
 	tab, acc, stride, dead := ev.t.compiled()
 	st := int32(ev.state)
@@ -183,9 +203,15 @@ func (ev *tagEvaluator) SelectBatch(batch []encoding.CodedEvent, hits []int32) [
 		st = dead
 	}
 	for i, e := range batch {
-		st = tab[st*stride+(int32(e.Sym)<<1|int32(e.Kind))]
-		if e.Kind == encoding.Open && acc[st] {
-			hits = append(hits, int32(i))
+		if j := uint(st)*uint(stride) + uint(int32(e.Sym)<<1|int32(e.Kind)); j < uint(len(tab)) {
+			st = tab[j]
+		} else {
+			st = dead
+		}
+		if e.Kind == encoding.Open {
+			if a := uint(st); a < uint(len(acc)) && acc[a] {
+				hits = append(hits, int32(i))
+			}
 		}
 	}
 	if st == dead {
@@ -216,7 +242,11 @@ func (ev *tagEvaluator) SimulateSegmentCoded(seg []encoding.CodedEvent, cands *C
 		if e.Kind == encoding.Close {
 			depth--
 			for i := range cur {
-				cur[i] = tab[cur[i]*stride+col]
+				next := dead
+				if j := uint(cur[i])*uint(stride) + uint(col); j < uint(len(tab)) {
+					next = tab[j]
+				}
+				cur[i] = next
 			}
 			continue
 		}
@@ -225,12 +255,20 @@ func (ev *tagEvaluator) SimulateSegmentCoded(seg []encoding.CodedEvent, cands *C
 		depth++
 		var mask []uint64
 		for i := range cur {
-			cur[i] = tab[cur[i]*stride+col]
-			if cands != nil && acc[cur[i]] {
-				if mask == nil {
-					mask = cands.Add(int32(idx), o, depth)
+			next := dead
+			if j := uint(cur[i])*uint(stride) + uint(col); j < uint(len(tab)) {
+				next = tab[j]
+			}
+			cur[i] = next
+			if cands != nil {
+				if a := uint(next); a < uint(len(acc)) && acc[a] {
+					if mask == nil {
+						mask = cands.Add(int32(idx), o, depth)
+					}
+					if w := uint(i) / 64; w < uint(len(mask)) {
+						mask[w] |= 1 << (uint(i) % 64)
+					}
 				}
-				mask[i/64] |= 1 << uint(i%64)
 			}
 		}
 	}

@@ -1,0 +1,109 @@
+package tablecheck
+
+import (
+	"fmt"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/classify"
+	"stackless/internal/core"
+	"stackless/internal/paperfigs"
+	"stackless/internal/rex"
+)
+
+// Machine is one named machine of the repository corpus.
+type Machine struct {
+	Name string
+	M    any
+}
+
+// Corpus compiles every machine the repository constructs from the paper —
+// the DRAs of Examples 2.2 and 2.5–2.7, the Proposition 2.8 chain machines,
+// the Proposition 2.3 FormalDRA translations, and the full registerless
+// family (tag DFAs, stackless evaluators, synopsis machines, both
+// encodings) over the Figure 3 queries. This is the verification corpus of
+// cmd/tablecheck and the differential-test corpus of this package's own
+// tests.
+func Corpus() ([]Machine, error) {
+	var out []Machine
+
+	// Table DRAs, mirroring cmd/dralint's builtin list.
+	out = append(out,
+		Machine{"dra/example22", core.Example22()},
+		Machine{"dra/example26", core.Example26()},
+		Machine{"dra/example27", core.Example27Minimal()},
+	)
+	for _, expr := range []string{"ab*", "(ab)*", ".*a"} {
+		l, err := rex.CompileString(expr, alphabet.Letters("ab"))
+		if err != nil {
+			return nil, fmt.Errorf("corpus: compile %q: %w", expr, err)
+		}
+		out = append(out, Machine{"dra/example25(" + expr + ")", core.Example25(l)})
+	}
+	for _, chain := range [][]string{{"a", "b"}, {"a", "b", "c"}} {
+		d, err := core.ChainPatternDRA(alphabet.Letters("abc"), chain)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: chain %v: %w", chain, err)
+		}
+		out = append(out, Machine{fmt.Sprintf("dra/chain%v", chain), d})
+	}
+	for _, expr := range []string{paperfigs.Fig3aRegex, paperfigs.Fig3bRegex, paperfigs.Fig3cRegex} {
+		an := classify.Analyze(rex.MustCompile(expr, paperfigs.GammaABC()))
+		d, err := core.FormalDRA(an, 0)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: FormalDRA(%s): %w", expr, err)
+		}
+		out = append(out, Machine{"dra/formal(" + expr + ")", d})
+	}
+
+	// The registerless family over the Figure 3 queries, mirroring the
+	// coded-pipeline differential tests.
+	an3a := classify.Analyze(paperfigs.Fig3a())
+	an3b := classify.Analyze(paperfigs.Fig3b())
+	an3c := classify.Analyze(paperfigs.Fig3c())
+	cof, err := rex.CompileString("ab|ba", paperfigs.GammaABC())
+	if err != nil {
+		return nil, fmt.Errorf("corpus: compile ab|ba: %w", err)
+	}
+	anCof := classify.Analyze(cof.Complement())
+
+	add := func(name string, m any, err error) error {
+		if err != nil {
+			return fmt.Errorf("corpus: %s: %w", name, err)
+		}
+		out = append(out, Machine{name, m})
+		return nil
+	}
+	tagM, err := core.RegisterlessQL(an3a)
+	if err := add("tagdfa/markup", tagM, err); err != nil {
+		return nil, err
+	}
+	tagB, err := core.BlindRegisterlessQL(an3a)
+	if err := add("tagdfa/term", tagB, err); err != nil {
+		return nil, err
+	}
+	stM, err := core.StacklessQL(an3c)
+	if err := add("stackless/markup", stM, err); err != nil {
+		return nil, err
+	}
+	stB, err := core.BlindStacklessQL(an3c)
+	if err := add("stackless/term", stB, err); err != nil {
+		return nil, err
+	}
+	el, err := core.RegisterlessEL(an3a)
+	if err := add("synopsis/el", el, err); err != nil {
+		return nil, err
+	}
+	elCof, err := core.RegisterlessEL(anCof)
+	if err := add("synopsis/el-cofinite", elCof, err); err != nil {
+		return nil, err
+	}
+	al, err := core.RegisterlessAL(an3b)
+	if err := add("synopsis/al", al, err); err != nil {
+		return nil, err
+	}
+	alB, err := core.BlindRegisterlessAL(an3b)
+	if err := add("synopsis/al-term", alB, err); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -50,12 +50,12 @@ type MultiStats struct {
 	// Workers used for chunk-parallel evaluation (1 = sequential pass);
 	// Options.Workers clamped to GOMAXPROCS, as in Stats.
 	Workers int
-	// Pipeline actually used: "coded" when every query's machine ran the
-	// compiled symbol-coded pipeline, "string" when at least one query took
-	// the per-event path. The sequential coded fast path steps each machine
-	// in whole batches and requires all machines to compile and no
-	// Collector (instrumented runs keep the per-event pass).
-	Pipeline string
+	// Pipeline actually used: PipelineCoded when every query's machine ran
+	// the compiled symbol-coded pipeline, PipelineString when at least one
+	// query took the per-event path. The sequential coded fast path steps
+	// each machine in whole batches and requires all machines to compile
+	// and no Collector (instrumented runs keep the per-event pass).
+	Pipeline Pipeline
 }
 
 // SelectXML streams the document once and reports each query's matches.
@@ -100,10 +100,10 @@ func (m *MultiQuery) selectSource(src encoding.Source, enc Encoding, opt Options
 	}
 	stats.Workers = 1
 	if c == nil && allCoded(evs) {
-		stats.Pipeline = "coded"
+		stats.Pipeline = PipelineCoded
 		return m.selectBatched(src, evs, stats, fn)
 	}
-	stats.Pipeline = "string"
+	stats.Pipeline = PipelineString
 	pos := -1
 	depth := 0
 	// Every machine steps on every event, so the collector counts events
@@ -248,14 +248,14 @@ func (m *MultiQuery) selectParallel(src encoding.Source, opt Options, evs []core
 		return stats, err
 	}
 	stats.Workers = opt.Workers
-	stats.Pipeline = "coded"
+	stats.Pipeline = PipelineCoded
 	for _, ev := range evs {
 		if cm, ok := ev.(core.Chunkable); ok {
 			if !parallel.Coded(cm) {
-				stats.Pipeline = "string"
+				stats.Pipeline = PipelineString
 			}
 		} else if !core.CodedCapable(ev) {
-			stats.Pipeline = "string"
+			stats.Pipeline = PipelineString
 		}
 	}
 	perQuery := make([][]Match, len(evs))

@@ -39,6 +39,18 @@ type Match struct {
 	Label string
 }
 
+// Pipeline identifies which event pipeline an evaluation ran. It is an
+// alias of core.Pipeline so the engine and the public API share one enum;
+// treelint's enumswitch holds switches over it to totality.
+type Pipeline = core.Pipeline
+
+// Re-exported pipeline members, so callers compare Stats.Pipeline against
+// typed constants instead of raw strings.
+const (
+	PipelineCoded  = core.PipelineCoded
+	PipelineString = core.PipelineString
+)
+
 // Stats describes how an evaluation ran.
 type Stats struct {
 	// Strategy actually used (registerless / stackless / stack).
@@ -52,10 +64,11 @@ type Stats struct {
 	// count — Options.Workers clamped to GOMAXPROCS — for a chunk-parallel
 	// one.
 	Workers int
-	// Pipeline actually used: "coded" when the chosen machine compiled to
-	// the symbol-coded batch pipeline (dense transition tables, see
-	// DESIGN.md §11), "string" for the per-event label-resolving path.
-	Pipeline string
+	// Pipeline actually used: PipelineCoded when the chosen machine
+	// compiled to the symbol-coded batch pipeline (dense transition
+	// tables, see DESIGN.md §11), PipelineString for the per-event
+	// label-resolving path.
+	Pipeline Pipeline
 	// Chunks the stream was split into: 1 for any sequential pass,
 	// including parallel requests that degraded (see Fallback).
 	Chunks int
@@ -172,9 +185,9 @@ func (q *Query) selectSource(src encoding.Source, enc Encoding, opt Options, fn 
 	}
 	if cm, ok := ev.(core.Chunkable); ok && opt.Workers > 1 {
 		if parallel.Coded(cm) {
-			stats.Pipeline = "coded"
+			stats.Pipeline = PipelineCoded
 		} else {
-			stats.Pipeline = "string"
+			stats.Pipeline = PipelineString
 		}
 		events, err := encoding.ReadAll(src)
 		stats.Events = len(events)
@@ -206,9 +219,9 @@ func (q *Query) selectSource(src encoding.Source, enc Encoding, opt Options, fn 
 		}
 	}
 	if core.CodedCapable(ev) {
-		stats.Pipeline = "coded"
+		stats.Pipeline = PipelineCoded
 	} else {
-		stats.Pipeline = "string"
+		stats.Pipeline = PipelineString
 	}
 	events, err := core.SelectCodedObs(ev, c, src, report)
 	stats.Events = events
@@ -265,9 +278,9 @@ func (q *Query) recognize(src encoding.Source, enc Encoding, opt Options,
 	stats := Stats{Strategy: st, Workers: 1, Chunks: 1}
 	if cm, chunkable := ev.(core.Chunkable); chunkable && opt.Workers > 1 {
 		if parallel.Coded(cm) {
-			stats.Pipeline = "coded"
+			stats.Pipeline = PipelineCoded
 		} else {
-			stats.Pipeline = "string"
+			stats.Pipeline = PipelineString
 		}
 		events, err := encoding.ReadAll(src)
 		stats.Events = len(events)
@@ -298,9 +311,9 @@ func (q *Query) recognize(src encoding.Source, enc Encoding, opt Options,
 		}
 	}
 	if core.CodedCapable(ev) {
-		stats.Pipeline = "coded"
+		stats.Pipeline = PipelineCoded
 	} else {
-		stats.Pipeline = "string"
+		stats.Pipeline = PipelineString
 	}
 	ok, err := core.RecognizeCodedObs(ev, c, src)
 	return ok, stats, err

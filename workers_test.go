@@ -159,7 +159,7 @@ func TestWorkersClampedToGOMAXPROCS(t *testing.T) {
 	if stats.Workers != 1 || stats.Fallback != "" || stats.Chunks != 1 {
 		t.Fatalf("1 core, 8 requested: stats %+v, want a sequential run with Workers=1", stats)
 	}
-	if stats.Pipeline != "coded" {
+	if stats.Pipeline != PipelineCoded {
 		t.Fatalf("stackless sequential run reports pipeline %q, want coded", stats.Pipeline)
 	}
 	if len(got) != len(want) {
@@ -189,7 +189,7 @@ func TestWorkersClampedToGOMAXPROCS(t *testing.T) {
 	if mstats.Workers != 1 {
 		t.Fatalf("multi on 1 core: Workers = %d, want 1", mstats.Workers)
 	}
-	if mstats.Pipeline != "coded" {
+	if mstats.Pipeline != PipelineCoded {
 		t.Fatalf("multi sequential pipeline = %q, want coded", mstats.Pipeline)
 	}
 }
