@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci test race vet fmt build lint lint-tables bce fuzz fuzz-smoke bench bench-coded clean
+.PHONY: ci test race vet fmt build lint lint-tables bce fuzz fuzz-smoke bench bench-coded bench-multi clean
 
 ci: ## full tier-1 gate: fmt + vet + build + test + race
 	./ci.sh
@@ -52,11 +52,12 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParallelSplit -fuzztime $(FUZZTIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzCodedVsString -fuzztime $(FUZZTIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzTablecheckRoundtrip -fuzztime $(FUZZTIME) ./internal/tablecheck/
+	$(GO) test -run '^$$' -fuzz FuzzProductVsFanout -fuzztime $(FUZZTIME) ./internal/product/
 
 # CI-sized smoke pass (see ci.sh): the chunk-parallel and coded-pipeline
-# differential fuzzers, the three event-source fuzzers, and the tablecheck
-# roundtrip fuzzer (seeded with mined equivalence counterexamples), 10s
-# each.
+# differential fuzzers, the three event-source fuzzers, the tablecheck
+# roundtrip fuzzer (seeded with mined equivalence counterexamples), and
+# the multi-query product-vs-fanout differential fuzzer, 10s each.
 SMOKETIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParallelSplit -fuzztime $(SMOKETIME) ./internal/encoding/
@@ -65,6 +66,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzTermScanner -fuzztime $(SMOKETIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzJSONSource -fuzztime $(SMOKETIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzTablecheckRoundtrip -fuzztime $(SMOKETIME) ./internal/tablecheck/
+	$(GO) test -run '^$$' -fuzz FuzzProductVsFanout -fuzztime $(SMOKETIME) ./internal/product/
 
 # Regenerate the committed chunk-parallel benchmark snapshot. The numbers
 # are machine-dependent; commit them together with the cpu context line.
@@ -76,6 +78,11 @@ bench:
 # family through the string and coded Select paths on the same documents.
 bench-coded:
 	$(GO) test -run '^$$' -bench SelectCoded -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_coded.json
+
+# Regenerate the multi-query benchmark snapshot: the merged product
+# automaton against the fan-out it replaces at 8/64/512 queries.
+bench-multi:
+	$(GO) test -run '^$$' -bench MultiQueryProduct -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_multi.json
 
 clean:
 	rm -f dralint classify streamq

@@ -529,6 +529,83 @@ func BenchmarkMultiQueryCatalog(b *testing.B) {
 	}
 }
 
+// --- Multi-query product compilation (DESIGN.md §13) ---
+//
+// The product claim: merging compatible compiled machines into one product
+// automaton with bitset accept masks makes the per-event stepping cost of a
+// query set nearly independent of its size, where fan-out pays one table
+// load per machine per event. Sandwich queries 'xi'.*'yk' over a 48-label
+// grid keep the joint state space small at every size. Both modes run the
+// same in-memory document through the sequential compiled pass; the
+// fan-out/product ns/event ratio at 64 queries is the number quoted in
+// EXPERIMENTS.md (BENCH_multi.json, regenerated by make bench-multi).
+
+func BenchmarkMultiQueryProduct(b *testing.B) {
+	labels := make([]string, 0, 48)
+	for i := 0; i < 32; i++ {
+		labels = append(labels, fmt.Sprintf("x%d", i))
+	}
+	for k := 0; k < 16; k++ {
+		labels = append(labels, fmt.Sprintf("y%d", k))
+	}
+	rng := rand.New(rand.NewSource(2023))
+	events := encoding.Markup(gen.RandomTree(rng, labels, 20_000))
+	for _, nq := range []int{8, 64, 512} {
+		qs := make([]*Query, 0, nq)
+		for i := 0; i < 32 && len(qs) < nq; i++ {
+			for k := 0; k < 16 && len(qs) < nq; k++ {
+				qs = append(qs, MustCompileRegex(fmt.Sprintf("'x%d'.*'y%d'", i, k), labels))
+			}
+		}
+		matchTotals := map[string]int{}
+		for _, mode := range []struct {
+			name string
+			fan  bool
+		}{{"product", false}, {"fanout", true}} {
+			mq, err := NewMultiQuery(qs...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mq.noProduct = mode.fan
+			b.Run(fmt.Sprintf("queries=%d/%s", nq, mode.name), func(b *testing.B) {
+				src := encoding.NewSliceSource(events)
+				src.Rewind()
+				stats, err := mq.selectSource(src, MarkupEncoding, Options{}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Pipeline != PipelineCoded {
+					b.Fatalf("%s mode left the compiled pipeline", mode.name)
+				}
+				if want := 1; mode.fan {
+					want = 0
+				} else if stats.ProductGroups != want {
+					b.Fatalf("product mode planned %d groups, want 1 (cap blown?)", stats.ProductGroups)
+				}
+				total := 0
+				for _, n := range stats.Matches {
+					total += n
+				}
+				matchTotals[mode.name] = total
+				if p, ok := matchTotals["product"]; ok {
+					if f, ok := matchTotals["fanout"]; ok && p != f {
+						b.Fatalf("modes disagree: product %d matches, fan-out %d", p, f)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					src.Rewind()
+					if _, err := mq.selectSource(src, MarkupEncoding, Options{}, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(events)), "ns/event")
+			})
+		}
+	}
+}
+
 // --- Chunk-parallel evaluation (DESIGN.md §8) ---
 //
 // The speedup claim needs real cores: on GOMAXPROCS=1 the parallel runs

@@ -31,10 +31,10 @@ echo '== go test (with coverage) =='
 # One pass runs the whole suite and produces the coverage profile for the
 # gate below. -coverpkg counts cross-package coverage of the gated
 # packages, which most of the suite exercises.
-go test -coverprofile=cover.out -coverpkg=./internal/core,./internal/parallel,./internal/obs,./internal/analysis,./internal/encoding,./internal/alphabet,./internal/tablecheck ./...
+go test -coverprofile=cover.out -coverpkg=./internal/core,./internal/parallel,./internal/obs,./internal/analysis,./internal/encoding,./internal/alphabet,./internal/tablecheck,./internal/product ./...
 
 echo '== coverage gate (>=80% on the gated packages) =='
-go run ./cmd/covercheck -min 80 -packages stackless/internal/core,stackless/internal/parallel,stackless/internal/obs,stackless/internal/analysis,stackless/internal/encoding,stackless/internal/alphabet,stackless/internal/tablecheck cover.out
+go run ./cmd/covercheck -min 80 -packages stackless/internal/core,stackless/internal/parallel,stackless/internal/obs,stackless/internal/analysis,stackless/internal/encoding,stackless/internal/alphabet,stackless/internal/tablecheck,stackless/internal/product cover.out
 
 echo '== go test -race (internal) =='
 go test -race ./internal/...

@@ -8,8 +8,12 @@
 //	streamq -regex 'a.*b' -alphabet a,b,c -stack file.xml
 //	streamq -jsonpath '$..title' -alphabet '$,store,book,item,title' -json data.json
 //	streamq -regex 'a.*b' -alphabet a,b,c -workers 4 -stats file.xml
+//	streamq -queries 'a.*b;.*a;a.*c' -alphabet a,b,c file.xml
 //
-// With no file argument the document is read from standard input. -stats
+// With no file argument the document is read from standard input. -queries
+// evaluates several regex queries in one streaming pass (compatible
+// compiled machines are merged into product automata, DESIGN.md §13),
+// printing each match with the index of the query that selected it. -stats
 // prints the observability collector's JSON snapshot after the run; -pprof
 // PREFIX writes CPU and heap profiles to PREFIX.cpu.pprof and
 // PREFIX.heap.pprof.
@@ -36,6 +40,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		regex     = fs.String("regex", "", "path query as a regular expression over labels")
+		queries   = fs.String("queries", "", "semicolon-separated regex queries evaluated together in one pass")
 		xpath     = fs.String("xpath", "", "path query in the downward XPath fragment")
 		jsonpath  = fs.String("jsonpath", "", "path query in the downward JSONPath fragment")
 		alpha     = fs.String("alphabet", "", "comma-separated label alphabet Γ (labels in the query are added automatically)")
@@ -57,13 +62,36 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *alpha != "" {
 		labels = strings.Split(*alpha, ",")
 	}
-	q, err := compile(*regex, *xpath, *jsonpath, labels)
-	if err != nil {
-		fmt.Fprintln(stderr, "streamq:", err)
-		return 2
+	var q *stackless.Query
+	var mq *stackless.MultiQuery
+	if *queries != "" {
+		exprs := strings.Split(*queries, ";")
+		qs := make([]*stackless.Query, len(exprs))
+		for i, expr := range exprs {
+			var err error
+			if qs[i], err = stackless.CompileRegex(expr, labels); err != nil {
+				fmt.Fprintf(stderr, "streamq: query %q: %v\n", expr, err)
+				return 2
+			}
+		}
+		var err error
+		if mq, err = stackless.NewMultiQuery(qs...); err != nil {
+			fmt.Fprintln(stderr, "streamq:", err)
+			return 2
+		}
+	} else {
+		var err error
+		if q, err = compile(*regex, *xpath, *jsonpath, labels); err != nil {
+			fmt.Fprintln(stderr, "streamq:", err)
+			return 2
+		}
 	}
 
 	if *classify {
+		if q == nil {
+			fmt.Fprintln(stderr, "streamq: -classify needs a single query")
+			return 2
+		}
 		fmt.Fprintf(stdout, "query: %s over %v\n%s", q, q.Alphabet(), q.Report())
 		return 0
 	}
@@ -109,12 +137,52 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *statsFlag {
 		opt.Collector = stackless.NewCollector()
 	}
+	if mq != nil {
+		report := func(m stackless.MultiMatch) {
+			if !*quiet {
+				fmt.Fprintf(stdout, "match query=%d pos=%d depth=%d label=%s\n", m.Query, m.Pos, m.Depth, m.Label)
+			}
+		}
+		var stats stackless.MultiStats
+		var err error
+		switch {
+		case *jsonIn:
+			stats, err = mq.SelectJSON(in, opt, report)
+		case *termIn:
+			stats, err = mq.SelectTerm(in, opt, report)
+		default:
+			stats, err = mq.SelectXML(in, opt, report)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "streamq:", err)
+			return 1
+		}
+		total := 0
+		for _, n := range stats.Matches {
+			total += n
+		}
+		fmt.Fprintf(stdout, "queries=%d events=%d matches=%d workers=%d productgroups=%d",
+			len(stats.Matches), stats.Events, total, stats.Workers, stats.ProductGroups)
+		if stats.Pipeline != "" {
+			fmt.Fprintf(stdout, " pipeline=%s", stats.Pipeline)
+		}
+		fmt.Fprintln(stdout)
+		if *statsFlag {
+			if err := opt.Collector.Snapshot().WriteJSON(stdout); err != nil {
+				fmt.Fprintln(stderr, "streamq:", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
 	report := func(m stackless.Match) {
 		if !*quiet {
 			fmt.Fprintf(stdout, "match pos=%d depth=%d label=%s\n", m.Pos, m.Depth, m.Label)
 		}
 	}
 	var stats stackless.Stats
+	var err error
 	switch {
 	case *jsonIn:
 		stats, err = q.SelectJSON(in, opt, report)

@@ -51,6 +51,7 @@ func TestRunGolden(t *testing.T) {
 		{"workers", []string{"-regex", "a.*b", "-alphabet", "a,b,c", "-workers", "4", doc}, "select_workers.golden"},
 		{"stack", []string{"-regex", "a.*b", "-alphabet", "a,b,c", "-stack", "-quiet", doc}, "select_stack.golden"},
 		{"fallback", []string{"-regex", ".*ab", "-alphabet", "a,b,c", "-workers", "4", "-quiet", doc}, "select_fallback.golden"},
+		{"multi", []string{"-queries", "a.*b;.*a;a.*c", "-alphabet", "a,b,c", doc}, "select_multi.golden"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			code, out, stderr := runStreamq(t, "", tc.args...)
@@ -84,6 +85,8 @@ func TestRunExitCodes(t *testing.T) {
 		{"bad flag", []string{"-no-such-flag"}, 2},
 		{"missing file", []string{"-regex", "a", "-alphabet", "a", "no-such-file.xml"}, 1},
 		{"nostack rejects", []string{"-regex", ".*ab", "-alphabet", "a,b,c", "-nostack", doc}, 1},
+		{"bad multi query", []string{"-queries", "a.*b;(", "-alphabet", "a,b,c", doc}, 2},
+		{"classify needs single", []string{"-queries", "a.*b;.*a", "-alphabet", "a,b,c", "-classify", doc}, 2},
 		{"ok", []string{"-regex", "a.*b", "-alphabet", "a,b,c", "-quiet", doc}, 0},
 	} {
 		t.Run(tc.name, func(t *testing.T) {

@@ -21,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"stackless/internal/core"
 	"stackless/internal/tablecheck"
 )
 
@@ -70,6 +71,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 				eq, explored, err = tablecheck.Equivalence(m.Name, m.M, lim)
 				if eq != nil {
 					ds = append(ds, *eq)
+				}
+				// Products: the generic search proves the product
+				// self-consistent; the joint search proves it equivalent to
+				// the tuple of its members.
+				if p, ok := m.M.(*core.ProductDFA); ok && err == nil && eq == nil {
+					var jexp int
+					eq, jexp, err = tablecheck.EquivalenceProduct(m.Name, p, lim)
+					explored += jexp
+					if eq != nil {
+						ds = append(ds, *eq)
+					}
 				}
 				if err == nil && eq == nil {
 					var post []tablecheck.Diagnostic

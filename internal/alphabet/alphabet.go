@@ -56,6 +56,30 @@ func (a *Alphabet) Add(s string) int {
 // Size returns the number of distinct symbols.
 func (a *Alphabet) Size() int { return len(a.symbols) }
 
+// Generation returns the alphabet's mutation generation: it advances exactly
+// when Add interns a new symbol, and symbols are never removed or renumbered,
+// so two observations with equal generations saw identical alphabets. Caches
+// keyed on an alphabet (the compiled-product cache of internal/product) fold
+// the generation into their keys, so growing an alphabet after a compile
+// invalidates the cached artifact instead of silently shearing its tables.
+func (a *Alphabet) Generation() int { return len(a.symbols) }
+
+// Union builds the shared alphabet of a set of machines: every symbol of
+// every input, first-occurrence order across the inputs (so equal input
+// sequences yield equal unions). The result is independent of the inputs —
+// extending it does not affect them. A product automaton's transition table
+// is indexed by the union's Sym space; member tables are re-indexed through
+// it at construction (see core.NewProductDFA).
+func Union(as ...*Alphabet) *Alphabet {
+	u := &Alphabet{index: make(map[string]int)}
+	for _, a := range as {
+		for _, s := range a.symbols {
+			u.Add(s)
+		}
+	}
+	return u
+}
+
 // ID returns the id of symbol s and whether it is present.
 func (a *Alphabet) ID(s string) (int, bool) {
 	id, ok := a.index[s]

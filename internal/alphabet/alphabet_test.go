@@ -103,3 +103,40 @@ func TestResolverCacheBound(t *testing.T) {
 		t.Errorf("cache grew to %d entries", len(r.labels))
 	}
 }
+
+func TestUnion(t *testing.T) {
+	a := Letters("abc")
+	b := Letters("cbd")
+	u := Union(a, b)
+	for i, want := range []string{"a", "b", "c", "d"} {
+		if u.Symbol(i) != want {
+			t.Errorf("Union symbol %d = %q, want %q", i, u.Symbol(i), want)
+		}
+	}
+	if u.Size() != 4 {
+		t.Fatalf("Union size = %d, want 4", u.Size())
+	}
+	// The union is independent: growing it must not grow the inputs.
+	u.Add("e")
+	if a.Size() != 3 || b.Size() != 3 {
+		t.Errorf("Union shares storage with its inputs: |a|=%d |b|=%d", a.Size(), b.Size())
+	}
+	if got := Union(); got.Size() != 0 {
+		t.Errorf("empty Union size = %d, want 0", got.Size())
+	}
+	// Union of one alphabet is a copy with the same order.
+	if c := Union(a); !c.Equal(a) {
+		t.Errorf("Union(a) = %v, want %v", c, a)
+	}
+}
+
+func TestGeneration(t *testing.T) {
+	a := Letters("ab")
+	g0 := a.Generation()
+	if a.Add("a"); a.Generation() != g0 {
+		t.Errorf("re-adding a known symbol changed the generation")
+	}
+	if a.Add("z"); a.Generation() == g0 {
+		t.Errorf("adding a new symbol did not change the generation")
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/classify"
+	"stackless/internal/encoding"
+	"stackless/internal/rex"
+)
+
+// tagQL compiles a registerless markup tag DFA for a regex over alph.
+func tagQL(t *testing.T, expr string, alph *alphabet.Alphabet) *TagDFA {
+	t.Helper()
+	l, err := rex.CompileString(expr, alph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := RegisterlessQL(classify.Analyze(l))
+	if err != nil {
+		t.Fatalf("RegisterlessQL(%s): %v", expr, err)
+	}
+	return d
+}
+
+func blindQL(t *testing.T, expr string, alph *alphabet.Alphabet) *TagDFA {
+	t.Helper()
+	l, err := rex.CompileString(expr, alph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := BlindRegisterlessQL(classify.Analyze(l))
+	if err != nil {
+		t.Fatalf("BlindRegisterlessQL(%s): %v", expr, err)
+	}
+	return d
+}
+
+func TestProductConstruction(t *testing.T) {
+	abc := alphabet.Letters("abc")
+	m1 := tagQL(t, "a.*b", abc)
+	m2 := tagQL(t, ".*a", alphabet.Letters("ab"))
+	m3 := tagQL(t, "a.*c", alphabet.Letters("ac"))
+
+	p, err := NewProductDFA([]*TagDFA{m1, m2, m3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Alphabet().Symbols(); len(got) != 3 {
+		t.Errorf("union alphabet %v, want the 3 letters abc", got)
+	}
+	if p.Members() != 3 || p.MaskWords() != 1 {
+		t.Errorf("Members=%d MaskWords=%d, want 3 and 1", p.Members(), p.MaskWords())
+	}
+	if p.TermEncoding() {
+		t.Error("markup product reports term encoding")
+	}
+	if p.NumStates() < 2 {
+		t.Errorf("NumStates = %d, suspiciously small", p.NumStates())
+	}
+	if s := p.Start(); s < 0 || s >= p.NumStates() {
+		t.Errorf("start %d outside live rows [0,%d)", s, p.NumStates())
+	}
+	mm := p.MemberMachines()
+	if len(mm) != 3 || mm[0] != m1 || mm[1] != m2 || mm[2] != m3 {
+		t.Error("MemberMachines does not preserve member order")
+	}
+	tab, masks, anyAcc, stride, words, dead := p.CompiledProduct()
+	if int(stride) != 2*(p.Alphabet().Size()+1) || int(words) != 1 || int(dead) != p.NumStates() {
+		t.Errorf("compiled dims stride=%d words=%d dead=%d", stride, words, dead)
+	}
+	if len(tab) != (p.NumStates()+1)*int(stride) || len(masks) != p.NumStates()+1 || len(anyAcc) != p.NumStates()+1 {
+		t.Errorf("compiled lengths tab=%d masks=%d anyAcc=%d", len(tab), len(masks), len(anyAcc))
+	}
+}
+
+func TestProductConstructionErrors(t *testing.T) {
+	abc := alphabet.Letters("abc")
+	markup := tagQL(t, "a.*b", abc)
+	term := blindQL(t, "a.*b", abc)
+
+	if _, err := NewProductDFA(nil, 0); err == nil {
+		t.Error("product of zero members built")
+	}
+	if _, err := NewProductDFA([]*TagDFA{markup, term}, 0); err == nil {
+		t.Error("mixed-encoding product built")
+	}
+	if _, err := NewProductDFA([]*TagDFA{markup, tagQL(t, ".*a", abc)}, 1); !errors.Is(err, ErrProductTooLarge) {
+		t.Errorf("maxStates=1 gave %v, want ErrProductTooLarge", err)
+	}
+}
+
+// TestProductVsMembersRandom drives the product's string path and each
+// member's string path over random trees (including out-of-union labels) and
+// checks bit-for-bit mask agreement after every event. The bounded BFS in
+// internal/tablecheck proves the same property exhaustively within limits;
+// this is the cheap randomized version over deeper, wider trees.
+func TestProductVsMembersRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		name  string
+		blind bool
+	}{{"markup", false}, {"term", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			build := tagQL
+			if tc.blind {
+				build = blindQL
+			}
+			members := []*TagDFA{
+				build(t, "a.*b", alphabet.Letters("ab")),
+				build(t, ".*a", alphabet.Letters("abc")),
+				build(t, "a.*c", alphabet.Letters("ac")),
+			}
+			p, err := NewProductDFA(members, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pev := p.Evaluator()
+			mevs := make([]Evaluator, len(members))
+			labels := []string{"a", "b", "c", "zz"} // zz: outside every member
+			for trial := 0; trial < 200; trial++ {
+				tr := randomTree(rng, labels, 1+rng.Intn(20))
+				events := encoding.Markup(tr)
+				if tc.blind {
+					events = encoding.Term(tr)
+				}
+				pev.Reset()
+				for i := range mevs {
+					mevs[i] = members[i].Evaluator()
+				}
+				for _, e := range events {
+					pev.Step(e)
+					mask := pev.AcceptMask()
+					any := false
+					for i, mu := range mevs {
+						mu.Step(e)
+						got := mask[i/64]&(1<<(uint(i)%64)) != 0
+						if want := mu.Accepting(); got != want {
+							t.Fatalf("trial %d after %v: mask bit %d = %v, member says %v", trial, e, i, got, want)
+						}
+						any = any || mu.Accepting()
+					}
+					if pev.Accepting() != any {
+						t.Fatalf("trial %d after %v: product Accepting %v, disjunction %v", trial, e, pev.Accepting(), any)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestProductEvaluatorAtClamps(t *testing.T) {
+	p, err := NewProductDFA([]*TagDFA{tagQL(t, "a.*b", alphabet.Letters("ab"))}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := int32(p.NumStates())
+	for _, s := range []int32{-1, dead + 1, dead + 100} {
+		if ev := p.EvaluatorAt(s); ev.State() != dead {
+			t.Errorf("EvaluatorAt(%d) = state %d, want dead %d", s, ev.State(), dead)
+		}
+	}
+	if ev := p.EvaluatorAt(int32(p.Start())); ev.State() != int32(p.Start()) {
+		t.Error("EvaluatorAt(start) did not position at start")
+	}
+}
+
+// TestProductSimulateChunkCoded: the all-states pass must agree with running
+// StepBatch from each state individually, for every entry state including
+// the dead row.
+func TestProductSimulateChunkCoded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	abc := alphabet.Letters("abc")
+	p, err := NewProductDFA([]*TagDFA{tagQL(t, "a.*b", abc), tagQL(t, ".*a", abc)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coder := alphabet.NewCoder(p.Alphabet())
+	var exits []int32
+	for trial := 0; trial < 50; trial++ {
+		tr := randomTree(rng, []string{"a", "b", "c", "zz"}, 1+rng.Intn(15))
+		coded := encoding.CodeEvents(coder, encoding.Markup(tr), nil)
+		exits = p.Evaluator().SimulateChunkCoded(coded, exits)
+		if len(exits) != p.NumStates()+1 {
+			t.Fatalf("exit vector length %d, want %d", len(exits), p.NumStates()+1)
+		}
+		for s := 0; s <= p.NumStates(); s++ {
+			ev := p.EvaluatorAt(int32(s))
+			ev.StepBatch(coded)
+			if ev.State() != exits[s] {
+				t.Fatalf("trial %d entry %d: simulate says %d, StepBatch says %d", trial, s, exits[s], ev.State())
+			}
+		}
+	}
+}
+
+// TestProductSelectBatchMasks: hits and mask words must match a reference
+// walk of the string path.
+func TestProductSelectBatchMasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	abc := alphabet.Letters("abc")
+	p, err := NewProductDFA([]*TagDFA{tagQL(t, "a.*b", abc), tagQL(t, ".*a", abc), tagQL(t, "a.*c", abc)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coder := alphabet.NewCoder(p.Alphabet())
+	words := p.MaskWords()
+	for trial := 0; trial < 100; trial++ {
+		tr := randomTree(rng, []string{"a", "b", "c", "zz"}, 1+rng.Intn(20))
+		events := encoding.Markup(tr)
+		coded := encoding.CodeEvents(coder, events, nil)
+
+		ev := p.Evaluator()
+		hits, masks := ev.SelectBatchMasks(coded, nil, nil)
+		if len(masks) != len(hits)*words {
+			t.Fatalf("trial %d: %d hits but %d mask words", trial, len(hits), len(masks))
+		}
+
+		ref := p.Evaluator()
+		var wantHits []int32
+		var wantMasks []uint64
+		for i, e := range events {
+			ref.Step(e)
+			if e.Kind == encoding.Open && ref.Accepting() {
+				wantHits = append(wantHits, int32(i))
+				wantMasks = append(wantMasks, ref.AcceptMask()...)
+			}
+		}
+		if len(hits) != len(wantHits) {
+			t.Fatalf("trial %d: %d hits, want %d", trial, len(hits), len(wantHits))
+		}
+		for j := range hits {
+			if hits[j] != wantHits[j] {
+				t.Fatalf("trial %d hit %d: index %d, want %d", trial, j, hits[j], wantHits[j])
+			}
+			for w := 0; w < words; w++ {
+				if masks[j*words+w] != wantMasks[j*words+w] {
+					t.Fatalf("trial %d hit %d: mask word %d = %#x, want %#x", trial, j, w, masks[j*words+w], wantMasks[j*words+w])
+				}
+			}
+		}
+	}
+}

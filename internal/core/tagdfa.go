@@ -37,6 +37,7 @@ type TagDFA struct {
 	hooked      atomic.Bool
 	ctab        []int32
 	cacc        []bool
+	cstride     int32
 }
 
 // compiled returns the flat table, its acceptance vector (length n+1,
@@ -71,7 +72,7 @@ func (t *TagDFA) compiled() (tab []int32, acc []bool, stride, dead int32) {
 				}
 			}
 		}
-		t.ctab, t.cacc = ctab, cacc
+		t.ctab, t.cacc, t.cstride = ctab, cacc, w
 	})
 	// The verification hook runs outside the build closure and behind a CAS
 	// rather than a second Once: the hook itself reads the table through this
@@ -80,7 +81,11 @@ func (t *TagDFA) compiled() (tab []int32, acc []bool, stride, dead int32) {
 	if CompileHook != nil && t.hooked.CompareAndSwap(false, true) {
 		compileHook(t)
 	}
-	return t.ctab, t.cacc, int32(2 * (t.Alphabet.Size() + 1)), int32(t.NumStates())
+	// The stride is the one the table was built with: growing the alphabet
+	// after compilation must not change how the flat table is indexed (new
+	// symbols resolve past the compiled columns and fall to the dead row via
+	// the kernels' bounds guards).
+	return t.ctab, t.cacc, t.cstride, int32(t.NumStates())
 }
 
 // NumStates returns the number of states.

@@ -102,6 +102,11 @@ type Collector struct {
 	SeqFallbacks   Counter // chunk-parallel requests degraded to a sequential pass
 	ParallelRuns   Counter // chunk-parallel runs actually fanned out
 
+	// Multi-query product compilation (internal/product).
+	ProductGroups      Counter // product groups evaluated one-pass
+	ProductCacheHits   Counter // compiled products served from the LRU cache
+	ProductCacheMisses Counter // products compiled (or failed) on a cache miss
+
 	// Chunking (internal/parallel). SegmentEvents + BoundaryEvents equals
 	// Events for a fanned-out run: every event is either summarized inside
 	// a segment or replayed at a cut boundary.

@@ -109,7 +109,8 @@ func TestSnapshotShape(t *testing.T) {
 	}
 	for _, key := range []string{
 		"events", "matches", "stack_fallbacks", "seq_fallbacks",
-		"parallel_runs", "chunks", "segments", "segment_events",
+		"parallel_runs", "product_groups", "product_cache_hits",
+		"product_cache_misses", "chunks", "segments", "segment_events",
 		"boundary_events", "cuts_rejected", "register_loads",
 		"register_compares", "pool_submits", "pool_workers",
 		"worker_busy_ns", "fanout_wall_ns",

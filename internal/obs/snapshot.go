@@ -68,6 +68,9 @@ func (c *Collector) Snapshot() Snapshot {
 	s.Counters["stack_fallbacks"] = c.StackFallbacks.Load()
 	s.Counters["seq_fallbacks"] = c.SeqFallbacks.Load()
 	s.Counters["parallel_runs"] = c.ParallelRuns.Load()
+	s.Counters["product_groups"] = c.ProductGroups.Load()
+	s.Counters["product_cache_hits"] = c.ProductCacheHits.Load()
+	s.Counters["product_cache_misses"] = c.ProductCacheMisses.Load()
 	s.Counters["chunks"] = c.Chunks.Load()
 	s.Counters["segments"] = c.Segments.Load()
 	s.Counters["segment_events"] = c.SegmentEvents.Load()

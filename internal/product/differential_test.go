@@ -1,0 +1,381 @@
+package product
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/classify"
+	"stackless/internal/core"
+	"stackless/internal/encoding"
+	"stackless/internal/gen"
+	"stackless/internal/obs"
+	"stackless/internal/parallel"
+	"stackless/internal/rex"
+	"stackless/internal/stackeval"
+	"stackless/internal/tree"
+)
+
+// The differential battery: every query set is evaluated three ways —
+// through the product plan (groups one-pass, loose fanned out), through the
+// pre-§13 fan-out (every member its own sequential pass), and through the
+// stack-based pushdown oracle — and the three per-query match streams must
+// agree exactly: same match sets, same order, same positions, depths and
+// labels. Sets mix all four evaluator families (markup tag DFAs, term tag
+// DFAs, stackless evaluators, pushdown evaluators), so plans exercise
+// multi-group, loose and degenerate shapes; documents include unknown-symbol
+// poison, depth spikes and single-node trees; chunked runs sweep adversarial
+// cut sets under Workers ∈ {1, 2, GOMAXPROCS}.
+
+// member is one query of a differential set: its analysis (for the oracle),
+// its evaluator (for the plan and the fan-out), and its family tag.
+type member struct {
+	family string
+	an     *classify.Analysis
+	ev     core.Evaluator
+}
+
+// registerless-safe sandwich/suffix patterns: every one of these compiles
+// through RegisterlessQL and BlindRegisterlessQL (exact concatenations like
+// "ab" are not almost-reversible and would fail).
+var diffPool = []struct {
+	expr   string
+	labels string
+}{
+	{"a.*b", "ab"},
+	{".*a", "abc"},
+	{"a.*c", "ac"},
+	{"a.*b", "abc"},
+	{"a.*(b.*)?c", "abc"},
+	{"a(.*b)?.*c", "abc"},
+	{".*a", "ab"},
+	{"b.*a", "abc"},
+}
+
+// newMember builds one member of the given family over the pool entry.
+func newMember(t testing.TB, family string, pi int) member {
+	t.Helper()
+	p := diffPool[pi%len(diffPool)]
+	l, err := rex.CompileString(p.expr, alphabet.Letters(p.labels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := classify.Analyze(l)
+	m := member{family: family, an: an}
+	switch family {
+	case "tag-markup":
+		d, err := core.RegisterlessQL(an)
+		if err != nil {
+			t.Fatalf("RegisterlessQL(%s): %v", p.expr, err)
+		}
+		m.ev = d.Evaluator()
+	case "tag-term":
+		d, err := core.BlindRegisterlessQL(an)
+		if err != nil {
+			t.Fatalf("BlindRegisterlessQL(%s): %v", p.expr, err)
+		}
+		m.ev = d.Evaluator()
+	case "stackless":
+		sev, err := core.StacklessQL(an)
+		if err != nil {
+			t.Fatalf("StacklessQL(%s): %v", p.expr, err)
+		}
+		m.ev = sev
+	case "pushdown":
+		m.ev = stackeval.QL(an.D)
+	default:
+		t.Fatalf("unknown family %q", family)
+	}
+	return m
+}
+
+var diffFamilies = []string{"tag-markup", "tag-term", "stackless", "pushdown"}
+
+// randomSet builds n members with random families and pool entries.
+func randomSet(t testing.TB, rng *rand.Rand, n int) []member {
+	set := make([]member, n)
+	for i := range set {
+		set[i] = newMember(t, diffFamilies[rng.Intn(len(diffFamilies))], rng.Intn(len(diffPool)))
+	}
+	return set
+}
+
+// diffDocs is the document corpus: random trees over the pool labels plus a
+// poison label outside every member alphabet, a deep chain (depth spike), a
+// comb, and the degenerate single-node tree.
+func diffDocs(rng *rand.Rand) []*tree.Node {
+	labels := []string{"a", "b", "c", "zz"}
+	docs := []*tree.Node{
+		tree.MustParse("a"),
+		gen.DeepChain(rng, labels, 14),
+		gen.Comb("a", "b", 5, 3),
+	}
+	for _, size := range []int{2, 5, 12, 40} {
+		docs = append(docs, gen.RandomTree(rng, labels, size))
+	}
+	return docs
+}
+
+// oracleMatches runs the pushdown oracle for one member over the markup
+// events. When poisons is true it applies the compiled family's poison
+// convention: the pushdown recovers when an unknown-labelled subtree closes,
+// but every compiled machine of the engine (tag DFA, stackless, product)
+// absorbs into its dead state on the first out-of-alphabet open —
+// tablecheck's totality invariant — so the oracle's matches are truncated
+// there. Pushdown members keep the recovering semantics (poisons false).
+func oracleMatches(an *classify.Analysis, events []encoding.Event, poisons bool) []core.Match {
+	var out []core.Match
+	ev := stackeval.QL(an.D)
+	if _, err := core.Select(ev, encoding.NewSliceSource(events), func(m core.Match) { out = append(out, m) }); err != nil {
+		panic(err)
+	}
+	if !poisons {
+		return out
+	}
+	pos := -1
+	for _, e := range events {
+		if e.Kind != encoding.Open {
+			continue
+		}
+		pos++
+		if !an.D.Alphabet.Contains(e.Label) {
+			for i, m := range out {
+				if m.Pos >= pos {
+					return out[:i]
+				}
+			}
+			return out
+		}
+	}
+	return out
+}
+
+// memberOracle is oracleMatches with the member's own poison semantics.
+func memberOracle(m member, events []encoding.Event) []core.Match {
+	return oracleMatches(m.an, events, m.family != "pushdown")
+}
+
+// fanoutMatches runs one member's own evaluator sequentially.
+func fanoutMatches(ev core.Evaluator, events []encoding.Event) []core.Match {
+	var out []core.Match
+	ev.Reset()
+	if _, err := core.Select(ev, encoding.NewSliceSource(events), func(m core.Match) { out = append(out, m) }); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// planMatches evaluates the whole set through a product plan: groups via the
+// chunked driver with the given cuts, loose members sequentially. Returns
+// per-query match slices. When c is non-nil, group counters accumulate on it.
+func planMatches(pool *parallel.Pool, plan Plan, set []member, events []encoding.Event, cuts []int, c *obs.Collector) [][]core.Match {
+	out := make([][]core.Match, len(set))
+	for _, g := range plan.Groups {
+		g := g
+		SelectChunksAt(pool, g.Machine, events, cuts, c, func(bit int, m core.Match) {
+			q := g.Queries[bit]
+			out[q] = append(out[q], m)
+		})
+	}
+	for _, q := range plan.Loose {
+		out[q] = fanoutMatches(set[q].ev, events)
+	}
+	return out
+}
+
+func matchSlicesEqual(a, b []core.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Pos != b[i].Pos || a[i].Depth != b[i].Depth || a[i].Label != b[i].Label {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDifferentialProductVsFanoutVsOracle(t *testing.T) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(2026))
+
+	for _, n := range []int{2, 3, 5, 17, 64, 128} {
+		n := n
+		t.Run(fmt.Sprintf("queries=%d", n), func(t *testing.T) {
+			set := randomSet(t, rng, n)
+			evs := make([]core.Evaluator, n)
+			for i, m := range set {
+				evs[i] = m.ev
+			}
+			plan := BuildPlan(evs, NewCache(8), 0, nil)
+			grouped := 0
+			for _, g := range plan.Groups {
+				grouped += len(g.Queries)
+			}
+			if grouped+len(plan.Loose) != n {
+				t.Fatalf("plan covers %d+%d of %d queries", grouped, len(plan.Loose), n)
+			}
+
+			docs := diffDocs(rng)
+			if n >= 64 {
+				docs = docs[:3] // keep the big-set runs cheap
+			}
+			for di, doc := range docs {
+				events := encoding.Markup(doc)
+
+				oracle := make([][]core.Match, n)
+				fanout := make([][]core.Match, n)
+				for q, m := range set {
+					oracle[q] = memberOracle(m, events)
+					fanout[q] = fanoutMatches(m.ev, events)
+					if !matchSlicesEqual(fanout[q], oracle[q]) {
+						t.Fatalf("doc %d query %d (%s): fan-out %v, oracle %v", di, q, m.family, fanout[q], oracle[q])
+					}
+				}
+
+				// Sequential product pass (no cuts).
+				got := planMatches(pool, plan, set, events, nil, nil)
+				for q := range set {
+					if !matchSlicesEqual(got[q], oracle[q]) {
+						t.Fatalf("doc %d query %d (%s): product %v, oracle %v", di, q, set[q].family, got[q], oracle[q])
+					}
+				}
+
+				// Adversarial cuts: every interior position alone, size-1
+				// chunks, and a window around the depth spike.
+				cutSets := adversarialCuts(events)
+				if n >= 64 {
+					cutSets = cutSets[:min(len(cutSets), 6)]
+				}
+				for _, cuts := range cutSets {
+					got := planMatches(pool, plan, set, events, cuts, nil)
+					for q := range set {
+						if !matchSlicesEqual(got[q], oracle[q]) {
+							t.Fatalf("doc %d query %d cuts %v: product %v, oracle %v", di, q, cuts, got[q], oracle[q])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// adversarialCuts mirrors internal/parallel's test helper: every single
+// interior position, a window around the deepest event, and every position
+// at once (chunk size 1).
+func adversarialCuts(events []encoding.Event) [][]int {
+	n := len(events)
+	var cuts [][]int
+	for i := 1; i < n; i++ {
+		cuts = append(cuts, []int{i})
+	}
+	depth, maxDepth, spike := 0, -1, 0
+	for i, e := range events {
+		if e.Kind == encoding.Open {
+			depth++
+		} else {
+			depth--
+		}
+		if depth > maxDepth {
+			maxDepth, spike = depth, i
+		}
+	}
+	cuts = append(cuts, []int{spike, spike + 1})
+	if spike > 1 {
+		cuts = append(cuts, []int{spike - 1, spike, spike + 1})
+	}
+	all := make([]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		all = append(all, i)
+	}
+	cuts = append(cuts, all)
+	return cuts
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestDifferentialWorkerCounts drives the chunked product driver through the
+// shared pool at Workers ∈ {1, 2, GOMAXPROCS} (SplitPoints cuts), comparing
+// to the oracle; go test -race makes this the scheduler-interleaving check.
+func TestDifferentialWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	set := randomSet(t, rng, 9)
+	evs := make([]core.Evaluator, len(set))
+	for i, m := range set {
+		evs[i] = m.ev
+	}
+	plan := BuildPlan(evs, NewCache(8), 0, nil)
+	if len(plan.Groups) == 0 {
+		t.Skip("random set produced no groups (all loose)")
+	}
+	for _, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		pool := parallel.NewPool(w)
+		for _, doc := range diffDocs(rng) {
+			events := encoding.Markup(doc)
+			got := make([][]core.Match, len(set))
+			for _, g := range plan.Groups {
+				g := g
+				SelectChunks(pool, g.Machine, events, w, nil, func(bit int, m core.Match) {
+					got[g.Queries[bit]] = append(got[g.Queries[bit]], m)
+				})
+			}
+			for _, g := range plan.Groups {
+				for _, q := range g.Queries {
+					want := memberOracle(set[q], events)
+					if !matchSlicesEqual(got[q], want) {
+						t.Fatalf("workers=%d query %d: product %v, oracle %v", w, q, got[q], want)
+					}
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestDifferentialCounterParity: an instrumented product-plan run must report
+// the same Events and Matches totals as the fan-out it replaced — members ×
+// events stepped, one Matches per (query, node) — on every cut set.
+func TestDifferentialCounterParity(t *testing.T) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(99))
+	// All-markup set so the whole set lands in one product group.
+	set := make([]member, 6)
+	for i := range set {
+		set[i] = newMember(t, "tag-markup", i)
+	}
+	evs := make([]core.Evaluator, len(set))
+	for i, m := range set {
+		evs[i] = m.ev
+	}
+	plan := BuildPlan(evs, NewCache(8), 0, nil)
+	if len(plan.Groups) != 1 || len(plan.Loose) != 0 {
+		t.Fatalf("expected one group, got %d groups, %d loose", len(plan.Groups), len(plan.Loose))
+	}
+	g := plan.Groups[0]
+	for _, doc := range diffDocs(rng) {
+		events := encoding.Markup(doc)
+		wantMatches := 0
+		for _, m := range set {
+			wantMatches += len(memberOracle(m, events))
+		}
+		for _, cuts := range [][]int{nil, {len(events) / 2}, {1, 2, 3}} {
+			c := &obs.Collector{}
+			SelectChunksAt(pool, g.Machine, events, cuts, c, nil)
+			if want := int64(len(set)) * int64(len(events)); c.Events.Load() != want {
+				t.Errorf("cuts %v: Events = %d, want %d", cuts, c.Events.Load(), want)
+			}
+			if c.Matches.Load() != int64(wantMatches) {
+				t.Errorf("cuts %v: Matches = %d, want %d", cuts, c.Matches.Load(), wantMatches)
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package product
+
+import (
+	"bytes"
+	"math/bits"
+	"testing"
+
+	"stackless/internal/core"
+	"stackless/internal/encoding"
+	"stackless/internal/obs"
+	"stackless/internal/parallel"
+)
+
+// FuzzProductVsFanout fuzzes the whole product stack against the fan-out it
+// replaces: the document text (term syntax), the chunk cuts, and the member
+// subset are all fuzzer-chosen. Each selected subset of a fixed 8-machine
+// pool (five markup tag DFAs, three term tag DFAs, mixed alphabets) is
+// planned through the shared grouping/cache layers and evaluated chunked;
+// every query's match stream must equal its member's own sequential pass —
+// positions, depths, labels, order — and the instrumented run must report
+// fan-out-parity Events/Matches totals. Out-of-alphabet labels exercise the
+// per-member poison composition.
+func FuzzProductVsFanout(f *testing.F) {
+	f.Add([]byte("a{b{}c{}}"), []byte{2, 5}, byte(0b00000111))
+	f.Add([]byte("a{a{b{}b{a{}}}b{}}"), []byte{0, 7, 9}, byte(0b00011111))
+	f.Add([]byte("b{a{}a{}}"), []byte{1}, byte(0b11100000))
+	f.Add([]byte("a{x{y{}}b{}}"), []byte{3, 3, 250}, byte(0b10101010))
+	f.Add([]byte("a{}"), []byte{}, byte(0b00000011))
+	f.Add([]byte("c{a{c{b{}}}}"), []byte{1, 2, 3, 4, 5, 6, 7}, byte(0xff))
+
+	poolMembers := make([]member, 0, 8)
+	for i := 0; i < 5; i++ {
+		poolMembers = append(poolMembers, newMember(f, "tag-markup", i))
+	}
+	for i := 0; i < 3; i++ {
+		poolMembers = append(poolMembers, newMember(f, "tag-term", i))
+	}
+	cache := NewCache(DefaultCacheSize)
+	pool := parallel.NewPool(3)
+
+	f.Fuzz(func(t *testing.T, doc, cutBytes []byte, sel byte) {
+		if sel == 0 {
+			return
+		}
+		term, err := encoding.ReadAll(encoding.NewTermScanner(bytes.NewReader(doc)))
+		if err != nil {
+			return
+		}
+		tr, err := encoding.Decode(encoding.NewSliceSource(term))
+		if err != nil {
+			return
+		}
+		events := encoding.Markup(tr)
+
+		set := make([]member, 0, bits.OnesCount8(sel))
+		for i, m := range poolMembers {
+			if sel&(1<<uint(i)) != 0 {
+				set = append(set, m)
+			}
+		}
+		evs := make([]core.Evaluator, len(set))
+		for i, m := range set {
+			evs[i] = m.ev
+		}
+		cuts := make([]int, 0, len(cutBytes))
+		for _, b := range cutBytes {
+			cuts = append(cuts, int(b)%(len(events)+1))
+		}
+
+		want := make([][]core.Match, len(set))
+		wantTotal := 0
+		for q, m := range set {
+			want[q] = fanoutMatches(m.ev, events)
+			wantTotal += len(want[q])
+			// The member machines are themselves held to the (poison-aware)
+			// pushdown oracle, so a product bug cannot hide behind a matching
+			// fan-out bug.
+			if ref := memberOracle(m, events); !matchSlicesEqual(want[q], ref) {
+				t.Fatalf("query %d: fan-out %v diverges from oracle %v", q, want[q], ref)
+			}
+		}
+
+		c := &obs.Collector{}
+		plan := BuildPlan(evs, cache, 0, c)
+		got := planMatches(pool, plan, set, events, cuts, c)
+		for q := range set {
+			if !matchSlicesEqual(got[q], want[q]) {
+				t.Fatalf("sel %08b cuts %v query %d: product %v, fan-out %v", sel, cuts, q, got[q], want[q])
+			}
+		}
+		// Counter parity for the grouped queries: Events counts members ×
+		// events and Matches one per (query, node), exactly as fan-out would.
+		grouped, groupedMatches := 0, 0
+		for _, g := range plan.Groups {
+			grouped += len(g.Queries)
+			for _, q := range g.Queries {
+				groupedMatches += len(want[q])
+			}
+		}
+		if want := int64(grouped) * int64(len(events)); c.Events.Load() != want {
+			t.Fatalf("sel %08b: Events = %d, want %d", sel, c.Events.Load(), want)
+		}
+		if c.Matches.Load() != int64(groupedMatches) {
+			t.Fatalf("sel %08b: Matches = %d, want %d", sel, c.Matches.Load(), groupedMatches)
+		}
+	})
+}

@@ -105,5 +105,54 @@ func Corpus() ([]Machine, error) {
 	if err := add("synopsis/al-term", alB, err); err != nil {
 		return nil, err
 	}
+
+	// Products of the §13 multi-query engine: a markup product over one
+	// shared alphabet, a term product, and a mixed-alphabet markup product
+	// whose members die individually on labels outside their own alphabets.
+	tagQL := func(expr string, alph *alphabet.Alphabet) (*core.TagDFA, error) {
+		l, err := rex.CompileString(expr, alph)
+		if err != nil {
+			return nil, err
+		}
+		return core.RegisterlessQL(classify.Analyze(l))
+	}
+	blindQL := func(expr string, alph *alphabet.Alphabet) (*core.TagDFA, error) {
+		l, err := rex.CompileString(expr, alph)
+		if err != nil {
+			return nil, err
+		}
+		return core.BlindRegisterlessQL(classify.Analyze(l))
+	}
+	abc := paperfigs.GammaABC()
+	var prodErr error
+	mkProduct := func(name string, members ...*core.TagDFA) {
+		if prodErr != nil {
+			return
+		}
+		p, err := core.NewProductDFA(members, 0)
+		if err != nil {
+			prodErr = fmt.Errorf("corpus: %s: %w", name, err)
+			return
+		}
+		out = append(out, Machine{name, p})
+	}
+	pm1, err1 := tagQL("a.*b", abc)
+	pm2, err2 := tagQL(".*a", abc)
+	pm3, err3 := tagQL("a.*c", abc)
+	pt1, err4 := blindQL("a.*b", abc)
+	pt2, err5 := blindQL(".*a", abc)
+	px1, err6 := tagQL("a.*b", alphabet.Letters("ab"))
+	px2, err7 := tagQL("a.*c", alphabet.Letters("ac"))
+	for _, err := range []error{err1, err2, err3, err4, err5, err6, err7} {
+		if err != nil {
+			return nil, fmt.Errorf("corpus: product member: %w", err)
+		}
+	}
+	mkProduct("product/markup", pm1, pm2, pm3)
+	mkProduct("product/term", pt1, pt2)
+	mkProduct("product/mixed-alphabet", px1, px2)
+	if prodErr != nil {
+		return nil, prodErr
+	}
 	return out, nil
 }

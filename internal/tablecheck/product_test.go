@@ -1,0 +1,188 @@
+package tablecheck
+
+import (
+	"testing"
+
+	"stackless/internal/classify"
+	"stackless/internal/core"
+	"stackless/internal/encoding"
+	"stackless/internal/paperfigs"
+	"stackless/internal/rex"
+)
+
+func freshProduct(t *testing.T) *core.ProductDFA {
+	t.Helper()
+	abc := paperfigs.GammaABC()
+	var members []*core.TagDFA
+	for _, expr := range []string{"a.*b", ".*a", "a.*c"} {
+		l, err := rex.CompileString(expr, abc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := core.RegisterlessQL(classify.Analyze(l))
+		if err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, m)
+	}
+	p, err := core.NewProductDFA(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCorruptProduct(t *testing.T) {
+	k := paperfigs.GammaABC().Size()
+
+	t.Run("closure", func(t *testing.T) {
+		p := freshProduct(t)
+		tab, _, _, _, _, dead := p.CompiledProduct()
+		tab[0] = dead + 5
+		ds, err := Verify("p", p, testLimits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOnlyKind(t, ds, KindClosure)
+	})
+	t.Run("flags-dead-row", func(t *testing.T) {
+		p := freshProduct(t)
+		tab, _, _, stride, _, dead := p.CompiledProduct()
+		tab[int(dead)*int(stride)] = 0
+		ds, err := Verify("p", p, testLimits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOnlyKind(t, ds, KindFlags)
+	})
+	t.Run("flags-dead-accepts", func(t *testing.T) {
+		p := freshProduct(t)
+		_, masks, _, _, words, dead := p.CompiledProduct()
+		masks[int(dead)*int(words)] |= 1
+		ds, err := Verify("p", p, testLimits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOnlyKind(t, ds, KindFlags)
+	})
+	t.Run("flags-stray-bit", func(t *testing.T) {
+		p := freshProduct(t)
+		_, masks, _, _, words, dead := p.CompiledProduct()
+		// A bit at or above the member count on a state that already
+		// accepts: anyAcc stays consistent, only the stray check fires.
+		q := -1
+		for s := 0; s < int(dead); s++ {
+			if masks[s*int(words)] != 0 {
+				q = s
+				break
+			}
+		}
+		if q < 0 {
+			t.Fatal("no accepting product state found")
+		}
+		masks[q*int(words)] |= 1 << uint(p.Members())
+		ds, err := Verify("p", p, testLimits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOnlyKind(t, ds, KindFlags)
+	})
+	t.Run("flags-anyacc-disagrees", func(t *testing.T) {
+		p := freshProduct(t)
+		_, masks, anyAcc, _, words, dead := p.CompiledProduct()
+		for s := 0; s < int(dead); s++ {
+			if masks[s*int(words)] != 0 {
+				anyAcc[s] = false
+				break
+			}
+		}
+		ds, err := Verify("p", p, testLimits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOnlyKind(t, ds, KindFlags)
+	})
+	t.Run("totality", func(t *testing.T) {
+		p := freshProduct(t)
+		tab, _, _, _, _, _ := p.CompiledProduct()
+		tab[k<<1] = 0 // unknown open column of state 0 routed to a live state
+		ds, err := Verify("p", p, testLimits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOnlyKind(t, ds, KindTotality)
+	})
+}
+
+// TestCorruptProductMaskBit is the issue's headline corruption: ONE flipped
+// mask bit on a live accepting state. The flip keeps the bitset non-zero and
+// anyAcc consistent, so every static check stays silent, and the product
+// remains self-consistent (its string path and coded kernels read the same
+// corrupted masks), so the generic equivalence search stays silent too. Only
+// the joint BFS against the member tuple — EquivalenceProduct — can see it,
+// and it must report exactly one diagnostic kind with a counterexample that
+// replays to a real per-member divergence.
+func TestCorruptProductMaskBit(t *testing.T) {
+	p := freshProduct(t)
+	_, masks, _, _, words, _ := p.CompiledProduct()
+
+	// Reach an accepting state the bounded search will visit (⟨a hits the
+	// ".*a" member) and set a zero bit below the member count there.
+	ev := p.Evaluator()
+	ev.Step(encoding.Event{Kind: encoding.Open, Label: "a"})
+	if !ev.Accepting() {
+		t.Fatal("state after ⟨a should accept (member .*a)")
+	}
+	q := int(ev.State())
+	row := masks[q*int(words) : (q+1)*int(words)]
+	bit := -1
+	for i := 0; i < p.Members(); i++ {
+		if row[i/64]&(1<<(uint(i)%64)) == 0 {
+			bit = i
+			break
+		}
+	}
+	if bit < 0 {
+		t.Fatal("no zero mask bit to flip")
+	}
+	row[bit/64] |= 1 << (uint(bit) % 64)
+
+	if ds, err := StaticVerify("p", p); err != nil || len(ds) != 0 {
+		t.Fatalf("mask-bit flip should be statically silent, got %v, %v", ds, err)
+	}
+	if eq, _, err := Equivalence("p", p, testLimits); err != nil || eq != nil {
+		t.Fatalf("mask-bit flip should pass the self-consistency search, got %v, %v", eq, err)
+	}
+	ds, err := Verify("p", p, testLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOnlyKind(t, ds, KindEquivalence)
+	ce := ds[0]
+	if len(ce.Events) == 0 || ce.Counterexample == "" {
+		t.Fatalf("equivalence diagnostic without counterexample: %+v", ce)
+	}
+
+	// Replay: the product's mask and the member tuple must really disagree
+	// on some bit along the counterexample.
+	pev := p.Evaluator()
+	members := p.MemberMachines()
+	mevs := make([]core.Evaluator, len(members))
+	for i, m := range members {
+		mevs[i] = m.Evaluator()
+	}
+	diverged := false
+	for _, e := range ce.Events {
+		pev.Step(e)
+		mask := pev.AcceptMask()
+		for i, mu := range mevs {
+			mu.Step(e)
+			if mu.Accepting() != (mask[i/64]&(1<<(uint(i)%64)) != 0) {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Errorf("counterexample %q does not replay to a member-bit divergence", ce.Counterexample)
+	}
+}

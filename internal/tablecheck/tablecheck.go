@@ -113,12 +113,16 @@ func StaticVerify(name string, m any) ([]Diagnostic, error) {
 		staticDRA(r, v)
 	case *core.SynopsisMachine:
 		staticSynopsis(r, v)
+	case *core.ProductDFA:
+		staticProduct(r, v)
 	case interface{ InnerSynopsis() *core.SynopsisMachine }:
 		staticSynopsis(r, v.InnerSynopsis())
 	case interface{ Machine() *core.TagDFA }:
 		staticTagDFA(r, v.Machine())
 	case interface{ Machine() *core.DRA }:
 		staticDRA(r, v.Machine())
+	case interface{ Machine() *core.ProductDFA }:
+		staticProduct(r, v.Machine())
 	default:
 		return nil, fmt.Errorf("tablecheck: unsupported machine type %T", m)
 	}
@@ -140,6 +144,18 @@ func Verify(name string, m any, lim Limits) ([]Diagnostic, error) {
 	}
 	if eq != nil {
 		ds = append(ds, *eq)
+	}
+	// Products additionally verify against the tuple of their members —
+	// the generic search above only proves the product self-consistent
+	// (string path vs coded kernels).
+	if p, ok := m.(*core.ProductDFA); ok && eq == nil {
+		pq, _, err := EquivalenceProduct(name, p, lim)
+		if err != nil {
+			return nil, err
+		}
+		if pq != nil {
+			ds = append(ds, *pq)
+		}
 	}
 	post, err := StaticVerify(name, m)
 	if err != nil {
@@ -171,6 +187,11 @@ func MachineName(m any) string {
 		return "SynopsisMachine(markup)"
 	case interface{ InnerSynopsis() *core.SynopsisMachine }:
 		return "AL/" + MachineName(v.InnerSynopsis())
+	case *core.ProductDFA:
+		if v.TermEncoding() {
+			return fmt.Sprintf("ProductDFA(term,%d)", v.Members())
+		}
+		return fmt.Sprintf("ProductDFA(markup,%d)", v.Members())
 	}
 	return fmt.Sprintf("%T", m)
 }

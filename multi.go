@@ -3,6 +3,7 @@ package stackless
 import (
 	"fmt"
 	"io"
+	"math/bits"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"stackless/internal/encoding"
 	"stackless/internal/obs"
 	"stackless/internal/parallel"
+	"stackless/internal/product"
 )
 
 // Multi-query evaluation: run several path queries over one document in a
@@ -19,9 +21,17 @@ import (
 // SAX-based systems): the document is scanned once, and each query's
 // machine steps on every event.
 
-// MultiQuery is a set of compiled queries evaluated together.
+// MultiQuery is a set of compiled queries evaluated together. Compatible
+// registerless queries are merged into product automata (DESIGN.md §13) and
+// stepped once per event for the whole group; the rest fan out as before.
 type MultiQuery struct {
 	queries []*Query
+
+	// noProduct disables product compilation, forcing the pre-§13 fan-out.
+	// Unexported: it exists for the differential tests and the benchmark
+	// baseline, not as API — fan-out is never preferable when a product
+	// compiles.
+	noProduct bool
 }
 
 // NewMultiQuery groups queries for single-pass evaluation.
@@ -53,9 +63,14 @@ type MultiStats struct {
 	// Pipeline actually used: PipelineCoded when every query's machine ran
 	// the compiled symbol-coded pipeline, PipelineString when at least one
 	// query took the per-event path. The sequential coded fast path steps
-	// each machine in whole batches and requires all machines to compile
-	// and no Collector (instrumented runs keep the per-event pass).
+	// each machine in whole batches and requires all machines to compile;
+	// instrumented runs stay on it, flushing counters per batch.
 	Pipeline Pipeline
+	// ProductGroups is the number of product automata the query set was
+	// merged into (0 when every query ran loose — singletons, incompatible
+	// families, products over the state cap, or the per-event string path,
+	// which never products).
+	ProductGroups int
 }
 
 // SelectXML streams the document once and reports each query's matches.
@@ -66,6 +81,11 @@ func (m *MultiQuery) SelectXML(r io.Reader, opt Options, fn func(MultiMatch)) (M
 // SelectJSON streams a JSON document once under the term encoding.
 func (m *MultiQuery) SelectJSON(r io.Reader, opt Options, fn func(MultiMatch)) (MultiStats, error) {
 	return m.selectSource(encoding.NewJSONSource(r), TermEncoding, opt, fn)
+}
+
+// SelectTerm streams a brace-notation document once under the term encoding.
+func (m *MultiQuery) SelectTerm(r io.Reader, opt Options, fn func(MultiMatch)) (MultiStats, error) {
+	return m.selectSource(encoding.NewTermScanner(r), TermEncoding, opt, fn)
 }
 
 func (m *MultiQuery) selectSource(src encoding.Source, enc Encoding, opt Options, fn func(MultiMatch)) (MultiStats, error) {
@@ -96,12 +116,16 @@ func (m *MultiQuery) selectSource(src encoding.Source, enc Encoding, opt Options
 		evs[i].Reset()
 	}
 	if opt.Workers > 1 {
-		return m.selectParallel(src, opt, evs, stats, fn)
+		plan := m.plan(evs, c)
+		stats.ProductGroups = len(plan.Groups)
+		return m.selectParallel(src, opt, evs, plan, stats, fn)
 	}
 	stats.Workers = 1
-	if c == nil && allCoded(evs) {
+	if allCoded(evs) {
+		plan := m.plan(evs, c)
+		stats.ProductGroups = len(plan.Groups)
 		stats.Pipeline = PipelineCoded
-		return m.selectBatched(src, evs, stats, fn)
+		return m.selectBatched(src, evs, plan, c, stats, fn)
 	}
 	stats.Pipeline = PipelineString
 	pos := -1
@@ -157,23 +181,56 @@ func allCoded(evs []core.Evaluator) bool {
 	return true
 }
 
+// plan groups the evaluators into product groups (internal/product) through
+// the shared LRU cache, or fans everything out when products are disabled.
+func (m *MultiQuery) plan(evs []core.Evaluator, c *obs.Collector) product.Plan {
+	if m.noProduct {
+		return product.FanoutPlan(len(evs))
+	}
+	return product.BuildPlan(evs, product.Shared(), 0, c)
+}
+
 // selectBatched is the compiled fast path of the sequential multi-query
-// pass: the document is read in batches, each machine codes the batch
-// under its own alphabet (one reusable buffer per machine) and steps it
-// whole; matches are replayed from the per-machine hit lists in the exact
-// (position, query) order of the per-event pass.
+// pass: the document is read in batches; each product group codes the batch
+// once under its shared union alphabet and steps its product whole,
+// demultiplexing hit masks into per-query hit lists, while loose machines
+// code and step individually as before. Matches are replayed from the
+// per-query hit lists in the exact (position, query) order of the per-event
+// pass. An instrumented run stays on this path: the collector's event total
+// flushes once per return, depths observe per open during the replay walk
+// (forced even on hitless batches), and matches count as they emit —
+// counter for counter what the per-event pass reports.
 //
-//treelint:plain
-func (m *MultiQuery) selectBatched(src encoding.Source, evs []core.Evaluator, stats MultiStats, fn func(MultiMatch)) (MultiStats, error) {
+//treelint:partial instrumented runs flush batched counters into obs
+func (m *MultiQuery) selectBatched(src encoding.Source, evs []core.Evaluator, plan product.Plan, c *obs.Collector, stats MultiStats, fn func(MultiMatch)) (MultiStats, error) {
 	n := len(evs)
-	bes := make([]core.BatchEvaluator, n)
-	coders := make([]*alphabet.Coder, n)
-	coded := make([][]encoding.CodedEvent, n)
+	loose := plan.Loose
+	bes := make([]core.BatchEvaluator, len(loose))
+	coders := make([]*alphabet.Coder, len(loose))
+	coded := make([][]encoding.CodedEvent, len(loose))
+	for li, q := range loose {
+		bes[li] = evs[q].(core.BatchEvaluator)
+		coders[li] = alphabet.NewCoder(bes[li].CodeAlphabet())
+	}
+	groups := plan.Groups
+	gevs := make([]*core.ProductEvaluator, len(groups))
+	gcoders := make([]*alphabet.Coder, len(groups))
+	gcoded := make([][]encoding.CodedEvent, len(groups))
+	ghits := make([][]int32, len(groups))
+	gmasks := make([][]uint64, len(groups))
+	for gi, g := range groups {
+		gevs[gi] = g.Machine.Evaluator()
+		gcoders[gi] = alphabet.NewCoder(g.Machine.Alphabet())
+	}
 	hits := make([][]int32, n)
 	next := make([]int, n)
-	for i, ev := range evs {
-		bes[i] = ev.(core.BatchEvaluator)
-		coders[i] = alphabet.NewCoder(bes[i].CodeAlphabet())
+	if c != nil {
+		// Every machine steps on every event, as in the per-event pass and
+		// the parallel fan-out — a product steps once but counts for each
+		// member.
+		defer func() {
+			c.Events.Add(int64(stats.Events) * int64(n))
+		}()
 	}
 	batch := make([]encoding.Event, 0, encoding.DefaultBatch)
 	pos, depth := -1, 0
@@ -195,13 +252,34 @@ func (m *MultiQuery) selectBatched(src encoding.Source, evs []core.Evaluator, st
 		if len(batch) > 0 {
 			stats.Events += len(batch)
 			anyHits := false
-			for i := range bes {
-				coded[i] = encoding.CodeEvents(coders[i], batch, coded[i][:0])
-				hits[i] = bes[i].SelectBatch(coded[i], hits[i][:0])
-				next[i] = 0
-				anyHits = anyHits || len(hits[i]) > 0
+			for li := range bes {
+				q := loose[li]
+				coded[li] = encoding.CodeEvents(coders[li], batch, coded[li][:0])
+				hits[q] = bes[li].SelectBatch(coded[li], hits[q][:0])
+				next[q] = 0
+				anyHits = anyHits || len(hits[q]) > 0
 			}
-			if !anyHits {
+			for gi := range gevs {
+				g := &groups[gi]
+				for _, q := range g.Queries {
+					hits[q] = hits[q][:0]
+					next[q] = 0
+				}
+				gcoded[gi] = encoding.CodeEvents(gcoders[gi], batch, gcoded[gi][:0])
+				ghits[gi], gmasks[gi] = gevs[gi].SelectBatchMasks(gcoded[gi], ghits[gi][:0], gmasks[gi][:0])
+				words := g.Machine.MaskWords()
+				for h, j := range ghits[gi] {
+					for wi, word := range gmasks[gi][h*words : (h+1)*words] {
+						for word != 0 {
+							q := g.Queries[wi*64+bits.TrailingZeros64(word)]
+							word &= word - 1
+							hits[q] = append(hits[q], j)
+							anyHits = true
+						}
+					}
+				}
+			}
+			if !anyHits && c == nil {
 				pos += opens
 				depth += 2*opens - len(batch)
 			} else {
@@ -212,12 +290,18 @@ func (m *MultiQuery) selectBatched(src encoding.Source, evs []core.Evaluator, st
 					}
 					pos++
 					depth++
-					for i := range bes {
-						if next[i] < len(hits[i]) && hits[i][next[i]] == int32(j) {
-							next[i]++
-							stats.Matches[i]++
+					if c != nil {
+						c.Depth.Observe(depth)
+					}
+					for q := 0; q < n; q++ {
+						if next[q] < len(hits[q]) && hits[q][next[q]] == int32(j) {
+							next[q]++
+							stats.Matches[q]++
+							if c != nil {
+								c.Matches.Inc()
+							}
 							if fn != nil {
-								fn(MultiMatch{Query: i, Match: Match{Pos: pos, Depth: depth, Label: batch[j].Label}})
+								fn(MultiMatch{Query: q, Match: Match{Pos: pos, Depth: depth, Label: batch[j].Label}})
 							}
 						}
 					}
@@ -233,11 +317,14 @@ func (m *MultiQuery) selectBatched(src encoding.Source, evs []core.Evaluator, st
 	}
 }
 
-// selectParallel fans the queries — and, for chunkable machines, their
-// chunks — across the shared worker pool, then merges the per-query match
-// streams back into the exact emission order of the sequential pass
-// (position, then query index).
-func (m *MultiQuery) selectParallel(src encoding.Source, opt Options, evs []core.Evaluator, stats MultiStats, fn func(MultiMatch)) (MultiStats, error) {
+// selectParallel fans the product groups and the loose queries — and, for
+// chunkable machines, their chunks — across the shared worker pool, then
+// merges the per-query match streams back into the exact emission order of
+// the sequential pass (position, then query index). A product group is one
+// chunk-parallel run for its whole member set (internal/product's
+// two-phase driver); each query of the group owns its own demuxed stream,
+// so the merge below is oblivious to how a stream was produced.
+func (m *MultiQuery) selectParallel(src encoding.Source, opt Options, evs []core.Evaluator, plan product.Plan, stats MultiStats, fn func(MultiMatch)) (MultiStats, error) {
 	c := opt.Collector
 	events, err := encoding.ReadAll(src)
 	stats.Events = len(events)
@@ -249,7 +336,8 @@ func (m *MultiQuery) selectParallel(src encoding.Source, opt Options, evs []core
 	}
 	stats.Workers = opt.Workers
 	stats.Pipeline = PipelineCoded
-	for _, ev := range evs {
+	for _, i := range plan.Loose {
+		ev := evs[i]
 		if cm, ok := ev.(core.Chunkable); ok {
 			if !parallel.Coded(cm) {
 				stats.Pipeline = PipelineString
@@ -260,8 +348,21 @@ func (m *MultiQuery) selectParallel(src encoding.Source, opt Options, evs []core
 	}
 	perQuery := make([][]Match, len(evs))
 	var wg sync.WaitGroup
-	for i, ev := range evs {
-		i, ev := i, ev
+	for gi := range plan.Groups {
+		g := plan.Groups[gi]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each query index belongs to exactly one group, so appends to
+			// perQuery race with no other goroutine.
+			product.SelectChunks(parallel.Shared(), g.Machine, events, opt.Workers, c, func(bit int, cm core.Match) {
+				q := g.Queries[bit]
+				perQuery[q] = append(perQuery[q], Match{Pos: cm.Pos, Depth: cm.Depth, Label: cm.Label})
+			})
+		}()
+	}
+	for _, i := range plan.Loose {
+		i, ev := i, evs[i]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

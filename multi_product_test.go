@@ -1,0 +1,232 @@
+package stackless
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"stackless/internal/encoding"
+	"stackless/internal/gen"
+)
+
+// End-to-end differential coverage for multi-query product compilation
+// (DESIGN.md §13) through the public API: the product path must be
+// observationally identical to the fan-out it replaces — same matches, same
+// emission order, same stats, same counters — and the instrumented run must
+// stay on the compiled pipeline now that its counters flush per batch.
+
+// multiRun collects a full MultiMatch stream through SelectXML.
+func multiRun(t *testing.T, mq *MultiQuery, doc string, opt Options) ([]MultiMatch, MultiStats) {
+	t.Helper()
+	var got []MultiMatch
+	stats, err := mq.SelectXML(strings.NewReader(doc), opt, func(m MultiMatch) {
+		got = append(got, m)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, stats
+}
+
+// TestMultiQueryProductDifferential drives random query sets — registerless
+// (productable), stackless, and stack-only mixed — over random documents
+// including out-of-alphabet labels, and checks three ways: product vs
+// fan-out (noProduct) streams are identical, both agree with each query's
+// own single-query Select, and ProductGroups reflects the plan actually
+// taken at every worker count.
+func TestMultiQueryProductDifferential(t *testing.T) {
+	withProcs(t, 8)
+	pool := []*Query{
+		MustCompileRegex("a.*b", abc),
+		MustCompileRegex(".*a", abc),
+		MustCompileRegex("a.*c", abc),
+		MustCompileRegex("b.*a", abc),
+		MustCompileRegex("a.*(b.*)?c", abc),
+		MustCompileRegex(".*a.*b", abc), // stackless
+		MustCompileRegex(".*b.*c", abc), // stackless
+		MustCompileRegex(".*ab", abc),   // stack-only
+	}
+	labels := []string{"a", "b", "c", "zz"} // zz poisons every compiled machine
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 25; trial++ {
+		perm := rng.Perm(len(pool))
+		set := make([]*Query, 2+rng.Intn(len(pool)-1))
+		for i := range set {
+			set[i] = pool[perm[i]]
+		}
+		mq, err := NewMultiQuery(set...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mqNo, err := NewMultiQuery(set...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mqNo.noProduct = true
+		doc := encoding.XMLString(gen.RandomTree(rng, labels, 1+rng.Intn(60)))
+
+		// Single-query oracle: each query's own sequential pass.
+		single := make([][]Match, len(set))
+		for qi, q := range set {
+			if _, err := q.SelectXML(strings.NewReader(doc), Options{}, func(m Match) {
+				single[qi] = append(single[qi], m)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		for _, workers := range []int{1, 2, 8} {
+			opt := Options{Workers: workers}
+			gotP, statsP := multiRun(t, mq, doc, opt)
+			gotF, statsF := multiRun(t, mqNo, doc, opt)
+			if !reflect.DeepEqual(gotP, gotF) {
+				t.Fatalf("trial %d workers %d: product stream %v, fan-out stream %v", trial, workers, gotP, gotF)
+			}
+			if !reflect.DeepEqual(statsP.Matches, statsF.Matches) || statsP.Events != statsF.Events {
+				t.Fatalf("trial %d workers %d: product stats %+v, fan-out stats %+v", trial, workers, statsP, statsF)
+			}
+			demux := make([][]Match, len(set))
+			for _, m := range gotP {
+				demux[m.Query] = append(demux[m.Query], m.Match)
+			}
+			for qi := range set {
+				if !reflect.DeepEqual(demux[qi], single[qi]) {
+					t.Fatalf("trial %d workers %d query %d (%s): multi %v, single %v",
+						trial, workers, qi, set[qi], demux[qi], single[qi])
+				}
+			}
+			// The plan is built whenever the batched or parallel engine runs;
+			// a stack-only member keeps the sequential pass on the per-event
+			// path, which never products.
+			registerless := 0
+			for _, s := range statsP.Strategies {
+				if s == Registerless {
+					registerless++
+				}
+			}
+			wantGroups := 0
+			if registerless >= 2 && !(workers == 1 && statsP.Pipeline == PipelineString) {
+				wantGroups = 1
+			}
+			if statsP.ProductGroups != wantGroups {
+				t.Fatalf("trial %d workers %d: ProductGroups = %d, want %d (strategies %v, pipeline %v)",
+					trial, workers, statsP.ProductGroups, wantGroups, statsP.Strategies, statsP.Pipeline)
+			}
+			if statsF.ProductGroups != 0 {
+				t.Fatalf("trial %d workers %d: noProduct reports %d product groups", trial, workers, statsF.ProductGroups)
+			}
+		}
+	}
+}
+
+// TestMultiQueryProductGroupsStats pins the MultiStats.ProductGroups surface
+// on the three paths a run can take: the compiled pass products compatible
+// queries, noProduct fans out, and the per-event string path (here forced
+// via ForceStack) never builds a plan.
+func TestMultiQueryProductGroupsStats(t *testing.T) {
+	mq, err := NewMultiQuery(MustCompileRegex("a.*b", abc), MustCompileRegex(".*a", abc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := "<a><b></b><c></c></a>"
+	_, stats := multiRun(t, mq, doc, Options{})
+	if stats.Pipeline != PipelineCoded || stats.ProductGroups != 1 {
+		t.Fatalf("compiled pass: pipeline %v, groups %d, want coded/1", stats.Pipeline, stats.ProductGroups)
+	}
+	mq.noProduct = true
+	_, stats = multiRun(t, mq, doc, Options{})
+	if stats.ProductGroups != 0 {
+		t.Fatalf("noProduct: groups %d, want 0", stats.ProductGroups)
+	}
+	mq.noProduct = false
+	_, stats = multiRun(t, mq, doc, Options{ForceStack: true})
+	if stats.Pipeline != PipelineString || stats.ProductGroups != 0 {
+		t.Fatalf("string path: pipeline %v, groups %d, want string/0", stats.Pipeline, stats.ProductGroups)
+	}
+}
+
+// TestMultiQueryInstrumentedStaysCoded is the regression test for the
+// instrumented-path gap: attaching a collector used to bump the sequential
+// multi-query pass off the compiled pipeline. Now the batched pass flushes
+// counters itself, so an instrumented run must report PipelineCoded, emit
+// the same matches as an uninstrumented one, and keep the multi-query
+// accounting convention — Events per machine, one Depth sample per open,
+// one Matches tick per emission.
+func TestMultiQueryInstrumentedStaysCoded(t *testing.T) {
+	queries := []*Query{
+		MustCompileRegex("a.*b", abc),
+		MustCompileRegex(".*a", abc),
+		MustCompileRegex("a.*c", abc),
+	}
+	mq, err := NewMultiQuery(queries...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(137))
+	for trial, labels := range [][]string{abc, {"a", "b", "c", "zz"}} {
+		doc := encoding.XMLString(gen.RandomTree(rng, labels, 150))
+		plain, plainStats := multiRun(t, mq, doc, Options{})
+		c := NewCollector()
+		inst, stats := multiRun(t, mq, doc, Options{Collector: c})
+		if stats.Pipeline != PipelineCoded {
+			t.Fatalf("trial %d: instrumented pipeline = %v, want coded", trial, stats.Pipeline)
+		}
+		if stats.ProductGroups != 1 {
+			t.Fatalf("trial %d: instrumented ProductGroups = %d, want 1", trial, stats.ProductGroups)
+		}
+		if !reflect.DeepEqual(inst, plain) || !reflect.DeepEqual(stats.Matches, plainStats.Matches) {
+			t.Fatalf("trial %d: instrumented run diverges: %v vs %v", trial, inst, plain)
+		}
+		if got, want := c.Events.Load(), int64(len(queries)*stats.Events); got != want {
+			t.Fatalf("trial %d: Events = %d, want %d (events × queries)", trial, got, want)
+		}
+		total := 0
+		for _, n := range stats.Matches {
+			total += n
+		}
+		if got := c.Matches.Load(); got != int64(total) {
+			t.Fatalf("trial %d: Matches = %d, want %d", trial, got, total)
+		}
+		// Markup encoding: every node is one open and one close.
+		if got, want := c.Depth.Count(), int64(stats.Events/2); got != want {
+			t.Fatalf("trial %d: Depth samples = %d, want %d (one per open)", trial, got, want)
+		}
+	}
+}
+
+// TestMultiQueryInstrumentedAllocs pins that the batched counter flushing
+// costs no per-event allocations: an instrumented sequential run allocates
+// no more than a handful of objects beyond the uninstrumented one (both on
+// the compiled pipeline, measured over an in-memory event source).
+func TestMultiQueryInstrumentedAllocs(t *testing.T) {
+	mq, err := NewMultiQuery(
+		MustCompileRegex("a.*b", abc),
+		MustCompileRegex(".*a", abc),
+		MustCompileRegex("a.*c", abc),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(139))
+	events := encoding.Markup(gen.RandomTree(rng, abc, 400))
+	src := encoding.NewSliceSource(events)
+	c := NewCollector()
+	run := func(col *Collector) {
+		src.Rewind()
+		stats, err := mq.selectSource(src, MarkupEncoding, Options{Collector: col}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Pipeline != PipelineCoded {
+			t.Fatalf("pipeline = %v, want coded", stats.Pipeline)
+		}
+	}
+	run(nil) // warm-up: compile tables, populate the product cache
+	run(c)
+	base := testing.AllocsPerRun(20, func() { run(nil) })
+	instr := testing.AllocsPerRun(20, func() { run(c) })
+	if instr > base+8 {
+		t.Errorf("instrumented run allocates %.1f per run vs %.1f plain — counter flushing should be allocation-free", instr, base)
+	}
+}

@@ -15,6 +15,11 @@
 //
 // Queries are written as regular expressions over label paths, or in small
 // XPath / JSONPath subsets (downward axes only, as in Example 2.12).
+//
+// Query sets evaluate together in one streaming pass through MultiQuery;
+// compatible compiled machines are merged into product automata stepped
+// once per event with per-query accept bits (DESIGN.md §13), so the cost
+// of a set is close to one machine's, not the sum of its members'.
 package stackless
 
 import (

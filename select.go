@@ -106,6 +106,8 @@ type Options struct {
 	// evaluation when the chosen strategy cannot be chunked (the pushdown
 	// fallback and the synopsis EL machine); note that chunking trades the
 	// model's O(1) memory for throughput by buffering the event stream.
+	// In a MultiQuery run each product group is one chunk-parallel pass
+	// for its whole member set (DESIGN.md §13).
 	Workers int
 	// Collector, when non-nil, receives detailed metrics for the run —
 	// counters, histograms and phase timings beyond what Stats reports
