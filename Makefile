@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci test race vet fmt build lint lint-tables bce fuzz fuzz-smoke bench bench-coded bench-multi clean
+.PHONY: ci test race vet fmt build lint lint-tables bce fuzz fuzz-smoke bench bench-coded bench-multi bench-earliest bench-coded-gate clean
 
 ci: ## full tier-1 gate: fmt + vet + build + test + race
 	./ci.sh
@@ -51,17 +51,19 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzJSONSource -fuzztime $(FUZZTIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzParallelSplit -fuzztime $(FUZZTIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzCodedVsString -fuzztime $(FUZZTIME) ./internal/encoding/
+	$(GO) test -run '^$$' -fuzz FuzzEarliestVsCurrent -fuzztime $(FUZZTIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzTablecheckRoundtrip -fuzztime $(FUZZTIME) ./internal/tablecheck/
 	$(GO) test -run '^$$' -fuzz FuzzProductVsFanout -fuzztime $(FUZZTIME) ./internal/product/
 
-# CI-sized smoke pass (see ci.sh): the chunk-parallel and coded-pipeline
-# differential fuzzers, the three event-source fuzzers, the tablecheck
+# CI-sized smoke pass (see ci.sh): the chunk-parallel, coded-pipeline and
+# earliest-emission differential fuzzers, the three event-source fuzzers, the tablecheck
 # roundtrip fuzzer (seeded with mined equivalence counterexamples), and
 # the multi-query product-vs-fanout differential fuzzer, 10s each.
 SMOKETIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParallelSplit -fuzztime $(SMOKETIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzCodedVsString -fuzztime $(SMOKETIME) ./internal/encoding/
+	$(GO) test -run '^$$' -fuzz FuzzEarliestVsCurrent -fuzztime $(SMOKETIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzXMLScanner -fuzztime $(SMOKETIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzTermScanner -fuzztime $(SMOKETIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzJSONSource -fuzztime $(SMOKETIME) ./internal/encoding/
@@ -71,18 +73,35 @@ fuzz-smoke:
 # Regenerate the committed chunk-parallel benchmark snapshot. The numbers
 # are machine-dependent; commit them together with the cpu context line.
 BENCHTIME ?= 100x
+BENCHCOUNT ?= 10
+TOLERANCE ?= 0.02
 bench:
 	$(GO) test -run '^$$' -bench SelectParallel -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_parallel.json
 
 # Regenerate the compiled-pipeline benchmark snapshot: every evaluator
 # family through the string and coded Select paths on the same documents.
 bench-coded:
-	$(GO) test -run '^$$' -bench SelectCoded -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_coded.json
+	for i in $$(seq $(BENCHCOUNT)); do $(GO) test -run '^$$' -bench SelectCoded -benchtime $(BENCHTIME) . || exit 1; done | $(GO) run ./cmd/benchjson > BENCH_coded.json
 
 # Regenerate the multi-query benchmark snapshot: the merged product
 # automaton against the fan-out it replaces at 8/64/512 queries.
 bench-multi:
 	$(GO) test -run '^$$' -bench MultiQueryProduct -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_multi.json
+
+# Regenerate the earliest-emission benchmark snapshot: the per-event
+# latency contract against the string and coded drivers, plus the
+# early-exit payoff case.
+bench-earliest:
+	$(GO) test -run '^$$' -bench SelectEarliest -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_earliest.json
+
+# Gate for the earliest work: the default (non-earliest) coded hot path
+# must stay within TOLERANCE (default 2%) ns/event of the committed
+# snapshot — a contract that assumes a quiet machine. Both sides run
+# the whole suite BENCHCOUNT times in separate invocations — interleaving
+# decorrelates scheduler jitter, which hits back-to-back -count repeats
+# of one benchmark together — and benchjson takes the per-metric median.
+bench-coded-gate:
+	for i in $$(seq $(BENCHCOUNT)); do $(GO) test -run '^$$' -bench SelectCoded -benchtime $(BENCHTIME) . || exit 1; done | $(GO) run ./cmd/benchjson -compare BENCH_coded.json -tolerance $(TOLERANCE)
 
 clean:
 	rm -f dralint classify streamq

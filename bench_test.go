@@ -842,6 +842,73 @@ func BenchmarkSelectCodedDRA(b *testing.B) {
 	benchSelectPipelines(b, core.Example26().Evaluator(), fixtures.abcDoc)
 }
 
+// --- Earliest emission (DESIGN.md §14). ---
+
+// benchSelectEarliestPipelines runs the same document through the default
+// string and coded drivers and the earliest driver, reporting ns/event for
+// each — the price of the per-event latency contract against both current
+// pipelines (EXPERIMENTS.md).
+func benchSelectEarliestPipelines(b *testing.B, ev core.Evaluator, events []encoding.Event) {
+	b.Helper()
+	var want int
+	if _, err := core.Select(ev, encoding.NewSliceSource(events), func(core.Match) { want++ }); err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		sel  func(core.Evaluator, encoding.Source, func(core.Match)) (int, error)
+	}{
+		{"string", core.Select},
+		{"coded", core.SelectCoded},
+		{"earliest", core.SelectEarliest},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			src := encoding.NewSliceSource(events)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src.Rewind()
+				got := 0
+				if _, err := mode.sel(ev, src, func(core.Match) { got++ }); err != nil {
+					b.Fatal(err)
+				}
+				if got != want {
+					b.Fatalf("%d matches, want %d", got, want)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(events)), "ns/event")
+		})
+	}
+}
+
+// BenchmarkSelectEarliestRegisterless: the tag DFA under the earliest
+// contract — per-event string stepping against the batched coded path it
+// gives up.
+func BenchmarkSelectEarliestRegisterless(b *testing.B) {
+	loadFixtures()
+	benchSelectEarliestPipelines(b, codedBenchEvaluator(b, paperfigs.Fig3aRegex), fixtures.abcDoc)
+}
+
+// BenchmarkSelectEarliestStackless: the HAR evaluator under the earliest
+// contract.
+func BenchmarkSelectEarliestStackless(b *testing.B) {
+	loadFixtures()
+	benchSelectEarliestPipelines(b, codedBenchEvaluator(b, paperfigs.Fig3cRegex), fixtures.abcDoc)
+}
+
+// BenchmarkSelectEarliestEarlyExit: the flag payoff. An out-of-alphabet
+// root decides the run at event one — the earliest driver drains the rest
+// of the document at one kind-test per event, while the default drivers
+// keep stepping their dead machine to the end.
+func BenchmarkSelectEarliestEarlyExit(b *testing.B) {
+	loadFixtures()
+	events := make([]encoding.Event, 0, len(fixtures.abcDoc)+2)
+	events = append(events, encoding.Event{Kind: encoding.Open, Label: "zz"})
+	events = append(events, fixtures.abcDoc...)
+	events = append(events, encoding.Event{Kind: encoding.Close, Label: "zz"})
+	benchSelectEarliestPipelines(b, codedBenchEvaluator(b, paperfigs.Fig3aRegex), events)
+}
+
 // --- Post-selection extension: the stack-based subtree-witness query. ---
 
 func BenchmarkPostSelection(b *testing.B) {

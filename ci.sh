@@ -40,7 +40,7 @@ echo '== go test -race (internal) =='
 go test -race ./internal/...
 
 echo '== go test -race (observability contract) =='
-go test -race -run 'Obs' .
+go test -race -run 'Obs|Earliest' .
 
 echo '== fuzz smoke =='
 make fuzz-smoke

@@ -13,6 +13,11 @@
 // given tolerance (fraction; 0.25 = +25%). The exit status is 1 when any
 // benchmark regresses beyond tolerance, 0 otherwise — improvements and
 // benchmarks present on only one side are reported but never fail the run.
+//
+// Repeated benchmark names (`go test -count N`) are merged into one result
+// taking the median value per metric, so tight-tolerance gates can run
+// median-of-N on noisy machines: a single lucky or unlucky run moves
+// neither side of the comparison.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -90,6 +96,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 // benchmark lines are reported to stderr and skipped.
 func parseBench(r io.Reader, stderr io.Writer) (Snapshot, error) {
 	snap := Snapshot{Context: map[string]string{}, Results: []Result{}}
+	raw := map[string]map[string][]float64{}
+	idx := map[string]int{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -123,9 +131,41 @@ func parseBench(r io.Reader, stderr io.Writer) (Snapshot, error) {
 			}
 			r.Metrics[fields[i+1]] = v
 		}
-		snap.Results = append(snap.Results, r)
+		// Fold repeated names (`go test -count N`) into one entry per
+		// benchmark, collecting every sample per metric for the median
+		// reduction below.
+		samples, ok := raw[r.Name]
+		if !ok {
+			samples = map[string][]float64{}
+			raw[r.Name] = samples
+			idx[r.Name] = len(snap.Results)
+			snap.Results = append(snap.Results, r)
+		} else {
+			snap.Results[idx[r.Name]].Runs += r.Runs
+		}
+		for unit, v := range r.Metrics {
+			samples[unit] = append(samples[unit], v)
+		}
+	}
+	// The median is symmetric under scheduler jitter — one lucky or unlucky
+	// run moves neither side of a -compare gate — which is what lets tight
+	// tolerances hold on shared machines.
+	for i := range snap.Results {
+		for unit, vs := range raw[snap.Results[i].Name] {
+			snap.Results[i].Metrics[unit] = median(vs)
+		}
 	}
 	return snap, sc.Err()
+}
+
+func median(vs []float64) float64 {
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
 }
 
 // primaryMetric picks the metric a regression is judged on: per-event cost

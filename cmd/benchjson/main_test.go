@@ -47,6 +47,35 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+// TestParseBenchMergesRepeatedRuns: `go test -count N` emits the same
+// benchmark name N times; the snapshot keeps one entry with the median
+// value per metric and the summed run count.
+func TestParseBenchMergesRepeatedRuns(t *testing.T) {
+	input := `goos: linux
+BenchmarkX/coded-4   100   2000 ns/op   20.00 ns/event   100 MB/s
+BenchmarkX/coded-4   100   1800 ns/op   18.00 ns/event   133 MB/s
+BenchmarkX/coded-4   100   2400 ns/op   24.00 ns/event   90 MB/s
+`
+	var stderr bytes.Buffer
+	snap, err := parseBench(strings.NewReader(input), &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Results) != 1 {
+		t.Fatalf("parsed %d results, want 1 merged", len(snap.Results))
+	}
+	r := snap.Results[0]
+	if r.Runs != 300 {
+		t.Errorf("runs = %d, want 300", r.Runs)
+	}
+	if r.Metrics["ns/op"] != 2000 || r.Metrics["ns/event"] != 20 {
+		t.Errorf("cost metrics not median-merged: %v", r.Metrics)
+	}
+	if r.Metrics["MB/s"] != 100 {
+		t.Errorf("throughput not median-merged: %v", r.Metrics)
+	}
+}
+
 func TestParseBenchSkipsMalformed(t *testing.T) {
 	var stderr bytes.Buffer
 	snap, err := parseBench(strings.NewReader("BenchmarkBroken 12\nBenchmarkAlsoBroken x 1 ns/op\n"), &stderr)

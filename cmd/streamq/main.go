@@ -14,9 +14,11 @@
 // evaluates several regex queries in one streaming pass (compatible
 // compiled machines are merged into product automata, DESIGN.md §13),
 // printing each match with the index of the query that selected it. -stats
-// prints the observability collector's JSON snapshot after the run; -pprof
-// PREFIX writes CPU and heap profiles to PREFIX.cpu.pprof and
-// PREFIX.heap.pprof.
+// prints the observability collector's JSON snapshot after the run;
+// -earliest requests the earliest-emission latency contract (each match is
+// printed at the event that decides it, and the stats line reports the
+// earliest mode that actually ran); -pprof PREFIX writes CPU and heap
+// profiles to PREFIX.cpu.pprof and PREFIX.heap.pprof.
 package main
 
 import (
@@ -51,6 +53,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		classify  = fs.Bool("classify", false, "print the classification report and exit")
 		quiet     = fs.Bool("quiet", false, "print only the final statistics")
 		workers   = fs.Int("workers", 1, "evaluate chunk-parallel with this many workers (buffers the stream; >1 requires a chunkable strategy, otherwise runs sequentially)")
+		earliest  = fs.Bool("earliest", false, "earliest emission: report each match at the event that decides it, never at a batch boundary (trades the coded pipeline's throughput)")
 		statsFlag = fs.Bool("stats", false, "print the metrics collector's JSON snapshot after the run")
 		pprofPfx  = fs.String("pprof", "", "write CPU and heap profiles to PREFIX.cpu.pprof and PREFIX.heap.pprof")
 	)
@@ -133,7 +136,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	opt := stackless.Options{ForceStack: *stack, ForbidStack: *noStack, Workers: *workers}
+	opt := stackless.Options{ForceStack: *stack, ForbidStack: *noStack, Workers: *workers, Earliest: *earliest}
 	if *statsFlag {
 		opt.Collector = stackless.NewCollector()
 	}
@@ -165,6 +168,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			len(stats.Matches), stats.Events, total, stats.Workers, stats.ProductGroups)
 		if stats.Pipeline != "" {
 			fmt.Fprintf(stdout, " pipeline=%s", stats.Pipeline)
+		}
+		if stats.Earliest != stackless.EarliestOff {
+			fmt.Fprintf(stdout, " earliest=%s", stats.Earliest)
 		}
 		fmt.Fprintln(stdout)
 		if *statsFlag {
@@ -198,6 +204,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "strategy=%s events=%d matches=%d workers=%d chunks=%d", stats.Strategy, stats.Events, stats.Matches, stats.Workers, stats.Chunks)
 	if stats.Pipeline != "" {
 		fmt.Fprintf(stdout, " pipeline=%s", stats.Pipeline)
+	}
+	if stats.Earliest != stackless.EarliestOff {
+		fmt.Fprintf(stdout, " earliest=%s", stats.Earliest)
 	}
 	if stats.CutPolicy != "" {
 		fmt.Fprintf(stdout, " cutpolicy=%s", stats.CutPolicy)

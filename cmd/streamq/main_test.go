@@ -52,6 +52,8 @@ func TestRunGolden(t *testing.T) {
 		{"stack", []string{"-regex", "a.*b", "-alphabet", "a,b,c", "-stack", "-quiet", doc}, "select_stack.golden"},
 		{"fallback", []string{"-regex", ".*ab", "-alphabet", "a,b,c", "-workers", "4", "-quiet", doc}, "select_fallback.golden"},
 		{"multi", []string{"-queries", "a.*b;.*a;a.*c", "-alphabet", "a,b,c", doc}, "select_multi.golden"},
+		{"earliest", []string{"-regex", "a.*b", "-alphabet", "a,b,c", "-earliest", doc}, "select_earliest.golden"},
+		{"multi earliest", []string{"-queries", "a.*b;.*a;a.*c", "-alphabet", "a,b,c", "-earliest", doc}, "select_multi_earliest.golden"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			code, out, stderr := runStreamq(t, "", tc.args...)
@@ -138,7 +140,7 @@ func TestRunStatsShape(t *testing.T) {
 				t.Errorf("snapshot missing phase %q", key)
 			}
 		}
-		for _, key := range []string{"depth", "registers", "stack_depth", "queue_depth"} {
+		for _, key := range []string{"depth", "registers", "stack_depth", "queue_depth", "latency"} {
 			if _, ok := snap.Histograms[key]; !ok {
 				t.Errorf("snapshot missing histogram %q", key)
 			}

@@ -1,0 +1,245 @@
+package stackless
+
+import (
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"stackless/internal/core"
+	"stackless/internal/encoding"
+	"stackless/internal/gen"
+	"stackless/internal/parallel"
+)
+
+// Differential battery for the earliest-emission contract (DESIGN.md §14):
+// Options.Earliest must never change the observable result — matches,
+// order, event counts, Recognize-style errors — against the default coded
+// run AND against the pushdown oracle (ForceStack), across every strategy
+// family and every worker count. What it may change is *when* a match is
+// emitted, and that direction is pinned too: the earliest driver reports
+// each match at the exact event deciding it, never later than the default
+// pipeline does.
+
+// earliestQueries spans the strategy families: registerless (tag DFA,
+// exact flags), stackless (exact flags), and the pushdown fallback (safe
+// approximation only).
+func earliestQueries(t *testing.T) map[string]*Query {
+	t.Helper()
+	return map[string]*Query{
+		"registerless": MustCompileRegex("a.*b", abc),
+		"stackless":    MustCompileRegex(".*a.*b", abc),
+		"stack":        MustCompileRegex(".*ab", abc), // not chunkable, no flags
+	}
+}
+
+// TestEarliestMatchesOracle: sequential earliest runs agree with the
+// default pipeline and the pushdown oracle on random documents, and the
+// Stats report the right mode and pipeline.
+func TestEarliestMatchesOracle(t *testing.T) {
+	wantMode := map[string]EarliestMode{
+		"registerless": EarliestExact,
+		"stackless":    EarliestExact,
+		"stack":        EarliestApprox,
+	}
+	rng := rand.New(rand.NewSource(23))
+	for name, q := range earliestQueries(t) {
+		for i := 0; i < 60; i++ {
+			doc := encoding.XMLString(gen.RandomTree(rng, abc, 1+rng.Intn(60)))
+			want, defStats := collectMatches(t, q, doc, Options{})
+			oracle, _ := collectMatches(t, q, doc, Options{ForceStack: true})
+			got, stats := collectMatches(t, q, doc, Options{Earliest: true})
+			if defStats.Earliest != EarliestOff {
+				t.Fatalf("%s: default run reports earliest mode %v", name, defStats.Earliest)
+			}
+			if stats.Earliest != wantMode[name] {
+				t.Fatalf("%s: earliest mode %v, want %v", name, stats.Earliest, wantMode[name])
+			}
+			if stats.Pipeline != PipelineString {
+				t.Fatalf("%s: earliest run on pipeline %v, want %v", name, stats.Pipeline, PipelineString)
+			}
+			if stats.Events != defStats.Events {
+				t.Fatalf("%s doc %d: earliest counted %d events, default %d", name, i, stats.Events, defStats.Events)
+			}
+			if len(got) != len(want) || len(got) != len(oracle) {
+				t.Fatalf("%s doc %d: %d matches (earliest) vs %d (default) vs %d (oracle)", name, i, len(got), len(want), len(oracle))
+			}
+			for j := range want {
+				if got[j] != want[j] || got[j] != oracle[j] {
+					t.Fatalf("%s doc %d match %d: %+v (earliest) vs %+v (default) vs %+v (oracle)", name, i, j, got[j], want[j], oracle[j])
+				}
+			}
+		}
+	}
+}
+
+// TestEarliestWorkers: Workers ∈ {1, 2, GOMAXPROCS} with Earliest set
+// still produce the sequential match set in document order; fanned-out
+// chunkable runs degrade to the safe approximation, non-chunkable ones
+// keep their sequential mode.
+func TestEarliestWorkers(t *testing.T) {
+	withProcs(t, 8)
+	rng := rand.New(rand.NewSource(29))
+	for name, q := range earliestQueries(t) {
+		for i := 0; i < 30; i++ {
+			doc := encoding.XMLString(gen.RandomTree(rng, abc, 1+rng.Intn(80)))
+			want, _ := collectMatches(t, q, doc, Options{})
+			for _, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+				got, stats := collectMatches(t, q, doc, Options{Earliest: true, Workers: w})
+				if stats.Earliest == EarliestOff {
+					t.Fatalf("%s workers %d: earliest run reports mode off", name, w)
+				}
+				if stats.Workers > 1 && stats.Earliest != EarliestApprox {
+					t.Fatalf("%s workers %d: fanned-out run reports mode %v, want %v", name, w, stats.Earliest, EarliestApprox)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s doc %d workers %d: %d matches, want %d", name, i, w, len(got), len(want))
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("%s doc %d workers %d: match %d = %+v, want %+v", name, i, w, j, got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEarliestEmissionPosition pins the latency contract itself: wrapping
+// the source in a counter, every earliest-mode match is emitted at exactly
+// the event that decides it — consumed = 2·Pos + 2 − Depth, the index of
+// the node's Open plus one — and never later than the default pipeline
+// emits the same match.
+func TestEarliestEmissionPosition(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for name, q := range earliestQueries(t) {
+		for i := 0; i < 40; i++ {
+			events := encoding.Markup(gen.RandomTree(rng, abc, 1+rng.Intn(120)))
+			var earliestAt, defaultAt []int
+			src := encoding.Counting(encoding.NewSliceSource(events))
+			if _, err := q.selectSource(src, MarkupEncoding, Options{Earliest: true}, func(m Match) {
+				earliestAt = append(earliestAt, src.Consumed())
+				if want := 2*m.Pos + 2 - m.Depth; src.Consumed() != want {
+					t.Fatalf("%s doc %d: match %+v emitted after %d events, deciding event is %d", name, i, m, src.Consumed(), want)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			src = encoding.Counting(encoding.NewSliceSource(events))
+			if _, err := q.selectSource(src, MarkupEncoding, Options{}, func(m Match) {
+				defaultAt = append(defaultAt, src.Consumed())
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(earliestAt) != len(defaultAt) {
+				t.Fatalf("%s doc %d: %d matches (earliest) vs %d (default)", name, i, len(earliestAt), len(defaultAt))
+			}
+			for j := range earliestAt {
+				if earliestAt[j] > defaultAt[j] {
+					t.Fatalf("%s doc %d match %d: earliest emitted after %d events, default after %d", name, i, j, earliestAt[j], defaultAt[j])
+				}
+			}
+		}
+	}
+}
+
+// TestEarliestAdversarialCuts: the chunk-parallel engine with a cut forced
+// at every interior position still reproduces the earliest driver's match
+// set — earliest emission and chunking compose through the document-order
+// join.
+func TestEarliestAdversarialCuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for name, q := range earliestQueries(t) {
+		ev, _, err := q.queryEvaluator(MarkupEncoding, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, ok := ev.(core.Chunkable)
+		if !ok {
+			continue // the pushdown fallback cannot be chunked
+		}
+		for i := 0; i < 20; i++ {
+			events := encoding.Markup(gen.RandomTree(rng, abc, 1+rng.Intn(40)))
+			var want []Match
+			if _, err := q.selectSource(encoding.NewSliceSource(events), MarkupEncoding, Options{Earliest: true}, func(m Match) {
+				want = append(want, m)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for cut := 1; cut < len(events); cut++ {
+				var got []core.Match
+				parallel.SelectAt(parallel.Shared(), cm, events, []int{cut}, func(m core.Match) { got = append(got, m) })
+				if len(got) != len(want) {
+					t.Fatalf("%s doc %d cut %d: %d matches, want %d", name, i, cut, len(got), len(want))
+				}
+				for j := range want {
+					if got[j].Pos != want[j].Pos || got[j].Depth != want[j].Depth || got[j].Label != want[j].Label {
+						t.Fatalf("%s doc %d cut %d: match %d = %+v, want %+v", name, i, cut, j, got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEarliestMultiQuery: earliest mode on a query set — exact only when
+// every member carries flags, the safe approximation as soon as one
+// doesn't or the run fans out; the per-query match sets never change.
+func TestEarliestMultiQuery(t *testing.T) {
+	withProcs(t, 8)
+	exact, err := NewMultiQuery(MustCompileRegex("a.*b", abc), MustCompileRegex("a.*c", abc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := NewMultiQuery(MustCompileRegex("a.*b", abc), MustCompileRegex(".*ab", abc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(43))
+	for _, tc := range []struct {
+		name string
+		mq   *MultiQuery
+		want EarliestMode
+	}{
+		{"all-exact", exact, EarliestExact},
+		{"mixed", mixed, EarliestApprox},
+	} {
+		for i := 0; i < 30; i++ {
+			doc := encoding.XMLString(gen.RandomTree(rng, abc, 1+rng.Intn(60)))
+			collect := func(opt Options) (map[int][]Match, MultiStats) {
+				out := map[int][]Match{}
+				stats, err := tc.mq.SelectXML(strings.NewReader(doc), opt, func(m MultiMatch) {
+					out[m.Query] = append(out[m.Query], m.Match)
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out, stats
+			}
+			want, defStats := collect(Options{})
+			if defStats.Earliest != EarliestOff {
+				t.Fatalf("%s: default multi run reports mode %v", tc.name, defStats.Earliest)
+			}
+			got, stats := collect(Options{Earliest: true})
+			if stats.Earliest != tc.want {
+				t.Fatalf("%s: earliest mode %v, want %v", tc.name, stats.Earliest, tc.want)
+			}
+			gotW, statsW := collect(Options{Earliest: true, Workers: 4})
+			if statsW.Workers > 1 && statsW.Earliest != EarliestApprox {
+				t.Fatalf("%s: fanned-out multi run reports mode %v", tc.name, statsW.Earliest)
+			}
+			for qn := range want {
+				for _, g := range []map[int][]Match{got, gotW} {
+					if len(g[qn]) != len(want[qn]) {
+						t.Fatalf("%s query %d: %d matches, want %d", tc.name, qn, len(g[qn]), len(want[qn]))
+					}
+					for j := range want[qn] {
+						if g[qn][j] != want[qn][j] {
+							t.Fatalf("%s query %d match %d: %+v, want %+v", tc.name, qn, j, g[qn][j], want[qn][j])
+						}
+					}
+				}
+			}
+		}
+	}
+}

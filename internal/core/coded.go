@@ -144,6 +144,10 @@ func selectCodedObs(be BatchEvaluator, c *obs.Collector, src encoding.Source, fn
 				if hi < len(hits) && hits[hi] == int32(i) {
 					hi++
 					matches++
+					// The coded driver confirms hits only once the batch is
+					// stepped: this match was decided at batch index i and
+					// emits after index len(batch)-1.
+					c.Latency.Observe(len(batch) - 1 - i)
 					if fn != nil {
 						fn(Match{Pos: pos, Depth: depth, Label: b.BatchLabel(i)})
 					}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"stackless/internal/encoding"
+	"stackless/internal/obs"
+)
+
+// Earliest query answering (DESIGN.md §14), after the 2026
+// Gienieczko–Muñoz–Murlak–Paperman follow-up on earliest query answering
+// for streamed trees.
+//
+// Under pre-selection semantics (Section 2.3) every match is *decided* at
+// its own Open event, so the per-match earliest point is the event itself;
+// what the fast paths trade away is *emission*: the coded pipeline confirms
+// hits only at batch boundaries (up to encoding.DefaultBatch events late)
+// and the chunk-parallel engine only at the end-of-stream join. The
+// earliest drivers below restore the per-event contract — each match is
+// reported with zero deferral, at the very event that decides it — and add
+// the complementary *negative* guarantee: machines that expose per-state
+// earliest-decision flags (EarliestDecider) let the driver prove, mid
+// stream, that no future event can produce another match, after which the
+// run is decided and stepping stops (the stream still drains, so event
+// accounting and balance checking are unchanged).
+
+// EarliestMode says which earliest-decision guarantee a run carried.
+type EarliestMode int
+
+// The three modes, from absent to strongest.
+const (
+	// EarliestOff: earliest emission was not requested (the default).
+	EarliestOff EarliestMode = iota
+	// EarliestExact: per-event emission plus the compiled earliest-decision
+	// flags — the run additionally detects the earliest event after which
+	// no further match is possible.
+	EarliestExact
+	// EarliestApprox: the conservative safe approximation — per-event
+	// emission with zero deferral, but no mid-stream "no future matches"
+	// decision (the machine carries no earliest flags). Every match is
+	// still emitted at its provably earliest event.
+	EarliestApprox
+)
+
+func (m EarliestMode) String() string {
+	switch m {
+	case EarliestOff:
+		return "off"
+	case EarliestExact:
+		return "exact"
+	case EarliestApprox:
+		return "approx"
+	}
+	return fmt.Sprintf("EarliestMode(%d)", int(m))
+}
+
+// EarliestDecider is the earliest-evaluation contract: an Evaluator whose
+// compiled tables carry per-state earliest-decision flags (tag DFAs and
+// stackless machines fold them into the §11 []int32 form). NoFutureMatches
+// must be sound and monotone along a run: once it reports true, no suffix
+// of any well-formed continuation can make the machine pre-select another
+// node, and it keeps reporting true if the machine steps further.
+type EarliestDecider interface {
+	Evaluator
+	// NoFutureMatches reports that the current configuration cannot reach
+	// an accepting Open transition on any future event sequence.
+	NoFutureMatches() bool
+}
+
+// EarliestClassOf reports the mode an earliest run of ev gets: exact for
+// machines implementing EarliestDecider, the safe approximation for the
+// rest (synopsis, table DRAs, the pushdown fallback and the EL/AL
+// wrappers). The approximation never consults flags, so every family — and
+// any user-supplied Evaluator — gets *some* latency bound: zero emission
+// deferral, with end-of-stream as the trivial decision point.
+func EarliestClassOf(ev Evaluator) EarliestMode {
+	if _, ok := ev.(EarliestDecider); ok {
+		return EarliestExact
+	}
+	return EarliestApprox
+}
+
+// SelectEarliest is Select with the earliest emission contract: fn fires
+// at the exact Open event deciding each match (never deferred to a batch
+// boundary), and for EarliestDecider machines the run stops stepping at
+// the earliest event proving no further match is possible. The match set,
+// order, event count and errors are identical to Select's.
+func SelectEarliest(ev Evaluator, src encoding.Source, fn func(Match)) (int, error) {
+	return SelectEarliestObs(ev, nil, src, fn)
+}
+
+// SelectEarliestObs is SelectEarliest reporting into a collector, with the
+// same split as SelectObs: a nil collector runs the plain kernel and costs
+// nothing. An instrumented run observes per-match emission latency (always
+// zero on this driver — that is the contract) into c.Latency alongside the
+// usual events/matches/depth accounting.
+func SelectEarliestObs(ev Evaluator, c *obs.Collector, src encoding.Source, fn func(Match)) (int, error) {
+	dec, _ := ev.(EarliestDecider)
+	if c == nil {
+		return selectEarliestPlain(ev, dec, src, fn)
+	}
+	ev.Reset()
+	events := 0
+	matches := 0
+	pos := -1
+	depth := 0
+	decided := false
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			flushRun(c, ev, int64(events), int64(matches))
+			return events, nil
+		}
+		if err != nil {
+			flushRun(c, ev, int64(events), int64(matches))
+			return events, err
+		}
+		events++
+		if e.Kind == encoding.Open {
+			pos++
+			depth++
+			c.Depth.Observe(depth)
+		} else {
+			depth--
+		}
+		if decided {
+			continue
+		}
+		ev.Step(e)
+		if e.Kind == encoding.Open && ev.Accepting() {
+			matches++
+			c.Latency.Observe(0)
+			if fn != nil {
+				fn(Match{Pos: pos, Depth: depth, Label: e.Label})
+			}
+		}
+		if dec != nil && dec.NoFutureMatches() {
+			decided = true
+		}
+	}
+}
+
+// selectEarliestPlain is the uninstrumented earliest kernel. A decided run
+// keeps draining the source — the event count, balance-guard errors and
+// position bookkeeping must match Select exactly — but stops stepping the
+// machine, which is the whole point of the flags: the remaining stream
+// costs one kind test per event. dec is nil for safe-approximation
+// machines (the decided branch is then dead).
+//
+//treelint:plain
+func selectEarliestPlain(ev Evaluator, dec EarliestDecider, src encoding.Source, fn func(Match)) (int, error) {
+	ev.Reset()
+	events := 0
+	pos := -1
+	depth := 0
+	decided := false
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return events, err
+		}
+		events++
+		if e.Kind == encoding.Open {
+			pos++
+			depth++
+		} else {
+			depth--
+		}
+		if decided {
+			continue
+		}
+		ev.Step(e)
+		if e.Kind == encoding.Open && ev.Accepting() {
+			if fn != nil {
+				fn(Match{Pos: pos, Depth: depth, Label: e.Label})
+			}
+		}
+		if dec != nil && dec.NoFutureMatches() {
+			decided = true
+		}
+	}
+}

@@ -132,6 +132,7 @@ func SelectObs(ev Evaluator, c *obs.Collector, src encoding.Source, fn func(Matc
 		ev.Step(e)
 		if e.Kind == encoding.Open && ev.Accepting() {
 			matches++
+			c.Latency.Observe(0)
 			if fn != nil {
 				fn(Match{Pos: pos, Depth: depth, Label: e.Label})
 			}

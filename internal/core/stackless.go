@@ -79,6 +79,13 @@ type StacklessEvaluator struct {
 	cBack    []int32 // markup machines; nil when blind
 	cBackAny []int32 // term machines; nil otherwise
 	cComp    []int32
+	// cDec are the earliest-decision flags (DESIGN.md §14): cDec[p] = 1 iff
+	// no accepting delta target is reachable from p over delta moves and
+	// backtrack-candidate moves. The candidate edges over-approximate what a
+	// real close can do to the candidate state (a pop restores a *recorded*
+	// state instead, which NoFutureMatches checks separately), so a set flag
+	// is sound for every well-formed continuation.
+	cDec []int32
 
 	res *alphabet.Resolver
 
@@ -242,6 +249,78 @@ func (ev *StacklessEvaluator) compile() {
 			sel[k<<1|1] = -1
 		}
 	}
+	// Earliest flags: live[p] marks candidate states from which some
+	// accepting state is still reachable by a path ending in an open move.
+	// Base case: a delta target accepts. Fixpoint edges: delta moves (opens)
+	// and backtrack-candidate moves (non-popping closes); pops are handled
+	// per configuration by NoFutureMatches, which also checks every recorded
+	// state.
+	live := make([]bool, n)
+	for p := 0; p < n; p++ {
+		for a := 0; a < k; a++ {
+			if A.Accept[A.Delta[p][a]] {
+				live[p] = true
+				break
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for p := 0; p < n; p++ {
+			if live[p] {
+				continue
+			}
+			succLive := false
+			for a := 0; a < k; a++ {
+				if live[A.Delta[p][a]] {
+					succLive = true
+					break
+				}
+				if !ev.blind {
+					if cand := ev.back[a][p]; cand >= 0 && live[cand] {
+						succLive = true
+						break
+					}
+				}
+			}
+			if !succLive && ev.blind {
+				if cand := ev.backAny[p]; cand >= 0 && live[cand] {
+					succLive = true
+				}
+			}
+			if succLive {
+				live[p] = true
+				changed = true
+			}
+		}
+	}
+	ev.cDec = make([]int32, n)
+	for p := 0; p < n; p++ {
+		if !live[p] {
+			ev.cDec[p] = 1
+		}
+	}
+}
+
+// NoFutureMatches implements EarliestDecider: a parked run never selects
+// again, and an unparked one is decided when the current candidate state
+// *and* every recorded state carry the decided flag — a future close may
+// pop to any record, so each must itself be unable to reach an accepting
+// open. The record file is bounded by the SCC-DAG depth of the query's
+// automaton, so the scan is O(1) in the document.
+func (ev *StacklessEvaluator) NoFutureMatches() bool {
+	if ev.poisoned {
+		return true
+	}
+	if q := uint(ev.state); q >= uint(len(ev.cDec)) || ev.cDec[q] == 0 {
+		return false
+	}
+	for i := range ev.records {
+		if q := uint(ev.records[i].state); q >= uint(len(ev.cDec)) || ev.cDec[q] == 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Registers returns the number of registers currently in use (for the

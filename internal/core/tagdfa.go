@@ -38,6 +38,14 @@ type TagDFA struct {
 	ctab        []int32
 	cacc        []bool
 	cstride     int32
+	// cdec are the earliest-decision flags (DESIGN.md §14), one per row of
+	// ctab including the dead row: cdec[q] = 1 iff no state with an
+	// accepting open-column target is reachable from q over any sequence of
+	// table moves — from such a state the run can never pre-select again,
+	// whatever the suffix. Computed with ctab as a reachability fixpoint, so
+	// the flags are exact for the compiled table (tablecheck recomputes and
+	// diffs them).
+	cdec []int32
 }
 
 // compiled returns the flat table, its acceptance vector (length n+1,
@@ -72,7 +80,45 @@ func (t *TagDFA) compiled() (tab []int32, acc []bool, stride, dead int32) {
 				}
 			}
 		}
-		t.ctab, t.cacc, t.cstride = ctab, cacc, w
+		// Earliest flags: live[q] marks states from which an accepting open
+		// target is still reachable. The base case scans each row's open
+		// columns (sym<<1, unknown included — it rows into dead, never
+		// accepting); the fixpoint then closes under all table moves, open
+		// and close alike. At most n+1 passes over the table, at build time
+		// only.
+		live := make([]bool, n+1)
+		for q := 0; q <= n; q++ {
+			row := ctab[int32(q)*w : int32(q)*w+w]
+			for s := 0; s <= k; s++ {
+				if a := row[s<<1]; a >= 0 && a <= d && cacc[a] {
+					live[q] = true
+					break
+				}
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for q := 0; q <= n; q++ {
+				if live[q] {
+					continue
+				}
+				row := ctab[int32(q)*w : int32(q)*w+w]
+				for _, succ := range row {
+					if succ >= 0 && succ <= d && live[succ] {
+						live[q] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		cdec := make([]int32, n+1)
+		for q := 0; q <= n; q++ {
+			if !live[q] {
+				cdec[q] = 1
+			}
+		}
+		t.ctab, t.cacc, t.cstride, t.cdec = ctab, cacc, w, cdec
 	})
 	// The verification hook runs outside the build closure and behind a CAS
 	// rather than a second Once: the hook itself reads the table through this
@@ -129,6 +175,10 @@ type tagEvaluator struct {
 	res      *alphabet.Resolver
 	state    int
 	poisoned bool
+	// dec caches the automaton's compiled earliest flags after the first
+	// NoFutureMatches call (forcing the lazy table build once), keeping the
+	// per-event check a single slice load.
+	dec []int32
 }
 
 // Evaluator returns a fresh streaming evaluator.
@@ -163,6 +213,24 @@ func (ev *tagEvaluator) Step(e encoding.Event) {
 
 func (ev *tagEvaluator) Accepting() bool {
 	return !ev.poisoned && ev.t.Accept[ev.state]
+}
+
+// NoFutureMatches implements EarliestDecider from the compiled earliest
+// flags: a poisoned run is parked in the (never-accepting) dead row, and an
+// unpoisoned one is decided exactly when its state's flag says no accepting
+// open target remains reachable.
+func (ev *tagEvaluator) NoFutureMatches() bool {
+	if ev.poisoned {
+		return true
+	}
+	if ev.dec == nil {
+		ev.t.compiled()
+		ev.dec = ev.t.cdec
+	}
+	if q := uint(ev.state); q < uint(len(ev.dec)) {
+		return ev.dec[q] != 0
+	}
+	return false
 }
 
 // CodeAlphabet implements BatchEvaluator.

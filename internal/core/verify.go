@@ -92,6 +92,14 @@ func (t *TagDFA) CompiledTable() (tab []int32, acc []bool, stride, dead int32) {
 	return t.compiled()
 }
 
+// CompiledEarliest builds (if needed) and returns the live earliest-
+// decision flags, one per compiled row including the dead row (DESIGN.md
+// §14). The slice is the backing array NoFutureMatches reads, not a copy.
+func (t *TagDFA) CompiledEarliest() []int32 {
+	t.compiled()
+	return t.cdec
+}
+
 // tagConfig is the saved configuration of a tagEvaluator.
 type tagConfig struct {
 	state    int
@@ -127,6 +135,10 @@ func (ev *tagEvaluator) Machine() *TagDFA { return ev.t }
 func (ev *StacklessEvaluator) CompiledTables() (delta, sel, back, backAny, comp []int32) {
 	return ev.cDelta, ev.cSel, ev.cBack, ev.cBackAny, ev.cComp
 }
+
+// CompiledEarliest returns the live earliest-decision flags, one per state
+// (DESIGN.md §14) — the backing array NoFutureMatches reads, not a copy.
+func (ev *StacklessEvaluator) CompiledEarliest() []int32 { return ev.cDec }
 
 // Analysis returns the classification the machine was compiled from.
 func (ev *StacklessEvaluator) Analysis() *classify.Analysis { return ev.an }

@@ -1,0 +1,26 @@
+package encoding
+
+// CountingSource wraps a Source and counts the events successfully pulled
+// from it. The earliest-emission test battery uses it to measure *when* a
+// driver emits: a match callback that reads Consumed() sees exactly how
+// many events the driver had to consume before it could report the match,
+// which is the quantity the DESIGN.md §14 latency contract bounds.
+type CountingSource struct {
+	inner Source
+	n     int
+}
+
+// Counting wraps src so every delivered event is counted.
+func Counting(src Source) *CountingSource { return &CountingSource{inner: src} }
+
+// Next implements Source.
+func (s *CountingSource) Next() (Event, error) {
+	e, err := s.inner.Next()
+	if err == nil {
+		s.n++
+	}
+	return e, err
+}
+
+// Consumed returns the number of events delivered so far.
+func (s *CountingSource) Consumed() int { return s.n }

@@ -1,0 +1,39 @@
+package encoding_test
+
+import (
+	"io"
+	"testing"
+
+	"stackless/internal/encoding"
+)
+
+func TestCountingSource(t *testing.T) {
+	events := []encoding.Event{
+		{Kind: encoding.Open, Label: "a"},
+		{Kind: encoding.Open, Label: "b"},
+		{Kind: encoding.Close, Label: "b"},
+		{Kind: encoding.Close, Label: "a"},
+	}
+	src := encoding.Counting(encoding.NewSliceSource(events))
+	if src.Consumed() != 0 {
+		t.Fatalf("fresh counter reads %d", src.Consumed())
+	}
+	for i, want := range events {
+		e, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e != want {
+			t.Fatalf("event %d = %+v, want %+v", i, e, want)
+		}
+		if src.Consumed() != i+1 {
+			t.Fatalf("after event %d: consumed %d", i, src.Consumed())
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+	if src.Consumed() != len(events) {
+		t.Fatalf("EOF bumped the counter to %d", src.Consumed())
+	}
+}

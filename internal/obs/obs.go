@@ -132,6 +132,7 @@ type Collector struct {
 	Registers  Histogram // live registers/records after each load
 	StackDepth Histogram // pushdown stack depth at each push (fallback only)
 	QueueDepth Histogram // pool queue length observed at each submit
+	Latency    Histogram // per-match emission latency: events between the deciding Open and emission
 
 	// Phases are the per-phase timers (split, simulate, join, merge).
 	Phases [NumPhases]PhaseTimer

@@ -97,6 +97,7 @@ func (c *Collector) Snapshot() Snapshot {
 	s.Histograms["registers"] = snapHist(&c.Registers)
 	s.Histograms["stack_depth"] = snapHist(&c.StackDepth)
 	s.Histograms["queue_depth"] = snapHist(&c.QueueDepth)
+	s.Histograms["latency"] = snapHist(&c.Latency)
 
 	busy, wall, workers := c.WorkerBusyNs.Load(), c.FanoutWallNs.Load(), c.PoolWorkers.Load()
 	if wall > 0 {

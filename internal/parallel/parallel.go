@@ -240,8 +240,14 @@ func run(p *Pool, m core.Chunkable, events []encoding.Event, cuts []int, c *obs.
 		c.CutsRejected.Add(int64(requested - len(cuts)))
 		if fn != nil {
 			inner := fn
+			total := len(events)
 			fn = func(mt core.Match) {
 				c.Matches.Inc()
+				// The parallel engine confirms all matches at the end-of-
+				// stream join. The deciding Open's event index recovers from
+				// the match itself: opens before it = Pos, closes before it
+				// = Pos+1-Depth, so it is event 2·Pos+1-Depth of the stream.
+				c.Latency.Observe(total - 2*mt.Pos - 2 + mt.Depth)
 				inner(mt)
 			}
 		}

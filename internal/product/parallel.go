@@ -216,6 +216,9 @@ func emitChunk(pd *core.ProductDFA, events []encoding.Event, lo int, res chunkRe
 				word &= word - 1
 				if c != nil {
 					c.Matches.Inc()
+					// All product hits emit at the end-of-stream join; the
+					// deciding Open sits at global event index lo+idx.
+					c.Latency.Observe(len(events) - 1 - (lo + int(rh.idx)))
 				}
 				if fn != nil {
 					fn(bit, m)

@@ -1,0 +1,135 @@
+package tablecheck
+
+import (
+	"stackless/internal/core"
+)
+
+// Earliest-flags invariant class (DESIGN.md §14). The compiled earliest-
+// decision flags are redundant data — a reachability fixpoint over the
+// transition tables — so the checker recomputes the fixpoint from the same
+// tables the kernels execute and demands bitwise agreement. The two failure
+// directions are both caught: a flag set where the fixpoint says live means
+// the earliest driver would stop stepping while a match is still reachable
+// (silently dropped matches); a flag clear where the fixpoint says decided
+// means the early exit is silently forfeited.
+
+// earliestTagDFA recomputes the tag-DFA earliest fixpoint from the compiled
+// flat table and diffs it against the live flags. Runs only on a table the
+// shape checks already admitted.
+func earliestTagDFA(r *reporter, t *core.TagDFA) {
+	tab, acc, stride, dead := t.CompiledTable()
+	dec := t.CompiledEarliest()
+	n := t.NumStates()
+	k := t.Alphabet.Size()
+	if len(dec) != n+1 {
+		r.add(KindEarliest, "earliest flags length %d, want n+1 = %d", len(dec), n+1)
+		return
+	}
+	// live[q]: an accepting open-column target is reachable from q.
+	live := make([]bool, n+1)
+	for q := 0; q <= n; q++ {
+		row := tab[q*int(stride) : (q+1)*int(stride)]
+		for s := 0; s <= k; s++ {
+			if a := row[s<<1]; a >= 0 && a <= dead && acc[a] {
+				live[q] = true
+				break
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for q := 0; q <= n; q++ {
+			if live[q] {
+				continue
+			}
+			row := tab[q*int(stride) : (q+1)*int(stride)]
+			for _, succ := range row {
+				if succ >= 0 && succ <= dead && live[succ] {
+					live[q] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for q := 0; q <= n && !r.full(); q++ {
+		want := int32(0)
+		if !live[q] {
+			want = 1
+		}
+		if dec[q] != want {
+			if want == 0 {
+				r.add(KindEarliest, "earliest flag set at state %d but an accepting open is still reachable (matches would be dropped)", q)
+			} else {
+				r.add(KindEarliest, "earliest flag clear at state %d but no accepting open is reachable (early exit forfeited)", q)
+			}
+		}
+	}
+}
+
+// earliestStackless recomputes the stackless earliest fixpoint from the
+// analysis and back tables and diffs it against the live flags.
+func earliestStackless(r *reporter, ev *core.StacklessEvaluator) {
+	dec := ev.CompiledEarliest()
+	an := ev.Analysis()
+	A := an.D
+	n := A.NumStates()
+	k := A.Alphabet.Size()
+	_, _, back, backAny, _ := ev.CompiledTables()
+	if len(dec) != n {
+		r.add(KindEarliest, "earliest flags length %d, want n = %d", len(dec), n)
+		return
+	}
+	live := make([]bool, n)
+	for p := 0; p < n; p++ {
+		for a := 0; a < k; a++ {
+			if A.Accept[A.Delta[p][a]] {
+				live[p] = true
+				break
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for p := 0; p < n; p++ {
+			if live[p] {
+				continue
+			}
+			succLive := false
+			for a := 0; a < k; a++ {
+				if live[A.Delta[p][a]] {
+					succLive = true
+					break
+				}
+				if !ev.Blind() {
+					if cand := back[a*n+p]; cand >= 0 && int(cand) < n && live[cand] {
+						succLive = true
+						break
+					}
+				}
+			}
+			if !succLive && ev.Blind() {
+				if cand := backAny[p]; cand >= 0 && int(cand) < n && live[cand] {
+					succLive = true
+				}
+			}
+			if succLive {
+				live[p] = true
+				changed = true
+			}
+		}
+	}
+	for p := 0; p < n && !r.full(); p++ {
+		want := int32(0)
+		if !live[p] {
+			want = 1
+		}
+		if dec[p] != want {
+			if want == 0 {
+				r.add(KindEarliest, "earliest flag set at state %d but an accepting open is still reachable (matches would be dropped)", p)
+			} else {
+				r.add(KindEarliest, "earliest flag clear at state %d but no accepting open is reachable (early exit forfeited)", p)
+			}
+		}
+	}
+}

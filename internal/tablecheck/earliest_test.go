@@ -1,0 +1,88 @@
+package tablecheck
+
+import (
+	"testing"
+)
+
+// The corruption tests flip one earliest-decision flag in place — the
+// accessors return the live backing arrays — and pin that the verifier
+// reports exactly the earliest kind, in both failure directions.
+
+func TestCorruptTagDFAEarliest(t *testing.T) {
+	t.Run("flag-set-drops-matches", func(t *testing.T) {
+		d := freshTagDFA(t)
+		dec := d.CompiledEarliest()
+		// The start state can always still reach a match on Fig 3a, so its
+		// flag must be clear; setting it claims the run is decided at event
+		// zero.
+		if dec[0] != 0 {
+			t.Fatalf("precondition: start-state flag = %d, want 0", dec[0])
+		}
+		dec[0] = 1
+		ds, err := Verify("t", d, testLimits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOnlyKind(t, ds, KindEarliest)
+	})
+	t.Run("flag-clear-forfeits-exit", func(t *testing.T) {
+		d := freshTagDFA(t)
+		dec := d.CompiledEarliest()
+		_, _, _, dead := d.CompiledTable()
+		// The dead row is absorbing and never accepting, so its flag must
+		// be set; clearing it forfeits the early exit after poison.
+		if dec[dead] != 1 {
+			t.Fatalf("precondition: dead-row flag = %d, want 1", dec[dead])
+		}
+		dec[dead] = 0
+		ds, err := Verify("t", d, testLimits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOnlyKind(t, ds, KindEarliest)
+	})
+}
+
+func TestCorruptStacklessEarliest(t *testing.T) {
+	ev := freshStackless(t)
+	dec := ev.CompiledEarliest()
+	if dec[ev.Analysis().D.Start] != 0 {
+		t.Fatalf("precondition: start-state flag = %d, want 0", dec[ev.Analysis().D.Start])
+	}
+	dec[ev.Analysis().D.Start] = 1
+	ds, err := Verify("s", ev, testLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOnlyKind(t, ds, KindEarliest)
+}
+
+// TestCorpusEarliestFlags spot-checks the corpus: every tag DFA and
+// stackless machine carries flags of the right length with only 0/1
+// entries (the bitwise agreement itself is TestCorpusClean's job — the
+// static pass now includes the earliest class).
+func TestCorpusEarliestFlags(t *testing.T) {
+	ms, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, m := range ms {
+		var dec []int32
+		switch v := m.M.(type) {
+		case interface{ CompiledEarliest() []int32 }:
+			dec = v.CompiledEarliest()
+		default:
+			continue
+		}
+		checked++
+		for i, f := range dec {
+			if f != 0 && f != 1 {
+				t.Errorf("%s: earliest flag [%d] = %d, want 0 or 1", m.Name, i, f)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("corpus exposed no earliest flags")
+	}
+}

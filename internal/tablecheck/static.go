@@ -73,6 +73,14 @@ func staticTagDFA(r *reporter, t *core.TagDFA) {
 			}
 		}
 	}
+
+	// Earliest flags (DESIGN.md §14): recompute the fixpoint, diff bitwise.
+	// Only on an otherwise-clean table — flags recomputed from corrupted
+	// transitions would report derived noise instead of the root cause,
+	// exactly the rule the equivalence search follows.
+	if len(r.ds) == 0 {
+		earliestTagDFA(r, t)
+	}
 }
 
 // staticStackless checks the five compiled tables of the Lemma 3.8 machine
@@ -235,6 +243,12 @@ func staticStackless(r *reporter, ev *core.StacklessEvaluator) {
 		} else if uc != -1 {
 			r.add(KindTotality, "unknown close column not poison-closed: sel[p=%d] = %d, want -1", p, uc)
 		}
+	}
+
+	// Earliest flags (DESIGN.md §14): recompute the fixpoint, diff bitwise
+	// — only on an otherwise-clean table (see staticTagDFA).
+	if len(r.ds) == 0 {
+		earliestStackless(r, ev)
 	}
 }
 

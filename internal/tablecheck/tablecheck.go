@@ -4,7 +4,7 @@
 //
 // The compiled tables are the artifacts the hot path actually executes, so
 // they get their own analysis layer on top of treelint's source-level
-// contracts. Five invariant classes are checked, each with its own
+// contracts. Six invariant classes are checked, each with its own
 // diagnostic kind:
 //
 //   - shape: table lengths, strides and row counts are consistent with the
@@ -17,6 +17,10 @@
 //     agrees with its source of truth;
 //   - totality: exactly one successor per (state, symbol, kind), with the
 //     unknown-symbol column present and poison-closed;
+//   - earliest: the earliest-decision flags of DESIGN.md §14 equal the
+//     reachability fixpoint recomputed from the transition tables — a
+//     corrupted set bit would silently drop matches, a corrupted clear bit
+//     would silently forfeit the early exit;
 //   - equivalence: the batched kernels agree with the per-event string path
 //     on every well-formed tree within Limits, reported with a minimal
 //     counterexample event sequence.
@@ -36,12 +40,13 @@ import (
 // Kind classifies a diagnostic by the invariant class it violates.
 type Kind string
 
-// The five invariant classes.
+// The six invariant classes.
 const (
 	KindShape       Kind = "shape"
 	KindClosure     Kind = "closure"
 	KindFlags       Kind = "flags"
 	KindTotality    Kind = "totality"
+	KindEarliest    Kind = "earliest"
 	KindEquivalence Kind = "equivalence"
 )
 

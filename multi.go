@@ -71,6 +71,13 @@ type MultiStats struct {
 	// families, products over the state cap, or the per-event string path,
 	// which never products).
 	ProductGroups int
+	// Earliest reports which earliest-emission mode the run carried when
+	// Options.Earliest was set: EarliestExact when every query's machine
+	// carries compiled earliest-decision flags (the pass additionally stops
+	// stepping once all machines prove no further match), EarliestApprox
+	// otherwise — including every Workers>1 run, which buffers and joins.
+	// EarliestOff when earliest emission was not requested.
+	Earliest EarliestMode
 }
 
 // SelectXML streams the document once and reports each query's matches.
@@ -116,18 +123,44 @@ func (m *MultiQuery) selectSource(src encoding.Source, enc Encoding, opt Options
 		evs[i].Reset()
 	}
 	if opt.Workers > 1 {
+		if opt.Earliest {
+			// Chunk-parallel runs buffer the stream and emit at the join;
+			// emission order survives the join, but only the safe
+			// approximation's latency bound holds.
+			stats.Earliest = EarliestApprox
+		}
 		plan := m.plan(evs, c)
 		stats.ProductGroups = len(plan.Groups)
 		return m.selectParallel(src, opt, evs, plan, stats, fn)
 	}
 	stats.Workers = 1
-	if allCoded(evs) {
+	if allCoded(evs) && !opt.Earliest {
 		plan := m.plan(evs, c)
 		stats.ProductGroups = len(plan.Groups)
 		stats.Pipeline = PipelineCoded
 		return m.selectBatched(src, evs, plan, c, stats, fn)
 	}
 	stats.Pipeline = PipelineString
+	// Earliest emission runs the per-event pass — it already emits every
+	// match at its deciding Open — plus the early-exit check: once every
+	// machine proves no further match is possible, stepping stops and the
+	// rest of the stream only drains (event accounting and the balance
+	// guard are unchanged). The mode is exact only when every machine
+	// carries earliest flags; one approximated member never decides, so
+	// the whole set degrades to the safe approximation.
+	var deciders []core.EarliestDecider
+	if opt.Earliest {
+		stats.Earliest = EarliestExact
+		deciders = make([]core.EarliestDecider, len(evs))
+		for i, ev := range evs {
+			if d, ok := ev.(core.EarliestDecider); ok {
+				deciders[i] = d
+			} else {
+				stats.Earliest = EarliestApprox
+			}
+		}
+	}
+	decided := false
 	pos := -1
 	depth := 0
 	// Every machine steps on every event, so the collector counts events
@@ -156,15 +189,28 @@ func (m *MultiQuery) selectSource(src encoding.Source, enc Encoding, opt Options
 		} else {
 			depth--
 		}
+		if decided {
+			continue
+		}
 		for i, ev := range evs {
 			ev.Step(e)
 			if e.Kind == encoding.Open && ev.Accepting() {
 				stats.Matches[i]++
 				if c != nil {
 					c.Matches.Inc()
+					c.Latency.Observe(0)
 				}
 				if fn != nil {
 					fn(MultiMatch{Query: i, Match: Match{Pos: pos, Depth: depth, Label: e.Label}})
+				}
+			}
+		}
+		if stats.Earliest == EarliestExact {
+			decided = true
+			for _, d := range deciders {
+				if !d.NoFutureMatches() {
+					decided = false
+					break
 				}
 			}
 		}
@@ -299,6 +345,9 @@ func (m *MultiQuery) selectBatched(src encoding.Source, evs []core.Evaluator, pl
 							stats.Matches[q]++
 							if c != nil {
 								c.Matches.Inc()
+								// Batched emission: decided at batch index
+								// j, confirmed after index len(batch)-1.
+								c.Latency.Observe(len(batch) - 1 - j)
 							}
 							if fn != nil {
 								fn(MultiMatch{Query: q, Match: Match{Pos: pos, Depth: depth, Label: batch[j].Label}})

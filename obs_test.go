@@ -49,6 +49,20 @@ func TestObsDisabledZeroAllocs(t *testing.T) {
 			t.Errorf("%s: Select with nil collector allocates %.1f times per run, want 0", name, allocs)
 		}
 
+		src.Rewind()
+		if _, err := core.SelectEarliestObs(ev, nil, src, nil); err != nil { // warm-up: lazy earliest-flag build
+			t.Fatalf("%s earliest: %v", name, err)
+		}
+		allocs = testing.AllocsPerRun(50, func() {
+			src.Rewind()
+			if _, err := core.SelectEarliestObs(ev, nil, src, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: SelectEarliest with nil collector allocates %.1f times per run, want 0", name, allocs)
+		}
+
 		rec, _, err := q.elEvaluator(MarkupEncoding, true)
 		if err != nil {
 			t.Fatalf("%s EL: %v", name, err)
@@ -112,6 +126,43 @@ func TestObsCollectorPublicParity(t *testing.T) {
 			}
 			if parStats.Fallback == "short" && parStats.Chunks != 1 {
 				t.Fatalf("%s doc %d: short fallback reports %d chunks", name, i, parStats.Chunks)
+			}
+		}
+	}
+}
+
+// TestObsLatencyHistogramParity pins the latency histogram's counting
+// convention on every instrumented emission path: exactly one observation
+// per reported match — sequential coded, chunk-parallel, and earliest runs
+// alike — with an earliest run additionally recording zero latency for
+// every match (emission at the deciding event is the §14 contract).
+func TestObsLatencyHistogramParity(t *testing.T) {
+	withProcs(t, 4)
+	rng := rand.New(rand.NewSource(53))
+	for name, q := range map[string]*Query{
+		"registerless": MustCompileRegex("a.*b", abc),
+		"stackless":    MustCompileRegex(".*a.*b", abc),
+		"stack":        MustCompileRegex(".*ab", abc),
+	} {
+		for i := 0; i < 15; i++ {
+			doc := encoding.XMLString(gen.RandomTree(rng, abc, 1+rng.Intn(80)))
+			for variant, opt := range map[string]Options{
+				"sequential": {},
+				"parallel":   {Workers: 4},
+				"earliest":   {Earliest: true},
+			} {
+				c := NewCollector()
+				opt.Collector = c
+				stats, err := q.SelectXML(strings.NewReader(doc), opt, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := c.Latency.Count(), int64(stats.Matches); got != want {
+					t.Fatalf("%s doc %d %s: latency count %d, matches %d", name, i, variant, got, want)
+				}
+				if variant == "earliest" && c.Latency.Sum() != 0 {
+					t.Fatalf("%s doc %d: earliest run recorded latency sum %d, want 0", name, i, c.Latency.Sum())
+				}
 			}
 		}
 	}

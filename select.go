@@ -51,6 +51,26 @@ const (
 	PipelineString = core.PipelineString
 )
 
+// EarliestMode says which earliest-emission guarantee a run carried; it is
+// an alias of core.EarliestMode (see DESIGN.md §14).
+type EarliestMode = core.EarliestMode
+
+// Re-exported earliest modes, so callers compare Stats.Earliest against
+// typed constants.
+const (
+	// EarliestOff: Options.Earliest was not set (the default).
+	EarliestOff = core.EarliestOff
+	// EarliestExact: per-event emission with zero deferral plus the
+	// compiled earliest-decision flags — the run stops stepping at the
+	// earliest event proving no further match is possible.
+	EarliestExact = core.EarliestExact
+	// EarliestApprox: the conservative safe approximation — every match
+	// still emits at its deciding event (sequential runs) or in document
+	// order at the join (parallel runs), but without a mid-stream
+	// no-future-matches decision.
+	EarliestApprox = core.EarliestApprox
+)
+
 // Stats describes how an evaluation ran.
 type Stats struct {
 	// Strategy actually used (registerless / stackless / stack).
@@ -81,6 +101,13 @@ type Stats struct {
 	// (too few events to cut). Empty when the run fanned out or was never
 	// asked to.
 	Fallback string
+	// Earliest reports which earliest-emission mode the run carried when
+	// Options.Earliest was set: EarliestExact when the chosen machine
+	// carries compiled earliest-decision flags (tag DFAs and stackless
+	// machines), EarliestApprox for the safe approximation (all other
+	// families, and every Workers>1 run, which buffers and joins).
+	// EarliestOff when earliest emission was not requested.
+	Earliest EarliestMode
 }
 
 // Options tune evaluation. The zero value is the default: pick the
@@ -109,6 +136,18 @@ type Options struct {
 	// In a MultiQuery run each product group is one chunk-parallel pass
 	// for its whole member set (DESIGN.md §13).
 	Workers int
+	// Earliest requests the earliest-emission latency contract (DESIGN.md
+	// §14): every match is reported at the exact event that decides it,
+	// never deferred to a batch boundary, and machines with compiled
+	// earliest-decision flags stop stepping at the earliest event proving
+	// no further match is possible. The match set, order and errors are
+	// identical to the default run; the trade is throughput — the
+	// sequential earliest driver runs the per-event string path, not the
+	// batched coded one. Stats.Earliest reports which mode actually ran.
+	// With Workers > 1 the chunk-parallel engine is used unchanged
+	// (matches still arrive in document order at the join) and the run
+	// reports the safe approximation.
+	Earliest bool
 	// Collector, when non-nil, receives detailed metrics for the run —
 	// counters, histograms and phase timings beyond what Stats reports
 	// (see NewCollector and DESIGN.md §9). Nil disables collection at
@@ -191,6 +230,12 @@ func (q *Query) selectSource(src encoding.Source, enc Encoding, opt Options, fn 
 		} else {
 			stats.Pipeline = PipelineString
 		}
+		if opt.Earliest {
+			// The chunk-parallel engine buffers the stream and emits at
+			// the join; document order survives, but only the safe
+			// approximation's latency bound does.
+			stats.Earliest = EarliestApprox
+		}
 		events, err := encoding.ReadAll(src)
 		stats.Events = len(events)
 		if err != nil {
@@ -219,6 +264,16 @@ func (q *Query) selectSource(src encoding.Source, enc Encoding, opt Options, fn 
 		if c != nil {
 			c.SeqFallbacks.Inc()
 		}
+	}
+	if opt.Earliest {
+		// Earliest emission runs the per-event driver: matches emit at
+		// their deciding Open, never at a batch boundary, at the cost of
+		// the coded pipeline's throughput.
+		stats.Pipeline = PipelineString
+		stats.Earliest = core.EarliestClassOf(ev)
+		events, err := core.SelectEarliestObs(ev, c, src, report)
+		stats.Events = events
+		return stats, err
 	}
 	if core.CodedCapable(ev) {
 		stats.Pipeline = PipelineCoded
