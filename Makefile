@@ -1,6 +1,14 @@
 GO ?= go
 
-.PHONY: ci test race vet fmt build lint lint-tables bce fuzz fuzz-smoke bench bench-coded bench-multi bench-earliest bench-coded-gate clean
+.PHONY: ci test race vet fmt build lint lint-tables bce allocgate fuzz fuzz-smoke bench bench-coded bench-multi bench-earliest bench-coded-gate clean
+
+# timed runs one lint gate and prints its wall-clock seconds, so a gate
+# that quietly grows past the lint budget (90s total) is visible in every
+# run. $(1) is the label, $(2) the command.
+define timed
+	@start=$$(date +%s); $(2); rc=$$?; end=$$(date +%s); \
+	echo "[lint] $(1): $$((end - start))s"; exit $$rc
+endef
 
 ci: ## full tier-1 gate: fmt + vet + build + test + race
 	./ci.sh
@@ -18,25 +26,34 @@ vet:
 	$(GO) vet ./...
 
 # All static-analysis layers: dralint over the paper's automata tables,
-# treelint over the Go source, tablecheck over the compiled transition
-# tables, and the bounds-check-elimination gate over the plain kernels.
-# treelint is built once and driven by go vet so test files are analyzed
-# too (and results land in the build cache).
-lint: lint-tables bce
-	$(GO) run ./cmd/dralint
+# treelint over the Go source (including the flow-sensitive
+# allocfree/lifecycle/hotlock analyzers), tablecheck over the compiled
+# transition tables, the bounds-check-elimination gate and the
+# escape-analysis allocation gate over the plain kernels. treelint is
+# built once into bin/ and driven by go vet so test files are analyzed too
+# (and results land in the build cache). Each gate prints its wall-clock
+# time; the whole lint target must stay under 90s.
+lint: lint-tables bce allocgate
+	$(call timed,dralint,$(GO) run ./cmd/dralint)
 	$(GO) build -o bin/treelint ./cmd/treelint
-	$(GO) vet -vettool=$(CURDIR)/bin/treelint ./...
+	$(call timed,treelint,$(GO) vet -vettool=$(CURDIR)/bin/treelint ./...)
 
 # Verify every compiled machine the repo constructs: table shape, closure,
 # flag hygiene, totality, and bounded equivalence against the uncompiled
 # machine (internal/tablecheck).
 lint-tables:
-	$(GO) run ./cmd/tablecheck
+	$(call timed,tablecheck,$(GO) run ./cmd/tablecheck)
 
 # Fail if any //treelint:plain batch kernel in internal/core or
 # internal/encoding retains a compiler-inserted bounds check.
 bce:
-	$(GO) run ./cmd/bcegate
+	$(call timed,bcegate,$(GO) run ./cmd/bcegate)
+
+# Fail if any //treelint:plain kernel body in internal/core or
+# internal/encoding reaches the heap (compiler escape analysis, -m -m),
+# modulo //treelint:partial-annotated lines.
+allocgate:
+	$(call timed,allocgate,$(GO) run ./cmd/allocgate)
 
 fmt:
 	gofmt -l .

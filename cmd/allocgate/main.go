@@ -1,0 +1,418 @@
+// Command allocgate is the static zero-allocation gate for the hot batch
+// kernels: the compiler-escape-analysis backstop behind treelint's
+// allocfree analyzer. It rebuilds the engine's kernel packages under
+// -gcflags='-m -m' and fails if the body of any function annotated
+// //treelint:plain contains a value the compiler reports as escaping
+// ("escapes to heap" / "moved to heap"). The AST analyzer reasons about
+// allocation *forms*; this gate asks the compiler what actually reaches
+// the heap after inlining and escape analysis, so the two disagree exactly
+// where it matters (a composite literal that stays on the stack passes
+// here, a laundered interface conversion fails here).
+//
+// The plumbing is deliberately paranoid, mirroring cmd/bcegate: the module
+// is copied to a scratch directory and salted so the build cache cannot
+// swallow diagnostics, and a probe function written to always escape is
+// injected into the build — if the probe's escape does not surface, the
+// gate exits 2 rather than reporting a vacuous pass. Deliberate,
+// documented allocations are exempted by a //treelint:partial directive on
+// the allocation's line (or the line above it), the same escape hatch the
+// allocfree analyzer honors.
+//
+//	allocgate                    # gate ./internal/core and ./internal/encoding
+//	allocgate -v                 # list every escape, including exempted ones
+//	allocgate -json              # machine-readable violations (diagjson schema)
+//	allocgate -dir m -pkgs ./... # gate another module
+//
+// Exit status: 0 when every //treelint:plain body is escape-free (modulo
+// annotated lines), 1 when a plain kernel allocates, 2 on build or
+// plumbing errors (including a missed probe).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"stackless/internal/diagjson"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// escapeRe matches one top-level escape diagnostic from -m -m. The flow
+// explanation lines repeat the file:line:col prefix with an indented
+// message, so the message group requires a non-space start.
+var escapeRe = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (\S.*)$`)
+
+const probeFile = "zz_allocgate_probe.go"
+
+// kernel is one //treelint:plain function: the file it lives in
+// (module-relative, slash-separated) and its body's line range.
+type kernel struct {
+	file       string
+	name       string
+	start, end int
+}
+
+// escape is one compiler-reported heap allocation.
+type escape struct {
+	file string
+	line int
+	msg  string
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("allocgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "module root to gate")
+	pkgsFlag := fs.String("pkgs", "./internal/core,./internal/encoding", "comma-separated package dirs holding the kernels")
+	verbose := fs.Bool("v", false, "list every escape, including exempt and out-of-kernel ones")
+	jsonOut := fs.Bool("json", false, "emit violations as a diagjson record array on stdout")
+	noProbe := fs.Bool("noprobe", false, "skip probe injection so the self-test must trip (exercises the vacuous-pass guard)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "allocgate: no arguments expected")
+		return 2
+	}
+	pkgs := strings.Split(*pkgsFlag, ",")
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "allocgate:", err)
+		return 2
+	}
+
+	root, err := filepath.Abs(*dir)
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		return fail(fmt.Errorf("%s is not a module root: %w", *dir, err))
+	}
+
+	// Copy the module to scratch so salting never touches the real tree.
+	tmp, err := os.MkdirTemp("", "allocgate")
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(tmp)
+	if err := copyModule(root, tmp); err != nil {
+		return fail(err)
+	}
+
+	// Salt every non-test .go file of the target packages so the build
+	// cache cannot swallow the diagnostics, and inject the self-test probe
+	// into the first package.
+	salt := fmt.Sprintf("// allocgate salt %d %d\n", os.Getpid(), time.Now().UnixNano())
+	for i, p := range pkgs {
+		pdir := filepath.Join(tmp, filepath.FromSlash(strings.TrimPrefix(p, "./")))
+		if err := saltPackage(pdir, salt); err != nil {
+			return fail(err)
+		}
+		if i == 0 && !*noProbe {
+			if err := writeProbe(pdir); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	// Rebuild with escape-analysis diagnostics on and harvest them.
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=./...=-m -m"}, pkgs...)...)
+	cmd.Dir = tmp
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return fail(fmt.Errorf("go build: %v\n%s", err, out.String()))
+	}
+	var escapes []escape
+	seen := map[escape]bool{} // -m -m repeats diagnostics across build passes
+	for _, line := range strings.Split(out.String(), "\n") {
+		m := escapeRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[3]
+		if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		n, _ := strconv.Atoi(m[2])
+		e := escape{file: filepath.ToSlash(m[1]), line: n, msg: strings.TrimSuffix(msg, ":")}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		escapes = append(escapes, e)
+	}
+
+	// Self-test: the probe is written to always escape, so its diagnostic
+	// must be in the harvest — otherwise the -m pipeline itself is broken
+	// and a green result would mean nothing.
+	probeSeen := false
+	for _, e := range escapes {
+		if path.Base(e.file) == probeFile {
+			probeSeen = true
+		}
+	}
+	if !probeSeen {
+		return fail(fmt.Errorf("self-test failed: the probe's escape did not surface; -m diagnostics are not reaching the gate (%d lines harvested)", len(escapes)))
+	}
+
+	// Locate every plain kernel body and every //treelint:partial line in
+	// the scratch copy (line numbers match the original: the salt is
+	// appended at EOF).
+	var kernels []kernel
+	exempt := map[string]map[int]bool{} // file -> lines carrying a partial directive
+	for _, p := range pkgs {
+		ks, err := scanKernels(tmp, strings.TrimPrefix(p, "./"), exempt)
+		if err != nil {
+			return fail(err)
+		}
+		kernels = append(kernels, ks...)
+	}
+	sort.Slice(kernels, func(i, j int) bool {
+		if kernels[i].file != kernels[j].file {
+			return kernels[i].file < kernels[j].file
+		}
+		return kernels[i].start < kernels[j].start
+	})
+	if len(kernels) == 0 {
+		return fail(fmt.Errorf("no //treelint:plain kernels found under %s", *pkgsFlag))
+	}
+
+	// exemptAt mirrors the analyzer's HasDirective: a directive on the
+	// diagnostic's line or the line above it.
+	exemptAt := func(file string, line int) bool {
+		for f, lines := range exempt {
+			if strings.HasSuffix(file, f) {
+				return lines[line] || lines[line-1]
+			}
+		}
+		return false
+	}
+
+	violations := 0
+	exempted := 0
+	var records []diagjson.Record
+	for _, k := range kernels {
+		clean := true
+		for _, e := range escapes {
+			if !strings.HasSuffix(e.file, k.file) || e.line < k.start || e.line > k.end {
+				continue
+			}
+			if exemptAt(e.file, e.line) {
+				exempted++
+				if *verbose {
+					fmt.Fprintf(stdout, "note: %s:%d: exempt in plain kernel %s: %s\n", k.file, e.line, k.name, e.msg)
+				}
+				continue
+			}
+			clean = false
+			violations++
+			if *jsonOut {
+				records = append(records, diagjson.Record{
+					File:     k.file,
+					Line:     e.line,
+					Analyzer: "allocgate",
+					Kind:     "escape",
+					Message:  fmt.Sprintf("plain kernel %s allocates: %s", k.name, e.msg),
+				})
+			} else {
+				fmt.Fprintf(stdout, "%s:%d: plain kernel %s allocates: %s\n", k.file, e.line, k.name, e.msg)
+			}
+		}
+		if clean && *verbose {
+			fmt.Fprintf(stdout, "%s:%d: plain kernel %s is escape-free\n", k.file, k.start, k.name)
+		}
+	}
+	if *jsonOut {
+		if err := diagjson.Write(stdout, records); err != nil {
+			return fail(err)
+		}
+	}
+	if violations > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "allocgate: %d violation(s)\n", violations)
+		}
+		return 1
+	}
+	if !*jsonOut {
+		fmt.Fprintf(stdout, "allocgate: %d plain kernel(s) escape-free, %d annotated escape(s) exempt\n", len(kernels), exempted)
+	}
+	return 0
+}
+
+// copyModule copies the module tree at src into dst, skipping VCS state.
+func copyModule(src, dst string) error {
+	return filepath.WalkDir(src, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		if !d.Type().IsRegular() {
+			return nil
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), data, 0o644)
+	})
+}
+
+// saltPackage appends a cache-busting comment to every non-test .go file in
+// dir (non-recursive: one package).
+func saltPackage(dir, salt string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := os.OpenFile(filepath.Join(dir, name), os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteString("\n" + salt); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeProbe drops a function the escape analyzer provably must report
+// into the package at dir: returning the address of a local always moves
+// it to the heap.
+func writeProbe(dir string) error {
+	pkg, err := packageName(dir)
+	if err != nil {
+		return err
+	}
+	src := fmt.Sprintf(`package %s
+
+// allocgateProbe returns the address of its local: the compiler must move
+// x to the heap, so the probe's diagnostic proves the -m pipeline works.
+func allocgateProbe(n int) *int {
+	x := n + 1
+	return &x
+}
+`, pkg)
+	return os.WriteFile(filepath.Join(dir, probeFile), []byte(src), 0o644)
+}
+
+// packageName parses the package clause of the first buildable .go file in
+// dir.
+func packageName(dir string) (string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	fset := token.NewFileSet()
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.PackageClauseOnly)
+		if err != nil {
+			continue
+		}
+		return f.Name.Name, nil
+	}
+	return "", fmt.Errorf("no .go files in %s", dir)
+}
+
+// scanKernels parses the package at root/rel, returns every //treelint:plain
+// function with its body line range, and records the line of every
+// //treelint:partial directive into exempt.
+func scanKernels(root, rel string, exempt map[string]map[int]bool) ([]kernel, error) {
+	dir := filepath.Join(root, filepath.FromSlash(rel))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []kernel
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || name == probeFile {
+			continue
+		}
+		relFile := path.Join(filepath.ToSlash(rel), name)
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if rest, ok := strings.CutPrefix(c.Text, "//treelint:partial"); ok &&
+					(rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+					if exempt[relFile] == nil {
+						exempt[relFile] = map[int]bool{}
+					}
+					exempt[relFile][fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isPlainMarked(fn) {
+				continue
+			}
+			out = append(out, kernel{
+				file:  relFile,
+				name:  fn.Name.Name,
+				start: fset.Position(fn.Body.Pos()).Line,
+				end:   fset.Position(fn.Body.End()).Line,
+			})
+		}
+	}
+	return out, nil
+}
+
+// isPlainMarked reports whether the function's doc comment carries
+// //treelint:plain.
+func isPlainMarked(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, "//treelint:plain"); ok &&
+			(rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+			return true
+		}
+	}
+	return false
+}

@@ -14,23 +14,27 @@ func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
 }
 
 // TestBadModFails proves the gate can fail: the fixture module's StepBatch
-// is written to defeat BCE and must be flagged, while its uint-guarded
-// SelectBatch and partial-exempt SimulateSegmentCoded must not be.
+// parks a fresh slice in a field every call and must be flagged, while the
+// stack-only SelectBatch and the partial-annotated SimulateSegmentCoded
+// must not be.
 func TestBadModFails(t *testing.T) {
 	code, out, stderr := runCmd(t, "-dir", "testdata/badmod", "-pkgs", ".", "-v")
 	if code != 1 {
 		t.Fatalf("exit %d, want 1:\n%s%s", code, out, stderr)
 	}
-	if !strings.Contains(out, "StepBatch retains a bounds check") {
+	if !strings.Contains(out, "StepBatch allocates") {
 		t.Errorf("StepBatch violation not reported:\n%s", out)
 	}
-	if !strings.Contains(out, "SelectBatch is bounds-check-free") {
+	if !strings.Contains(out, "SelectBatch is escape-free") {
 		t.Errorf("clean SelectBatch not confirmed:\n%s", out)
 	}
-	if strings.Contains(out, "SimulateSegmentCoded retains") {
-		t.Errorf("partial kernel was gated:\n%s", out)
+	if strings.Contains(out, "SimulateSegmentCoded allocates") {
+		t.Errorf("annotated escape was gated:\n%s", out)
 	}
-	if !strings.Contains(out, "1 violation(s)") {
+	if !strings.Contains(out, "exempt in plain kernel SimulateSegmentCoded") {
+		t.Errorf("exempt escape not listed under -v:\n%s", out)
+	}
+	if !strings.Contains(out, "violation(s)") {
 		t.Errorf("violation count missing:\n%s", out)
 	}
 }
@@ -58,14 +62,27 @@ func TestJSONSchema(t *testing.T) {
 		if len(r) != 5 {
 			t.Errorf("record has %d keys, want exactly 5: %v", len(r), r)
 		}
-		if r["analyzer"] != "bcegate" || r["kind"] != "bounds-check" {
+		if r["analyzer"] != "allocgate" || r["kind"] != "escape" {
 			t.Errorf("unexpected analyzer/kind: %v", r)
 		}
 	}
 }
 
-// TestEngineKernelsClean runs the real gate: every //treelint:plain batch
-// kernel in internal/core and internal/encoding must be bounds-check-free.
+// TestProbeSelfTest removes the probe from the build: the gate must refuse
+// to report a (vacuous) pass and exit 2.
+func TestProbeSelfTest(t *testing.T) {
+	code, out, stderr := runCmd(t, "-dir", "testdata/badmod", "-pkgs", ".", "-noprobe")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 when the probe is missing:\n%s%s", code, out, stderr)
+	}
+	if !strings.Contains(stderr, "self-test failed") {
+		t.Errorf("self-test failure not explained:\n%s", stderr)
+	}
+}
+
+// TestEngineKernelsClean runs the real gate: every //treelint:plain kernel
+// in internal/core and internal/encoding must be escape-free modulo its
+// annotated lines.
 func TestEngineKernelsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("recompiles the kernel packages; skipped in -short")
@@ -74,7 +91,7 @@ func TestEngineKernelsClean(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, want 0:\n%s%s", code, out, stderr)
 	}
-	if !strings.Contains(out, "plain kernel(s) bounds-check-free") {
+	if !strings.Contains(out, "plain kernel(s) escape-free") {
 		t.Errorf("summary missing:\n%s", out)
 	}
 }

@@ -15,6 +15,7 @@
 //
 //	bcegate                  # gate ./internal/core and ./internal/encoding
 //	bcegate -v               # list every retained bounds check
+//	bcegate -json            # violations in the shared diagjson schema
 //	bcegate -dir m -pkgs ./... # gate another module
 //
 // Exit status: 0 when every //treelint:plain kernel is bounds-check-free,
@@ -40,6 +41,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"stackless/internal/diagjson"
 )
 
 func main() {
@@ -81,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dir := fs.String("dir", ".", "module root to gate")
 	pkgsFlag := fs.String("pkgs", "./internal/core,./internal/encoding", "comma-separated package dirs holding the kernels")
 	verbose := fs.Bool("v", false, "list every retained bounds check, not only kernel violations")
+	jsonOut := fs.Bool("json", false, "emit violations in the shared diagjson schema")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -186,7 +190,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return false
 	}
-	violations := 0
+	var records []diagjson.Record
+	violate := func(file string, line int, kind, msg string) {
+		records = append(records, diagjson.Record{
+			File: file, Line: line, Analyzer: "bcegate", Kind: kind, Message: msg,
+		})
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "%s:%d: %s\n", file, line, msg)
+		}
+	}
 	plain, partial := 0, 0
 	for _, k := range kernels {
 		switch k.mode {
@@ -194,9 +206,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			partial++
 			continue
 		case "":
-			violations++
-			fmt.Fprintf(stdout, "%s:%d: batch kernel %s carries neither //treelint:plain nor //treelint:partial\n",
-				k.file, k.start, k.name)
+			violate(k.file, k.start, "unannotated",
+				fmt.Sprintf("batch kernel %s carries neither //treelint:plain nor //treelint:partial", k.name))
 			continue
 		}
 		plain++
@@ -204,16 +215,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, f := range founds {
 			if strings.HasSuffix(f.file, k.file) && k.start <= f.line && f.line <= k.end {
 				clean = false
-				violations++
-				fmt.Fprintf(stdout, "%s:%d: plain kernel %s retains a bounds check (%s)\n",
-					k.file, f.line, k.name, f.op)
+				violate(k.file, f.line, "bounds-check",
+					fmt.Sprintf("plain kernel %s retains a bounds check (%s)", k.name, f.op))
 			}
 		}
-		if clean && *verbose {
+		if clean && *verbose && !*jsonOut {
 			fmt.Fprintf(stdout, "%s:%d: plain kernel %s is bounds-check-free\n", k.file, k.start, k.name)
 		}
 	}
-	if *verbose {
+	if *verbose && !*jsonOut {
 		for _, f := range founds {
 			if path.Base(f.file) != probeFile && !inKernel(f) {
 				fmt.Fprintf(stdout, "note: %s:%d: %s (outside the gated kernels)\n", f.file, f.line, f.op)
@@ -223,11 +233,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(kernels) == 0 {
 		return fail(fmt.Errorf("no batch kernels (%s) found under %s", keys(kernelNames), *pkgsFlag))
 	}
-	if violations > 0 {
-		fmt.Fprintf(stdout, "bcegate: %d violation(s)\n", violations)
+	if *jsonOut {
+		if err := diagjson.Write(stdout, records); err != nil {
+			return fail(err)
+		}
+	}
+	if len(records) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "bcegate: %d violation(s)\n", len(records))
+		}
 		return 1
 	}
-	fmt.Fprintf(stdout, "bcegate: %d plain kernel(s) bounds-check-free, %d partial kernel(s) exempt\n", plain, partial)
+	if !*jsonOut {
+		fmt.Fprintf(stdout, "bcegate: %d plain kernel(s) bounds-check-free, %d partial kernel(s) exempt\n", plain, partial)
+	}
 	return 0
 }
 

@@ -13,6 +13,9 @@
 //	dralint machine.dra        # lint a machine from a file
 //	dralint -restricted m.dra  # hold it to §2.2 even without the directive
 //	dralint -all m.dra         # show Info-level findings too
+//	dralint -json              # findings in the shared diagjson schema
+//	                           # (file carries the machine name or path,
+//	                           # line is 0: machines are not line-addressed)
 //
 // The exit status is 0 when every machine is clean (no findings at
 // Warning severity or above), 1 otherwise, and 2 on usage or I/O errors.
@@ -27,6 +30,7 @@ import (
 	"stackless/internal/alphabet"
 	"stackless/internal/classify"
 	"stackless/internal/core"
+	"stackless/internal/diagjson"
 	"stackless/internal/dralint"
 	"stackless/internal/paperfigs"
 	"stackless/internal/rex"
@@ -42,11 +46,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	restricted := fs.Bool("restricted", false, "require the §2.2 restriction for all machines")
 	all := fs.Bool("all", false, "show Info-level findings, not only Warning and above")
 	maxPerKind := fs.Int("max", 0, "cap findings reported per kind (0 = default)")
+	jsonOut := fs.Bool("json", false, "emit findings in the shared diagjson schema")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	failed := false
+	var records []diagjson.Record
 	report := func(name string, d *core.DRA, cfg dralint.Config) {
 		cfg.MaxPerKind = *maxPerKind
 		diags := dralint.LintWith(d, cfg)
@@ -56,6 +62,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		shown := diags
 		if !*all {
 			shown = dralint.Filter(diags, dralint.Warning)
+		}
+		if *jsonOut {
+			// Machines are logical units, not files with line numbers:
+			// the machine name (or .dra path) stands in for the file.
+			for _, di := range shown {
+				records = append(records, diagjson.Record{
+					File:     name,
+					Analyzer: "dralint",
+					Kind:     fmt.Sprint(di.Kind),
+					Message:  fmt.Sprintf("%s: %s", di.Severity, di.Message),
+				})
+			}
+			return
 		}
 		if len(shown) == 0 {
 			fmt.Fprintf(stdout, "%s: clean\n", name)
@@ -83,6 +102,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 			report(path, d, dralint.Config{RequireRestricted: *restricted || expect.Restricted})
+		}
+	}
+	if *jsonOut {
+		if err := diagjson.Write(stdout, records); err != nil {
+			fmt.Fprintln(stderr, "dralint:", err)
+			return 2
 		}
 	}
 	if failed {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -119,6 +120,69 @@ forall 1 /a - 1
 `
 	if code != 1 || out != want {
 		t.Errorf("exit %d, output:\n%s\nwant:\n%s", code, out, want)
+	}
+}
+
+// TestJSONSchema locks -json to the shared diagjson shape: exactly the
+// five agreed keys per record, with the .dra path standing in for the
+// file and line 0 (machines are not line-addressed).
+func TestJSONSchema(t *testing.T) {
+	path := writeFile(t, "dirty.dra", `
+alphabet a
+states 2
+regs 1
+accept 1
+forall 0 a - 0
+forall 0 /a - 0
+forall 1 a - 1
+forall 1 /a - 1
+`)
+	code, out, _ := runCmd(t, "-json", path)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal([]byte(out), &records); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(records) == 0 {
+		t.Fatal("-json produced no records for the dirty machine")
+	}
+	kinds := map[string]bool{}
+	for _, r := range records {
+		for _, key := range []string{"file", "line", "analyzer", "kind", "message"} {
+			if _, ok := r[key]; !ok {
+				t.Errorf("record missing %q: %v", key, r)
+			}
+		}
+		if len(r) != 5 {
+			t.Errorf("record has %d keys, want exactly 5: %v", len(r), r)
+		}
+		if r["analyzer"] != "dralint" || r["file"] != path || r["line"] != float64(0) {
+			t.Errorf("unexpected analyzer/file/line: %v", r)
+		}
+		kinds[r["kind"].(string)] = true
+	}
+	for _, want := range []string{"register-unused", "unreachable-accept"} {
+		if !kinds[want] {
+			t.Errorf("kind %s missing from records: %v", want, kinds)
+		}
+	}
+}
+
+// TestJSONBuiltinsClean: the clean corpus must emit an empty array, not
+// null, and still exit 0.
+func TestJSONBuiltinsClean(t *testing.T) {
+	code, out, _ := runCmd(t, "-json")
+	if code != 0 {
+		t.Fatalf("exit %d on builtins:\n%s", code, out)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal([]byte(out), &records); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out)
+	}
+	if records == nil || len(records) != 0 {
+		t.Errorf("clean corpus emitted %v", records)
 	}
 }
 

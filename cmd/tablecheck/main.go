@@ -5,7 +5,8 @@
 // well-formed trees within the configured bounds (see internal/tablecheck).
 //
 //	tablecheck              # verify the builtin machine corpus
-//	tablecheck -json        # machine-readable diagnostics
+//	tablecheck -json        # diagnostics in the shared diagjson schema
+//	                        # (file carries the machine name, line is 0)
 //	tablecheck -static      # skip the equivalence search
 //	tablecheck -depth 5 -width 4 -alpha 4 -maxnodes 500000
 //
@@ -14,7 +15,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"stackless/internal/core"
+	"stackless/internal/diagjson"
 	"stackless/internal/tablecheck"
 )
 
@@ -114,12 +115,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if all == nil {
-			all = []tablecheck.Diagnostic{}
+		// Machines are logical units, not files with line numbers: the
+		// machine name stands in for the file and the line stays 0.
+		records := make([]diagjson.Record, 0, len(all))
+		for _, d := range all {
+			msg := d.Detail
+			if d.Counterexample != "" {
+				msg += "; counterexample: " + d.Counterexample
+			}
+			records = append(records, diagjson.Record{
+				File:     d.Machine,
+				Analyzer: "tablecheck",
+				Kind:     string(d.Kind),
+				Message:  msg,
+			})
 		}
-		if err := enc.Encode(all); err != nil {
+		if err := diagjson.Write(stdout, records); err != nil {
 			fmt.Fprintln(stderr, "tablecheck:", err)
 			return 2
 		}

@@ -103,12 +103,27 @@ func TestJSONOutput(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d, want 1:\n%s", code, out)
 	}
-	var ds []tablecheck.Diagnostic
+	// The output follows the shared diagjson schema: exactly five keys,
+	// with the machine name standing in for the file.
+	var ds []map[string]any
 	if err := json.Unmarshal([]byte(out), &ds); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, out)
 	}
-	if len(ds) == 0 || ds[0].Kind != tablecheck.KindClosure {
-		t.Errorf("unexpected diagnostics: %v", ds)
+	if len(ds) == 0 || ds[0]["kind"] != string(tablecheck.KindClosure) {
+		t.Fatalf("unexpected diagnostics: %v", ds)
+	}
+	for _, r := range ds {
+		for _, key := range []string{"file", "line", "analyzer", "kind", "message"} {
+			if _, ok := r[key]; !ok {
+				t.Errorf("record missing %q: %v", key, r)
+			}
+		}
+		if len(r) != 5 {
+			t.Errorf("record has %d keys, want exactly 5: %v", len(r), r)
+		}
+		if r["analyzer"] != "tablecheck" || r["file"] == "" || r["line"] != float64(0) {
+			t.Errorf("unexpected analyzer/file/line: %v", r)
+		}
 	}
 }
 
@@ -117,7 +132,7 @@ func TestJSONCleanEmitsEmptyArray(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d:\n%s", code, out)
 	}
-	var ds []tablecheck.Diagnostic
+	var ds []map[string]any
 	if err := json.Unmarshal([]byte(out), &ds); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, out)
 	}

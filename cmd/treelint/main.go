@@ -3,7 +3,11 @@
 // source). It machine-checks the engine's hot-path, exhaustiveness and
 // concurrency contracts: plain kernels stay uninstrumented, enum switches
 // stay total, pool workers stay disciplined, atomic fields stay atomic,
-// Close errors stay handled. See DESIGN.md §10.
+// Close errors stay handled — plus the flow-sensitive analyzers: allocfree
+// (no heap-allocating forms on any live path of a plain kernel), lifecycle
+// (SaveConfig/RestoreConfig pairing and reset-on-reuse across restarted
+// streams) and hotlock (no sync or channel operations reachable from the
+// batch kernels). See DESIGN.md §10 and §15.
 //
 // Two modes share one binary:
 //
@@ -15,13 +19,17 @@
 //	                               # once per package with a .cfg file
 //
 // Per-analyzer boolean flags (-plainkernel, -enumswitch, -poolcheck,
-// -atomicfield, -closecheck) select a subset; with none set, the whole
-// suite runs.
+// -atomicfield, -closecheck, -allocfree, -lifecycle, -hotlock) select a
+// subset; with none set, the whole suite runs.
 //
 // Standalone exit status: 0 when every package is clean, 1 when there are
-// findings, 2 on usage or load errors. Under the vet protocol the tool
-// follows go vet's convention instead (non-zero on findings, diagnostics
-// on stderr; -json output on stdout with exit 0).
+// findings, 2 on usage or load errors. Standalone -json emits the shared
+// diagnostic schema (internal/diagjson): records of {file, line, analyzer,
+// kind, message} where analyzer is "treelint" and kind names the suite
+// analyzer that fired. Under the vet protocol the tool follows go vet's
+// convention instead (non-zero on findings, diagnostics on stderr; -json
+// output on stdout with exit 0 in cmd/go's own framing, which is fixed by
+// the vet protocol and deliberately not the shared schema).
 package main
 
 import (
@@ -34,20 +42,22 @@ import (
 	"strings"
 
 	"stackless/internal/analysis"
+	"stackless/internal/diagjson"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// finding is one diagnostic with a resolved position, the JSON shape of
-// the -json output.
+// finding is one diagnostic with a resolved position. The -json output
+// maps these onto the shared diagjson schema (the column is dropped
+// there; the plain-text output keeps it).
 type finding struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
+	File     string
+	Line     int
+	Col      int
+	Analyzer string
+	Message  string
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -109,12 +119,17 @@ func runStandalone(patterns []string, suite []*analysis.Analyzer, jsonOut bool, 
 	}
 	sortFindings(findings)
 	if jsonOut {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if findings == nil {
-			findings = []finding{}
+		records := make([]diagjson.Record, 0, len(findings))
+		for _, f := range findings {
+			records = append(records, diagjson.Record{
+				File:     f.File,
+				Line:     f.Line,
+				Analyzer: "treelint",
+				Kind:     f.Analyzer,
+				Message:  f.Message,
+			})
 		}
-		if err := enc.Encode(findings); err != nil {
+		if err := diagjson.Write(stdout, records); err != nil {
 			fmt.Fprintln(stderr, "treelint:", err)
 			return 2
 		}

@@ -73,22 +73,38 @@ func TestFindingsExitOneAndMatchGolden(t *testing.T) {
 	}
 }
 
+// TestJSONOutput locks standalone -json to the shared diagjson schema:
+// exactly the five agreed keys per record, analyzer "treelint", and the
+// suite analyzer carried in kind.
 func TestJSONOutput(t *testing.T) {
 	stdout, _, code := runBin(t, filepath.Join("testdata", "fixturemod"), "-json", "./...")
 	if code != 1 {
 		t.Fatalf("fixture module -json: exit %d, want 1", code)
 	}
-	var got []finding
+	var got []map[string]any
 	if err := json.Unmarshal([]byte(stdout), &got); err != nil {
 		t.Fatalf("decoding -json output: %v\n%s", err, stdout)
 	}
 	if len(got) != 2 {
 		t.Fatalf("got %d findings, want 2: %+v", len(got), got)
 	}
-	if got[0].Analyzer != "enumswitch" || got[0].File != "fixture.go" || got[0].Line != 19 {
+	for _, r := range got {
+		for _, key := range []string{"file", "line", "analyzer", "kind", "message"} {
+			if _, ok := r[key]; !ok {
+				t.Errorf("record missing %q: %v", key, r)
+			}
+		}
+		if len(r) != 5 {
+			t.Errorf("record has %d keys, want exactly 5: %v", len(r), r)
+		}
+		if r["analyzer"] != "treelint" {
+			t.Errorf("analyzer = %v, want treelint: %v", r["analyzer"], r)
+		}
+	}
+	if got[0]["kind"] != "enumswitch" || got[0]["file"] != "fixture.go" || got[0]["line"] != float64(19) {
 		t.Errorf("first finding: %+v", got[0])
 	}
-	if got[1].Analyzer != "closecheck" || got[1].Line != 28 {
+	if got[1]["kind"] != "closecheck" || got[1]["line"] != float64(28) {
 		t.Errorf("second finding: %+v", got[1])
 	}
 }

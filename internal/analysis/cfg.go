@@ -1,0 +1,586 @@
+package analysis
+
+// Control-flow graphs over go/ast function bodies: the substrate of the
+// flow-sensitive analyzers (allocfree, lifecycle, hotlock — DESIGN.md §15).
+// The shape follows golang.org/x/tools/go/cfg, rebuilt on the standard
+// library alone: basic blocks of statements in execution order, with edges
+// for branches, loops (including the back edge), switch/select dispatch,
+// goto, and explicit panic calls. Two deliberate simplifications:
+//
+//   - implicit panics (nil derefs, index errors) do not end blocks — only
+//     an explicit panic(...) statement edges to Exit. Analyzers that need
+//     "may return early" precision must treat every call as a potential
+//     exit themselves;
+//   - defer statements stay in their block as ordinary nodes (marking the
+//     point of registration) and are additionally collected in Defers, so
+//     an analyzer can model them as running on every path into Exit. The
+//     collection does not record whether registration was conditional:
+//     treating every collected defer as registered is optimistic, which is
+//     the right polarity for a linter's kill set (a missed kill is a false
+//     positive, not a false negative, for the must-release properties
+//     lifecycle checks).
+//
+// Conditions that are compile-time constants prune the dead edge: a branch
+// guarded by a constant-false flag contributes no path, so flow-sensitive
+// analyzers do not report on code the compiler removes.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// A CFG is the control-flow graph of one function body. Entry and Exit are
+// artificial empty blocks: Entry has no predecessors, Exit no successors,
+// and every return, explicit panic and fall-off-the-end path edges into
+// Exit.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Defers collects every defer statement in the body (outermost
+	// function only — nested FuncLit bodies get their own CFGs), in source
+	// order.
+	Defers []*ast.DeferStmt
+}
+
+// A Block is one basic block: a maximal straight-line sequence of
+// statements and controlling expressions, in execution order.
+type Block struct {
+	Index int
+	// Kind names the block's role ("entry", "for.body", "if.then", ...);
+	// diagnostic and test output only.
+	Kind  string
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// BuildCFG constructs the CFG of a function body. info may be nil; when
+// present it is used to prune branches on compile-time constant
+// conditions.
+func BuildCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	b := &cfgBuilder{info: info, gotos: map[string][]*Block{}, labels: map[string]*Block{}}
+	b.cfg = &CFG{}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = b.newBlock("body")
+	b.edge(b.cfg.Entry, b.cur)
+	b.stmt(body)
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit)
+	}
+	// Resolve gotos whose label appeared after the jump.
+	for name, srcs := range b.gotos {
+		if t := b.labels[name]; t != nil {
+			for _, s := range srcs {
+				b.edge(s, t)
+			}
+		}
+	}
+	for _, blk := range b.cfg.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return b.cfg
+}
+
+// Reachable returns the set of blocks reachable from Entry. Blocks left
+// unreachable (code behind constant-false branches, statements after an
+// unconditional return) are dead paths no analyzer should report on.
+func (g *CFG) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// InCycle returns the blocks that lie on a reachable cycle: members of a
+// strongly connected component of size > 1, or blocks with a self edge.
+// "In a loop" for the analyzers means exactly this — it is computed on the
+// graph, so goto-built loops count and syntactic loops whose back edge was
+// pruned (constant-false condition) do not.
+func (g *CFG) InCycle() map[*Block]bool {
+	out := map[*Block]bool{}
+	for _, comp := range g.CyclicSCCs() {
+		for _, b := range comp {
+			out[b] = true
+		}
+	}
+	return out
+}
+
+// CyclicSCCs returns the strongly connected components of the reachable
+// graph that contain a cycle (size > 1, or a single block with a self
+// edge) — one component per loop nest, which is the region lifecycle's
+// back-edge reasoning works over.
+func (g *CFG) CyclicSCCs() [][]*Block {
+	reach := g.Reachable()
+	// Tarjan's SCC algorithm, iterative to keep deep bodies off the goroutine
+	// stack.
+	index := map[*Block]int{}
+	low := map[*Block]int{}
+	onStack := map[*Block]bool{}
+	var stack []*Block
+	next := 0
+	var out [][]*Block
+
+	type frame struct {
+		b *Block
+		i int // next successor to visit
+	}
+	for _, root := range g.Blocks {
+		if !reach[root] {
+			continue
+		}
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{b: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.i < len(f.b.Succs) {
+				s := f.b.Succs[f.i]
+				f.i++
+				if !reach[s] {
+					continue
+				}
+				if _, seen := index[s]; !seen {
+					index[s], low[s] = next, next
+					next++
+					stack = append(stack, s)
+					onStack[s] = true
+					work = append(work, frame{b: s})
+				} else if onStack[s] && index[s] < low[f.b] {
+					low[f.b] = index[s]
+				}
+				continue
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].b
+				if low[f.b] < low[p] {
+					low[p] = low[f.b]
+				}
+			}
+			if low[f.b] == index[f.b] {
+				// Pop the component rooted here.
+				var comp []*Block
+				for {
+					s := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[s] = false
+					comp = append(comp, s)
+					if s == f.b {
+						break
+					}
+				}
+				if len(comp) > 1 {
+					out = append(out, comp)
+				} else {
+					for _, s := range comp[0].Succs {
+						if s == comp[0] {
+							out = append(out, comp)
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// cfgBuilder threads the construction state: the block under construction
+// (nil after a terminator — subsequent statements are unreachable and get a
+// fresh, unconnected block), the break/continue target stack and the label
+// tables.
+type cfgBuilder struct {
+	cfg     *CFG
+	info    *types.Info
+	cur     *Block
+	targets []target
+	labels  map[string]*Block   // label → jump target (loop head or statement block)
+	gotos   map[string][]*Block // forward gotos awaiting their label
+	// pendingLabel is the label naming the next loop/switch statement, so
+	// labeled break/continue can find it.
+	pendingLabel string
+}
+
+// target is one enclosing breakable/continuable construct.
+type target struct {
+	label     string
+	breakTo   *Block
+	contTo    *Block // nil for switch/select
+	canBreak  bool
+	canCont   bool
+	fallsInto *Block // next case body, for fallthrough
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current block, materializing an unreachable
+// block if control already terminated (dead code keeps its nodes so the
+// Reachable filter, not node loss, decides what analyzers see).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// constCond evaluates a condition to a compile-time boolean when the type
+// checker recorded one.
+func (b *cfgBuilder) constCond(e ast.Expr) (val, known bool) {
+	if b.info == nil || e == nil {
+		return false, false
+	}
+	tv, ok := b.info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Bool {
+		return false, false
+	}
+	return constant.BoolVal(tv.Value), true
+}
+
+// isPanicCall recognizes an explicit call to the predeclared panic.
+func (b *cfgBuilder) isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	if b.info != nil {
+		if obj, ok := b.info.Uses[id]; ok {
+			_, isBuiltin := obj.(*types.Builtin)
+			return isBuiltin
+		}
+	}
+	return true
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.LabeledStmt:
+		// The label marks the head of its statement: loops register it as a
+		// continue/break target; plain statements get a fresh block gotos
+		// can land on.
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = s.Label.Name
+			b.stmt(s.Stmt)
+		default:
+			head := b.newBlock("label." + s.Label.Name)
+			b.labels[s.Label.Name] = head
+			b.edge(b.cur, head)
+			b.cur = head
+			b.stmt(s.Stmt)
+		}
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if b.isPanicCall(s.X) {
+			b.edge(b.cur, b.cfg.Exit)
+			b.cur = nil
+		}
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, true)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, false)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case nil, *ast.EmptyStmt:
+		// no flow, no node
+	default:
+		// Assignments, declarations, sends, go statements, inc/dec: one
+		// straight-line node.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.canBreak && (label == "" || t.label == label) {
+				b.edge(b.cur, t.breakTo)
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.canCont && (label == "" || t.label == label) {
+				b.edge(b.cur, t.contTo)
+				break
+			}
+		}
+	case token.GOTO:
+		if t := b.labels[label]; t != nil {
+			b.edge(b.cur, t)
+		} else {
+			b.gotos[label] = append(b.gotos[label], b.cur)
+		}
+	case token.FALLTHROUGH:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			if t := b.targets[i]; t.fallsInto != nil {
+				b.edge(b.cur, t.fallsInto)
+				break
+			}
+		}
+	}
+	b.cur = nil
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	done := b.newBlock("if.done")
+	val, known := b.constCond(s.Cond)
+
+	var afterThen *Block
+	if !known || val {
+		then := b.newBlock("if.then")
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		afterThen = b.cur
+	}
+	var afterElse *Block
+	if s.Else != nil {
+		if !known || !val {
+			els := b.newBlock("if.else")
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			afterElse = b.cur
+		}
+	} else if !known || !val {
+		b.edge(cond, done)
+	}
+	b.edge(afterThen, done)
+	b.edge(afterElse, done)
+	b.cur = done
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	done := b.newBlock("for.done")
+	post := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+	}
+	b.edge(b.cur, head)
+	if s.Cond != nil {
+		b.cur = head
+		b.add(s.Cond)
+		head = b.cur // condition stays in the head block
+	}
+	val, known := s.Cond == nil, s.Cond == nil
+	if !known {
+		val, known = b.constCond(s.Cond)
+	}
+	if !known || !val {
+		b.edge(head, done)
+	}
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if label != "" {
+		b.labels[label] = head
+	}
+
+	var body *Block
+	if !known || val {
+		body = b.newBlock("for.body")
+		b.edge(head, body)
+		b.targets = append(b.targets, target{label: label, breakTo: done, contTo: post, canBreak: true, canCont: true})
+		b.cur = body
+		b.stmt(s.Body)
+		b.targets = b.targets[:len(b.targets)-1]
+		if s.Post != nil {
+			b.edge(b.cur, post)
+			b.cur = post
+			b.add(s.Post)
+			post = b.cur
+			b.edge(post, head)
+		} else {
+			b.edge(b.cur, head) // the back edge
+		}
+	}
+	b.cur = done
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	head := b.newBlock("range.head")
+	done := b.newBlock("range.done")
+	b.edge(b.cur, head)
+	b.cur = head
+	b.add(s.X) // the ranged expression; the body is split into its own blocks
+	head = b.cur
+	b.edge(head, done) // zero iterations
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if label != "" {
+		b.labels[label] = head
+	}
+	body := b.newBlock("range.body")
+	b.edge(head, body)
+	b.targets = append(b.targets, target{label: label, breakTo: done, contTo: head, canBreak: true, canCont: true})
+	b.cur = body
+	b.stmt(s.Body)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.edge(b.cur, head) // the back edge
+	b.cur = done
+}
+
+// switchStmt builds value switches (tag non-nil), bare switches (tag nil,
+// fallthrough allowed) and type switches (assign non-nil, no fallthrough).
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, canFall bool) {
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	done := b.newBlock("switch.done")
+	label := b.pendingLabel
+	b.pendingLabel = ""
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		kind := "case"
+		if cc.List == nil {
+			kind = "default"
+			hasDefault = true
+		}
+		bodies[i] = b.newBlock("switch." + kind)
+		b.edge(head, bodies[i])
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	for i, cc := range clauses {
+		var next *Block
+		if canFall && i+1 < len(clauses) {
+			next = bodies[i+1]
+		}
+		b.targets = append(b.targets, target{label: label, breakTo: done, canBreak: true, fallsInto: next})
+		b.cur = bodies[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		b.edge(b.cur, done)
+	}
+	b.cur = done
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("unreachable")
+		b.cur = head
+	}
+	done := b.newBlock("select.done")
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		kind := "select.case"
+		if cc.Comm == nil {
+			kind = "select.default"
+		}
+		blk := b.newBlock(kind)
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.targets = append(b.targets, target{label: label, breakTo: done, canBreak: true})
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		b.edge(b.cur, done)
+	}
+	b.cur = done
+}

@@ -1,0 +1,423 @@
+package analysis
+
+// Table-driven CFG shape tests. Each case compiles a small function whose
+// interesting points are tagged with mark("name") calls, then asserts
+// graph-level properties: which marks are reachable, which lie on a cycle,
+// which can flow to which, and which edges were pruned. Asserting over
+// marks instead of block indices keeps the cases robust against builder
+// details (how many empty join blocks exist, their numbering).
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// buildTestCFG wraps body in a function with the fixture parameters every
+// case draws from, type-checks it (constant pruning and the panic builtin
+// need types.Info) and builds its CFG.
+func buildTestCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := `package p
+
+func mark(string) {}
+
+const no = false
+const yes = true
+
+func f(n int, c, c2 bool, v int, xs []int, ch chan int) {
+` + body + `
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("type-checking fixture: %v\n%s", err, src)
+	}
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == "f" {
+			return BuildCFG(fn.Body, info)
+		}
+	}
+	t.Fatal("fixture function f not found")
+	return nil
+}
+
+// markName returns the mark label when n is a mark("label") statement,
+// deferred or not.
+func markName(n ast.Node) (string, bool) {
+	var call *ast.CallExpr
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		call, _ = n.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call = n.Call
+	}
+	if call == nil || len(call.Args) != 1 {
+		return "", false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "mark" {
+		return "", false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return "", false
+	}
+	return strings.Trim(lit.Value, `"`), true
+}
+
+// markBlocks maps every mark label to the block holding it.
+func markBlocks(t *testing.T, g *CFG) map[string]*Block {
+	t.Helper()
+	out := map[string]*Block{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if name, ok := markName(n); ok {
+				if out[name] != nil {
+					t.Fatalf("mark %q appears in two blocks", name)
+				}
+				out[name] = b
+			}
+		}
+	}
+	return out
+}
+
+// reaches reports whether a path from leads to to, optionally avoiding one
+// block (nil = no constraint). from == to requires a non-empty path, so it
+// detects self-loops, not identity.
+func reaches(from, to, avoid *Block) bool {
+	seen := map[*Block]bool{}
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if s == avoid {
+				continue
+			}
+			if s == to {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+type cfgCase struct {
+	name string
+	body string
+	// live and dead partition the marks by reachability from Entry.
+	live, dead []string
+	// cyclic and acyclic assert InCycle membership of a mark's block.
+	cyclic, acyclic []string
+	// flows asserts reaches(a, b); noflow the negation.
+	flows, noflow [][2]string
+	// skips asserts a path Entry → b exists that avoids a's block: the
+	// pruned-or-bypassing edge (zero-iteration range, no-default switch).
+	skips [][2]string
+	// defers is the expected len(cfg.Defers).
+	defers int
+}
+
+func cfgCases() []cfgCase {
+	return []cfgCase{
+		{
+			name: "if/else joins at done",
+			body: `
+	if c {
+		mark("then")
+	} else {
+		mark("else")
+	}
+	mark("done")`,
+			live:    []string{"then", "else", "done"},
+			acyclic: []string{"then", "else", "done"},
+			flows:   [][2]string{{"then", "done"}, {"else", "done"}},
+			noflow:  [][2]string{{"then", "else"}, {"else", "then"}},
+		},
+		{
+			name: "for loop has a back edge and an exit",
+			body: `
+	for i := 0; i < n; i++ {
+		mark("body")
+	}
+	mark("done")`,
+			live:    []string{"body", "done"},
+			cyclic:  []string{"body"},
+			acyclic: []string{"done"},
+			flows:   [][2]string{{"body", "body"}, {"body", "done"}},
+			skips:   [][2]string{{"body", "done"}}, // zero iterations
+		},
+		{
+			name: "range loop: zero-iteration edge and back edge",
+			body: `
+	for range xs {
+		mark("body")
+	}
+	mark("done")`,
+			live:   []string{"body", "done"},
+			cyclic: []string{"body"},
+			flows:  [][2]string{{"body", "body"}, {"body", "done"}},
+			skips:  [][2]string{{"body", "done"}},
+		},
+		{
+			name: "break leaves the loop, continue re-enters it",
+			body: `
+	for i := 0; i < n; i++ {
+		if c {
+			mark("brk")
+			break
+		}
+		if c2 {
+			mark("cont")
+			continue
+		}
+		mark("tail")
+	}
+	mark("done")`,
+			live:   []string{"brk", "cont", "tail", "done"},
+			flows:  [][2]string{{"brk", "done"}, {"cont", "tail"}, {"cont", "done"}},
+			noflow: [][2]string{{"brk", "tail"}, {"brk", "cont"}},
+		},
+		{
+			name: "labeled break exits the outer loop",
+			body: `
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if c {
+				mark("brk")
+				break outer
+			}
+			mark("inner")
+		}
+	}
+	mark("done")`,
+			live:   []string{"brk", "inner", "done"},
+			cyclic: []string{"inner"},
+			flows:  [][2]string{{"brk", "done"}},
+			noflow: [][2]string{{"brk", "inner"}},
+		},
+		{
+			name: "switch: fallthrough chains cases, no default exits the head",
+			body: `
+	switch v {
+	case 1:
+		mark("one")
+		fallthrough
+	case 2:
+		mark("two")
+	}
+	mark("done")`,
+			live:   []string{"one", "two", "done"},
+			flows:  [][2]string{{"one", "two"}, {"two", "done"}},
+			noflow: [][2]string{{"two", "one"}},
+			skips:  [][2]string{{"one", "done"}, {"two", "done"}}, // v matches neither case
+		},
+		{
+			name: "switch with default covers the head",
+			body: `
+	switch v {
+	case 1:
+		mark("one")
+	default:
+		mark("def")
+	}
+	mark("done")`,
+			live:   []string{"one", "def", "done"},
+			flows:  [][2]string{{"one", "done"}, {"def", "done"}},
+			noflow: [][2]string{{"one", "def"}, {"def", "one"}},
+		},
+		{
+			name: "select: exclusive arms joining at done",
+			body: `
+	select {
+	case <-ch:
+		mark("recv")
+	case ch <- 1:
+		mark("send")
+	default:
+		mark("def")
+	}
+	mark("done")`,
+			live:   []string{"recv", "send", "def", "done"},
+			flows:  [][2]string{{"recv", "done"}, {"send", "done"}, {"def", "done"}},
+			noflow: [][2]string{{"recv", "send"}, {"send", "def"}, {"def", "recv"}},
+		},
+		{
+			name: "goto builds a loop the cycle detector sees",
+			body: `
+	i := 0
+loop:
+	mark("body")
+	i++
+	if i < n {
+		goto loop
+	}
+	mark("done")`,
+			live:   []string{"body", "done"},
+			cyclic: []string{"body"},
+			flows:  [][2]string{{"body", "body"}, {"body", "done"}},
+		},
+		{
+			name: "explicit panic edges to exit and kills the fall-through",
+			body: `
+	if c {
+		mark("before")
+		panic("boom")
+	}
+	mark("done")`,
+			live:   []string{"before", "done"},
+			noflow: [][2]string{{"before", "done"}},
+		},
+		{
+			name: "statements after return are dead",
+			body: `
+	mark("a")
+	return
+	mark("dead")`,
+			live: []string{"a"},
+			dead: []string{"dead"},
+		},
+		{
+			name: "constant-false branch is pruned",
+			body: `
+	if no {
+		mark("dead")
+	}
+	mark("done")`,
+			live: []string{"done"},
+			dead: []string{"dead"},
+		},
+		{
+			name: "constant-true branch prunes the else",
+			body: `
+	if yes {
+		mark("live")
+	} else {
+		mark("dead")
+	}
+	mark("done")`,
+			live: []string{"live", "done"},
+			dead: []string{"dead"},
+		},
+		{
+			name: "constant-false loop contributes no cycle",
+			body: `
+	for no {
+		mark("dead")
+	}
+	mark("done")`,
+			live: []string{"done"},
+			dead: []string{"dead"},
+		},
+		{
+			name: "condition-free loop never falls out",
+			body: `
+	for {
+		mark("body")
+	}
+	mark("dead")`,
+			live:   []string{"body"},
+			dead:   []string{"dead"},
+			cyclic: []string{"body"},
+		},
+		{
+			name: "defers are collected, conditional or not",
+			body: `
+	defer mark("d1")
+	if c {
+		defer mark("d2")
+	}
+	mark("done")`,
+			live:   []string{"d1", "d2", "done"},
+			defers: 2,
+		},
+	}
+}
+
+func TestCFGEdges(t *testing.T) {
+	for _, tc := range cfgCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildTestCFG(t, tc.body)
+			marks := markBlocks(t, g)
+			blk := func(name string) *Block {
+				b := marks[name]
+				if b == nil {
+					t.Fatalf("mark %q not placed in any block", name)
+				}
+				return b
+			}
+			reach := g.Reachable()
+			for _, m := range tc.live {
+				if !reach[blk(m)] {
+					t.Errorf("mark %q should be reachable", m)
+				}
+			}
+			// A dead mark is either in an unreachable block or — when the
+			// builder pruned its branch outright — absent from the graph.
+			for _, m := range tc.dead {
+				if b := marks[m]; b != nil && reach[b] {
+					t.Errorf("mark %q should be dead", m)
+				}
+			}
+			cyc := g.InCycle()
+			for _, m := range tc.cyclic {
+				if !cyc[blk(m)] {
+					t.Errorf("mark %q should lie on a cycle", m)
+				}
+			}
+			for _, m := range tc.acyclic {
+				if cyc[blk(m)] {
+					t.Errorf("mark %q should not lie on a cycle", m)
+				}
+			}
+			for _, f := range tc.flows {
+				if !reaches(blk(f[0]), blk(f[1]), nil) {
+					t.Errorf("expected a path %q → %q", f[0], f[1])
+				}
+			}
+			for _, f := range tc.noflow {
+				if reaches(blk(f[0]), blk(f[1]), nil) {
+					t.Errorf("unexpected path %q → %q", f[0], f[1])
+				}
+			}
+			for _, f := range tc.skips {
+				if !reaches(g.Entry, blk(f[1]), blk(f[0])) {
+					t.Errorf("expected a path entry → %q that avoids %q", f[1], f[0])
+				}
+			}
+			if len(g.Defers) != tc.defers {
+				t.Errorf("collected %d defers, want %d", len(g.Defers), tc.defers)
+			}
+			// Structural invariants every graph must satisfy.
+			if len(g.Entry.Preds) != 0 {
+				t.Error("entry block has predecessors")
+			}
+			if len(g.Exit.Succs) != 0 {
+				t.Error("exit block has successors")
+			}
+			if len(tc.dead) == 0 && !reaches(g.Entry, g.Exit, nil) {
+				t.Error("exit unreachable from entry")
+			}
+		})
+	}
+}

@@ -1,0 +1,116 @@
+package analysis
+
+// A worklist dataflow solver over the CFGs of cfg.go. The framework is
+// deliberately small: analyses over finite lattices of modest height
+// (bit sets, small products) with monotone block transfer functions. That
+// covers everything the flow-sensitive analyzers need — outstanding-save
+// sets for lifecycle, reachability with constant-condition pruning for
+// allocfree — without simulating values.
+
+// A Lattice describes the fact domain of one analysis: a bottom element,
+// the join at control-flow merges, and equality for the fixed-point test.
+// Join must be monotone and idempotent or the solver will not terminate.
+type Lattice[F any] interface {
+	Bottom() F
+	Join(a, b F) F
+	Equal(a, b F) bool
+}
+
+// Direction selects how facts propagate.
+type Direction int
+
+const (
+	// Forward propagates facts from Entry along edges: In(b) = ⊔ Out(preds).
+	Forward Direction = iota
+	// Backward propagates facts from Exit against edges: In(b) = ⊔ Out(succs)
+	// (with "In" meaning the fact at the block's downstream face).
+	Backward
+)
+
+// A Solution holds the fixed point: for Forward analyses In is the fact on
+// entry to the block and Out the fact after its transfer; for Backward
+// analyses In is the fact at the block's end and Out the fact before it.
+type Solution[F any] struct {
+	In  map[*Block]F
+	Out map[*Block]F
+}
+
+// Solve runs the worklist algorithm to a fixed point. boundary is the fact
+// at the Entry block (Forward) or Exit block (Backward). transfer maps the
+// incoming fact through one block; it must not mutate its input (return a
+// fresh or unchanged value). Unreachable blocks keep Bottom.
+func Solve[F any](g *CFG, lat Lattice[F], boundary F, dir Direction, transfer func(b *Block, in F) F) *Solution[F] {
+	sol := &Solution[F]{In: map[*Block]F{}, Out: map[*Block]F{}}
+	for _, b := range g.Blocks {
+		sol.In[b] = lat.Bottom()
+		sol.Out[b] = lat.Bottom()
+	}
+	start := g.Entry
+	if dir == Backward {
+		start = g.Exit
+	}
+	// The worklist is a FIFO over block indices with a membership bitmap —
+	// deterministic and O(edges × lattice height). Every reachable block is
+	// seeded once so pure-gen transfers fire even when the incoming fact
+	// stays Bottom; unreachable blocks are never transferred, so facts
+	// genned in dead code cannot leak into live joins.
+	reach := g.Reachable()
+	queued := make([]bool, len(g.Blocks))
+	var queue []*Block
+	push := func(b *Block) {
+		if reach[b] && !queued[b.Index] {
+			queued[b.Index] = true
+			queue = append(queue, b)
+		}
+	}
+	for _, b := range g.Blocks {
+		push(b)
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b.Index] = false
+
+		in := lat.Bottom()
+		preds := b.Preds
+		if dir == Backward {
+			preds = b.Succs
+		}
+		for _, p := range preds {
+			if reach[p] {
+				in = lat.Join(in, sol.Out[p])
+			}
+		}
+		if b == start {
+			in = lat.Join(in, boundary)
+		}
+		out := transfer(b, in)
+		sol.In[b] = in
+		if lat.Equal(out, sol.Out[b]) {
+			continue
+		}
+		sol.Out[b] = out
+		succs := b.Succs
+		if dir == Backward {
+			succs = b.Preds
+		}
+		for _, s := range succs {
+			push(s)
+		}
+	}
+	return sol
+}
+
+// BitsLattice is the power-set lattice over up to 64 named sites, joined by
+// union — the workhorse domain: each bit is one "may be outstanding" /
+// "may have happened" fact.
+type BitsLattice struct{}
+
+// Bottom implements Lattice: the empty set.
+func (BitsLattice) Bottom() uint64 { return 0 }
+
+// Join implements Lattice: set union.
+func (BitsLattice) Join(a, b uint64) uint64 { return a | b }
+
+// Equal implements Lattice.
+func (BitsLattice) Equal(a, b uint64) bool { return a == b }

@@ -9,6 +9,9 @@ func All() []*Analyzer {
 		PoolCheck,
 		AtomicField,
 		CloseCheck,
+		AllocFree,
+		Lifecycle,
+		HotLock,
 	}
 }
 

@@ -7,9 +7,15 @@ func TestEnumSwitch(t *testing.T)  { runAnalyzer(t, EnumSwitch, "enumswitch") }
 func TestPoolCheck(t *testing.T)   { runAnalyzer(t, PoolCheck, "poolcheck") }
 func TestAtomicField(t *testing.T) { runAnalyzer(t, AtomicField, "atomicfield") }
 func TestCloseCheck(t *testing.T)  { runAnalyzer(t, CloseCheck, "closecheck") }
+func TestAllocFree(t *testing.T)   { runAnalyzer(t, AllocFree, "allocfree") }
+func TestLifecycle(t *testing.T)   { runAnalyzer(t, Lifecycle, "lifecycle") }
+func TestHotLock(t *testing.T)     { runAnalyzer(t, HotLock, "hotlock") }
 
 func TestAllStable(t *testing.T) {
-	want := []string{"plainkernel", "enumswitch", "poolcheck", "atomicfield", "closecheck"}
+	want := []string{
+		"plainkernel", "enumswitch", "poolcheck", "atomicfield", "closecheck",
+		"allocfree", "lifecycle", "hotlock",
+	}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(got), len(want))

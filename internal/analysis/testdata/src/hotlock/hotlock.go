@@ -1,0 +1,126 @@
+// Package hotlock exercises the hotlock analyzer: no locks or channel
+// operations may be reachable from the batch kernels or plain-marked
+// functions; WaitGroup.Add/Done and sync.Pool stay legal, and dead
+// branches do not count.
+package hotlock
+
+import "sync"
+
+type batch struct {
+	mu   sync.Mutex
+	once sync.Once
+	pool sync.Pool
+	wg   sync.WaitGroup
+	out  chan int
+	n    int
+}
+
+// StepBatch is a hot root by name: the lock serializes the per-event loop.
+func (b *batch) StepBatch(events []int) {
+	b.mu.Lock() // want "reaches sync.Mutex.Lock"
+	for _, ev := range events {
+		b.n += ev
+	}
+	b.mu.Unlock() // want "reaches sync.Mutex.Unlock"
+}
+
+// SelectBatch launders a channel send through a package-local helper.
+func (b *batch) SelectBatch(events []int) int {
+	for _, ev := range events {
+		b.emit(ev) // the send is reported inside emit, with the path
+	}
+	return b.n
+}
+
+func (b *batch) emit(ev int) {
+	b.out <- ev // want "reaches a channel send via emit"
+}
+
+// SimulateSegmentCoded lazily compiles through sync.Once.
+func (b *batch) SimulateSegmentCoded(events []int) {
+	b.once.Do(func() { b.n = 0 }) // want "reaches sync.Once.Do"
+	for _, ev := range events {
+		b.n += ev
+	}
+}
+
+// selectPlain drains a channel: both receive forms are blocking.
+func selectPlain(in chan int, done chan struct{}) int {
+	n := 0
+	for v := range in { // want "reaches a range over a channel"
+		n += v
+	}
+	<-done      // want "reaches a channel receive"
+	close(done) // want "reaches a channel close"
+	return n
+}
+
+// markedKernel is hot by annotation rather than by name.
+//
+//treelint:plain
+func markedKernel(b *batch) {
+	b.wg.Wait() // want "reaches sync.WaitGroup.Wait"
+}
+
+// boundaryBookkeeping uses only the allowed sync surface: counter updates
+// and the pool. Clean.
+//
+//treelint:plain
+func boundaryBookkeeping(b *batch) {
+	b.wg.Add(1)
+	defer b.wg.Done()
+	buf := b.pool.Get()
+	b.pool.Put(buf)
+}
+
+// deadGuard parks a lock behind a constant-false debug flag: pruned,
+// clean.
+//
+//treelint:plain
+func deadGuard(b *batch) {
+	if false {
+		b.mu.Lock()
+		b.mu.Unlock()
+	}
+	b.n++
+}
+
+// annotatedOnce documents a deliberate lazy-compile Once.
+//
+//treelint:plain
+func annotatedOnce(b *batch) {
+	//treelint:partial lazy compile-once; steady state is one atomic load
+	b.once.Do(func() { b.n = 1 })
+}
+
+// compileLazily is a partial-declared summary boundary: the traversal
+// documents it instead of entering it.
+//
+//treelint:partial lazy compile-once; steady state is one atomic load
+func (b *batch) compileLazily() {
+	b.once.Do(func() { b.n = 0 })
+}
+
+//treelint:plain
+func usesBoundary(b *batch) {
+	b.compileLazily()
+	b.n++
+}
+
+// coldSetup is neither named hot nor marked plain: locks are fine here.
+func coldSetup(b *batch) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n = 0
+}
+
+// notSyncLock has a method that happens to be called Lock on a local type:
+// receiver matching must not flag it.
+type notSyncLock struct{ n int }
+
+func (l *notSyncLock) Lock() { l.n++ }
+
+//treelint:plain
+func localLock(l *notSyncLock) {
+	l.Lock()
+}

@@ -1,0 +1,148 @@
+// Package lifecycle exercises the lifecycle analyzer: SaveConfig must be
+// matched by RestoreConfig on every path to return (defers count, returned
+// saves delegate), and a loop that restarts its stream must Reset the
+// evaluators it reuses.
+package lifecycle
+
+type config struct{ h uint64 }
+
+type machine struct{ state int }
+
+func (m *machine) SaveConfig() config     { return config{h: uint64(m.state)} }
+func (m *machine) RestoreConfig(c config) { m.state = int(c.h) }
+func (m *machine) Reset()                 { m.state = 0 }
+func (m *machine) Step(ev int)            { m.state += ev }
+
+type source struct{ events []int }
+
+func NewEventSource(events []int) *source { return &source{events: events} }
+
+func (s *source) Rewind() {}
+
+func (s *source) Next() (int, bool) {
+	if len(s.events) == 0 {
+		return 0, false
+	}
+	ev := s.events[0]
+	s.events = s.events[1:]
+	return ev, true
+}
+
+// probeBalanced restores on both arms: clean.
+func probeBalanced(m *machine, ev int) bool {
+	c := m.SaveConfig()
+	m.Step(ev)
+	if m.state > 0 {
+		m.RestoreConfig(c)
+		return true
+	}
+	m.RestoreConfig(c)
+	return false
+}
+
+// probeLeaky forgets the restore on the early return.
+func probeLeaky(m *machine, ev int) bool {
+	c := m.SaveConfig() // want "no matching m.RestoreConfig on some path to return"
+	m.Step(ev)
+	if m.state > 0 {
+		return true
+	}
+	m.RestoreConfig(c)
+	return false
+}
+
+// probeDeferred restores via defer: runs on every exit path, clean.
+func probeDeferred(m *machine, ev int) bool {
+	c := m.SaveConfig()
+	defer m.RestoreConfig(c)
+	m.Step(ev)
+	return m.state > 0
+}
+
+// snapshot delegates the obligation to its caller: clean.
+func snapshot(m *machine) config {
+	return m.SaveConfig()
+}
+
+// checkpointStore deliberately parks configs for later restoration, the
+// tablecheck-BFS pattern.
+//
+//treelint:partial configs restored across iterations; pairing is per-node
+func checkpointStore(m *machine, out []config) []config {
+	return append(out, m.SaveConfig())
+}
+
+// probeSiteExempt opts a single save out with a reason.
+func probeSiteExempt(m *machine) config {
+	//treelint:partial ownership transfers to the returned slice
+	c := m.SaveConfig()
+	m.Step(1)
+	return c
+}
+
+// replayFresh drives a loop-local machine: nothing survives the back
+// edge, clean.
+func replayFresh(runs [][]int) int {
+	n := 0
+	for _, events := range runs {
+		m := &machine{}
+		src := NewEventSource(events)
+		for {
+			ev, ok := src.Next()
+			if !ok {
+				break
+			}
+			m.Step(ev)
+		}
+		n += m.state
+	}
+	return n
+}
+
+// replayStale reuses one machine across restarted streams without Reset:
+// run k+1 starts from run k's final state.
+func replayStale(m *machine, runs [][]int) int {
+	n := 0
+	for _, events := range runs {
+		src := NewEventSource(events)
+		for {
+			ev, ok := src.Next()
+			if !ok {
+				break
+			}
+			m.Step(ev) // want "reuses m across a restarted stream without Reset"
+		}
+		n += m.state
+	}
+	return n
+}
+
+// replayReset resets on the back edge: clean.
+func replayReset(m *machine, runs [][]int) int {
+	n := 0
+	for _, events := range runs {
+		m.Reset()
+		src := NewEventSource(events)
+		for {
+			ev, ok := src.Next()
+			if !ok {
+				break
+			}
+			m.Step(ev)
+		}
+		n += m.state
+	}
+	return n
+}
+
+// drainOnce drives a machine in a loop with no stream restart: the normal
+// per-event loop, clean.
+func drainOnce(m *machine, src *source) int {
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			return m.state
+		}
+		m.Step(ev)
+	}
+}

@@ -135,6 +135,8 @@ func NewCandSet(states int) *CandSet {
 // bounds check vanishes: Add inlines into the plain batch kernels, and an
 // unchecked c.Masks[n:n+c.Words] would surface there as a compiler bounds
 // check cmd/bcegate rejects.
+//
+//treelint:partial candidate growth is O(matches), not O(events), and amortizes across segments when the CandSet is reused
 func (c *CandSet) Add(idx, opens, depth int32) []uint64 {
 	c.Cands = append(c.Cands, ChunkCand{Idx: idx, Opens: opens, Depth: depth})
 	n := len(c.Masks)
@@ -191,9 +193,11 @@ type SegmentKernel interface {
 //treelint:plain
 func SimulateSegmentGeneric(m Chunkable, seg []encoding.Event, cands *CandSet) []SegmentExit {
 	n := m.ChunkStates()
+	//treelint:partial per-segment exit vector, O(states) once per segment
 	exits := make([]SegmentExit, n)
 	var slots map[int32]int
 	if cands != nil {
+		//treelint:partial per-segment candidate-dedup map, O(matches) once per segment
 		slots = make(map[int32]int)
 	}
 	for q := 0; q < n; q++ {
@@ -211,6 +215,7 @@ func SimulateSegmentGeneric(m Chunkable, seg []encoding.Event, cands *CandSet) [
 				if !ok {
 					slot = len(cands.Cands)
 					cands.Add(int32(idx), opens, depth)
+					//treelint:partial candidate-dedup write, O(matches) not O(events)
 					slots[int32(idx)] = slot
 				}
 				cands.Mask(slot)[q/64] |= 1 << uint(q%64)
@@ -280,6 +285,7 @@ func (ev *tagEvaluator) ApplySegment(x SegmentExit, delta int) {
 func (ev *tagEvaluator) SimulateSegment(events []encoding.Event, cands *CandSet) []SegmentExit {
 	t := ev.t
 	n := t.NumStates()
+	//treelint:partial per-segment all-states scratch, O(states) once per segment
 	cur := make([]int32, n)
 	for i := range cur {
 		cur[i] = int32(i)
@@ -332,6 +338,7 @@ func (ev *tagEvaluator) SimulateSegment(events []encoding.Event, cands *CandSet)
 			}
 		}
 	}
+	//treelint:partial per-segment exit vector, O(states) once per segment
 	exits := make([]SegmentExit, n)
 	for i := range exits {
 		if poisoned {

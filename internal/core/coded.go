@@ -84,6 +84,7 @@ func SelectCodedObs(ev Evaluator, c *obs.Collector, src encoding.Source, fn func
 //treelint:plain
 func selectCodedPlain(be BatchEvaluator, src encoding.Source, fn func(Match)) (int, error) {
 	be.Reset()
+	//treelint:partial run prologue: one batcher+coder per run, O(1) and outside the per-event loop
 	b := encoding.NewBatcher(src, alphabet.NewCoder(be.CodeAlphabet()), encoding.DefaultBatch)
 	events := 0
 	pos, depth := -1, 0
@@ -189,6 +190,7 @@ func RecognizeCodedObs(ev Evaluator, c *obs.Collector, src encoding.Source) (boo
 //treelint:plain
 func recognizeCodedPlain(be BatchEvaluator, src encoding.Source) (bool, error) {
 	be.Reset()
+	//treelint:partial run prologue: one batcher+coder per run, O(1) and outside the per-event loop
 	b := encoding.NewBatcher(src, alphabet.NewCoder(be.CodeAlphabet()), encoding.DefaultBatch)
 	for {
 		batch, _, err := b.NextBatch()

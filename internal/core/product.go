@@ -433,6 +433,7 @@ func (ev *ProductEvaluator) SimulateChunkCoded(seg []encoding.CodedEvent, cur []
 	stride, dead := p.stride, p.states
 	total := int(dead) + 1
 	if cap(cur) < total {
+		//treelint:partial grows the caller's reusable buffer only when capacity is short; steady state reuses it
 		cur = make([]int32, total)
 	}
 	cur = cur[:total]

@@ -411,6 +411,8 @@ func (m *SynopsisMachine) SelectBatch(batch []encoding.CodedEvent, hits []int32)
 }
 
 // openStep implements the opening-tag transitions of Lemma 3.11.
+//
+//treelint:partial state discovery: runs only on a transition-memo miss, and the reachable synopsis space is finite, so the steady state is pure table lookups
 func (m *SynopsisMachine) openStep(s synopsis, a int) int {
 	an := m.an
 	last := s.last()
@@ -426,6 +428,8 @@ func (m *SynopsisMachine) openStep(s synopsis, a int) int {
 
 // closeStep implements the closing-tag transitions: Cases A–D of
 // Appendix A, or Cases A′–D′ of Appendix B when blind.
+//
+//treelint:partial state discovery: runs only on a transition-memo miss, and the reachable synopsis space is finite, so the steady state is pure table lookups
 func (m *SynopsisMachine) closeStep(s synopsis, a int) int {
 	an := m.an
 	A := an.D

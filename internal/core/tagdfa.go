@@ -50,6 +50,8 @@ type TagDFA struct {
 
 // compiled returns the flat table, its acceptance vector (length n+1,
 // dead = false), the row stride 2(k+1) and the dead state id n.
+//
+//treelint:partial lazy compile-once behind sync.Once; the steady state is a single atomic load per batch, with no lock and no allocation
 func (t *TagDFA) compiled() (tab []int32, acc []bool, stride, dead int32) {
 	t.compileOnce.Do(func() {
 		n := t.NumStates()
@@ -304,6 +306,7 @@ func (ev *tagEvaluator) SelectBatch(batch []encoding.CodedEvent, hits []int32) [
 func (ev *tagEvaluator) SimulateSegmentCoded(seg []encoding.CodedEvent, cands *CandSet) []SegmentExit {
 	tab, acc, stride, dead := ev.t.compiled()
 	n := ev.t.NumStates()
+	//treelint:partial per-segment all-states scratch, O(states) once per segment
 	cur := make([]int32, n)
 	for i := range cur {
 		cur[i] = int32(i)
@@ -345,6 +348,7 @@ func (ev *tagEvaluator) SimulateSegmentCoded(seg []encoding.CodedEvent, cands *C
 			}
 		}
 	}
+	//treelint:partial per-segment exit vector, O(states) once per segment
 	exits := make([]SegmentExit, n)
 	for i := range exits {
 		if cur[i] == dead {

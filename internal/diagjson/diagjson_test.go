@@ -1,0 +1,53 @@
+package diagjson
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteSchema locks the wire shape: an indented array of records with
+// exactly the five agreed keys, in declaration order.
+func TestWriteSchema(t *testing.T) {
+	var b strings.Builder
+	err := Write(&b, []Record{
+		{File: "a.go", Line: 3, Analyzer: "treelint", Kind: "allocfree", Message: "m"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &records); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, b.String())
+	}
+	if len(records) != 1 {
+		t.Fatalf("got %d records, want 1", len(records))
+	}
+	r := records[0]
+	for _, key := range []string{"file", "line", "analyzer", "kind", "message"} {
+		if _, ok := r[key]; !ok {
+			t.Errorf("record missing %q: %v", key, r)
+		}
+	}
+	if len(r) != 5 {
+		t.Errorf("record has %d keys, want exactly 5: %v", len(r), r)
+	}
+	if r["file"] != "a.go" || r["line"] != float64(3) || r["message"] != "m" {
+		t.Errorf("round-trip mismatch: %v", r)
+	}
+	if !strings.HasSuffix(b.String(), "\n") {
+		t.Error("output must end in a newline")
+	}
+}
+
+// TestWriteNilIsEmptyArray: a nil slice must encode as [], never null, so
+// consumers can always range over the result.
+func TestWriteNilIsEmptyArray(t *testing.T) {
+	var b strings.Builder
+	if err := Write(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(b.String()); got != "[]" {
+		t.Errorf("nil records encoded as %q, want []", got)
+	}
+}

@@ -67,6 +67,7 @@ func sanitizeCuts(cuts []int, n int) []int {
 func cutPieces(events []encoding.Event, lo, hi int, policy core.CutPolicy) []piece {
 	var pieces []piece
 	segLo := lo
+	//treelint:partial piece-list assembly: the closure and its appends are O(pieces), not O(events)
 	flush := func(end int) {
 		if end > segLo {
 			pieces = append(pieces, piece{lo: segLo, hi: end, seg: true})
@@ -92,6 +93,7 @@ func cutPieces(events []encoding.Event, lo, hi int, policy core.CutPolicy) []pie
 		}
 		if boundary {
 			flush(i)
+			//treelint:partial one piece record per cut boundary, O(pieces) not O(events)
 			pieces = append(pieces, piece{lo: i, hi: i + 1})
 			segLo = i + 1
 			threshold = depth

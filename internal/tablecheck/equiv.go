@@ -159,6 +159,8 @@ func unknownLabel(a *alphabet.Alphabet) string {
 // first divergence in BFS order — hence a minimal counterexample — is
 // returned as a diagnostic, with the number of joint states explored. A nil
 // diagnostic means no divergence within the bounds.
+//
+//treelint:partial configs are parked in BFS nodes and restored in later iterations; save/restore pairing is per-node, not per-path
 func Equivalence(name string, m any, lim Limits) (*Diagnostic, int, error) {
 	lim = lim.withDefaults()
 	mu, blind, err := underTest(m)

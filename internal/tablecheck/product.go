@@ -135,6 +135,8 @@ func staticProduct(r *reporter, p *core.ProductDFA) {
 // so members die individually (a union label outside member i's alphabet)
 // as well as jointly. The first divergence in BFS order — hence a minimal
 // counterexample — is returned, with the number of joint states explored.
+//
+//treelint:partial configs are parked in BFS nodes and restored in later iterations; save/restore pairing is per-node, not per-path
 func EquivalenceProduct(name string, p *core.ProductDFA, lim Limits) (*Diagnostic, int, error) {
 	lim = lim.withDefaults()
 	pev := p.Evaluator()
