@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci test race vet fmt build lint lint-tables bce allocgate fuzz fuzz-smoke bench bench-coded bench-multi bench-earliest bench-coded-gate clean
+.PHONY: ci test race vet fmt build lint lint-tables bce allocgate fuzz fuzz-smoke bench bench-coded bench-multi bench-earliest bench-stack bench-coded-gate bench-stack-gate clean
 
 # timed runs one lint gate and prints its wall-clock seconds, so a gate
 # that quietly grows past the lint budget (90s total) is visible in every
@@ -68,18 +68,21 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzJSONSource -fuzztime $(FUZZTIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzParallelSplit -fuzztime $(FUZZTIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzCodedVsString -fuzztime $(FUZZTIME) ./internal/encoding/
+	$(GO) test -run '^$$' -fuzz FuzzStackCodedVsString -fuzztime $(FUZZTIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzEarliestVsCurrent -fuzztime $(FUZZTIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzTablecheckRoundtrip -fuzztime $(FUZZTIME) ./internal/tablecheck/
 	$(GO) test -run '^$$' -fuzz FuzzProductVsFanout -fuzztime $(FUZZTIME) ./internal/product/
 
-# CI-sized smoke pass (see ci.sh): the chunk-parallel, coded-pipeline and
-# earliest-emission differential fuzzers, the three event-source fuzzers, the tablecheck
-# roundtrip fuzzer (seeded with mined equivalence counterexamples), and
-# the multi-query product-vs-fanout differential fuzzer, 10s each.
+# CI-sized smoke pass (see ci.sh): the chunk-parallel, coded-pipeline,
+# pushdown-vs-old-machine and earliest-emission differential fuzzers, the
+# three event-source fuzzers, the tablecheck roundtrip fuzzer (seeded with
+# mined equivalence counterexamples), and the multi-query product-vs-fanout
+# differential fuzzer, 10s each.
 SMOKETIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParallelSplit -fuzztime $(SMOKETIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzCodedVsString -fuzztime $(SMOKETIME) ./internal/encoding/
+	$(GO) test -run '^$$' -fuzz FuzzStackCodedVsString -fuzztime $(SMOKETIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzEarliestVsCurrent -fuzztime $(SMOKETIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzXMLScanner -fuzztime $(SMOKETIME) ./internal/encoding/
 	$(GO) test -run '^$$' -fuzz FuzzTermScanner -fuzztime $(SMOKETIME) ./internal/encoding/
@@ -110,6 +113,18 @@ bench-multi:
 # early-exit payoff case.
 bench-earliest:
 	$(GO) test -run '^$$' -bench SelectEarliest -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_earliest.json
+
+# Regenerate the pushdown-fallback benchmark snapshot: the rebuilt pooled
+# machine (string and coded paths) against the legacy per-event baseline
+# and the stackless coded path it falls back from. The acceptance contract
+# (EXPERIMENTS.md): coded ≤ 2× stackless-coded ns/event per document.
+bench-stack:
+	for i in $$(seq $(BENCHCOUNT)); do $(GO) test -run '^$$' -bench SelectStack -benchtime $(BENCHTIME) . || exit 1; done | $(GO) run ./cmd/benchjson > BENCH_stack.json
+
+# Gate twin of bench-stack: the pushdown paths must stay within TOLERANCE
+# of the committed snapshot (interleaved median-of-N, see bench-coded-gate).
+bench-stack-gate:
+	for i in $$(seq $(BENCHCOUNT)); do $(GO) test -run '^$$' -bench SelectStack -benchtime $(BENCHTIME) . || exit 1; done | $(GO) run ./cmd/benchjson -compare BENCH_stack.json -tolerance $(TOLERANCE)
 
 # Gate for the earliest work: the default (non-earliest) coded hot path
 # must stay within TOLERANCE (default 2%) ns/event of the committed

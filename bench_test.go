@@ -909,6 +909,149 @@ func BenchmarkSelectEarliestEarlyExit(b *testing.B) {
 	benchSelectEarliestPipelines(b, codedBenchEvaluator(b, paperfigs.Fig3aRegex), events)
 }
 
+// --- Pushdown fallback (DESIGN.md §16) ---
+//
+// The rebuilt pushdown against (a) the pre-rebuild per-event machine it
+// replaced and (b) the stackless coded path it falls back from. The
+// acceptance bar recorded in BENCH_stack.json and EXPERIMENTS.md: the coded
+// pushdown stays within 2× of the stackless coded ns/event on the same
+// query and document, so taking the fallback no longer means falling off
+// the compiled pipeline.
+
+// legacyStack is the pre-§16 pushdown baseline: per-event label resolution,
+// a growable []int state stack with a parallel aliveness stack, and a
+// branch on aliveness at every open. The differential fuzzers in
+// internal/encoding hold the rebuilt machine behaviourally identical to it.
+type legacyStack struct {
+	d     *dfa.DFA
+	res   *alphabet.Resolver
+	state int
+	alive bool
+	stk   []int
+	alv   []bool
+}
+
+func newLegacyStack(d *dfa.DFA) *legacyStack {
+	return &legacyStack{d: d, res: alphabet.NewResolver(d.Alphabet), state: d.Start, alive: true}
+}
+
+func (m *legacyStack) Reset() {
+	m.state, m.alive = m.d.Start, true
+	m.stk, m.alv = m.stk[:0], m.alv[:0]
+}
+
+func (m *legacyStack) Step(e encoding.Event) {
+	if e.Kind == encoding.Open {
+		m.stk = append(m.stk, m.state)
+		m.alv = append(m.alv, m.alive)
+		s, ok := m.res.ID(e.Label)
+		if !ok || !m.alive {
+			m.alive = false
+			return
+		}
+		m.state = m.d.Delta[m.state][s]
+		return
+	}
+	if n := len(m.stk); n > 0 {
+		m.state, m.alive = m.stk[n-1], m.alv[n-1]
+		m.stk, m.alv = m.stk[:n-1], m.alv[:n-1]
+	}
+}
+
+func (m *legacyStack) Accepting() bool { return m.alive && m.d.Accept[m.state] }
+
+func benchStackPipelines(b *testing.B, q *Query, events []encoding.Event) {
+	b.Helper()
+	d := q.automaton()
+	pd := stackeval.QL(d)
+	var want int
+	if _, err := core.Select(pd, encoding.NewSliceSource(events), func(core.Match) { want++ }); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("legacy", func(b *testing.B) {
+		m := newLegacyStack(d)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			got := 0
+			for _, e := range events {
+				m.Step(e)
+				if e.Kind == encoding.Open && m.Accepting() {
+					got++
+				}
+			}
+			if got != want {
+				b.Fatalf("%d matches, want %d", got, want)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(events)), "ns/event")
+	})
+
+	for _, mode := range []struct {
+		name string
+		sel  func(core.Evaluator, encoding.Source, func(core.Match)) (int, error)
+	}{
+		{"string", core.Select},
+		{"coded", core.SelectCoded},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			src := encoding.NewSliceSource(events)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src.Rewind()
+				got := 0
+				if _, err := mode.sel(pd, src, func(core.Match) { got++ }); err != nil {
+					b.Fatal(err)
+				}
+				if got != want {
+					b.Fatalf("%d matches, want %d", got, want)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(events)), "ns/event")
+		})
+	}
+
+	// The fall-from path: the same query through the stackless coded
+	// pipeline — the denominator of the ≤2× contract.
+	sl, st, err := q.queryEvaluator(MarkupEncoding, false)
+	if err != nil || st != Stackless {
+		b.Fatalf("expected a stackless evaluator (err=%v st=%v)", err, st)
+	}
+	b.Run("stackless-coded", func(b *testing.B) {
+		src := encoding.NewSliceSource(events)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src.Rewind()
+			got := 0
+			if _, err := core.SelectCoded(sl, src, func(core.Match) { got++ }); err != nil {
+				b.Fatal(err)
+			}
+			if got != want {
+				b.Fatalf("%d matches, want %d", got, want)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(events)), "ns/event")
+	})
+}
+
+// BenchmarkSelectStack: the pushdown family on the large random tree.
+func BenchmarkSelectStack(b *testing.B) {
+	loadFixtures()
+	benchStackPipelines(b, MustCompileRegex(paperfigs.Fig3cRegex, abc), fixtures.abcDoc)
+}
+
+// BenchmarkSelectStackDeep: the depth-4096 corpus — long open and close
+// cascades keep the pool's free list hot and the legacy baseline's append
+// path honest.
+func BenchmarkSelectStackDeep(b *testing.B) {
+	loadFixtures()
+	benchStackPipelines(b, MustCompileRegex(paperfigs.Fig3cRegex, abc), fixtures.deepDocs[4096])
+}
+
 // --- Post-selection extension: the stack-based subtree-witness query. ---
 
 func BenchmarkPostSelection(b *testing.B) {

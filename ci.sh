@@ -35,7 +35,7 @@ echo '== go test (with coverage) =='
 # packages, which most of the suite exercises. GATED_PKGS is the single
 # source of truth: both the ./-relative -coverpkg form and the
 # module-path covercheck form are derived from it.
-GATED_PKGS="internal/core internal/parallel internal/obs internal/analysis internal/encoding internal/alphabet internal/tablecheck internal/product internal/diagjson"
+GATED_PKGS="internal/core internal/parallel internal/obs internal/analysis internal/encoding internal/alphabet internal/tablecheck internal/product internal/diagjson internal/stackeval"
 coverpkg=""
 checkpkg=""
 for p in $GATED_PKGS; do

@@ -80,7 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("allocgate", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dir := fs.String("dir", ".", "module root to gate")
-	pkgsFlag := fs.String("pkgs", "./internal/core,./internal/encoding", "comma-separated package dirs holding the kernels")
+	pkgsFlag := fs.String("pkgs", "./internal/core,./internal/encoding,./internal/stackeval", "comma-separated package dirs holding the kernels")
 	verbose := fs.Bool("v", false, "list every escape, including exempt and out-of-kernel ones")
 	jsonOut := fs.Bool("json", false, "emit violations as a diagjson record array on stdout")
 	noProbe := fs.Bool("noprobe", false, "skip probe injection so the self-test must trip (exercises the vacuous-pass guard)")

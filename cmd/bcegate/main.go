@@ -82,7 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bcegate", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dir := fs.String("dir", ".", "module root to gate")
-	pkgsFlag := fs.String("pkgs", "./internal/core,./internal/encoding", "comma-separated package dirs holding the kernels")
+	pkgsFlag := fs.String("pkgs", "./internal/core,./internal/encoding,./internal/stackeval", "comma-separated package dirs holding the kernels")
 	verbose := fs.Bool("v", false, "list every retained bounds check, not only kernel violations")
 	jsonOut := fs.Bool("json", false, "emit violations in the shared diagjson schema")
 	if err := fs.Parse(args); err != nil {

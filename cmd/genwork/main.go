@@ -7,6 +7,8 @@
 //	genwork -kind catalog -items 100000 > catalog.xml
 //	genwork -kind recursive -depth 2000 > deep.xml
 //	genwork -kind kn -n 20 -seed 7 > kn.xml
+//	genwork -kind deepspike -size 500 -depth 80 > spike.xml
+//	genwork -kind closerun -size 64 -depth 32 -term > closeruns.term
 package main
 
 import (
@@ -23,12 +25,12 @@ import (
 
 func main() {
 	var (
-		kind    = flag.String("kind", "catalog", "workload kind: catalog | recursive | random | kn")
+		kind    = flag.String("kind", "catalog", "workload kind: catalog | recursive | random | kn | deepspike | closerun")
 		items   = flag.Int("items", 10000, "catalog: number of items")
 		catdep  = flag.Int("catdepth", 4, "catalog: maximum category nesting")
-		depth   = flag.Int("depth", 100, "recursive: nesting depth")
+		depth   = flag.Int("depth", 100, "recursive: nesting depth; deepspike: spike depth; closerun: run length")
 		breadth = flag.Int("breadth", 3, "recursive: paragraphs per section")
-		size    = flag.Int("size", 1000, "random: number of nodes")
+		size    = flag.Int("size", 1000, "random: number of nodes; deepspike: forest width; closerun: number of runs")
 		n       = flag.Int("n", 12, "kn: main-branch length")
 		seed    = flag.Int64("seed", 1, "random seed")
 		term    = flag.Bool("term", false, "emit brace notation instead of XML")
@@ -54,6 +56,10 @@ func main() {
 			return gen.RecursiveDoc(rng, *depth, *breadth)
 		case "random":
 			return gen.RandomTree(rng, []string{"a", "b", "c"}, *size)
+		case "deepspike":
+			return gen.DeepSpike(rng, []string{"a", "b", "c"}, *size, *depth)
+		case "closerun":
+			return gen.CloseRuns([]string{"a", "b", "c"}, *size, *depth)
 		case "kn":
 			aCh := make([]bool, *n-1)
 			cCh := make([]bool, *n)

@@ -24,11 +24,17 @@ import (
 // replayed sequentially at join time on the real configuration, and
 // everything between them is summarized in parallel.
 //
-// The stack-based fallback evaluator (internal/stackeval) deliberately does
-// NOT implement Chunkable: its configuration is the Θ(depth) stack itself,
-// so a chunk summary would have to be a function over unboundedly many
-// entry configurations — this composability is precisely what Theorem 3.1
-// buys and what a pushdown run lacks. See DESIGN.md §8.
+// The stack-based fallback evaluator (internal/stackeval) has no bounded
+// summary for arbitrary chunks — its configuration is the Θ(depth) stack
+// itself, and that composability is precisely what Theorem 3.1 buys for
+// the stackless machines. It is nevertheless Chunkable, speculatively:
+// under the new-minimum boundary discipline every close inside a segment
+// pops a frame pushed inside the same segment, so a segment summarizes as
+// an exit state plus the surviving frame words per entry state — bounded,
+// composable, but O(states) per event to simulate. CutBoundedDepth tags
+// this mode so the engine can gate it on the stream's depth being small
+// against the chunk size (parallel.SpeculationViable) and degrade to the
+// sequential coded run otherwise. See DESIGN.md §8 and §16.
 
 // CutPolicy says where a chunk must be cut into segments so that every
 // register/depth comparison inside a segment is locally resolvable.
@@ -53,6 +59,14 @@ const (
 	// an absolute depth across arbitrary climbs — its language is not even
 	// regular, and no composable bounded summary exists).
 	CutAll
+	// CutBoundedDepth: the pushdown fallback's speculative mode. Boundaries
+	// are the CutNewMin rule (closes reaching a new minimum), which
+	// guarantees every in-segment close pops an in-segment frame — so the
+	// Θ(depth) stack summarizes per entry state as exit state plus
+	// surviving frames. Simulation costs O(states) per event, so the
+	// engine additionally gates chunking on depth ≪ chunk size and
+	// otherwise degrades to the sequential run, as CutAll always does.
+	CutBoundedDepth
 )
 
 // String names the policy as it appears in stats and obs snapshots (kept in
@@ -67,6 +81,8 @@ func (p CutPolicy) String() string {
 		return "belowentry"
 	case CutAll:
 		return "all"
+	case CutBoundedDepth:
+		return "boundeddepth"
 	}
 	return "unknown"
 }

@@ -69,12 +69,24 @@ func Instrument(ev Evaluator, c *obs.Collector) {
 type obsFlusher interface{ flushObs() }
 
 // flushEvObs drains batched machine metrics at the end of a run; wrappers
-// forward to their inner machine.
+// forward to their inner machine. Machines outside this package (the
+// pushdown fallback) export the hook as FlushObs — an unexported method
+// cannot cross the package boundary.
 func flushEvObs(ev Evaluator) {
 	if f, ok := ev.(obsFlusher); ok {
 		f.flushObs()
+		return
+	}
+	if f, ok := ev.(interface{ FlushObs() }); ok {
+		f.FlushObs()
 	}
 }
+
+// FlushEvObs is flushEvObs for the packages layered above core: the
+// chunk-parallel engine drives machines through its own loops (no
+// flushRun), so it drains the batched machine metrics itself at the end
+// of an instrumented run.
+func FlushEvObs(ev Evaluator) { flushEvObs(ev) }
 
 // flushRun reports a finished run's totals. Marked noinline so the cold
 // exit paths of SelectObs/RecognizeObs stay one call each and the hot loop

@@ -64,6 +64,41 @@ func Comb(spine, leaf string, depth, fanout int) *tree.Node {
 	return node
 }
 
+// DeepSpike returns a wide, shallow forest — width leaf children under one
+// root — with a single deep chain grafted into the middle: a stream that is
+// bounded-depth almost everywhere except for one spike. This is the
+// adversarial shape for chunk-cut placement (and for the speculative
+// pushdown's viability gate, which must consider the spike, not the
+// typical depth).
+func DeepSpike(rng *rand.Rand, labels []string, width, spikeDepth int) *tree.Node {
+	root := tree.New(labels[0])
+	for i := 0; i < width/2; i++ {
+		root.Children = append(root.Children, tree.New(labels[rng.Intn(len(labels))]))
+	}
+	root.Children = append(root.Children, DeepChain(rng, labels, spikeDepth))
+	for i := width / 2; i < width; i++ {
+		root.Children = append(root.Children, tree.New(labels[rng.Intn(len(labels))]))
+	}
+	return root
+}
+
+// CloseRuns returns a row of depth-runLen chains under one root: its markup
+// stream alternates maximal runs of runLen Open events with maximal runs of
+// runLen Close events. Long close runs are the pathological input for
+// close-handling hot loops — pooled-stack pop cascades and the cut-boundary
+// scan, which fires on closes only.
+func CloseRuns(labels []string, runs, runLen int) *tree.Node {
+	root := tree.New(labels[0])
+	for i := 0; i < runs; i++ {
+		words := make([]string, runLen)
+		for j := range words {
+			words[j] = labels[(i+j)%len(labels)]
+		}
+		root.Children = append(root.Children, tree.Chain(words))
+	}
+	return root
+}
+
 // Catalog returns a DBLP/product-catalog-style document: a root with items
 // entries, each item holding name, price and a category path of the given
 // depth — the realistic workload of the throughput benchmarks.

@@ -115,11 +115,16 @@ type Collector struct {
 	SegmentEvents  Counter    // events simulated inside segments
 	BoundaryEvents Counter    // cut events replayed sequentially at join time
 	CutsRejected   Counter    // requested cut positions dropped by sanitizing
-	RunsByPolicy   [4]Counter // chunk-parallel requests per core.CutPolicy
+	SpecChunks     Counter    // chunks simulated speculatively (pushdown, CutBoundedDepth)
+	RunsByPolicy   [5]Counter // chunk-parallel requests per core.CutPolicy
 
 	// Machine-level accounting (depth-register machines).
 	RegisterLoads    Counter // registers/records written with the current depth
 	RegisterCompares Counter // register/depth comparisons evaluated
+
+	// Pushdown stack pool (internal/stackeval).
+	StackPoolReuse  Counter // stack pushes served from the node free list
+	StackPoolMisses Counter // stack pushes that had to grow the node pool
 
 	// Pool (internal/parallel).
 	PoolSubmits  Counter // tasks handed to the worker pool

@@ -53,7 +53,7 @@ func snapHist(h *Histogram) HistogramSnapshot {
 
 // policyNames index core.CutPolicy; kept in sync with internal/core by
 // TestRunsByPolicyNames.
-var policyNames = [4]string{"cut_none", "cut_newmin", "cut_belowentry", "cut_all"}
+var policyNames = [5]string{"cut_none", "cut_newmin", "cut_belowentry", "cut_all", "cut_boundeddepth"}
 
 // Snapshot captures the collector's current values.
 func (c *Collector) Snapshot() Snapshot {
@@ -76,11 +76,14 @@ func (c *Collector) Snapshot() Snapshot {
 	s.Counters["segment_events"] = c.SegmentEvents.Load()
 	s.Counters["boundary_events"] = c.BoundaryEvents.Load()
 	s.Counters["cuts_rejected"] = c.CutsRejected.Load()
+	s.Counters["spec_chunks"] = c.SpecChunks.Load()
 	for i, name := range policyNames {
 		s.Counters["runs_"+name] = c.RunsByPolicy[i].Load()
 	}
 	s.Counters["register_loads"] = c.RegisterLoads.Load()
 	s.Counters["register_compares"] = c.RegisterCompares.Load()
+	s.Counters["stack_pool_reuse"] = c.StackPoolReuse.Load()
+	s.Counters["stack_pool_misses"] = c.StackPoolMisses.Load()
 	s.Counters["pool_submits"] = c.PoolSubmits.Load()
 	s.Counters["pool_workers"] = c.PoolWorkers.Load()
 	s.Counters["worker_busy_ns"] = c.WorkerBusyNs.Load()

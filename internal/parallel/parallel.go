@@ -83,7 +83,11 @@ func cutPieces(events []encoding.Event, lo, hi int, policy core.CutPolicy) []pie
 		depth--
 		boundary := false
 		switch policy {
-		case core.CutNewMin:
+		case core.CutNewMin, core.CutBoundedDepth:
+			// CutBoundedDepth (the speculative pushdown) shares the
+			// new-minimum rule: within a segment the depth never drops
+			// below the entry, so every in-segment close pops an
+			// in-segment frame and the summary is composable.
 			boundary = depth < threshold
 		case core.CutBelowEntry:
 			boundary = depth <= threshold
@@ -166,6 +170,42 @@ func Coded(m core.Chunkable) bool {
 	return ok
 }
 
+// MaxDepth returns the maximum nesting depth reached over the event
+// stream (one linear scan; stray closes below the start do not go
+// negative for the purpose of the maximum).
+func MaxDepth(events []encoding.Event) int {
+	depth, max := 0, 0
+	for _, e := range events {
+		if e.Kind == encoding.Open {
+			depth++
+			if depth > max {
+				max = depth
+			}
+		} else if depth > 0 {
+			// Stray closes below the start are the machines' empty-stack
+			// no-op; they must not offset the depths of later opens.
+			depth--
+		}
+	}
+	return max
+}
+
+// SpeculationViable reports whether a CutBoundedDepth machine should fan
+// out over the stream rather than degrade to the sequential coded run.
+// Speculative segment simulation costs O(states) per event and the join
+// replays one boundary per new-minimum close (at most maxDepth per
+// chunk), so it only pays off when the stream's depth is small against
+// the chunk size. The 4× factor is the break-even margin: with D·chunks
+// boundaries at worst, segments must dominate by enough to amortize the
+// all-states overhead. Exported so the public API layer reports the same
+// decision the engine makes (Stats.Fallback "speculative" vs "deep").
+func SpeculationViable(events []encoding.Event, chunks int) bool {
+	if chunks <= 1 || len(events) == 0 {
+		return false
+	}
+	return 4*MaxDepth(events)*chunks <= len(events)
+}
+
 // runSequential is the fallback when chunking cannot help: one pass on the
 // caller goroutine, identical to core.Select over a slice source.
 //
@@ -237,6 +277,9 @@ func run(p *Pool, m core.Chunkable, events []encoding.Event, cuts []int, c *obs.
 	requested := len(cuts)
 	cuts = sanitizeCuts(cuts, len(events))
 	if c != nil {
+		// Machines batch per-run metrics (register loads, pool hits) in
+		// plain fields; drain them however the run exits.
+		defer core.FlushEvObs(m)
 		c.Events.Add(int64(len(events)))
 		c.RunsByPolicy[policy].Inc()
 		c.CutsRejected.Add(int64(requested - len(cuts)))
@@ -280,6 +323,9 @@ func run(p *Pool, m core.Chunkable, events []encoding.Event, cuts []int, c *obs.
 	if c != nil {
 		c.ParallelRuns.Inc()
 		c.Chunks.Add(int64(len(bounds) - 1))
+		if policy == core.CutBoundedDepth {
+			c.SpecChunks.Add(int64(len(bounds) - 1))
+		}
 		c.PoolWorkers.Store(int64(p.Workers()))
 		fanout = time.Now()
 	}
@@ -378,17 +424,31 @@ func run(p *Pool, m core.Chunkable, events []encoding.Event, cuts []int, c *obs.
 	}
 }
 
+// gateCuts applies the speculation-viability gate to an even split: a
+// CutBoundedDepth machine (the speculative pushdown) only fans out when
+// the stream's depth is small against the chunk size; otherwise the cuts
+// are dropped and the run degrades to the sequential (coded) pass. The
+// explicit-cut entry points (SelectAt and friends) bypass this gate on
+// purpose — they are the adversarial-boundary harness and must be able to
+// force speculative fan-out on any stream.
+func gateCuts(m core.Chunkable, events []encoding.Event, cuts []int) []int {
+	if len(cuts) > 0 && m.Cut() == core.CutBoundedDepth && !SpeculationViable(events, len(cuts)+1) {
+		return nil
+	}
+	return cuts
+}
+
 // Select evaluates a node-selecting machine over the events in the given
 // number of chunks, reporting matches in document order. The match set is
 // identical to core.Select's.
 func Select(p *Pool, m core.Chunkable, events []encoding.Event, chunks int, fn func(core.Match)) {
-	run(p, m, events, SplitPoints(len(events), chunks), nil, fn)
+	run(p, m, events, gateCuts(m, events, SplitPoints(len(events), chunks)), nil, fn)
 }
 
 // SelectObs is Select reporting chunking metrics into a collector (nil:
 // zero overhead; see internal/obs).
 func SelectObs(p *Pool, m core.Chunkable, events []encoding.Event, chunks int, c *obs.Collector, fn func(core.Match)) {
-	run(p, m, events, SplitPoints(len(events), chunks), c, countingFn(c, fn))
+	run(p, m, events, gateCuts(m, events, SplitPoints(len(events), chunks)), c, countingFn(c, fn))
 }
 
 // countingFn keeps Matches counted even for callers that discard matches —
@@ -424,12 +484,12 @@ func SelectPositions(p *Pool, m core.Chunkable, events []encoding.Event, chunks 
 // Recognize evaluates a tree-language machine over the events in the given
 // number of chunks and returns the final acceptance.
 func Recognize(p *Pool, m core.Chunkable, events []encoding.Event, chunks int) bool {
-	return RecognizeAt(p, m, events, SplitPoints(len(events), chunks))
+	return RecognizeAt(p, m, events, gateCuts(m, events, SplitPoints(len(events), chunks)))
 }
 
 // RecognizeObs is Recognize reporting chunking metrics into a collector.
 func RecognizeObs(p *Pool, m core.Chunkable, events []encoding.Event, chunks int, c *obs.Collector) bool {
-	run(p, m, events, SplitPoints(len(events), chunks), c, nil)
+	run(p, m, events, gateCuts(m, events, SplitPoints(len(events), chunks)), c, nil)
 	return m.Accepting()
 }
 

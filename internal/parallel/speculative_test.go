@@ -1,0 +1,223 @@
+package parallel_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/core"
+	"stackless/internal/dfa"
+	"stackless/internal/encoding"
+	"stackless/internal/gen"
+	"stackless/internal/obs"
+	"stackless/internal/parallel"
+	"stackless/internal/rex"
+	"stackless/internal/stackeval"
+	"stackless/internal/tree"
+)
+
+// Speculative chunking of the pushdown fallback (DESIGN.md §16): the
+// stackeval machine is Chunkable under CutBoundedDepth, so the standard
+// differential harness applies to it directly — sequential (per-event
+// string Step) vs parallel at every worker count and every adversarial cut
+// set, with the in-memory tree oracle as the external referee. SelectAt
+// bypasses the viability gate, so the every-interior-position sweeps below
+// always exercise the speculative summaries, not the sequential degrade.
+
+func evOpen(l string) encoding.Event  { return encoding.Event{Kind: encoding.Open, Label: l} }
+func evClose(l string) encoding.Event { return encoding.Event{Kind: encoding.Close, Label: l} }
+
+// TestSpeculativePushdownMatchesSequentialAndOracle: random minimal DFAs —
+// no HAR restriction, the pushdown realizes QL for every regular language —
+// over random documents with foreign labels.
+func TestSpeculativePushdownMatchesSequentialAndOracle(t *testing.T) {
+	p := parallel.NewPool(4)
+	defer p.Close()
+	rng := rand.New(rand.NewSource(1601))
+	alph := alphabet.Letters("ab")
+	labels := []string{"a", "b", "z"}
+	for i := 0; i < 12; i++ {
+		d := dfa.Minimize(dfa.Random(rng, alph, 1+rng.Intn(5)))
+		m := stackeval.QL(d)
+		if m.Cut() != core.CutBoundedDepth {
+			t.Fatalf("pushdown cut policy = %v, want CutBoundedDepth", m.Cut())
+		}
+		for j := 0; j < 4; j++ {
+			tr := gen.RandomTree(rng, labels, 1+rng.Intn(40))
+			events := encoding.Markup(tr)
+			want := seqMatches(m, events)
+			oracle := tree.SelectQL(d, tr)
+			if len(want) != len(oracle) {
+				t.Fatalf("machine %d doc %d: sequential %v, tree oracle %v", i, j, want, oracle)
+			}
+			for k := range oracle {
+				if want[k].Pos != oracle[k] {
+					t.Fatalf("machine %d doc %d: sequential %v, tree oracle %v", i, j, want, oracle)
+				}
+			}
+			diffSelect(t, p, fmt.Sprintf("pushdown machine %d doc %d", i, j), m, events)
+		}
+	}
+}
+
+// TestSpeculativePushdownNamedQuery pins the headline case: an unrestricted
+// query (suffix languages are not HAR) riding the speculative path over the
+// full corpus, including deep chains and combs.
+func TestSpeculativePushdownNamedQuery(t *testing.T) {
+	p := parallel.NewPool(4)
+	defer p.Close()
+	d := rex.MustCompile("(a|b)*ab", alphabet.Letters("ab"))
+	m := stackeval.QL(d)
+	rng := rand.New(rand.NewSource(1619))
+	docs := corpus("ab")
+	// The genwork adversarial shapes: a bounded-depth stream with one depth
+	// spike, and maximal alternating open/close runs (pool pop cascades).
+	docs = append(docs,
+		encoding.Markup(gen.DeepSpike(rng, []string{"a", "b"}, 30, 10)),
+		encoding.Markup(gen.CloseRuns([]string{"a", "b"}, 8, 6)))
+	for di, events := range docs {
+		diffSelect(t, p, fmt.Sprintf("pushdown (a|b)*ab doc %d", di), m, events)
+	}
+}
+
+// TestSpeculativeRecognizeELAL: the EL/AL wrappers over a pushdown inner
+// compose speculative segments through SimulateSegmentGeneric; verdicts
+// must match the sequential wrapper and the in-memory oracles at every
+// worker count and adversarial cut set.
+func TestSpeculativeRecognizeELAL(t *testing.T) {
+	p := parallel.NewPool(4)
+	defer p.Close()
+	rng := rand.New(rand.NewSource(1607))
+	alph := alphabet.Letters("ab")
+	labels := []string{"a", "b", "z"}
+	for i := 0; i < 6; i++ {
+		d := dfa.Minimize(dfa.Random(rng, alph, 1+rng.Intn(4)))
+		for name, rec := range map[string]struct {
+			m      core.Evaluator
+			oracle func(*dfa.DFA, *tree.Node) bool
+		}{
+			"EL": {stackeval.EL(d), tree.InEL},
+			"AL": {stackeval.AL(d), tree.InAL},
+		} {
+			m, ok := rec.m.(core.Chunkable)
+			if !ok {
+				t.Fatalf("%s over pushdown inner is not chunkable", name)
+			}
+			for j := 0; j < 4; j++ {
+				tr := gen.RandomTree(rng, labels, 1+rng.Intn(20))
+				events := encoding.Markup(tr)
+				want := rec.oracle(d, tr)
+				seq, err := core.Recognize(m, encoding.NewSliceSource(events))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seq != want {
+					t.Fatalf("%s machine %d doc %d: sequential %v, oracle %v", name, i, j, seq, want)
+				}
+				for _, w := range workerCounts {
+					if got := parallel.Recognize(p, m, events, w); got != want {
+						t.Fatalf("%s machine %d doc %d: %d chunks: %v, want %v", name, i, j, w, got, want)
+					}
+				}
+				for _, cuts := range adversarialCuts(events) {
+					if got := parallel.RecognizeAt(p, m, events, cuts); got != want {
+						t.Fatalf("%s machine %d doc %d: cuts %v: %v, want %v", name, i, j, cuts, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// wideDoc is a bounded-depth stream: one root with n two-deep subtrees —
+// the shape speculation is for.
+func wideDoc(n int) []encoding.Event {
+	events := []encoding.Event{evOpen("a")}
+	for i := 0; i < n; i++ {
+		events = append(events, evOpen("a"), evOpen("b"), evClose("b"), evClose("a"))
+	}
+	return append(events, evClose("a"))
+}
+
+func TestMaxDepth(t *testing.T) {
+	if got := parallel.MaxDepth(nil); got != 0 {
+		t.Fatalf("MaxDepth(nil) = %d", got)
+	}
+	if got := parallel.MaxDepth(wideDoc(10)); got != 3 {
+		t.Fatalf("MaxDepth(wide) = %d, want 3", got)
+	}
+	stray := []encoding.Event{evClose("a"), evClose("a"), evOpen("a")}
+	if got := parallel.MaxDepth(stray); got != 1 {
+		t.Fatalf("MaxDepth with stray closes = %d, want 1 (must not go negative)", got)
+	}
+}
+
+// TestSpeculationViabilityGate: the chunk-count entry points fan a
+// CutBoundedDepth machine out only on streams whose depth is small against
+// the chunk size; the explicit-cut entry points bypass the gate (they are
+// the adversarial harness). Observed through the collector's run counters.
+func TestSpeculationViabilityGate(t *testing.T) {
+	p := parallel.NewPool(4)
+	defer p.Close()
+	d := rex.MustCompile("(a|b)*ab", alphabet.Letters("ab"))
+	m := stackeval.QL(d)
+
+	wide := wideDoc(100) // 402 events, depth 3: 4·3·4 = 48 ≤ 402
+	if !parallel.SpeculationViable(wide, 4) {
+		t.Fatal("wide shallow stream reported non-viable")
+	}
+	c := &obs.Collector{}
+	parallel.SelectObs(p, m, wide, 4, c, nil)
+	if c.ParallelRuns.Load() != 1 || c.SeqFallbacks.Load() != 0 {
+		t.Fatalf("wide stream did not fan out: parallel=%d seqfallbacks=%d", c.ParallelRuns.Load(), c.SeqFallbacks.Load())
+	}
+	if got := c.SpecChunks.Load(); got == 0 {
+		t.Fatal("fanned-out speculative run recorded no SpecChunks")
+	}
+
+	rng := rand.New(rand.NewSource(1613))
+	deep := encoding.Markup(gen.DeepChain(rng, []string{"a", "b"}, 40)) // depth ≈ events/2
+	if parallel.SpeculationViable(deep, 4) {
+		t.Fatal("deep chain reported viable")
+	}
+	c = &obs.Collector{}
+	parallel.SelectObs(p, m, deep, 4, c, nil)
+	if c.ParallelRuns.Load() != 0 || c.SeqFallbacks.Load() != 1 || c.SpecChunks.Load() != 0 {
+		t.Fatalf("deep stream did not degrade: parallel=%d seqfallbacks=%d spec=%d",
+			c.ParallelRuns.Load(), c.SeqFallbacks.Load(), c.SpecChunks.Load())
+	}
+
+	c = &obs.Collector{}
+	parallel.SelectAtObs(p, m, deep, []int{len(deep) / 2}, c, nil)
+	if c.ParallelRuns.Load() != 1 {
+		t.Fatal("explicit cuts did not bypass the viability gate")
+	}
+
+	if parallel.SpeculationViable(wide, 1) {
+		t.Fatal("one chunk reported viable")
+	}
+	if parallel.SpeculationViable(nil, 4) {
+		t.Fatal("empty stream reported viable")
+	}
+}
+
+// TestSpeculativeDeterministicAcrossSchedules: rerunning one speculative
+// evaluation on a busy pool is bit-identical every time (the join is
+// sequential left to right regardless of which fork finishes first).
+func TestSpeculativeDeterministicAcrossSchedules(t *testing.T) {
+	p := parallel.NewPool(8)
+	defer p.Close()
+	d := rex.MustCompile("(a|b)*ab", alphabet.Letters("ab"))
+	m := stackeval.QL(d)
+	events := wideDoc(500)
+	want := parMatches(p, m, events, 8)
+	if !matchesEqual(want, seqMatches(m, events)) {
+		t.Fatal("speculative parallel diverges from sequential")
+	}
+	for i := 0; i < 20; i++ {
+		if got := parMatches(p, m, events, 8); !matchesEqual(got, want) {
+			t.Fatalf("run %d: nondeterministic output", i)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package stackeval
+
+import (
+	"stackless/internal/alphabet"
+	"stackless/internal/core"
+)
+
+// Chunk-parallel support (DESIGN.md §16). The pushdown's configuration is
+// the Θ(depth) stack itself, so unlike the stackless machines it has no
+// bounded composable summary for arbitrary chunks. What it does have,
+// under the CutNewMin boundary discipline, is a *speculative* one: within
+// a segment the depth never drops below the segment entry (a close that
+// would reach a new minimum is a boundary by construction), so every
+// close inside the segment pops a frame pushed inside the same segment.
+// The frames surviving at segment end are then exactly the segment's net
+// depth gain, each one a pure function of the entry state — so a segment
+// summarizes as, per entry state, an exit state plus the frame words to
+// push, and summaries compose left to right like any other Chunkable.
+// The price is the all-states simulation itself: O(states) work per event
+// instead of O(1), profitable only when the stream's depth (which bounds
+// the number of boundaries, and so the sequential join fringe) is small
+// against the chunk size — internal/parallel gates on exactly that
+// (SpeculationViable) and falls back to the sequential coded run
+// otherwise, which is also exactly what CutAll used to force on every
+// pushdown run.
+
+var (
+	_ core.Chunkable          = (*Evaluator)(nil)
+	_ core.BatchEvaluator     = (*Evaluator)(nil)
+	_ core.CodedSegmentKernel = (*Evaluator)(nil)
+	_ core.Snapshotter        = (*Evaluator)(nil)
+)
+
+// ChunkStates implements core.Chunkable: the n DFA states plus the dead
+// row (a live control state here — a dead run is revived by a boundary
+// pop, so it must be enumerated, not collapsed to -1).
+func (ev *Evaluator) ChunkStates() int { return ev.n + 1 }
+
+// Cut implements core.Chunkable: new-minimum closes, exactly the CutNewMin
+// rule, tagged as a distinct policy so the engine knows the segments are
+// speculative (all-states over a stack) and applies the viability gate.
+func (ev *Evaluator) Cut() core.CutPolicy { return core.CutBoundedDepth }
+
+// Fork implements core.Chunkable. The compiled table and word vector are
+// immutable after construction; the pool, the resolver cache and the
+// runtime configuration are per-fork. The collector is shared (atomics).
+func (ev *Evaluator) Fork() core.Chunkable {
+	f := &Evaluator{
+		d:     ev.d,
+		res:   alphabet.NewResolver(ev.d.Alphabet),
+		ctab:  ev.ctab,
+		words: ev.words,
+		n:     ev.n,
+		kw:    ev.kw,
+		dead:  ev.dead,
+		obs:   ev.obs,
+		top:   -1,
+	}
+	f.pool = newPool(initialPoolCap)
+	f.Reset()
+	return f
+}
+
+// BeginSegment implements core.Chunkable: control state q (q == n is the
+// dead row) at relative depth 0 with an empty stack.
+func (ev *Evaluator) BeginSegment(q int) {
+	ev.pool.release(ev.top)
+	ev.top = -1
+	ev.depth = 0
+	ev.word = ev.words[q]
+}
+
+// EndSegment implements core.Chunkable. The register payload is the frame
+// words still on the stack, bottom to top — under the segment discipline
+// exactly the segment's net depth gain.
+func (ev *Evaluator) EndSegment() core.SegmentExit {
+	var frames []int32
+	if ev.depth > 0 {
+		frames = make([]int32, ev.depth)
+		i := int(ev.depth)
+		for t := ev.top; t >= 0 && i > 0; t = ev.pool.nodes[t].below {
+			i--
+			frames[i] = ev.pool.nodes[t].word
+		}
+	}
+	return core.SegmentExit{State: int(ev.word & StateMask), Regs: frames}
+}
+
+// JoinState implements core.Chunkable. Never -1: the dead row is a
+// revivable control state, not a poison.
+func (ev *Evaluator) JoinState() int { return int(ev.word & StateMask) }
+
+// ApplySegment implements core.Chunkable: push the segment's surviving
+// frames (already machine words — no rebasing needed, frames store states,
+// not depths) and take its exit state. A nil payload is the closed-form
+// dead entry: its frames are all dead words.
+func (ev *Evaluator) ApplySegment(x core.SegmentExit, delta int) {
+	if frames, ok := x.Regs.([]int32); ok && frames != nil {
+		for _, w := range frames {
+			ev.top = ev.pool.push(w, ev.top)
+		}
+		ev.depth += int32(len(frames))
+	} else {
+		dead := ev.words[ev.n]
+		for i := 0; i < delta; i++ {
+			ev.top = ev.pool.push(dead, ev.top)
+		}
+		ev.depth += int32(delta)
+	}
+	ev.word = ev.words[x.State]
+}

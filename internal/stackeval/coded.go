@@ -1,0 +1,219 @@
+package stackeval
+
+import (
+	"stackless/internal/alphabet"
+	"stackless/internal/core"
+	"stackless/internal/encoding"
+)
+
+// Batch kernels (DESIGN.md §11/§16). The pushdown's batch step is the
+// fused-table form of Step over the pooled stack: an Open pushes the
+// current word (free-list pop on the fast path, a //treelint:partial grow
+// on the cold one) and takes one table load; a Close pops the saved word
+// back (free-list return when the node is exclusively owned, a count
+// split when a snapshot shares it). There is no aliveness branch and no
+// poison early-exit: dead is row n of the table, absorbing under opens
+// and popped back over like any other frame. Index guards follow the BCE
+// shape of the other plain kernels (uint conversion, guarded fallback to
+// the dead word); on a table tablecheck proved well formed they never
+// fail.
+
+// CodeAlphabet implements core.BatchEvaluator.
+func (ev *Evaluator) CodeAlphabet() *alphabet.Alphabet { return ev.d.Alphabet }
+
+// StepBatch implements core.BatchEvaluator. Effects per event are
+// bit-identical to Step's, including the empty-stack close no-op (the
+// depth does not move either). The free-list head, pool counters and the
+// machine configuration are batched in locals and stored back once.
+//
+//treelint:plain
+func (ev *Evaluator) StepBatch(batch []encoding.CodedEvent) {
+	tab := ev.ctab
+	kw := ev.kw
+	deadWord := ev.dead
+	word, top, depth := ev.word, ev.top, ev.depth
+	nodes := ev.pool.nodes
+	free := ev.pool.free
+	reuse := ev.pool.reuse
+	for _, e := range batch {
+		if e.Kind == encoding.Open {
+			if j := uint(free); j < uint(len(nodes)) {
+				nf := free
+				free = nodes[j].below
+				nodes[j] = node{word: word, below: top, refs: 1}
+				reuse++
+				top = nf
+			} else {
+				top = ev.pool.pushSlow(word, top)
+				nodes = ev.pool.nodes
+			}
+			depth++
+			if j := uint(int32(word)&StateMask)*uint(kw) + uint(int32(e.Sym)); j < uint(len(tab)) {
+				word = tab[j]
+			} else {
+				word = deadWord
+			}
+			continue
+		}
+		if top < 0 {
+			continue // empty-stack close: no-op by convention
+		}
+		if j := uint(top); j < uint(len(nodes)) {
+			nd := nodes[j]
+			if nd.refs == 1 {
+				nodes[j].below = free
+				free = top
+			} else {
+				nodes[j].refs = nd.refs - 1
+				if b := uint(nd.below); b < uint(len(nodes)) {
+					nodes[b].refs++
+				}
+			}
+			word = nd.word
+			top = nd.below
+			depth--
+		}
+	}
+	ev.word, ev.top, ev.depth = word, top, depth
+	ev.pool.free, ev.pool.reuse = free, reuse
+}
+
+// SelectBatch implements core.BatchEvaluator: StepBatch plus the
+// pre-selection acceptance test after each Open — a mask test on the word
+// just loaded, since the accept flag is folded into every table entry.
+//
+//treelint:plain
+func (ev *Evaluator) SelectBatch(batch []encoding.CodedEvent, hits []int32) []int32 {
+	tab := ev.ctab
+	kw := ev.kw
+	deadWord := ev.dead
+	word, top, depth := ev.word, ev.top, ev.depth
+	nodes := ev.pool.nodes
+	free := ev.pool.free
+	reuse := ev.pool.reuse
+	for i, e := range batch {
+		if e.Kind == encoding.Open {
+			if j := uint(free); j < uint(len(nodes)) {
+				nf := free
+				free = nodes[j].below
+				nodes[j] = node{word: word, below: top, refs: 1}
+				reuse++
+				top = nf
+			} else {
+				top = ev.pool.pushSlow(word, top)
+				nodes = ev.pool.nodes
+			}
+			depth++
+			if j := uint(int32(word)&StateMask)*uint(kw) + uint(int32(e.Sym)); j < uint(len(tab)) {
+				word = tab[j]
+			} else {
+				word = deadWord
+			}
+			if word&AccBit != 0 {
+				hits = append(hits, int32(i))
+			}
+			continue
+		}
+		if top < 0 {
+			continue // empty-stack close: no-op by convention
+		}
+		if j := uint(top); j < uint(len(nodes)) {
+			nd := nodes[j]
+			if nd.refs == 1 {
+				nodes[j].below = free
+				free = top
+			} else {
+				nodes[j].refs = nd.refs - 1
+				if b := uint(nd.below); b < uint(len(nodes)) {
+					nodes[b].refs++
+				}
+			}
+			word = nd.word
+			top = nd.below
+			depth--
+		}
+	}
+	ev.word, ev.top, ev.depth = word, top, depth
+	ev.pool.free, ev.pool.reuse = free, reuse
+	return hits
+}
+
+// SimulateSegmentCoded implements core.CodedSegmentKernel: the all-states
+// segment simulation of the chunk-parallel engine. The n+1 entry words
+// (every DFA state plus the dead row) run in lockstep over a shared flat
+// frame array — under CutBoundedDepth boundaries every close inside a
+// segment pops a frame pushed in the same segment (DESIGN.md §16), so the
+// frames surviving at segment end are exactly the segment's net depth
+// gain, and they compose by pushing them onto the joined machine's stack
+// (ApplySegment). The dead entry needs no simulation: dead absorbs under
+// opens and every frame it pushes is dead, so its exit is closed-form.
+// Unlike the stackless kernels no run ever dies — an unknown open drives
+// a run into the dead row, and a later boundary pop can revive it — so
+// exits never report State -1.
+//
+//treelint:partial per-segment all-states scratch and frame matrix, O(states·depth) once per segment
+func (ev *Evaluator) SimulateSegmentCoded(seg []encoding.CodedEvent, cands *core.CandSet) []core.SegmentExit {
+	n := ev.n
+	kw := ev.kw
+	tab := ev.ctab
+	deadWord := ev.words[n]
+	st := make([]int32, n)
+	for i := range st {
+		st[i] = ev.words[i]
+	}
+	// fr is the shared frame matrix: row r (n words) holds what each run
+	// pushed at relative depth r+1. A close at relative depth d pops row
+	// d-1 back into every run at once.
+	var fr []int32
+	var opens, depth int32
+	for idx := 0; idx < len(seg); idx++ {
+		e := seg[idx]
+		if e.Kind == encoding.Open {
+			o := opens
+			opens++
+			depth++
+			fr = append(fr, st...)
+			var mask []uint64
+			for i := range st {
+				w := deadWord
+				if j := uint(st[i]&StateMask)*uint(kw) + uint(int32(e.Sym)); j < uint(len(tab)) {
+					w = tab[j]
+				}
+				st[i] = w
+				if cands != nil && w&AccBit != 0 {
+					if mask == nil {
+						mask = cands.Add(int32(idx), o, depth)
+					}
+					if wd := uint(i) / 64; wd < uint(len(mask)) {
+						mask[wd] |= 1 << (uint(i) % 64)
+					}
+				}
+			}
+			continue
+		}
+		if depth == 0 {
+			// A close below the segment entry depth cannot occur under the
+			// CutBoundedDepth boundaries (DESIGN.md §16); defensively it is
+			// Step's empty-stack no-op — words and depth both unchanged.
+			continue
+		}
+		depth--
+		if base := int(depth) * n; base >= 0 && base <= len(fr)-n {
+			copy(st, fr[base:base+n])
+			fr = fr[:base]
+		}
+	}
+	exits := make([]core.SegmentExit, n+1)
+	for i := 0; i < n; i++ {
+		var frames []int32
+		if depth > 0 {
+			frames = make([]int32, depth)
+			for r := 0; r < int(depth); r++ {
+				frames[r] = fr[r*n+i]
+			}
+		}
+		exits[i] = core.SegmentExit{State: int(st[i] & StateMask), Regs: frames}
+	}
+	exits[n] = core.SegmentExit{State: n}
+	return exits
+}

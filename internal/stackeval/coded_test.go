@@ -1,0 +1,302 @@
+package stackeval
+
+import (
+	"math/rand"
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/core"
+	"stackless/internal/dfa"
+	"stackless/internal/encoding"
+	"stackless/internal/obs"
+	"stackless/internal/parallel"
+	"stackless/internal/rex"
+	"stackless/internal/tree"
+)
+
+func codeAll(ev *Evaluator, events []encoding.Event) []encoding.CodedEvent {
+	return encoding.CodeEvents(alphabet.NewCoder(ev.d.Alphabet), events, nil)
+}
+
+// chainWords returns the stack's frame words top to bottom.
+func chainWords(ev *Evaluator) []int32 {
+	var ws []int32
+	for t := ev.top; t >= 0; t = ev.pool.nodes[t].below {
+		ws = append(ws, ev.pool.nodes[t].word)
+	}
+	return ws
+}
+
+// TestEmptyStackCloseConvention pins the convention of the package doc: a
+// Close on an empty stack leaves the word AND the depth unchanged, and the
+// three stepping paths — string Step, StepBatch, SelectBatch — agree
+// bit for bit on every event of a stream riddled with such closes.
+// (SimulateSegmentCoded shares the convention relative to its segment
+// entry; TestSimulateSegmentCodedMatchesGeneric covers it.)
+func TestEmptyStackCloseConvention(t *testing.T) {
+	d := rex.MustCompile("a(a|b)*", alphabet.Letters("ab"))
+	events := []encoding.Event{
+		close_("a"), // empty-stack close on a fresh machine
+		open("a"), close_("a"),
+		close_("a"), close_("b"), // two more, one with a foreign label
+		open("a"), open("z"), close_("z"), close_("z"),
+		close_("b"), // empty again after the document drained
+		open("b"),
+	}
+	str := QL(d)
+	bat := QL(d)
+	sel := QL(d)
+	str.Reset()
+	bat.Reset()
+	sel.Reset()
+	coded := codeAll(str, events)
+	var hits []int32
+	emptyCloses := 0
+	for i, e := range events {
+		wasEmpty := e.Kind == encoding.Close && str.top < 0
+		prevWord, prevDepth := str.word, str.depth
+		str.Step(e)
+		bat.StepBatch(coded[i : i+1])
+		hits = sel.SelectBatch(coded[i:i+1], hits[:0])
+		if wasEmpty {
+			emptyCloses++
+			if str.word != prevWord || str.depth != prevDepth {
+				t.Fatalf("event %d: empty-stack close changed the machine: word %d->%d depth %d->%d",
+					i, prevWord, str.word, prevDepth, str.depth)
+			}
+		}
+		if bat.word != str.word || bat.depth != str.depth {
+			t.Fatalf("event %d: StepBatch word/depth %d/%d, Step %d/%d",
+				i, bat.word, bat.depth, str.word, str.depth)
+		}
+		if sel.word != str.word || sel.depth != str.depth {
+			t.Fatalf("event %d: SelectBatch word/depth %d/%d, Step %d/%d",
+				i, sel.word, sel.depth, str.word, str.depth)
+		}
+		wantHit := e.Kind == encoding.Open && str.Accepting()
+		if gotHit := len(hits) == 1; gotHit != wantHit {
+			t.Fatalf("event %d: SelectBatch hit %v, Step accepting %v", i, gotHit, wantHit)
+		}
+	}
+	if emptyCloses != 4 {
+		t.Fatalf("stream exercised %d empty-stack closes, want 4", emptyCloses)
+	}
+}
+
+// TestBatchKernelsMatchStepRandom is the whole-stream differential: random
+// documents with foreign labels, made unbalanced with stray closes on both
+// ends, batch-stepped in one call vs stepped per event. Final word, depth
+// and the full stack content must agree, and SelectBatch's hit list must
+// be exactly the accepting Opens of the per-event trace.
+func TestBatchKernelsMatchStepRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	alph := alphabet.Letters("ab")
+	labels := []string{"a", "b", "z"}
+	for i := 0; i < 60; i++ {
+		d := dfa.Minimize(dfa.Random(rng, alph, 1+rng.Intn(6)))
+		ev := QL(d)
+		for j := 0; j < 10; j++ {
+			events := encoding.Markup(randomTree(rng, labels, 1+rng.Intn(30)))
+			for k := rng.Intn(3); k > 0; k-- {
+				events = append([]encoding.Event{close_("a")}, events...)
+			}
+			for k := rng.Intn(3); k > 0; k-- {
+				events = append(events, close_("b"))
+			}
+			coded := codeAll(ev, events)
+
+			str := QL(d)
+			str.Reset()
+			var wantHits []int32
+			for idx, e := range events {
+				str.Step(e)
+				if e.Kind == encoding.Open && str.Accepting() {
+					wantHits = append(wantHits, int32(idx))
+				}
+			}
+
+			ev.Reset()
+			ev.StepBatch(coded)
+			if ev.word != str.word || ev.depth != str.depth {
+				t.Fatalf("dfa %d doc %d: StepBatch word/depth %d/%d, Step %d/%d",
+					i, j, ev.word, ev.depth, str.word, str.depth)
+			}
+			got, want := chainWords(ev), chainWords(str)
+			if len(got) != len(want) {
+				t.Fatalf("dfa %d doc %d: stack %v vs %v", i, j, got, want)
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("dfa %d doc %d: stack %v vs %v", i, j, got, want)
+				}
+			}
+
+			ev.Reset()
+			hits := ev.SelectBatch(coded, nil)
+			if ev.word != str.word || ev.depth != str.depth {
+				t.Fatalf("dfa %d doc %d: SelectBatch word/depth %d/%d, Step %d/%d",
+					i, j, ev.word, ev.depth, str.word, str.depth)
+			}
+			if len(hits) != len(wantHits) {
+				t.Fatalf("dfa %d doc %d: hits %v, want %v", i, j, hits, wantHits)
+			}
+			for k := range wantHits {
+				if hits[k] != wantHits[k] {
+					t.Fatalf("dfa %d doc %d: hits %v, want %v", i, j, hits, wantHits)
+				}
+			}
+		}
+	}
+}
+
+// materialFrames normalizes a segment exit's register payload for
+// comparison: a nil payload is the closed-form dead entry — delta copies
+// of the dead word (and a live exit at net depth 0 is the empty slice).
+func materialFrames(x core.SegmentExit, delta int, deadWord int32) []int32 {
+	if frames, ok := x.Regs.([]int32); ok && frames != nil {
+		return frames
+	}
+	out := make([]int32, delta)
+	for i := range out {
+		out[i] = deadWord
+	}
+	return out
+}
+
+// TestSimulateSegmentCodedMatchesGeneric: the coded all-states kernel vs
+// the interface-driven per-state fallback, on every prefix of random
+// documents (prefixes of a balanced stream never close below the segment
+// entry, which is the CutBoundedDepth discipline) — exit states, frame
+// payloads, and candidate sets with their entry-state masks. Segments with
+// leading below-entry closes are compared too (exits only — candidates are
+// out of contract off-discipline), pinning the shared no-op convention.
+func TestSimulateSegmentCodedMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	alph := alphabet.Letters("ab")
+	labels := []string{"a", "b", "z"}
+	for i := 0; i < 25; i++ {
+		d := dfa.Minimize(dfa.Random(rng, alph, 1+rng.Intn(5)))
+		ev := QL(d)
+		deadWord := ev.words[ev.n]
+		events := encoding.Markup(randomTree(rng, labels, 3+rng.Intn(25)))
+		coded := codeAll(ev, events)
+		for cut := 0; cut <= len(events); cut++ {
+			seg, codedSeg := events[:cut], coded[:cut]
+			delta := 0
+			for _, e := range seg {
+				if e.Kind == encoding.Open {
+					delta++
+				} else if delta > 0 {
+					delta--
+				}
+			}
+			candsC := core.NewCandSet(ev.ChunkStates())
+			exitsC := ev.SimulateSegmentCoded(codedSeg, candsC)
+			candsG := core.NewCandSet(ev.ChunkStates())
+			exitsG := core.SimulateSegmentGeneric(ev.Fork(), seg, candsG)
+			if len(exitsC) != ev.ChunkStates() || len(exitsG) != ev.ChunkStates() {
+				t.Fatalf("dfa %d cut %d: exit counts %d/%d, want %d", i, cut, len(exitsC), len(exitsG), ev.ChunkStates())
+			}
+			for q := range exitsC {
+				if exitsC[q].State != exitsG[q].State {
+					t.Fatalf("dfa %d cut %d entry %d: exit state %d, generic %d", i, cut, q, exitsC[q].State, exitsG[q].State)
+				}
+				fc := materialFrames(exitsC[q], delta, deadWord)
+				fg := materialFrames(exitsG[q], delta, deadWord)
+				if len(fc) != len(fg) {
+					t.Fatalf("dfa %d cut %d entry %d: frames %v vs %v", i, cut, q, fc, fg)
+				}
+				for r := range fg {
+					if fc[r] != fg[r] {
+						t.Fatalf("dfa %d cut %d entry %d: frames %v vs %v", i, cut, q, fc, fg)
+					}
+				}
+			}
+			if len(candsC.Cands) != len(candsG.Cands) {
+				t.Fatalf("dfa %d cut %d: %d candidates, generic %d", i, cut, len(candsC.Cands), len(candsG.Cands))
+			}
+			for ci := range candsC.Cands {
+				if candsC.Cands[ci] != candsG.Cands[ci] {
+					t.Fatalf("dfa %d cut %d cand %d: %+v vs %+v", i, cut, ci, candsC.Cands[ci], candsG.Cands[ci])
+				}
+				for q := 0; q < ev.ChunkStates(); q++ {
+					if candsC.Has(ci, q) != candsG.Has(ci, q) {
+						t.Fatalf("dfa %d cut %d cand %d entry %d: mask %v vs %v",
+							i, cut, ci, q, candsC.Has(ci, q), candsG.Has(ci, q))
+					}
+				}
+			}
+		}
+		// Off-discipline: a leading below-entry close is the segment-relative
+		// empty-stack no-op in both kernels.
+		seg := append([]encoding.Event{close_("a"), close_("b")}, events...)
+		codedSeg := codeAll(ev, seg)
+		exitsC := ev.SimulateSegmentCoded(codedSeg, nil)
+		exitsG := core.SimulateSegmentGeneric(ev.Fork(), seg, nil)
+		for q := range exitsC {
+			if exitsC[q].State != exitsG[q].State {
+				t.Fatalf("dfa %d off-discipline entry %d: exit state %d, generic %d", i, q, exitsC[q].State, exitsG[q].State)
+			}
+		}
+	}
+}
+
+// TestChunkCompositionAgainstOracle drives the speculative summaries
+// through the real chunk-parallel engine at explicit adversarial cuts —
+// SelectAt bypasses the viability gate — and checks the selected positions
+// against the in-memory oracle.
+func TestChunkCompositionAgainstOracle(t *testing.T) {
+	p := parallel.NewPool(4)
+	rng := rand.New(rand.NewSource(97))
+	alph := alphabet.Letters("ab")
+	labels := []string{"a", "b", "z"}
+	for i := 0; i < 40; i++ {
+		d := dfa.Minimize(dfa.Random(rng, alph, 1+rng.Intn(5)))
+		ev := QL(d)
+		tr := randomTree(rng, labels, 2+rng.Intn(40))
+		events := encoding.Markup(tr)
+		want := tree.SelectQL(d, tr)
+		n := len(events)
+		for _, cuts := range [][]int{
+			{n / 2},
+			{1, n - 1},
+			{n / 3, 2 * n / 3},
+			{1, 2, 3},
+		} {
+			var got []int
+			parallel.SelectAt(p, ev, events, cuts, func(m core.Match) { got = append(got, m.Pos) })
+			if len(got) != len(want) {
+				t.Fatalf("dfa %d doc %d cuts %v: %v, want %v", i, i, cuts, got, want)
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("dfa %d doc %d cuts %v: %v, want %v", i, i, cuts, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFlushObsPoolCounters: the batched pool counters reach the collector
+// exactly once per instrumented run and are zeroed by the flush; the
+// uninstrumented machine accumulates them locally for PoolStats.
+func TestFlushObsPoolCounters(t *testing.T) {
+	d := rex.MustCompile("a*", alphabet.Letters("a"))
+	ev := QL(d)
+	c := &obs.Collector{}
+	ev.SetObs(c)
+	events := encoding.Markup(tree.Chain([]string{"a", "a", "a"}))
+	if _, err := core.SelectCodedObs(ev, c, encoding.NewSliceSource(events), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.StackPoolReuse.Load(); got != 3 {
+		t.Fatalf("StackPoolReuse = %d, want 3 (one per open)", got)
+	}
+	if reuse, misses := ev.PoolStats(); reuse != 0 || misses != 0 {
+		t.Fatalf("pool counters not zeroed by flush: %d/%d", reuse, misses)
+	}
+	ev.FlushObs() // idempotent on a drained machine
+	if got := c.StackPoolReuse.Load(); got != 3 {
+		t.Fatalf("double flush double-counted: %d", got)
+	}
+}

@@ -1,0 +1,122 @@
+package stackeval
+
+// The stack of the pushdown machine is a singly-linked chain of pooled
+// nodes rather than a growable slice. The design follows tree-sitter's
+// stack.c: a fixed pool of nodes threaded through a free list so that the
+// steady state never allocates, and a reference count per node so that a
+// configuration snapshot is O(1) — retain the top link and the whole chain
+// below it stays alive, shared structurally with the live machine.
+//
+// Reference-count invariants:
+//
+//   - node.refs counts *direct* references: the machine's top pointer,
+//     every saved configuration's top pointer, and every node sitting
+//     immediately above it in some chain. The chain below a node is kept
+//     alive transitively (each node holds one reference on its `below`).
+//   - A node with refs > 0 is never mutated. Pop on a shared node
+//     (refs > 1) does not unlink it; it decrements the count and adds a
+//     reference to `below`, leaving every snapshot chain intact.
+//   - Pop on an exclusively-owned node (refs == 1) transfers the node's
+//     reference on `below` to the caller — no count is touched — and the
+//     node returns to the free list immediately.
+//
+// Nodes are addressed by index into a slice, not by pointer, so growing
+// the pool (an append) never invalidates a chain.
+
+// node is one pooled stack frame. `word` is the coded machine word saved
+// under an Open (state code plus the accept bit, see stackeval.go);
+// `below` is the index of the next frame down (-1 at the bottom), reused
+// as the free-list link while the node is free.
+type node struct {
+	word  int32
+	below int32
+	refs  int32
+}
+
+// pool is a fixed-capacity node pool with a free list. reuse counts
+// free-list hits, misses counts pushes that had to grow the pool; both
+// are plain counters flushed to the obs collector between runs.
+type pool struct {
+	nodes  []node
+	free   int32 // head of the free list, -1 when empty
+	reuse  int64
+	misses int64
+}
+
+// initialPoolCap is the number of nodes preallocated at machine
+// construction: documents at most this deep never touch the allocator.
+const initialPoolCap = 64
+
+func newPool(capacity int) pool {
+	p := pool{nodes: make([]node, 0, capacity), free: -1}
+	for i := 0; i < capacity; i++ {
+		p.nodes = append(p.nodes, node{below: p.free})
+		p.free = int32(i)
+	}
+	return p
+}
+
+// retain adds one direct reference to the node at t (no-op at the bottom).
+func (p *pool) retain(t int32) {
+	if t >= 0 {
+		p.nodes[t].refs++
+	}
+}
+
+// release drops one direct reference from the chain starting at t,
+// returning nodes whose count reaches zero to the free list. The cascade
+// is iterative: freeing a node releases its reference on `below`, which
+// may free that node in turn.
+func (p *pool) release(t int32) {
+	for t >= 0 {
+		nd := &p.nodes[t]
+		nd.refs--
+		if nd.refs > 0 {
+			return
+		}
+		next := nd.below
+		nd.below = p.free
+		p.free = t
+		t = next
+	}
+}
+
+// push allocates a node holding word on top of the chain at top and
+// returns its index. The caller's reference on top moves to the new node;
+// the caller owns one reference on the result.
+func (p *pool) push(word, top int32) int32 {
+	nf := p.free
+	if nf >= 0 {
+		p.free = p.nodes[nf].below
+		p.nodes[nf] = node{word: word, below: top, refs: 1}
+		p.reuse++
+		return nf
+	}
+	return p.pushSlow(word, top)
+}
+
+//treelint:partial pool growth is O(high-water depth) appends, amortized to zero by the free list
+func (p *pool) pushSlow(word, top int32) int32 {
+	p.nodes = append(p.nodes, node{word: word, below: top, refs: 1})
+	p.misses++
+	return int32(len(p.nodes) - 1)
+}
+
+// pop removes one direct reference from the node at top and returns its
+// word and the frame below it. The caller's reference moves to the
+// returned index: on an exclusively-owned node ownership of the `below`
+// reference transfers without touching a count, on a shared node the
+// count splits (top loses one, below gains one).
+func (p *pool) pop(top int32) (word, below int32) {
+	nd := p.nodes[top]
+	if nd.refs == 1 {
+		p.nodes[top].below = p.free
+		p.free = top
+	} else {
+		p.nodes[top].refs = nd.refs - 1
+		if nd.below >= 0 {
+			p.nodes[nd.below].refs++
+		}
+	}
+	return nd.word, nd.below
+}

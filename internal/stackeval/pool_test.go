@@ -1,0 +1,176 @@
+package stackeval
+
+import (
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/core"
+	"stackless/internal/encoding"
+	"stackless/internal/rex"
+)
+
+func open(l string) encoding.Event   { return encoding.Event{Kind: encoding.Open, Label: l} }
+func close_(l string) encoding.Event { return encoding.Event{Kind: encoding.Close, Label: l} }
+
+// TestPoolSteadyStateNeverGrows: documents no deeper than the preallocated
+// capacity never touch the allocator — every push is a free-list hit.
+func TestPoolSteadyStateNeverGrows(t *testing.T) {
+	d := rex.MustCompile("a*", alphabet.Letters("a"))
+	ev := QL(d)
+	ev.Reset()
+	if got := ev.PoolCap(); got != initialPoolCap {
+		t.Fatalf("initial pool cap = %d, want %d", got, initialPoolCap)
+	}
+	for rep := 0; rep < 50; rep++ {
+		for i := 0; i < initialPoolCap; i++ {
+			ev.Step(open("a"))
+		}
+		for i := 0; i < initialPoolCap; i++ {
+			ev.Step(close_("a"))
+		}
+	}
+	reuse, misses := ev.PoolStats()
+	if misses != 0 {
+		t.Fatalf("pool grew %d times on a depth-%d stream", misses, initialPoolCap)
+	}
+	if want := int64(50 * initialPoolCap); reuse != want {
+		t.Fatalf("reuse = %d, want %d", reuse, want)
+	}
+	if got := ev.PoolCap(); got != initialPoolCap {
+		t.Fatalf("pool cap after steady state = %d, want %d", got, initialPoolCap)
+	}
+}
+
+// TestPoolGrowsOnceToHighWater: a deeper document grows the pool to its
+// high-water mark once; replaying it reuses every node.
+func TestPoolGrowsOnceToHighWater(t *testing.T) {
+	d := rex.MustCompile("a*", alphabet.Letters("a"))
+	ev := QL(d)
+	deep := 3 * initialPoolCap
+	run := func() {
+		ev.Reset()
+		for i := 0; i < deep; i++ {
+			ev.Step(open("a"))
+		}
+		for i := 0; i < deep; i++ {
+			ev.Step(close_("a"))
+		}
+	}
+	run()
+	_, misses := ev.PoolStats()
+	if want := int64(deep - initialPoolCap); misses != want {
+		t.Fatalf("first run misses = %d, want %d", misses, want)
+	}
+	capAfter := ev.PoolCap()
+	run() // Reset zeroes the counters, so this measures the second run alone
+	reuse, misses := ev.PoolStats()
+	if misses != 0 || reuse != int64(deep) {
+		t.Fatalf("second run: reuse %d misses %d, want %d/0", reuse, misses, deep)
+	}
+	if got := ev.PoolCap(); got != capAfter {
+		t.Fatalf("pool kept growing: %d -> %d", capAfter, got)
+	}
+}
+
+// TestSnapshotSharingAndImmutability: a snapshot's chain survives the
+// machine popping past it and running on arbitrarily — the ref-counted
+// nodes are never mutated while shared — and restoring replays exactly.
+func TestSnapshotSharingAndImmutability(t *testing.T) {
+	d := rex.MustCompile("ab*", alphabet.Letters("ab"))
+	ev := QL(d)
+	ev.Reset()
+	ev.Step(open("a"))
+	ev.Step(open("b"))
+	ev.Step(open("b"))
+	cfg := ev.SaveConfig()
+	key := cfg.Key()
+	acc := ev.Accepting()
+
+	// Pop past the snapshot and push a different spine over the freed
+	// depths; the snapshot must be unaffected.
+	ev.Step(close_("b"))
+	ev.Step(close_("b"))
+	ev.Step(open("z"))
+	ev.Step(open("z"))
+	ev.Step(open("z"))
+	if got := cfg.Key(); got != key {
+		t.Fatalf("snapshot key changed while machine ran: %q -> %q", key, got)
+	}
+	ev.RestoreConfig(cfg)
+	if ev.Accepting() != acc || ev.StackDepth() != 3 || cfg.Key() != key {
+		t.Fatalf("restore mismatch: acc=%v depth=%d key=%q want acc=%v depth=3 key=%q",
+			ev.Accepting(), ev.StackDepth(), cfg.Key(), acc, key)
+	}
+	// The restored machine continues exactly like the original would have.
+	ev.Step(close_("b"))
+	ev.Step(close_("b"))
+	ev.Step(close_("a"))
+	if ev.StackDepth() != 0 {
+		t.Fatalf("depth after full unwind = %d, want 0", ev.StackDepth())
+	}
+}
+
+// TestSnapshotRestoreAcrossDivergence saves at every prefix of a stream,
+// then for each snapshot restores and replays the suffix, comparing the
+// final acceptance with an untouched reference machine.
+func TestSnapshotRestoreAcrossDivergence(t *testing.T) {
+	d := rex.MustCompile("a(a|b)*b", alphabet.Letters("ab"))
+	events := []encoding.Event{
+		open("a"), open("b"), close_("b"), open("z"), open("b"), close_("b"),
+		close_("z"), open("b"), close_("b"), close_("a"),
+	}
+	ev := QL(d)
+	ev.Reset()
+	configs := make([]core.SavedConfig, 0, len(events)+1)
+	configs = append(configs, ev.SaveConfig())
+	for _, e := range events {
+		ev.Step(e)
+		configs = append(configs, ev.SaveConfig())
+	}
+	want := make([]bool, 0, len(events)+1)
+	ref := QL(d)
+	ref.Reset()
+	want = append(want, ref.Accepting())
+	for _, e := range events {
+		ref.Step(e)
+		want = append(want, ref.Accepting())
+	}
+	for i, cfg := range configs {
+		ev.RestoreConfig(cfg)
+		if ev.Accepting() != want[i] {
+			t.Fatalf("restore %d: accepting %v, want %v", i, ev.Accepting(), want[i])
+		}
+		for j := i; j < len(events); j++ {
+			ev.Step(events[j])
+			if ev.Accepting() != want[j+1] {
+				t.Fatalf("restore %d replay %d: accepting %v, want %v", i, j, ev.Accepting(), want[j+1])
+			}
+		}
+	}
+}
+
+// TestParkedConfig: dead word over an empty stack is absorbing; a dead
+// word over frames is not (a close revives the path below).
+func TestParkedConfig(t *testing.T) {
+	d := rex.MustCompile("a*", alphabet.Letters("a"))
+	ev := QL(d)
+	ev.Reset()
+	if ev.SaveConfig().Parked() {
+		t.Fatal("start config reported parked")
+	}
+	ev.Step(open("z")) // unknown at depth 1: dead, but revivable
+	if ev.SaveConfig().Parked() {
+		t.Fatal("dead-over-frames config reported parked")
+	}
+	ev.Step(close_("z"))
+	if ev.SaveConfig().Parked() {
+		t.Fatal("revived config reported parked")
+	}
+	// Drive into dead at depth 0: close the root as unknown... not
+	// possible — instead reopen unknown and close to return alive, then
+	// verify the truly parked shape via BeginSegment on the dead row.
+	ev.BeginSegment(ev.n)
+	if !ev.SaveConfig().Parked() {
+		t.Fatal("dead-over-empty config not reported parked")
+	}
+}

@@ -1,0 +1,77 @@
+package stackeval
+
+import (
+	"fmt"
+	"strings"
+
+	"stackless/internal/core"
+	"stackless/internal/dfa"
+)
+
+// Verification surface (internal/tablecheck). The accessors expose the
+// live compiled arrays — never copies, the corruption tests flip entries
+// in place — and the snapshot support makes the bounded-equivalence
+// search O(1) per configuration save instead of O(depth): a snapshot is
+// one retained link into the pooled stack chain, shared structurally with
+// the live machine (pool.go).
+
+// CompiledTable returns the live compiled form: the flat (n+1)×(k+1) word
+// table (row n the dead row, column k the unknown column), the
+// state-to-word vector (n+1 entries), and the row stride k+1.
+func (ev *Evaluator) CompiledTable() (tab, words []int32, stride int) {
+	return ev.ctab, ev.words, ev.kw
+}
+
+// DFA returns the automaton the machine was compiled from.
+func (ev *Evaluator) DFA() *dfa.DFA { return ev.d }
+
+// savedConfig is the saved configuration of a pushdown Evaluator: the
+// machine word, the depth, and one retained reference to the top stack
+// node. Configs are tied to the machine's pool; restoring a config into a
+// different Evaluator is invalid. Snapshot references are never dropped
+// (SavedConfig has no release), so the pool high-water mark is bounded by
+// the number of live snapshots times the depth — fine for the bounded
+// searches this exists for.
+type savedConfig struct {
+	ev    *Evaluator
+	word  int32
+	depth int32
+	top   int32
+}
+
+// Key implements core.SavedConfig: the word and the stack words top to
+// bottom. O(depth) — used only by the equivalence search's dedup, never
+// on an evaluation path.
+func (c *savedConfig) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p%d@%d", c.word, c.depth)
+	for t := c.top; t >= 0; t = c.ev.pool.nodes[t].below {
+		fmt.Fprintf(&b, ";%d", c.ev.pool.nodes[t].word)
+	}
+	return b.String()
+}
+
+// Parked implements core.SavedConfig. Dead word over an empty stack is
+// absorbing: every frame pushed from here on is dead, every pop returns
+// to this configuration or a dead one, and Accepting stays false. (A dead
+// word over a non-empty stack is NOT parked — a close revives the path
+// below.)
+func (c *savedConfig) Parked() bool {
+	return c.word&StateMask == int32(c.ev.n) && c.top < 0
+}
+
+// SaveConfig implements core.Snapshotter: retain the top link — O(1).
+func (ev *Evaluator) SaveConfig() core.SavedConfig {
+	ev.pool.retain(ev.top)
+	return &savedConfig{ev: ev, word: ev.word, depth: ev.depth, top: ev.top}
+}
+
+// RestoreConfig implements core.Snapshotter. The machine takes its own
+// reference on the restored chain before dropping the one it holds, so
+// restoring a snapshot of the current configuration is safe.
+func (ev *Evaluator) RestoreConfig(c core.SavedConfig) {
+	sc := c.(*savedConfig)
+	ev.pool.retain(sc.top)
+	ev.pool.release(ev.top)
+	ev.word, ev.depth, ev.top = sc.word, sc.depth, sc.top
+}

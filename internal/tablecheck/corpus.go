@@ -8,6 +8,7 @@ import (
 	"stackless/internal/core"
 	"stackless/internal/paperfigs"
 	"stackless/internal/rex"
+	"stackless/internal/stackeval"
 )
 
 // Machine is one named machine of the repository corpus.
@@ -104,6 +105,17 @@ func Corpus() ([]Machine, error) {
 	alB, err := core.BlindRegisterlessAL(an3b)
 	if err := add("synopsis/al-term", alB, err); err != nil {
 		return nil, err
+	}
+
+	// The §16 pushdown fallback, compiled for arbitrary regular languages —
+	// no HAR restriction, so the members deliberately include the suffix
+	// queries no stackless machine realizes.
+	for _, expr := range []string{"(a|b)*ab", "a(a|b)*b", "a*"} {
+		l, err := rex.CompileString(expr, alphabet.Letters("ab"))
+		if err != nil {
+			return nil, fmt.Errorf("corpus: compile %q: %w", expr, err)
+		}
+		out = append(out, Machine{"pushdown/" + expr, stackeval.QL(l)})
 	}
 
 	// Products of the §13 multi-query engine: a markup product over one

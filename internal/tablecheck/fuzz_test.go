@@ -9,6 +9,8 @@ import (
 	"stackless/internal/core"
 	"stackless/internal/encoding"
 	"stackless/internal/paperfigs"
+	"stackless/internal/rex"
+	"stackless/internal/stackeval"
 )
 
 // The fuzz corpus encodes one event per byte: bit 0 is the kind, bits 1–2
@@ -71,6 +73,9 @@ func fuzzCorpusMachines() ([]machineUnderTest, error) {
 			func() (any, error) { return core.RegisterlessEL(an3a) },
 			func() (any, error) { return core.RegisterlessAL(an3b) },
 			func() (any, error) { return core.Example27Minimal(), nil },
+			func() (any, error) {
+				return stackeval.QL(rex.MustCompile("(a|b)*ab", alphabet.Letters("abc"))), nil
+			},
 		}
 		for _, b := range build {
 			m, err := b()

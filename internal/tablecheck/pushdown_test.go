@@ -1,0 +1,136 @@
+package tablecheck
+
+import (
+	"testing"
+
+	"stackless/internal/alphabet"
+	"stackless/internal/rex"
+	"stackless/internal/stackeval"
+)
+
+// The pushdown table is fully redundant with its DFA (every entry the word
+// of a delta target), so unlike the TagDFA there is no corruption the
+// static pass misses and only the equivalence search catches: these tests
+// flip live entries in place through the CompiledTable accessor and assert
+// the diagnostic lands in the right invariant class. Clean-machine
+// equivalence coverage comes from the corpus (pushdown/* in TestCorpusClean).
+
+func freshPushdown(t *testing.T) *stackeval.Evaluator {
+	t.Helper()
+	return stackeval.QL(rex.MustCompile("(a|b)*ab", alphabet.Letters("ab")))
+}
+
+func TestPushdownMachineName(t *testing.T) {
+	if got := MachineName(freshPushdown(t)); got != "PushdownEvaluator" {
+		t.Fatalf("MachineName = %q, want PushdownEvaluator", got)
+	}
+}
+
+func TestPushdownCorpusEntriesClean(t *testing.T) {
+	ms, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, m := range ms {
+		if _, ok := m.M.(*stackeval.Evaluator); ok {
+			found++
+		}
+	}
+	if found < 3 {
+		t.Fatalf("corpus carries %d pushdown machines, want ≥ 3", found)
+	}
+}
+
+func TestCorruptPushdown(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		ds, err := Verify("p", freshPushdown(t), testLimits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range ds {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	})
+	t.Run("closure", func(t *testing.T) {
+		ev := freshPushdown(t)
+		tab, _, _ := ev.CompiledTable()
+		tab[0] = -7 // negative: stray bits beyond accept|state
+		ds, err := Verify("p", ev, testLimits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOnlyKind(t, ds, KindClosure)
+	})
+	t.Run("closure-code-past-dead", func(t *testing.T) {
+		ev := freshPushdown(t)
+		tab, words, _ := ev.CompiledTable()
+		tab[1] = words[len(words)-1] + 3
+		ds, err := Verify("p", ev, testLimits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOnlyKind(t, ds, KindClosure)
+	})
+	t.Run("flags-word-vector", func(t *testing.T) {
+		ev := freshPushdown(t)
+		_, words, _ := ev.CompiledTable()
+		words[0] ^= stackeval.AccBit // acceptance flipped against the DFA
+		ds, err := Verify("p", ev, testLimits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOnlyKind(t, ds, KindFlags)
+	})
+	t.Run("flags-dead-row", func(t *testing.T) {
+		ev := freshPushdown(t)
+		tab, words, stride := ev.CompiledTable()
+		n := len(words) - 1
+		tab[n*stride] = words[0] // dead row escapes to a live word
+		ds, err := Verify("p", ev, testLimits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOnlyKind(t, ds, KindFlags)
+	})
+	t.Run("flags-accept-bit", func(t *testing.T) {
+		ev := freshPushdown(t)
+		tab, _, _ := ev.CompiledTable()
+		tab[0] ^= stackeval.AccBit // right state code, wrong pre-selection
+		ds, err := Verify("p", ev, testLimits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOnlyKind(t, ds, KindFlags)
+	})
+	t.Run("flags-wrong-target", func(t *testing.T) {
+		ev := freshPushdown(t)
+		tab, words, stride := ev.CompiledTable()
+		// Route a live entry to a different live word: in range, well
+		// flagged, but disagreeing with the DFA's delta.
+		for q := 0; q < len(words)-1; q++ {
+			for a := 0; a < stride-1; a++ {
+				if tab[q*stride+a] != words[0] {
+					tab[q*stride+a] = words[0]
+					q = len(words) // break outer
+					break
+				}
+			}
+		}
+		ds, err := Verify("p", ev, testLimits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOnlyKind(t, ds, KindFlags)
+	})
+	t.Run("totality", func(t *testing.T) {
+		ev := freshPushdown(t)
+		tab, words, stride := ev.CompiledTable()
+		tab[stride-1] = words[0] // unknown column of state 0 survives
+		ds, err := Verify("p", ev, testLimits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOnlyKind(t, ds, KindTotality)
+	})
+}

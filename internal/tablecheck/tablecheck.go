@@ -35,6 +35,7 @@ import (
 
 	"stackless/internal/core"
 	"stackless/internal/encoding"
+	"stackless/internal/stackeval"
 )
 
 // Kind classifies a diagnostic by the invariant class it violates.
@@ -103,10 +104,11 @@ func (r *reporter) full() bool { return len(r.ds) > maxDiagnostics }
 
 // StaticVerify runs the shape, closure, flags and totality checks on a
 // compiled machine. Supported machines: *core.TagDFA,
-// *core.StacklessEvaluator, *core.DRA, *core.SynopsisMachine, the negated
-// AL wrapper (via its InnerSynopsis accessor), and evaluators exposing
-// their automaton through a Machine accessor. Lazily-compiled tables are
-// checked in their current fill state.
+// *core.StacklessEvaluator, *core.DRA, *core.SynopsisMachine,
+// *stackeval.Evaluator, the negated AL wrapper (via its InnerSynopsis
+// accessor), and evaluators exposing their automaton through a Machine
+// accessor. Lazily-compiled tables are checked in their current fill
+// state.
 func StaticVerify(name string, m any) ([]Diagnostic, error) {
 	r := &reporter{machine: name}
 	switch v := m.(type) {
@@ -114,6 +116,8 @@ func StaticVerify(name string, m any) ([]Diagnostic, error) {
 		staticTagDFA(r, v)
 	case *core.StacklessEvaluator:
 		staticStackless(r, v)
+	case *stackeval.Evaluator:
+		staticPushdown(r, v)
 	case *core.DRA:
 		staticDRA(r, v)
 	case *core.SynopsisMachine:
@@ -185,6 +189,8 @@ func MachineName(m any) string {
 		return "StacklessEvaluator(markup)"
 	case *core.DRA:
 		return "DRA"
+	case *stackeval.Evaluator:
+		return "PushdownEvaluator"
 	case *core.SynopsisMachine:
 		if v.Blind() {
 			return "SynopsisMachine(term)"

@@ -122,8 +122,8 @@ func TestMultiQueryProductDifferential(t *testing.T) {
 
 // TestMultiQueryProductGroupsStats pins the MultiStats.ProductGroups surface
 // on the three paths a run can take: the compiled pass products compatible
-// queries, noProduct fans out, and the per-event string path (here forced
-// via ForceStack) never builds a plan.
+// queries, noProduct fans out, and the pushdown path (here forced via
+// ForceStack, itself coded now) never builds a plan.
 func TestMultiQueryProductGroupsStats(t *testing.T) {
 	mq, err := NewMultiQuery(MustCompileRegex("a.*b", abc), MustCompileRegex(".*a", abc))
 	if err != nil {
@@ -141,8 +141,8 @@ func TestMultiQueryProductGroupsStats(t *testing.T) {
 	}
 	mq.noProduct = false
 	_, stats = multiRun(t, mq, doc, Options{ForceStack: true})
-	if stats.Pipeline != PipelineString || stats.ProductGroups != 0 {
-		t.Fatalf("string path: pipeline %v, groups %d, want string/0", stats.Pipeline, stats.ProductGroups)
+	if stats.Pipeline != PipelineCoded || stats.ProductGroups != 0 {
+		t.Fatalf("stack path: pipeline %v, groups %d, want coded/0", stats.Pipeline, stats.ProductGroups)
 	}
 }
 

@@ -95,11 +95,16 @@ type Stats struct {
 	// CutPolicy of the chosen machine ("none", "newmin", "belowentry",
 	// "all") when chunk-parallel evaluation was requested; empty otherwise.
 	CutPolicy string
-	// Fallback says why a Workers>1 request still ran sequentially:
-	// "strategy" (the machine is not chunkable — pushdown or synopsis EL),
-	// "cutall" (unrestricted DRA: every event is a boundary), or "short"
-	// (too few events to cut). Empty when the run fanned out or was never
-	// asked to.
+	// Fallback qualifies how a Workers>1 request actually ran.
+	// Sequential degradations: "strategy" (the machine is not chunkable —
+	// the synopsis EL machine), "cutall" (unrestricted DRA: every event
+	// is a boundary), "short" (too few events to cut), or "deep" (the
+	// pushdown's speculative chunking was not viable: the stream's depth
+	// is too large against the chunk size, see
+	// parallel.SpeculationViable). "speculative" marks a run that *did*
+	// fan out, on the pushdown's speculative CutBoundedDepth summaries
+	// (DESIGN.md §16). Empty when the run fanned out on an exact summary
+	// or was never asked to parallelize.
 	Fallback string
 	// Earliest reports which earliest-emission mode the run carried when
 	// Options.Earliest was set: EarliestExact when the chosen machine
@@ -130,9 +135,11 @@ type Options struct {
 	// the sequential run. The count is clamped to GOMAXPROCS — requesting
 	// more workers than cores only adds join overhead (EXPERIMENTS.md);
 	// Stats.Workers reports the clamped value. Falls back to sequential
-	// evaluation when the chosen strategy cannot be chunked (the pushdown
-	// fallback and the synopsis EL machine); note that chunking trades the
-	// model's O(1) memory for throughput by buffering the event stream.
+	// evaluation when the chosen strategy cannot be chunked (the synopsis
+	// EL machine) or when the pushdown fallback's speculative chunking is
+	// not viable for the stream (see Stats.Fallback); note that chunking
+	// trades the model's O(1) memory for throughput by buffering the
+	// event stream.
 	// In a MultiQuery run each product group is one chunk-parallel pass
 	// for its whole member set (DESIGN.md §13).
 	Workers int
@@ -253,8 +260,13 @@ func (q *Query) selectSource(src encoding.Source, enc Encoding, opt Options, fn 
 			stats.Fallback = "cutall"
 		case len(cuts) == 0:
 			stats.Fallback = "short"
+		case policy == core.CutBoundedDepth && !parallel.SpeculationViable(events, len(cuts)+1):
+			stats.Fallback = "deep"
 		default:
 			stats.Chunks = len(cuts) + 1
+			if policy == core.CutBoundedDepth {
+				stats.Fallback = "speculative"
+			}
 		}
 		parallel.SelectObs(parallel.Shared(), cm, events, opt.Workers, c, report)
 		return stats, nil
@@ -356,8 +368,13 @@ func (q *Query) recognize(src encoding.Source, enc Encoding, opt Options,
 			stats.Fallback = "cutall"
 		case len(cuts) == 0:
 			stats.Fallback = "short"
+		case policy == core.CutBoundedDepth && !parallel.SpeculationViable(events, len(cuts)+1):
+			stats.Fallback = "deep"
 		default:
 			stats.Chunks = len(cuts) + 1
+			if policy == core.CutBoundedDepth {
+				stats.Fallback = "speculative"
+			}
 		}
 		return parallel.RecognizeObs(parallel.Shared(), cm, events, opt.Workers, c), stats, nil
 	}

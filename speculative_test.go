@@ -1,0 +1,79 @@
+package stackless
+
+import (
+	"strings"
+	"testing"
+)
+
+// The acceptance surface of the speculative pushdown (DESIGN.md §16): an
+// unrestricted query — stack strategy, no stackless machine exists — on a
+// bounded-depth stream with Workers > 1 actually fans out, reports
+// Fallback "speculative" (not the old "cutall" degrade), and returns the
+// sequential match set byte for byte.
+
+// wideXML builds one root holding n two-deep subtrees: 2n+1 nodes at
+// depth ≤ 3, the wide-and-shallow shape speculation is for.
+func wideXML(n int) string {
+	var b strings.Builder
+	b.WriteString("<a>")
+	for i := 0; i < n; i++ {
+		b.WriteString("<a><b></b></a>")
+	}
+	b.WriteString("</a>")
+	return b.String()
+}
+
+func TestStackSpeculativeFanout(t *testing.T) {
+	withProcs(t, 8)
+	q := MustCompileRegex(".*ab", abc) // suffix language: not HAR, pushdown only
+	doc := wideXML(400)
+
+	want, seqStats := collectMatches(t, q, doc, Options{})
+	if seqStats.Strategy != Stack || seqStats.Fallback != "" {
+		t.Fatalf("sequential stats = %+v, want a plain stack run", seqStats)
+	}
+	if len(want) != 400 { // every <b> node: path a·a·b matches .*ab
+		t.Fatalf("sequential run found %d matches, want 400", len(want))
+	}
+
+	c := NewCollector()
+	got, stats := collectMatches(t, q, doc, Options{Workers: 4, Collector: c})
+	if stats.Strategy != Stack || stats.CutPolicy != "boundeddepth" {
+		t.Fatalf("stats = %+v, want stack/boundeddepth", stats)
+	}
+	if stats.Fallback != "speculative" {
+		t.Fatalf("Fallback = %q, want \"speculative\" (stream depth 3, %d events)", stats.Fallback, stats.Events)
+	}
+	if stats.Workers != 4 || stats.Chunks < 2 {
+		t.Fatalf("stats = %+v, want a real fan-out on 4 workers", stats)
+	}
+	if stats.Pipeline != PipelineCoded {
+		t.Fatalf("speculative run reports pipeline %q, want coded", stats.Pipeline)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("speculative run: %d matches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if stats.Matches != seqStats.Matches || stats.Events != seqStats.Events {
+		t.Fatalf("speculative stats %+v vs sequential %+v", stats, seqStats)
+	}
+	if c.ParallelRuns.Load() != 1 || c.SpecChunks.Load() != int64(stats.Chunks) {
+		t.Fatalf("collector: parallel=%d spec_chunks=%d, want 1/%d",
+			c.ParallelRuns.Load(), c.SpecChunks.Load(), stats.Chunks)
+	}
+	if c.StackFallbacks.Load() != 1 || c.SeqFallbacks.Load() != 0 {
+		t.Fatalf("fallback counters: stack=%d seq=%d, want 1/0 (no sequential degrade)",
+			c.StackFallbacks.Load(), c.SeqFallbacks.Load())
+	}
+
+	// The same query on a deep chain degrades sequentially and says so.
+	deep := strings.Repeat("<a>", 50) + strings.Repeat("</a>", 50)
+	_, stats = collectMatches(t, q, deep, Options{Workers: 4})
+	if stats.Fallback != "deep" || stats.Chunks != 1 {
+		t.Fatalf("deep-chain stats = %+v, want the \"deep\" sequential degrade", stats)
+	}
+}
